@@ -1,0 +1,29 @@
+// Command amtsimd serves the simulated Amazon Mechanical Turk over HTTP,
+// so a CrowdDB engine (or anything else) can exercise the full networked
+// task lifecycle the paper's prototype had against the real AMT endpoint:
+// POST /groups, GET /groups/{id}/status, GET /groups/{id}/assignments,
+// POST /assignments/{id}/approve|reject, POST /groups/{id}/expire,
+// POST /step (advance virtual time), GET /now.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"crowddb/internal/crowd/amt"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8711", "listen address")
+	seed := flag.Int64("seed", 1, "worker simulation seed")
+	flag.Parse()
+
+	platform := amt.NewDefault(*seed)
+	fmt.Printf("amtsimd: simulated Mechanical Turk listening on %s (seed %d)\n", *addr, *seed)
+	if err := http.ListenAndServe(*addr, amt.NewServer(platform)); err != nil {
+		fmt.Fprintln(os.Stderr, "amtsimd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+// Command crowdbench regenerates the paper's evaluation exhibits (see
+// DESIGN.md §4 and EXPERIMENTS.md). Each experiment prints the series the
+// corresponding figure or table reports.
+//
+// Usage:
+//
+//	crowdbench                 # run every experiment
+//	crowdbench -run E6,E10     # run selected experiments
+//	crowdbench -seed 7         # change the simulation seed
+//	crowdbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crowddb/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed (all experiments are deterministic per seed)")
+	run := flag.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	experiments := bench.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		e.Run(*seed).Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "crowdbench: no experiment matches %q (use -list)\n", *run)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package crowddb
+
+import (
+	"strings"
+	"testing"
+
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func openDemo(t *testing.T, seed int64) (*DB, *workload.Conference) {
+	t.Helper()
+	conf := workload.NewConference(10, seed)
+	db, err := Open(Config{
+		Platform: NewAMTPlatform(seed),
+		Oracle:   conf.Oracle(),
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE Talk (
+		title STRING PRIMARY KEY,
+		abstract CROWD STRING,
+		nb_attendees CROWD INTEGER )`); err != nil {
+		t.Fatal(err)
+	}
+	for _, talk := range conf.Talks[:5] {
+		if _, err := db.Exec("INSERT INTO Talk (title) VALUES (" +
+			sqltypes.NewString(talk.Title).SQLLiteral() + ")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, conf
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, conf := openDemo(t, 21)
+	res, err := db.Query("SELECT abstract FROM Talk WHERE title = " +
+		sqltypes.NewString(conf.Talks[0].Title).SQLLiteral())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].IsUnknown() {
+		t.Fatalf("crowd answer missing: %v", res.Rows)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	db, _ := openDemo(t, 22)
+	res, err := db.Query("SELECT title FROM Talk ORDER BY title LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable(res)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "(2 rows)") {
+		t.Errorf("format:\n%s", out)
+	}
+	// DML formatting.
+	res, _ = db.Exec("INSERT INTO Talk (title) VALUES ('zz-extra')")
+	if got := FormatTable(res); !strings.Contains(got, "1 row(s) affected") {
+		t.Errorf("dml format: %q", got)
+	}
+	// Explain formatting.
+	res, _ = db.Exec("EXPLAIN SELECT title FROM Talk")
+	if got := FormatTable(res); !strings.Contains(got, "Scan") {
+		t.Errorf("plan format: %q", got)
+	}
+	if FormatTable(nil) != "" {
+		t.Error("nil result formats empty")
+	}
+}
+
+func TestMobilePlatformConstructor(t *testing.T) {
+	p := NewMobilePlatform(1)
+	if p.Name() != "mobile" {
+		t.Errorf("platform name: %s", p.Name())
+	}
+	if NewAMTPlatform(1).Name() != "amt" {
+		t.Error("amt name")
+	}
+}
+
+func TestOpenWithoutPlatform(t *testing.T) {
+	db, err := Open(Config{AllowUnbounded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (x INTEGER PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil || res.Rows[0][0].Int() != 2 {
+		t.Errorf("crowd-free engine: %v %v", res, err)
+	}
+}

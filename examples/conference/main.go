@@ -1,0 +1,77 @@
+// Conference: the demo paper's running example (§2) end to end —
+// Example 1's crowd columns (missing abstracts and attendance), Example
+// 2's open-world CROWD table of notable attendees joined through its
+// foreign key (CrowdJoin), and Example 3's CROWDORDER ranking of the
+// most-liked talks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowddb"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func main() {
+	conf := workload.NewConference(12, 2011)
+	db, err := crowddb.Open(crowddb.Config{
+		Platform: crowddb.NewAMTPlatform(2011),
+		Oracle:   conf.Oracle(),
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Example 1 (paper §2.1): crowd columns.
+	must(db, `CREATE TABLE Talk (
+		title STRING PRIMARY KEY,
+		abstract CROWD STRING,
+		nb_attendees CROWD INTEGER ANNOTATION 'How many people were in the audience?' )`)
+	// Example 2 (paper §2.1): a CROWD table with a foreign key.
+	must(db, `CREATE CROWD TABLE NotableAttendee (
+		name STRING PRIMARY KEY,
+		title STRING,
+		FOREIGN KEY (title) REF Talk(title) )`)
+	for _, talk := range conf.Talks[:8] {
+		must(db, "INSERT INTO Talk (title) VALUES ("+sqltypes.NewString(talk.Title).SQLLiteral()+")")
+	}
+
+	fmt.Println("== Example 1: crowdsource a missing abstract ==")
+	title := sqltypes.NewString(conf.Talks[0].Title).SQLLiteral()
+	show(db, "SELECT abstract FROM Talk WHERE title = "+title)
+
+	fmt.Println("== Example 1b: which talks drew more than 100 people? ==")
+	show(db, "SELECT title, nb_attendees FROM Talk WHERE nb_attendees > 100 ORDER BY nb_attendees DESC")
+
+	fmt.Println("== Example 2: who notable attended this talk? (CrowdJoin) ==")
+	show(db, "SELECT n.name FROM Talk t JOIN NotableAttendee n ON n.title = t.title WHERE t.title = "+title)
+
+	fmt.Println("== Example 3: the 5 most-liked talks (CROWDORDER) ==")
+	show(db, `SELECT title FROM Talk ORDER BY CROWDORDER(title, "Which talk did you like better") LIMIT 5`)
+
+	if tasks := db.Engine().Tasks(); tasks != nil {
+		s := tasks.Stats()
+		fmt.Printf("session totals: %d HIT groups, %d HITs, %d assignments, crowd time %s, spend %s\n",
+			s.GroupsPosted, s.HITsPosted, s.AssignmentsIn, s.CrowdTime, s.ApprovedSpend)
+	}
+}
+
+func show(db *crowddb.DB, sql string) {
+	res, err := db.Query(sql)
+	if err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+	fmt.Print(crowddb.FormatTable(res))
+	fmt.Println()
+}
+
+func must(db *crowddb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -1,0 +1,62 @@
+// Entity resolution: the paper's second human capability (§1, "Comparing
+// data") — people easily tell that "IBM" and "International Business
+// Machines" are the same company, which no exact-match predicate can.
+// CROWDEQUAL (and its ~= shorthand) sends those judgements to the crowd,
+// majority-votes them, and memorizes the verdicts so each pair is paid
+// for once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowddb"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func main() {
+	companies := workload.NewCompanies(8, 99)
+	db, err := crowddb.Open(crowddb.Config{
+		Platform: crowddb.NewAMTPlatform(99),
+		Oracle:   companies.Oracle(),
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db, `CREATE TABLE company (name STRING PRIMARY KEY, hq STRING)`)
+	for _, c := range companies.List {
+		must(db, "INSERT INTO company VALUES ("+
+			sqltypes.NewString(c.Canonical).SQLLiteral()+", "+
+			sqltypes.NewString(c.HQ).SQLLiteral()+")")
+	}
+
+	// Users search with abbreviations and misspellings; exact equality
+	// finds nothing, crowd equality resolves the entity.
+	for _, c := range companies.List[:3] {
+		variant := c.Variants[0]
+		fmt.Printf("== looking up %q (an alias of %q) ==\n", variant, c.Canonical)
+		exact, err := db.Query("SELECT hq FROM company WHERE name = " + sqltypes.NewString(variant).SQLLiteral())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exact match: %d rows (the closed-world answer)\n", len(exact.Rows))
+
+		res, err := db.Query("SELECT name, hq FROM company WHERE name ~= " + sqltypes.NewString(variant).SQLLiteral())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(crowddb.FormatTable(res))
+		fmt.Printf("crowd comparisons: %d (cached: %d)\n\n", res.Stats.Comparisons, res.Stats.CacheHits)
+	}
+}
+
+func must(db *crowddb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: the paper's opening scenario (§1). A traditional database
+// returns an empty answer for
+//
+//	SELECT abstract FROM paper WHERE title = 'CrowdDB'
+//
+// when the abstract was never entered. CrowdDB instead compiles the query
+// into a CrowdProbe task, posts it to the (simulated) Mechanical Turk,
+// majority-votes the workers' answers, memorizes the result, and returns
+// a complete row — and a second run never asks the crowd again.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowddb"
+	"crowddb/internal/crowd"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func main() {
+	// The oracle stands in for real human knowledge: it tells SIMULATED
+	// workers what the true abstract is. A real deployment has no oracle —
+	// people just know things.
+	oracle := workload.NewOracle()
+	oracle.RegisterProbe("paper", func(known map[string]sqltypes.Value, ask []string) *crowd.SimTruth {
+		if known["title"].Str() != "CrowdDB" {
+			return nil
+		}
+		return &crowd.SimTruth{Truth: map[string]string{
+			"abstract": "Databases often give incorrect answers when data are missing. " +
+				"CrowdDB uses crowdsourcing to integrate human input for processing such queries.",
+		}}
+	})
+
+	db, err := crowddb.Open(crowddb.Config{
+		Platform: crowddb.NewAMTPlatform(1),
+		Oracle:   oracle,
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db, `CREATE TABLE paper (
+		title STRING PRIMARY KEY,
+		abstract CROWD STRING ANNOTATION 'Please find the abstract of this paper' )`)
+	must(db, `INSERT INTO paper (title) VALUES ('CrowdDB')`)
+
+	fmt.Println("-- a normal DBMS would return an empty abstract here --")
+	res, err := db.Query(`SELECT abstract FROM paper WHERE title = 'CrowdDB'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(crowddb.FormatTable(res))
+	fmt.Printf("crowd work: %d probe task(s)\n\n", res.Stats.ProbeRequests)
+
+	fmt.Println("-- run it again: the answer was memorized, the crowd rests --")
+	res, err = db.Query(`SELECT abstract FROM paper WHERE title = 'CrowdDB'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(crowddb.FormatTable(res))
+	fmt.Printf("crowd work: %d probe task(s)\n", res.Stats.ProbeRequests)
+}
+
+func must(db *crowddb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// E13: the noon-adjacent posting must complete faster than the overnight
+// one.
+func TestE13Shape(t *testing.T) {
+	tab := E13Diurnal(42)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	night := cellDur(t, tab.Rows[0][2])   // 02:00
+	morning := cellDur(t, tab.Rows[1][2]) // 08:00
+	if morning >= night {
+		t.Errorf("08:00 posting (%v) must beat 02:00 (%v)", morning, night)
+	}
+}
+
+// E14: weighted voting must resolve at least as many HITs correctly as
+// plain majority on the spammy crowd.
+func TestE14Shape(t *testing.T) {
+	tab := E14VotePolicy(42)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	majCorrect := cellPct(t, tab.Rows[0][1])
+	wgtCorrect := cellPct(t, tab.Rows[1][1])
+	if wgtCorrect < majCorrect {
+		t.Errorf("weighted (%0.f%%) must not resolve fewer than majority (%0.f%%)", wgtCorrect, majCorrect)
+	}
+	majNoQuorum := cellPct(t, tab.Rows[0][3])
+	wgtNoQuorum := cellPct(t, tab.Rows[1][3])
+	if wgtNoQuorum > majNoQuorum {
+		t.Errorf("weighting must cut no-quorum splits: %0.f%% vs %0.f%%", wgtNoQuorum, majNoQuorum)
+	}
+}

@@ -1,0 +1,333 @@
+// Package catalog holds CrowdDB's schema metadata: table and column
+// definitions including the paper's CROWD annotations (§2.1), foreign keys
+// (which CrowdJoin and UI generation rely on), free-text annotations used
+// for task-form generation (§3.1), and per-table statistics the rule-based
+// optimizer consults for cardinality prediction (§3.2.2).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"crowddb/internal/sqltypes"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	Type       sqltypes.Type
+	Crowd      bool // value may be CNULL and is crowdsourced on first use
+	PrimaryKey bool
+	Annotation string // free text shown on generated task forms
+}
+
+// ForeignKey links columns of this table to a referenced table. CrowdDB uses
+// FKs both for CrowdJoin and to pre-fill referencing values on task forms.
+type ForeignKey struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Index describes a secondary index maintained by the storage layer.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// Statistics are the optimizer's per-table numbers. For CROWD tables the
+// paper's optimizer works with *expected* cardinalities because the open
+// world means the true size is unknowable.
+type Statistics struct {
+	RowCount int64
+	// ExpectedCrowdCard is the predicted number of crowd tuples matching a
+	// single probe key (used to bound CrowdJoin fan-out). Defaults to
+	// DefaultCrowdCard when never set.
+	ExpectedCrowdCard int64
+	// CNullCount tracks, per column name, how many stored values are still
+	// CNULL — CrowdProbe uses it to estimate outstanding work.
+	CNullCount map[string]int64
+}
+
+// DefaultCrowdCard is the default expected number of crowdsourced tuples per
+// probe against a CROWD table.
+const DefaultCrowdCard = 3
+
+// Table is a full table definition.
+type Table struct {
+	Name        string
+	Crowd       bool // CREATE CROWD TABLE: open-world, tuples may be crowdsourced
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+	Annotation  string
+	Stats       Statistics
+}
+
+// Column returns the column definition by name (case-insensitive, like H2).
+func (t *Table) Column(name string) (*Column, bool) {
+	for i := range t.Columns {
+		if strings.EqualFold(t.Columns[i].Name, name) {
+			return &t.Columns[i], true
+		}
+	}
+	return nil, false
+}
+
+// ColumnIndex returns the ordinal of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i := range t.Columns {
+		if strings.EqualFold(t.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasCrowdColumns reports whether any column is CROWD-annotated.
+func (t *Table) HasCrowdColumns() bool {
+	for _, c := range t.Columns {
+		if c.Crowd {
+			return true
+		}
+	}
+	return false
+}
+
+// CrowdColumns returns the names of all CROWD columns.
+func (t *Table) CrowdColumns() []string {
+	var cols []string
+	for _, c := range t.Columns {
+		if c.Crowd {
+			cols = append(cols, c.Name)
+		}
+	}
+	return cols
+}
+
+// IsCrowdSourced reports whether the table participates in crowdsourcing at
+// all (CROWD table or has CROWD columns) — exactly the tables for which the
+// UI Creation component generates templates at compile time (§3.1).
+func (t *Table) IsCrowdSourced() bool { return t.Crowd || t.HasCrowdColumns() }
+
+// PrimaryKeyIndexes returns the ordinals of the primary-key columns.
+func (t *Table) PrimaryKeyIndexes() []int {
+	idx := make([]int, 0, len(t.PrimaryKey))
+	for _, pk := range t.PrimaryKey {
+		idx = append(idx, t.ColumnIndex(pk))
+	}
+	return idx
+}
+
+// Validate checks internal consistency of a table definition.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table has no name")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %s has no columns", t.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("catalog: table %s: duplicate column %s", t.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	for _, pk := range t.PrimaryKey {
+		if t.ColumnIndex(pk) < 0 {
+			return fmt.Errorf("catalog: table %s: primary key column %s not found", t.Name, pk)
+		}
+	}
+	// The paper requires CROWD tables to have a primary key so that
+	// crowd-contributed tuples can be deduplicated.
+	if t.Crowd && len(t.PrimaryKey) == 0 {
+		return fmt.Errorf("catalog: CROWD table %s requires a PRIMARY KEY", t.Name)
+	}
+	for _, fk := range t.ForeignKeys {
+		for _, c := range fk.Columns {
+			if t.ColumnIndex(c) < 0 {
+				return fmt.Errorf("catalog: table %s: foreign key column %s not found", t.Name, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Catalog is the thread-safe registry of tables and indexes.
+type Catalog struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table // lower-cased name -> def
+	indexes map[string]*Index // lower-cased index name -> def
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// CreateTable registers a validated table definition.
+func (c *Catalog) CreateTable(t *Table) error {
+	// Promote inline PRIMARY KEY markers into the table-level key before
+	// validation, so the CROWD-table PK requirement sees them.
+	if len(t.PrimaryKey) == 0 {
+		for _, col := range t.Columns {
+			if col.PrimaryKey {
+				t.PrimaryKey = append(t.PrimaryKey, col.Name)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Stats.CNullCount == nil {
+		t.Stats.CNullCount = make(map[string]int64)
+	}
+	if t.Stats.ExpectedCrowdCard == 0 {
+		t.Stats.ExpectedCrowdCard = DefaultCrowdCard
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	// FK targets must exist.
+	for _, fk := range t.ForeignKeys {
+		ref, ok := c.tables[strings.ToLower(fk.RefTable)]
+		if !ok {
+			return fmt.Errorf("catalog: table %s: foreign key references unknown table %s", t.Name, fk.RefTable)
+		}
+		for _, rc := range fk.RefColumns {
+			if ref.ColumnIndex(rc) < 0 {
+				return fmt.Errorf("catalog: table %s: foreign key references unknown column %s.%s", t.Name, fk.RefTable, rc)
+			}
+		}
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// DropTable removes a table. It fails if another table references it.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	for _, other := range c.tables {
+		if strings.EqualFold(other.Name, name) {
+			continue
+		}
+		for _, fk := range other.ForeignKeys {
+			if strings.EqualFold(fk.RefTable, name) {
+				return fmt.Errorf("catalog: cannot drop %s: referenced by %s", name, other.Name)
+			}
+		}
+	}
+	delete(c.tables, key)
+	for iname, idx := range c.indexes {
+		if strings.EqualFold(idx.Table, name) {
+			delete(c.indexes, iname)
+		}
+	}
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all table definitions sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateIndex registers an index definition after validating it.
+func (c *Catalog) CreateIndex(idx *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(idx.Name)
+	if _, exists := c.indexes[key]; exists {
+		return fmt.Errorf("catalog: index %s already exists", idx.Name)
+	}
+	t, ok := c.tables[strings.ToLower(idx.Table)]
+	if !ok {
+		return fmt.Errorf("catalog: index %s: unknown table %s", idx.Name, idx.Table)
+	}
+	for _, col := range idx.Columns {
+		if t.ColumnIndex(col) < 0 {
+			return fmt.Errorf("catalog: index %s: unknown column %s.%s", idx.Name, idx.Table, col)
+		}
+	}
+	c.indexes[key] = idx
+	return nil
+}
+
+// Indexes returns all indexes on the given table, sorted by name.
+func (c *Catalog) Indexes(table string) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Index
+	for _, idx := range c.indexes {
+		if strings.EqualFold(idx.Table, table) {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IndexOn returns an index whose leading column is col, preferring unique
+// indexes; the executor uses it to choose index-nested-loop joins.
+func (c *Catalog) IndexOn(table, col string) (*Index, bool) {
+	var best *Index
+	for _, idx := range c.Indexes(table) {
+		if len(idx.Columns) > 0 && strings.EqualFold(idx.Columns[0], col) {
+			if idx.Unique {
+				return idx, true
+			}
+			if best == nil {
+				best = idx
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// ReferencingKeys returns, for a given table, the FKs of *other* tables that
+// point at it. UI generation uses this to offer "add a new referencing
+// tuple" forms (e.g. new NotableAttendee rows for a Talk).
+func (c *Catalog) ReferencingKeys(table string) map[string][]ForeignKey {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]ForeignKey)
+	for _, t := range c.tables {
+		for _, fk := range t.ForeignKeys {
+			if strings.EqualFold(fk.RefTable, table) {
+				out[t.Name] = append(out[t.Name], fk)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"crowddb/internal/sqltypes"
+)
+
+func talkTable() *Table {
+	return &Table{
+		Name: "Talk",
+		Columns: []Column{
+			{Name: "title", Type: sqltypes.TypeString, PrimaryKey: true},
+			{Name: "abstract", Type: sqltypes.TypeString, Crowd: true},
+			{Name: "nb_attendees", Type: sqltypes.TypeInt, Crowd: true},
+		},
+	}
+}
+
+func notableTable() *Table {
+	return &Table{
+		Name:  "NotableAttendee",
+		Crowd: true,
+		Columns: []Column{
+			{Name: "name", Type: sqltypes.TypeString, PrimaryKey: true},
+			{Name: "title", Type: sqltypes.TypeString},
+		},
+		ForeignKeys: []ForeignKey{{Columns: []string{"title"}, RefTable: "Talk", RefColumns: []string{"title"}}},
+	}
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := c.Table("talk") // case-insensitive
+	if !ok || tab.Name != "Talk" {
+		t.Fatal("lookup failed")
+	}
+	if len(tab.PrimaryKey) != 1 || tab.PrimaryKey[0] != "title" {
+		t.Errorf("inline PK not promoted: %v", tab.PrimaryKey)
+	}
+	if !tab.HasCrowdColumns() || tab.Crowd {
+		t.Error("Talk: crowd columns but not crowd table")
+	}
+	if got := tab.CrowdColumns(); len(got) != 2 {
+		t.Errorf("crowd columns: %v", got)
+	}
+	if !tab.IsCrowdSourced() {
+		t.Error("IsCrowdSourced")
+	}
+}
+
+func TestDuplicateTable(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(talkTable()); err == nil {
+		t.Error("duplicate create must fail")
+	}
+}
+
+func TestCrowdTableRequiresPK(t *testing.T) {
+	c := New()
+	bad := &Table{Name: "X", Crowd: true, Columns: []Column{{Name: "a", Type: sqltypes.TypeString}}}
+	if err := c.CreateTable(bad); err == nil || !strings.Contains(err.Error(), "PRIMARY KEY") {
+		t.Errorf("CROWD table without PK must be rejected, got %v", err)
+	}
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	c := New()
+	// FK to missing table fails.
+	if err := c.CreateTable(notableTable()); err == nil {
+		t.Error("FK to unknown table must fail")
+	}
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(notableTable()); err != nil {
+		t.Fatalf("valid FK rejected: %v", err)
+	}
+	// FK to unknown column fails.
+	bad := notableTable()
+	bad.Name = "Bad"
+	bad.ForeignKeys[0].RefColumns = []string{"nonexistent"}
+	if err := c.CreateTable(bad); err == nil {
+		t.Error("FK to unknown column must fail")
+	}
+}
+
+func TestDropRestrictedByFK(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(notableTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("Talk"); err == nil {
+		t.Error("drop of referenced table must fail")
+	}
+	if err := c.DropTable("NotableAttendee"); err != nil {
+		t.Errorf("drop referencing table: %v", err)
+	}
+	if err := c.DropTable("Talk"); err != nil {
+		t.Errorf("drop after reference gone: %v", err)
+	}
+	if err := c.DropTable("Talk"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(&Index{Name: "idx_t", Table: "Talk", Columns: []string{"title"}, Unique: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(&Index{Name: "idx_t", Table: "Talk", Columns: []string{"title"}}); err == nil {
+		t.Error("duplicate index name must fail")
+	}
+	if err := c.CreateIndex(&Index{Name: "idx_bad", Table: "Nope", Columns: []string{"x"}}); err == nil {
+		t.Error("index on unknown table must fail")
+	}
+	if err := c.CreateIndex(&Index{Name: "idx_bad2", Table: "Talk", Columns: []string{"zzz"}}); err == nil {
+		t.Error("index on unknown column must fail")
+	}
+	idx, ok := c.IndexOn("Talk", "title")
+	if !ok || !idx.Unique {
+		t.Error("IndexOn should find the unique index")
+	}
+	if _, ok := c.IndexOn("Talk", "abstract"); ok {
+		t.Error("no index on abstract")
+	}
+}
+
+func TestIndexDroppedWithTable(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex(&Index{Name: "i1", Table: "Talk", Columns: []string{"title"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("Talk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Indexes("Talk"); len(got) != 0 {
+		t.Errorf("indexes must drop with table: %v", got)
+	}
+}
+
+func TestReferencingKeys(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(notableTable()); err != nil {
+		t.Fatal(err)
+	}
+	refs := c.ReferencingKeys("Talk")
+	if len(refs["NotableAttendee"]) != 1 {
+		t.Errorf("referencing keys: %v", refs)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.CreateTable(&Table{Name: n, Columns: []Column{{Name: "x", Type: sqltypes.TypeInt}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := c.Tables()
+	if ts[0].Name != "alpha" || ts[2].Name != "zeta" {
+		t.Errorf("not sorted: %v", []string{ts[0].Name, ts[1].Name, ts[2].Name})
+	}
+}
+
+func TestValidateDuplicateColumn(t *testing.T) {
+	bad := &Table{Name: "X", Columns: []Column{
+		{Name: "a", Type: sqltypes.TypeInt}, {Name: "A", Type: sqltypes.TypeInt},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate column (case-insensitive) must fail")
+	}
+}
+
+func TestDefaultStats(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := c.Table("Talk")
+	if tab.Stats.ExpectedCrowdCard != DefaultCrowdCard {
+		t.Errorf("default crowd card: %d", tab.Stats.ExpectedCrowdCard)
+	}
+	if tab.Stats.CNullCount == nil {
+		t.Error("CNullCount map must be initialized")
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"crowddb/internal/crowd/amt"
+	"crowddb/internal/crowd/mobile"
+	"crowddb/internal/quality"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func newAMT(seed int64) *amt.Platform { return amt.NewDefault(seed) }
+
+// Aggregates over crowd columns must first instantiate the CNULLs they
+// aggregate (§2.1: values are sourced when "required to evaluate ... or if
+// they are part of a query result").
+func TestAggregateOverCrowdColumn(t *testing.T) {
+	eng, conf := newConferenceEngine(t, 41, "")
+	defer eng.Close()
+	res := mustExec(t, eng, "SELECT COUNT(nb_attendees), AVG(nb_attendees) FROM Talk")
+	if res.Stats.ProbeRequests == 0 {
+		t.Fatalf("aggregation must probe: %+v", res.Stats)
+	}
+	if res.Rows[0][0].Int() < 8 { // 10 talks, allow a couple of failed quorums
+		t.Errorf("most attendance values must be filled: %v", res.Rows)
+	}
+	avg := res.Rows[0][1].Float()
+	if avg < 20 || avg > 310 {
+		t.Errorf("average out of ground-truth range: %f", avg)
+	}
+	_ = conf
+}
+
+// CROWDEQUAL in the SELECT list resolves through the single-pair fallback
+// path and caches like everything else.
+func TestCrowdEqualInSelectList(t *testing.T) {
+	comp := workload.NewCompanies(4, 42)
+	eng, err := Open(Config{
+		Platform: newAMT(42),
+		Oracle:   comp.Oracle(),
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mustExec(t, eng, `CREATE TABLE company (name STRING PRIMARY KEY)`)
+	for _, c := range comp.List {
+		mustExec(t, eng, "INSERT INTO company VALUES ("+sqltypes.NewString(c.Canonical).SQLLiteral()+")")
+	}
+	probe := sqltypes.NewString(comp.List[0].Variants[len(comp.List[0].Variants)-1]).SQLLiteral()
+	res := mustExec(t, eng, "SELECT name, CROWDEQUAL(name, "+probe+") AS same FROM company")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	yes := 0
+	for _, row := range res.Rows {
+		if row[1].Kind() == sqltypes.KindBool && row[1].Bool() {
+			yes++
+		}
+	}
+	if yes < 1 {
+		t.Errorf("the matching company must be recognized: %v", res.Rows)
+	}
+	if res.Stats.Comparisons == 0 {
+		t.Errorf("projection comparisons must reach the crowd: %+v", res.Stats)
+	}
+}
+
+// The full demo workload also runs on the mobile platform end to end.
+func TestConferenceOnMobilePlatform(t *testing.T) {
+	conf := workload.NewConference(8, 43)
+	eng, err := Open(Config{
+		Platform: mobile.New(mobile.DefaultConfig(43)),
+		Oracle:   conf.Oracle(),
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mustExec(t, eng, `CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING, nb_attendees CROWD INTEGER)`)
+	for _, talk := range conf.Talks {
+		mustExec(t, eng, fmt.Sprintf("INSERT INTO Talk (title) VALUES (%s)",
+			sqltypes.NewString(talk.Title).SQLLiteral()))
+	}
+	res := mustExec(t, eng, "SELECT title, nb_attendees FROM Talk WHERE nb_attendees > 0")
+	if len(res.Rows) < 6 {
+		t.Errorf("mobile crowd should fill most counts: %d rows (%+v)", len(res.Rows), res.Stats)
+	}
+}
+
+// LIKE over a crowd column: the predicate requires the value, so the
+// column is probed before filtering.
+func TestLikeOverCrowdColumn(t *testing.T) {
+	eng, conf := newConferenceEngine(t, 44, "")
+	defer eng.Close()
+	res := mustExec(t, eng, "SELECT title FROM Talk WHERE abstract LIKE '%techniques%'")
+	if res.Stats.ProbeRequests == 0 {
+		t.Fatalf("LIKE on crowd column must probe: %+v", res.Stats)
+	}
+	// Every ground-truth abstract contains "techniques".
+	if len(res.Rows) < 8 {
+		t.Errorf("rows: %d", len(res.Rows))
+	}
+	_ = conf
+}
+
+// EXPLAIN shows the join reorder: the crowd table moves to the inner side.
+func TestExplainShowsCrowdJoin(t *testing.T) {
+	eng, _ := newConferenceEngine(t, 45, "")
+	defer eng.Close()
+	res := mustExec(t, eng,
+		"EXPLAIN SELECT n.name FROM NotableAttendee n JOIN Talk t ON n.title = t.title")
+	plan := res.Plan
+	scanIdx := indexOf(plan, "CrowdScan(NotableAttendee")
+	talkIdx := indexOf(plan, "Scan(Talk")
+	if scanIdx < 0 || talkIdx < 0 {
+		t.Fatalf("plan:\n%s", plan)
+	}
+	if scanIdx < talkIdx {
+		t.Errorf("crowd table must be reordered after Talk:\n%s", plan)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// The engine's quality tracker converges: after several crowd queries,
+// workers who disagreed with majorities score lower.
+func TestQualityTrackerConverges(t *testing.T) {
+	eng, conf := newConferenceEngine(t, 46, "")
+	defer eng.Close()
+	for _, talk := range conf.Talks[:6] {
+		mustExec(t, eng, "SELECT abstract FROM Talk WHERE title = "+
+			sqltypes.NewString(talk.Title).SQLLiteral())
+	}
+	ws := eng.Tracker().Workers()
+	if len(ws) < 3 {
+		t.Fatalf("too few tracked workers: %d", len(ws))
+	}
+	var agreed, disagreed int
+	for _, w := range ws {
+		agreed += w.Agreed
+		disagreed += w.Disagreed
+	}
+	if agreed <= disagreed {
+		t.Errorf("majority agreement should dominate: %d vs %d", agreed, disagreed)
+	}
+	// The decisions must be recorded as quality.Decision votes.
+	if eng.Tracker().Score(ws[0].WorkerID) == 0.5 && ws[0].Agreed+ws[0].Disagreed > 0 {
+		t.Error("scores must move off the prior")
+	}
+	_ = quality.Decision{}
+}

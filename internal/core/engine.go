@@ -1,0 +1,667 @@
+// Package core is the CrowdDB engine: it wires the paper's architecture
+// (Fig. 1) together — parser, rule-based optimizer and executor on the
+// left; UI generation, Task Manager and Worker Relationship Manager on the
+// right — and owns durability: DDL is persisted to a schema script, data
+// to the WAL, and crowd comparison answers to a system table, so every
+// crowd answer is paid for exactly once.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/crowd"
+	"crowddb/internal/exec"
+	"crowddb/internal/optimizer"
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+	"crowddb/internal/quality"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
+	"crowddb/internal/taskmgr"
+	"crowddb/internal/ui"
+	"crowddb/internal/wrm"
+)
+
+// compareTable is the hidden system table memorizing CrowdCompare answers.
+const compareTable = "__crowd_compare"
+
+// Config assembles an engine.
+type Config struct {
+	// DataDir enables durability when non-empty.
+	DataDir string
+	// Platform is the crowdsourcing platform; nil disables crowdsourcing
+	// (queries then run on stored data only).
+	Platform crowd.Platform
+	// Oracle supplies simulated ground truth (see taskmgr.Oracle).
+	Oracle taskmgr.Oracle
+	// Tasks tunes task posting (reward, replication, deadlines).
+	Tasks taskmgr.Config
+	// Payment is the WRM policy.
+	Payment wrm.PaymentPolicy
+	// AllowUnbounded turns the unbounded-crowd-request compile error into
+	// a warning.
+	AllowUnbounded bool
+	// CompareBudget caps crowd comparisons per query (0 = unlimited).
+	CompareBudget int
+	// Optimizer exposes the rule switches (ablation benchmarks).
+	Optimizer optimizer.Options
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns of a SELECT.
+	Columns []string
+	// Rows holds the result tuples of a SELECT.
+	Rows []storage.Row
+	// Affected is the row count of a DML statement.
+	Affected int
+	// Plan is the EXPLAIN rendering (EXPLAIN only).
+	Plan string
+	// Warnings carries compile-time diagnostics (boundedness etc.).
+	Warnings []string
+	// Stats reports the executor's crowd activity for the statement.
+	Stats exec.Stats
+}
+
+// Engine is a CrowdDB instance.
+type Engine struct {
+	cfg     Config
+	cat     *catalog.Catalog
+	store   *storage.Store
+	uim     *ui.Manager
+	tracker *quality.Tracker
+	payer   *wrm.Manager
+	tasks   *taskmgr.Manager
+	cache   *exec.CompareCache
+
+	mu        sync.Mutex
+	persisted map[string]bool // compare-cache entries already in the system table
+}
+
+// Open builds an engine, replaying any persisted schema and data.
+func Open(cfg Config) (*Engine, error) {
+	e := &Engine{
+		cfg:       cfg,
+		cat:       catalog.New(),
+		tracker:   quality.NewTracker(),
+		cache:     exec.NewCompareCache(),
+		persisted: make(map[string]bool),
+	}
+	store, err := storage.NewStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	e.store = store
+	e.uim = ui.NewManager(e.cat)
+	e.payer = wrm.New(cfg.Payment, e.tracker)
+	if cfg.Platform != nil {
+		e.tasks = taskmgr.New(cfg.Platform, e.uim, e.tracker, e.payer, cfg.Oracle, cfg.Tasks)
+	}
+	// The comparison memo is storage-only (not in the user catalog).
+	if err := e.store.CreateTable(compareTable, []int{0, 1, 2, 3}); err != nil {
+		return nil, err
+	}
+	if cfg.DataDir != "" {
+		if err := e.replaySchema(); err != nil {
+			return nil, err
+		}
+		if err := e.store.Recover(); err != nil {
+			return nil, err
+		}
+		if err := e.loadCompareCache(); err != nil {
+			return nil, err
+		}
+		e.refreshStats()
+	}
+	e.uim.GenerateAll()
+	return e, nil
+}
+
+// Close releases resources (the WAL handle).
+func (e *Engine) Close() error { return e.store.Close() }
+
+// Checkpoint snapshots the store and truncates the WAL.
+func (e *Engine) Checkpoint() error { return e.store.Checkpoint() }
+
+// Catalog exposes schema metadata (REPL, UI tooling).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// UI exposes the template manager (Form Editor access).
+func (e *Engine) UI() *ui.Manager { return e.uim }
+
+// WRM exposes the worker relationship manager.
+func (e *Engine) WRM() *wrm.Manager { return e.payer }
+
+// Tasks exposes the task manager (nil without a platform).
+func (e *Engine) Tasks() *taskmgr.Manager { return e.tasks }
+
+// Tracker exposes worker quality scores.
+func (e *Engine) Tracker() *quality.Tracker { return e.tracker }
+
+// schemaPath is the DDL replay script inside the data dir.
+func (e *Engine) schemaPath() string { return filepath.Join(e.cfg.DataDir, "schema.sql") }
+
+func (e *Engine) replaySchema() error {
+	data, err := os.ReadFile(e.schemaPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	stmts, err := parser.ParseAll(string(data))
+	if err != nil {
+		return fmt.Errorf("core: corrupt schema script: %w", err)
+	}
+	for _, s := range stmts {
+		if err := e.applyDDL(s, false); err != nil {
+			return fmt.Errorf("core: schema replay: %w", err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) appendSchema(ddl string) error {
+	if e.cfg.DataDir == "" {
+		return nil
+	}
+	f, err := os.OpenFile(e.schemaPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(ddl + ";\n")
+	return err
+}
+
+// refreshStats recomputes per-table row counts and CNULL counts after
+// recovery.
+func (e *Engine) refreshStats() {
+	for _, t := range e.cat.Tables() {
+		n, err := e.store.RowCount(t.Name)
+		if err != nil {
+			continue
+		}
+		t.Stats.RowCount = int64(n)
+		for k := range t.Stats.CNullCount {
+			delete(t.Stats.CNullCount, k)
+		}
+		ids, err := e.store.Scan(t.Name)
+		if err != nil {
+			continue
+		}
+		for _, id := range ids {
+			row, ok := e.store.Get(t.Name, id)
+			if !ok {
+				continue
+			}
+			for ci, c := range t.Columns {
+				if row[ci].IsCNull() {
+					t.Stats.CNullCount[c.Name]++
+				}
+			}
+		}
+	}
+}
+
+// Exec parses and runs a CrowdSQL script (one or more statements) and
+// returns the last statement's result.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		r, err := e.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// Query is Exec restricted to a single SELECT.
+func (e *Engine) Query(sql string) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := stmt.(*parser.Select); !ok {
+		return nil, fmt.Errorf("core: Query requires a SELECT, got %T", stmt)
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt runs one parsed statement.
+func (e *Engine) ExecStmt(stmt parser.Statement) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := stmt.(type) {
+	case *parser.CreateTable, *parser.CreateIndex, *parser.DropTable:
+		if err := e.applyDDL(stmt, true); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *parser.Insert:
+		return e.execInsert(s)
+	case *parser.Update:
+		return e.execUpdate(s)
+	case *parser.Delete:
+		return e.execDelete(s)
+	case *parser.Select:
+		return e.execSelect(s)
+	case *parser.Explain:
+		return e.execExplain(s)
+	case *parser.ShowTables:
+		res := &Result{Columns: []string{"table", "kind", "rows"}}
+		for _, t := range e.cat.Tables() {
+			kind := "table"
+			if t.Crowd {
+				kind = "crowd table"
+			} else if t.HasCrowdColumns() {
+				kind = "table (crowd columns)"
+			}
+			res.Rows = append(res.Rows, storage.Row{
+				sqltypes.NewString(t.Name), sqltypes.NewString(kind), sqltypes.NewInt(t.Stats.RowCount),
+			})
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// applyDDL executes a DDL statement; persist controls schema-script append
+// (false during replay).
+func (e *Engine) applyDDL(stmt parser.Statement, persist bool) error {
+	switch s := stmt.(type) {
+	case *parser.CreateTable:
+		t := &catalog.Table{Name: s.Name, Crowd: s.Crowd, Annotation: s.Annotation, PrimaryKey: s.PrimaryKey}
+		for _, c := range s.Columns {
+			t.Columns = append(t.Columns, catalog.Column{
+				Name: c.Name, Type: c.Type, Crowd: c.Crowd, PrimaryKey: c.PrimaryKey, Annotation: c.Annotation,
+			})
+		}
+		for _, fk := range s.ForeignKeys {
+			t.ForeignKeys = append(t.ForeignKeys, catalog.ForeignKey{
+				Columns: fk.Columns, RefTable: fk.RefTable, RefColumns: fk.RefColumns,
+			})
+		}
+		if err := e.cat.CreateTable(t); err != nil {
+			return err
+		}
+		if err := e.store.CreateTable(t.Name, t.PrimaryKeyIndexes()); err != nil {
+			e.cat.DropTable(t.Name)
+			return err
+		}
+		e.uim.GenerateAll()
+		if persist {
+			return e.appendSchema(s.String())
+		}
+		return nil
+	case *parser.CreateIndex:
+		t, ok := e.cat.Table(s.Table)
+		if !ok {
+			return fmt.Errorf("core: table %s not found", s.Table)
+		}
+		cols := make([]int, len(s.Columns))
+		for i, c := range s.Columns {
+			ci := t.ColumnIndex(c)
+			if ci < 0 {
+				return fmt.Errorf("core: column %s.%s not found", s.Table, c)
+			}
+			cols[i] = ci
+		}
+		if err := e.cat.CreateIndex(&catalog.Index{Name: s.Name, Table: t.Name, Columns: s.Columns, Unique: s.Unique}); err != nil {
+			return err
+		}
+		if err := e.store.CreateIndex(t.Name, s.Name, cols, s.Unique); err != nil {
+			return err
+		}
+		if persist {
+			return e.appendSchema(s.String())
+		}
+		return nil
+	case *parser.DropTable:
+		if _, ok := e.cat.Table(s.Name); !ok {
+			if s.IfExists {
+				return nil
+			}
+			return fmt.Errorf("core: table %s not found", s.Name)
+		}
+		if err := e.cat.DropTable(s.Name); err != nil {
+			return err
+		}
+		if err := e.store.DropTable(s.Name); err != nil {
+			return err
+		}
+		if persist {
+			return e.appendSchema(s.String())
+		}
+		return nil
+	}
+	return fmt.Errorf("core: not a DDL statement: %T", stmt)
+}
+
+// constEval evaluates a row-independent expression (INSERT values, SET
+// right-hand sides without column references).
+func constEval(ex parser.Expr) (sqltypes.Value, error) {
+	return exec.EvalConst(ex)
+}
+
+func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s not found", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := t.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("core: column %s.%s not found", s.Table, c)
+		}
+		colIdx[i] = ci
+	}
+	inserted := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("core: INSERT value count %d does not match column count %d", len(exprRow), len(cols))
+		}
+		row := make(storage.Row, len(t.Columns))
+		// Unlisted crowd columns default to CNULL ("source on first use"),
+		// unlisted plain columns to NULL.
+		for ci, c := range t.Columns {
+			if c.Crowd {
+				row[ci] = sqltypes.CNull()
+			} else {
+				row[ci] = sqltypes.Null()
+			}
+		}
+		for i, ex := range exprRow {
+			v, err := constEval(ex)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := v.Coerce(t.Columns[colIdx[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("core: column %s: %w", cols[i], err)
+			}
+			row[colIdx[i]] = cv
+		}
+		if _, err := e.store.Insert(t.Name, row); err != nil {
+			return nil, err
+		}
+		t.Stats.RowCount++
+		for ci, c := range t.Columns {
+			if row[ci].IsCNull() {
+				t.Stats.CNullCount[c.Name]++
+			}
+		}
+		inserted++
+	}
+	return &Result{Affected: inserted}, nil
+}
+
+func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s not found", s.Table)
+	}
+	scan := plan.NewScan(t, "")
+	schema := scan.Schema()
+	for _, a := range s.Set {
+		if t.ColumnIndex(a.Column) < 0 {
+			return nil, fmt.Errorf("core: column %s.%s not found", s.Table, a.Column)
+		}
+	}
+	ids, err := e.store.Scan(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, id := range ids {
+		row, ok := e.store.Get(t.Name, id)
+		if !ok {
+			continue
+		}
+		match, err := exec.RowMatches(s.Where, row, schema)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		updated := row.Clone()
+		for _, a := range s.Set {
+			ci := t.ColumnIndex(a.Column)
+			v, err := exec.EvalRow(a.Value, updated, schema)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := v.Coerce(t.Columns[ci].Type)
+			if err != nil {
+				return nil, fmt.Errorf("core: column %s: %w", a.Column, err)
+			}
+			if row[ci].IsCNull() && !cv.IsCNull() {
+				if n := t.Stats.CNullCount[t.Columns[ci].Name]; n > 0 {
+					t.Stats.CNullCount[t.Columns[ci].Name] = n - 1
+				}
+			} else if !row[ci].IsCNull() && cv.IsCNull() {
+				t.Stats.CNullCount[t.Columns[ci].Name]++
+			}
+			updated[ci] = cv
+		}
+		if err := e.store.Update(t.Name, id, updated); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s not found", s.Table)
+	}
+	scan := plan.NewScan(t, "")
+	schema := scan.Schema()
+	ids, err := e.store.Scan(t.Name)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, id := range ids {
+		row, ok := e.store.Get(t.Name, id)
+		if !ok {
+			continue
+		}
+		match, err := exec.RowMatches(s.Where, row, schema)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		for ci, c := range t.Columns {
+			if row[ci].IsCNull() {
+				if n := t.Stats.CNullCount[c.Name]; n > 0 {
+					t.Stats.CNullCount[c.Name] = n - 1
+				}
+			}
+		}
+		if err := e.store.Delete(t.Name, id); err != nil {
+			return nil, err
+		}
+		t.Stats.RowCount--
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (e *Engine) compile(s *parser.Select) (*optimizer.Result, error) {
+	root, err := plan.Build(s, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	opts := e.cfg.Optimizer
+	opts.AllowUnbounded = opts.AllowUnbounded || e.cfg.AllowUnbounded
+	return optimizer.Optimize(root, e.cat, opts)
+}
+
+func (e *Engine) execSelect(s *parser.Select) (*Result, error) {
+	opt, err := e.compile(s)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &exec.Ctx{
+		Store:         e.store,
+		Cat:           e.cat,
+		Tasks:         e.tasks,
+		Cache:         e.cache,
+		CompareBudget: e.cfg.CompareBudget,
+	}
+	e.installSubqueryRunner(ctx, 0)
+	op, err := exec.Build(opt.Root, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Run(op, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.persistCompareCache(); err != nil {
+		return nil, err
+	}
+	res := &Result{Rows: rows, Warnings: opt.Warnings, Stats: ctx.Stats}
+	for _, c := range opt.Root.Schema() {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	return res, nil
+}
+
+// maxSubqueryDepth bounds IN-subquery nesting.
+const maxSubqueryDepth = 8
+
+// installSubqueryRunner wires uncorrelated IN-subquery execution into an
+// execution context. Each subquery compiles and runs like a top-level
+// SELECT (sharing store, crowd, and cache); its single output column
+// becomes the IN list.
+func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
+	ctx.RunSubquery = func(sel *parser.Select) ([]sqltypes.Value, error) {
+		if depth+1 >= maxSubqueryDepth {
+			return nil, fmt.Errorf("core: subqueries nested deeper than %d", maxSubqueryDepth)
+		}
+		opt, err := e.compile(sel)
+		if err != nil {
+			return nil, fmt.Errorf("core: subquery: %w", err)
+		}
+		if len(opt.Root.Schema()) != 1 {
+			return nil, fmt.Errorf("core: IN subquery must return exactly one column, got %d", len(opt.Root.Schema()))
+		}
+		sub := &exec.Ctx{
+			Store:         ctx.Store,
+			Cat:           ctx.Cat,
+			Tasks:         ctx.Tasks,
+			Cache:         ctx.Cache,
+			CompareBudget: ctx.CompareBudget,
+		}
+		e.installSubqueryRunner(sub, depth+1)
+		op, err := exec.Build(opt.Root, sub)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Run(op, sub)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Stats.ProbeRequests += sub.Stats.ProbeRequests
+		ctx.Stats.NewTupleRequests += sub.Stats.NewTupleRequests
+		ctx.Stats.Comparisons += sub.Stats.Comparisons
+		ctx.Stats.CacheHits += sub.Stats.CacheHits
+		ctx.Stats.RowsScanned += sub.Stats.RowsScanned
+		vals := make([]sqltypes.Value, len(rows))
+		for i, r := range rows {
+			vals[i] = r[0]
+		}
+		return vals, nil
+	}
+}
+
+func (e *Engine) execExplain(s *parser.Explain) (*Result, error) {
+	sel, ok := s.Stmt.(*parser.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
+	}
+	opt, err := e.compile(sel)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(plan.ExplainTreeAnnotated(opt.Root, func(n plan.Node) string {
+		if card, ok := opt.Cards[n]; ok {
+			return fmt.Sprintf("~%.0f rows", card)
+		}
+		return ""
+	}))
+	fmt.Fprintf(&sb, "bounded: %v\n", opt.Bounded)
+	return &Result{Plan: sb.String(), Warnings: opt.Warnings}, nil
+}
+
+// persistCompareCache writes new comparison answers to the system table.
+func (e *Engine) persistCompareCache() error {
+	for _, entry := range e.cache.Snapshot() {
+		key := entry.Kind + "\x00" + entry.Question + "\x00" + entry.Left + "\x00" + entry.Right
+		if e.persisted[key] {
+			continue
+		}
+		row := storage.Row{
+			sqltypes.NewString(entry.Kind),
+			sqltypes.NewString(entry.Question),
+			sqltypes.NewString(entry.Left),
+			sqltypes.NewString(entry.Right),
+			sqltypes.NewString(entry.Answer),
+		}
+		if _, err := e.store.Insert(compareTable, row); err != nil {
+			if _, dup := err.(*storage.DuplicateKeyError); !dup {
+				return err
+			}
+		}
+		e.persisted[key] = true
+	}
+	return nil
+}
+
+func (e *Engine) loadCompareCache() error {
+	ids, err := e.store.Scan(compareTable)
+	if err != nil {
+		return err
+	}
+	var entries []exec.Entry
+	for _, id := range ids {
+		row, ok := e.store.Get(compareTable, id)
+		if !ok || len(row) != 5 {
+			continue
+		}
+		entry := exec.Entry{
+			Kind: row[0].Str(), Question: row[1].Str(),
+			Left: row[2].Str(), Right: row[3].Str(), Answer: row[4].Str(),
+		}
+		entries = append(entries, entry)
+		e.persisted[entry.Kind+"\x00"+entry.Question+"\x00"+entry.Left+"\x00"+entry.Right] = true
+	}
+	e.cache.Load(entries)
+	return nil
+}

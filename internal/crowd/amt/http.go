@@ -1,0 +1,249 @@
+package amt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"crowddb/internal/crowd"
+)
+
+// The HTTP binding lets CrowdDB talk to a simulated-AMT service over the
+// network the way the prototype talked to the real AMT REST endpoint. The
+// Server wraps a Platform; the Client implements crowd.Platform against a
+// Server's base URL. Both use JSON bodies.
+
+// Server exposes a Platform over HTTP.
+type Server struct {
+	platform *Platform
+	mux      *http.ServeMux
+}
+
+// NewServer builds the HTTP facade for a platform.
+func NewServer(p *Platform) *Server {
+	s := &Server{platform: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /groups", s.handlePost)
+	s.mux.HandleFunc("GET /groups/{id}/status", s.handleStatus)
+	s.mux.HandleFunc("GET /groups/{id}/assignments", s.handleResults)
+	s.mux.HandleFunc("POST /groups/{id}/expire", s.handleExpire)
+	s.mux.HandleFunc("POST /assignments/{id}/approve", s.handleApprove)
+	s.mux.HandleFunc("POST /assignments/{id}/reject", s.handleReject)
+	s.mux.HandleFunc("POST /step", s.handleStep)
+	s.mux.HandleFunc("GET /now", s.handleNow)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// wire types
+
+type postResponse struct {
+	GroupID string `json:"group_id"`
+}
+
+type stepRequest struct {
+	DurationMS int64 `json:"duration_ms"`
+}
+
+type approveRequest struct {
+	BonusCents int64 `json:"bonus_cents"`
+}
+
+type rejectRequest struct {
+	Reason string `json:"reason"`
+}
+
+func (s *Server) handlePost(w http.ResponseWriter, r *http.Request) {
+	var g crowd.HITGroup
+	if err := json.NewDecoder(r.Body).Decode(&g); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.platform.Post(&g)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, postResponse{GroupID: string(id)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.platform.Status(crowd.GroupID(r.PathValue("id")))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	res, err := s.platform.Results(crowd.GroupID(r.PathValue("id")))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	if err := s.platform.Expire(crowd.GroupID(r.PathValue("id"))); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
+	var req approveRequest
+	if r.Body != nil {
+		json.NewDecoder(r.Body).Decode(&req) // empty body = no bonus
+	}
+	if err := s.platform.Approve(r.PathValue("id"), crowd.Cents(req.BonusCents)); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReject(w http.ResponseWriter, r *http.Request) {
+	var req rejectRequest
+	if r.Body != nil {
+		json.NewDecoder(r.Body).Decode(&req)
+	}
+	if err := s.platform.Reject(r.PathValue("id"), req.Reason); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.platform.Step(time.Duration(req.DurationMS) * time.Millisecond)
+	writeJSON(w, http.StatusOK, map[string]int64{"now_ms": s.platform.Now().Milliseconds()})
+}
+
+func (s *Server) handleNow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int64{"now_ms": s.platform.Now().Milliseconds()})
+}
+
+// Client implements crowd.Platform against a Server over HTTP.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Name implements crowd.Platform.
+func (c *Client) Name() string { return "amt" }
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("amt client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return fmt.Errorf("amt client: %s %s: %s", method, path, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Post implements crowd.Platform.
+func (c *Client) Post(g *crowd.HITGroup) (crowd.GroupID, error) {
+	var resp postResponse
+	if err := c.do("POST", "/groups", g, &resp); err != nil {
+		return "", err
+	}
+	return crowd.GroupID(resp.GroupID), nil
+}
+
+// Status implements crowd.Platform.
+func (c *Client) Status(id crowd.GroupID) (crowd.GroupStatus, error) {
+	var st crowd.GroupStatus
+	err := c.do("GET", "/groups/"+string(id)+"/status", nil, &st)
+	return st, err
+}
+
+// Results implements crowd.Platform.
+func (c *Client) Results(id crowd.GroupID) ([]*crowd.Assignment, error) {
+	var res []*crowd.Assignment
+	err := c.do("GET", "/groups/"+string(id)+"/assignments", nil, &res)
+	return res, err
+}
+
+// Approve implements crowd.Platform.
+func (c *Client) Approve(assignmentID string, bonus crowd.Cents) error {
+	return c.do("POST", "/assignments/"+assignmentID+"/approve", approveRequest{BonusCents: int64(bonus)}, nil)
+}
+
+// Reject implements crowd.Platform.
+func (c *Client) Reject(assignmentID, reason string) error {
+	return c.do("POST", "/assignments/"+assignmentID+"/reject", rejectRequest{Reason: reason}, nil)
+}
+
+// Expire implements crowd.Platform.
+func (c *Client) Expire(id crowd.GroupID) error {
+	return c.do("POST", "/groups/"+string(id)+"/expire", nil, nil)
+}
+
+// Step implements crowd.Platform.
+func (c *Client) Step(d time.Duration) {
+	c.do("POST", "/step", stepRequest{DurationMS: d.Milliseconds()}, nil)
+}
+
+// Now implements crowd.Platform.
+func (c *Client) Now() time.Duration {
+	var resp map[string]int64
+	if err := c.do("GET", "/now", nil, &resp); err != nil {
+		return 0
+	}
+	return time.Duration(resp["now_ms"]) * time.Millisecond
+}

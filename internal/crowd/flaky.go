@@ -1,0 +1,100 @@
+package crowd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FlakyPlatform wraps a Platform and injects failures: every Nth API call
+// returns an error. It exists for failure-injection tests — the Task
+// Manager and executor must surface platform outages as errors without
+// wedging, double-posting, or double-paying.
+type FlakyPlatform struct {
+	Inner Platform
+	// FailEvery makes every n-th fallible call fail (0 disables).
+	FailEvery int
+	// FailPost/FailStatus/FailResults select which operations can fail.
+	FailPost    bool
+	FailStatus  bool
+	FailResults bool
+
+	mu    sync.Mutex
+	calls int
+	fails int
+}
+
+// NewFlaky wraps a platform so every n-th fallible call errors.
+func NewFlaky(inner Platform, failEvery int) *FlakyPlatform {
+	return &FlakyPlatform{
+		Inner: inner, FailEvery: failEvery,
+		FailPost: true, FailStatus: true, FailResults: true,
+	}
+}
+
+// Fails reports how many injected failures have fired.
+func (f *FlakyPlatform) Fails() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fails
+}
+
+func (f *FlakyPlatform) shouldFail(enabled bool) error {
+	if !enabled || f.FailEvery <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls%f.FailEvery == 0 {
+		f.fails++
+		return fmt.Errorf("crowd: injected platform outage (call %d)", f.calls)
+	}
+	return nil
+}
+
+// Name implements Platform.
+func (f *FlakyPlatform) Name() string { return f.Inner.Name() }
+
+// Post implements Platform with injected failures.
+func (f *FlakyPlatform) Post(g *HITGroup) (GroupID, error) {
+	if err := f.shouldFail(f.FailPost); err != nil {
+		return "", err
+	}
+	return f.Inner.Post(g)
+}
+
+// Status implements Platform with injected failures.
+func (f *FlakyPlatform) Status(id GroupID) (GroupStatus, error) {
+	if err := f.shouldFail(f.FailStatus); err != nil {
+		return GroupStatus{}, err
+	}
+	return f.Inner.Status(id)
+}
+
+// Results implements Platform with injected failures.
+func (f *FlakyPlatform) Results(id GroupID) ([]*Assignment, error) {
+	if err := f.shouldFail(f.FailResults); err != nil {
+		return nil, err
+	}
+	return f.Inner.Results(id)
+}
+
+// Approve implements Platform.
+func (f *FlakyPlatform) Approve(assignmentID string, bonus Cents) error {
+	return f.Inner.Approve(assignmentID, bonus)
+}
+
+// Reject implements Platform.
+func (f *FlakyPlatform) Reject(assignmentID, reason string) error {
+	return f.Inner.Reject(assignmentID, reason)
+}
+
+// Expire implements Platform.
+func (f *FlakyPlatform) Expire(id GroupID) error { return f.Inner.Expire(id) }
+
+// Step implements Platform.
+func (f *FlakyPlatform) Step(d time.Duration) { f.Inner.Step(d) }
+
+// Now implements Platform.
+func (f *FlakyPlatform) Now() time.Duration { return f.Inner.Now() }

@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"fmt"
+
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+)
+
+// Build instantiates the physical operator tree for a logical plan
+// (paper §3.2.2 step 3: "the logical plan is translated into a physical
+// plan... Crowd operators and traditional operators of the relational
+// algebra are instantiated").
+func Build(n plan.Node, ctx *Ctx) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if ctx.Tasks != nil && (x.Table.Crowd || len(x.AskColumns) > 0) {
+			return &crowdProbeScan{node: x}, nil
+		}
+		if is := accessPath(ctx, x); is != nil {
+			return is, nil
+		}
+		return &seqScan{node: x}, nil
+
+	case *plan.Filter:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{node: x, input: in, crowd: parser.HasCrowdFunc(x.Cond)}, nil
+
+	case *plan.Join:
+		return buildJoin(x, ctx)
+
+	case *plan.Project:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{node: x, input: in}, nil
+
+	case *plan.Aggregate:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &aggregateOp{node: x, input: in}, nil
+
+	case *plan.Sort:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{node: x, input: in}, nil
+
+	case *plan.Limit:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{node: x, input: in}, nil
+
+	case *plan.Distinct:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{input: in}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown plan node %T", n)
+}
+
+func buildJoin(j *plan.Join, ctx *Ctx) (Operator, error) {
+	left, err := Build(j.Left, ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// CrowdJoin: inner join whose right input is a CROWD-table scan bound
+	// by an equality on the join condition.
+	if j.Type == parser.JoinInner && ctx.Tasks != nil {
+		if scan, ok := j.Right.(*plan.Scan); ok && scan.Table.Crowd {
+			if leftKey, rightCol, residual, ok := crowdJoinBinding(j, scan); ok {
+				return &crowdJoin{
+					node: j, left: left, scan: scan,
+					leftKey: leftKey, rightCol: rightCol, residual: residual,
+				}, nil
+			}
+		}
+	}
+
+	right, err := Build(j.Right, ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	if j.Type == parser.JoinInner && j.On != nil {
+		if lk, rk, residual, ok := equiJoinKeys(j); ok {
+			return &hashJoin{node: j, left: left, right: right,
+				leftKey: lk, rightKey: rk, residual: residual}, nil
+		}
+	}
+	return &nlJoin{node: j, left: left, right: right}, nil
+}
+
+// crowdJoinBinding finds a conjunct equating a column of the crowd scan
+// with an expression over the left side; the rest becomes residual.
+func crowdJoinBinding(j *plan.Join, scan *plan.Scan) (leftKey parser.Expr, rightCol string, residual parser.Expr, ok bool) {
+	if j.On == nil {
+		return nil, "", nil, false
+	}
+	leftSchema := j.Left.Schema()
+	rightSchema := scan.Schema()
+	for _, conj := range splitConjuncts(j.On) {
+		be, isBin := conj.(*parser.BinaryExpr)
+		if !isBin || be.Op != "=" || ok {
+			residual = andExpr(residual, conj)
+			continue
+		}
+		var scanSide, otherSide parser.Expr
+		if cr, isCol := be.L.(*parser.ColumnRef); isCol && resolves(rightSchema, cr) && coveredBySchema(be.R, leftSchema) {
+			scanSide, otherSide = be.L, be.R
+		} else if cr, isCol := be.R.(*parser.ColumnRef); isCol && resolves(rightSchema, cr) && coveredBySchema(be.L, leftSchema) {
+			scanSide, otherSide = be.R, be.L
+		}
+		if scanSide == nil {
+			residual = andExpr(residual, conj)
+			continue
+		}
+		rightCol = scanSide.(*parser.ColumnRef).Name
+		leftKey = otherSide
+		ok = true
+	}
+	return leftKey, rightCol, residual, ok
+}
+
+// equiJoinKeys extracts one equi-key pair usable for a hash join.
+func equiJoinKeys(j *plan.Join) (lk, rk parser.Expr, residual parser.Expr, ok bool) {
+	leftSchema := j.Left.Schema()
+	rightSchema := j.Right.Schema()
+	for _, conj := range splitConjuncts(j.On) {
+		be, isBin := conj.(*parser.BinaryExpr)
+		if !isBin || be.Op != "=" || ok {
+			residual = andExpr(residual, conj)
+			continue
+		}
+		switch {
+		case coveredBySchema(be.L, leftSchema) && coveredBySchema(be.R, rightSchema):
+			lk, rk, ok = be.L, be.R, true
+		case coveredBySchema(be.R, leftSchema) && coveredBySchema(be.L, rightSchema):
+			lk, rk, ok = be.R, be.L, true
+		default:
+			residual = andExpr(residual, conj)
+		}
+	}
+	return lk, rk, residual, ok
+}
+
+func resolves(schema []plan.Col, cr *parser.ColumnRef) bool {
+	_, err := plan.FindCol(schema, cr.Table, cr.Name)
+	return err == nil
+}
+
+func coveredBySchema(e parser.Expr, schema []plan.Col) bool {
+	covered := true
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if cr, ok := x.(*parser.ColumnRef); ok && !resolves(schema, cr) {
+			covered = false
+		}
+	})
+	return covered
+}
+
+// Run executes an operator tree to completion and returns all rows.
+func Run(op Operator, ctx *Ctx) ([]Row, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for {
+		r, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if err := op.Close(ctx); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

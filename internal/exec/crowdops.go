@@ -1,0 +1,933 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+	"crowddb/internal/quality"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
+	"crowddb/internal/taskmgr"
+)
+
+// Stats counts the executor's work; the benchmark harness reads it.
+type Stats struct {
+	RowsScanned int
+	// ProbeRequests counts tuples whose CNULLs were sent to the crowd.
+	ProbeRequests int
+	// NewTupleRequests counts solicited candidate tuples.
+	NewTupleRequests int
+	// Comparisons counts crowd-answered comparisons (cache misses).
+	Comparisons int
+	// CacheHits counts comparisons answered from the memo.
+	CacheHits int
+	// BudgetDenied counts comparisons skipped because the budget ran out.
+	BudgetDenied int
+}
+
+// Ctx is the per-query execution context.
+type Ctx struct {
+	Store *storage.Store
+	Cat   *catalog.Catalog
+	// Tasks is the Task Manager; nil runs the query against stored data
+	// only (crowd operators degrade to their relational cores).
+	Tasks *taskmgr.Manager
+	// Cache memoizes crowd comparisons across queries.
+	Cache *CompareCache
+	// CompareBudget caps crowd comparisons per query (0 = unlimited);
+	// beyond it, CROWDORDER falls back to a deterministic label order.
+	CompareBudget int
+	// RunSubquery executes an uncorrelated IN-subquery and returns its
+	// single column's values; the engine installs it (nil = subqueries
+	// unsupported in this context).
+	RunSubquery func(sel *parser.Select) ([]sqltypes.Value, error)
+	Stats       Stats
+
+	subqMemo map[*parser.InExpr][]sqltypes.Value
+}
+
+// subqueryValues resolves an IN-subquery once per query (uncorrelated
+// subqueries are loop-invariant) and memoizes the value list.
+func (c *Ctx) subqueryValues(e *parser.InExpr) ([]sqltypes.Value, error) {
+	if c.RunSubquery == nil {
+		return nil, fmt.Errorf("exec: IN (SELECT ...) is not supported in this context")
+	}
+	if vals, ok := c.subqMemo[e]; ok {
+		return vals, nil
+	}
+	vals, err := c.RunSubquery(e.Sub)
+	if err != nil {
+		return nil, err
+	}
+	if c.subqMemo == nil {
+		c.subqMemo = make(map[*parser.InExpr][]sqltypes.Value)
+	}
+	c.subqMemo[e] = vals
+	return vals, nil
+}
+
+func (c *Ctx) budgetOK() bool {
+	return c.CompareBudget <= 0 || c.Stats.Comparisons < c.CompareBudget
+}
+
+// ---------------------------------------------------------------------------
+// CompareCache: the memo for CrowdCompare answers. The engine persists it
+// in a system table so comparisons, like all crowd answers, are paid for
+// only once (paper §3: "Results obtained from the crowd are always stored
+// in the database for future use").
+
+// CompareCache is safe for concurrent use.
+type CompareCache struct {
+	mu    sync.Mutex
+	equal map[string]bool
+	order map[string]string
+}
+
+// NewCompareCache returns an empty cache.
+func NewCompareCache() *CompareCache {
+	return &CompareCache{equal: make(map[string]bool), order: make(map[string]string)}
+}
+
+func pairKey(question, l, r string) string {
+	if r < l {
+		l, r = r, l
+	}
+	return question + "\x00" + l + "\x00" + r
+}
+
+// GetEqual looks up a cached CROWDEQUAL verdict.
+func (c *CompareCache) GetEqual(question, l, r string) (bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.equal[pairKey(question, l, r)]
+	return v, ok
+}
+
+// PutEqual memoizes a CROWDEQUAL verdict.
+func (c *CompareCache) PutEqual(question, l, r string, same bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.equal[pairKey(question, l, r)] = same
+}
+
+// GetOrder looks up a cached CROWDORDER winner.
+func (c *CompareCache) GetOrder(question, l, r string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.order[pairKey(question, l, r)]
+	return v, ok
+}
+
+// PutOrder memoizes a CROWDORDER winner.
+func (c *CompareCache) PutOrder(question, l, r, winner string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order[pairKey(question, l, r)] = winner
+}
+
+// Entry is one persisted cache row (kind, question, left, right, answer).
+type Entry struct {
+	Kind     string // "equal" | "order"
+	Question string
+	Left     string
+	Right    string
+	Answer   string // "yes"/"no" or the winning label
+}
+
+// Snapshot dumps the cache for persistence.
+func (c *CompareCache) Snapshot() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	for k, v := range c.equal {
+		q, l, r := splitKey(k)
+		ans := "no"
+		if v {
+			ans = "yes"
+		}
+		out = append(out, Entry{Kind: "equal", Question: q, Left: l, Right: r, Answer: ans})
+	}
+	for k, v := range c.order {
+		q, l, r := splitKey(k)
+		out = append(out, Entry{Kind: "order", Question: q, Left: l, Right: r, Answer: v})
+	}
+	return out
+}
+
+// Load restores persisted entries.
+func (c *CompareCache) Load(entries []Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		k := pairKey(e.Question, e.Left, e.Right)
+		if e.Kind == "equal" {
+			c.equal[k] = e.Answer == "yes"
+		} else {
+			c.order[k] = e.Answer
+		}
+	}
+}
+
+func splitKey(k string) (q, l, r string) {
+	parts := strings.SplitN(k, "\x00", 3)
+	return parts[0], parts[1], parts[2]
+}
+
+// ---------------------------------------------------------------------------
+// CrowdCompare: CROWDEQUAL resolution
+
+// cachedEqualResolver returns the evaluator hook for CROWDEQUAL: cache
+// first, then a single-pair crowd task (CrowdFilter prefetches batches, so
+// this path is the cold fallback, e.g. CROWDEQUAL in a SELECT list).
+func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
+	if ctx.Cache == nil {
+		return nil
+	}
+	return func(question, l, r string) (sqltypes.Value, error) {
+		if same, ok := ctx.Cache.GetEqual(question, l, r); ok {
+			ctx.Stats.CacheHits++
+			return sqltypes.NewBool(same), nil
+		}
+		if ctx.Tasks == nil || !ctx.budgetOK() {
+			if ctx.Tasks != nil {
+				ctx.Stats.BudgetDenied++
+			}
+			return sqltypes.Null(), nil
+		}
+		ds, err := ctx.Tasks.CompareEqual(question, []taskmgr.ComparePair{{Left: l, Right: r}})
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		ctx.Stats.Comparisons++
+		d := ds[0]
+		if d.Total == 0 {
+			return sqltypes.Null(), nil
+		}
+		same := quality.Normalize(d.Value) == "yes"
+		ctx.Cache.PutEqual(question, l, r, same)
+		return sqltypes.NewBool(same), nil
+	}
+}
+
+// crowdEqualCall is one CROWDEQUAL occurrence in an expression.
+type crowdEqualCall struct {
+	question parser.Expr // nil = default question
+	l, r     parser.Expr
+}
+
+func collectCrowdEqualCalls(e parser.Expr) []crowdEqualCall {
+	var calls []crowdEqualCall
+	parser.WalkExprs(e, func(x parser.Expr) {
+		switch n := x.(type) {
+		case *parser.BinaryExpr:
+			if n.Op == "~=" {
+				calls = append(calls, crowdEqualCall{l: n.L, r: n.R})
+			}
+		case *parser.FuncCall:
+			if n.Name == "CROWDEQUAL" {
+				c := crowdEqualCall{l: n.Args[0], r: n.Args[1]}
+				if len(n.Args) == 3 {
+					c.question = n.Args[2]
+				}
+				calls = append(calls, c)
+			}
+		}
+	})
+	return calls
+}
+
+// prefetchCrowdEqual resolves, in one HIT group, every CROWDEQUAL pair the
+// condition needs across the buffered rows — the CrowdCompare batching the
+// paper's operators do.
+func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Col) error {
+	if ctx.Tasks == nil || ctx.Cache == nil {
+		return nil
+	}
+	calls := collectCrowdEqualCalls(cond)
+	if len(calls) == 0 {
+		return nil
+	}
+	type pending struct {
+		question string
+		l, r     string
+	}
+	seen := map[string]bool{}
+	var todo []pending
+	for _, row := range rows {
+		ectx := &evalCtx{schema: schema, row: row}
+		for _, call := range calls {
+			lv, err := eval(call.l, ectx)
+			if err != nil {
+				return err
+			}
+			rv, err := eval(call.r, ectx)
+			if err != nil {
+				return err
+			}
+			if lv.IsUnknown() || rv.IsUnknown() || sqltypes.Equal(lv, rv) {
+				continue
+			}
+			question := ""
+			if call.question != nil {
+				qv, err := eval(call.question, ectx)
+				if err != nil {
+					return err
+				}
+				question = qv.String()
+			}
+			l, r := lv.String(), rv.String()
+			k := pairKey(question, l, r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if _, ok := ctx.Cache.GetEqual(question, l, r); ok {
+				ctx.Stats.CacheHits++
+				continue
+			}
+			if !ctx.budgetOK() {
+				ctx.Stats.BudgetDenied++
+				continue
+			}
+			todo = append(todo, pending{question: question, l: l, r: r})
+			ctx.Stats.Comparisons++
+		}
+	}
+	// Group by question (one HIT group per distinct question text).
+	byQ := map[string][]pending{}
+	var qOrder []string
+	for _, p := range todo {
+		if _, ok := byQ[p.question]; !ok {
+			qOrder = append(qOrder, p.question)
+		}
+		byQ[p.question] = append(byQ[p.question], p)
+	}
+	for _, q := range qOrder {
+		batch := byQ[q]
+		pairs := make([]taskmgr.ComparePair, len(batch))
+		for i, p := range batch {
+			pairs[i] = taskmgr.ComparePair{Left: p.l, Right: p.r}
+		}
+		ds, err := ctx.Tasks.CompareEqual(q, pairs)
+		if err != nil {
+			return err
+		}
+		for i, d := range ds {
+			if d.Total == 0 {
+				continue
+			}
+			ctx.Cache.PutEqual(q, batch[i].l, batch[i].r, quality.Normalize(d.Value) == "yes")
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// CrowdCompare: CROWDORDER sorting
+
+// crowdOrderSort orders rows by crowd preference using a quicksort whose
+// partition step batches all comparisons against the pivot into one HIT
+// group (log n crowd round-trips instead of n log n). Most-preferred first;
+// DESC reverses. Results are memoized in the compare cache.
+func crowdOrderSort(ctx *Ctx, rows []Row, schema []plan.Col, key parser.OrderItem) error {
+	fc, ok := key.Expr.(*parser.FuncCall)
+	if !ok || fc.Name != "CROWDORDER" {
+		return fmt.Errorf("exec: unsupported crowd sort key %s", key.Expr)
+	}
+	question := "Which of the two items ranks higher?"
+	if len(fc.Args) == 2 {
+		q, ok := fc.Args[1].(*parser.Literal)
+		if !ok {
+			return fmt.Errorf("exec: CROWDORDER question must be a string literal")
+		}
+		question = q.Val.Str()
+	}
+	// Render each row's label (the first CROWDORDER argument). Labels that
+	// fail to resolve (e.g. the paper's free variable `p`) fall back to the
+	// row's first column rendering.
+	labels := make([]string, len(rows))
+	for i, r := range rows {
+		v, err := eval(fc.Args[0], &evalCtx{schema: schema, row: r})
+		if err != nil || v.IsUnknown() {
+			labels[i] = rows[i][0].String()
+		} else {
+			labels[i] = v.String()
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := &crowdSorter{ctx: ctx, question: question, labels: labels}
+	if err := s.sort(idx); err != nil {
+		return err
+	}
+	sorted := make([]Row, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	if key.Desc {
+		for i, j := 0, len(sorted)-1; i < j; i, j = i+1, j-1 {
+			sorted[i], sorted[j] = sorted[j], sorted[i]
+		}
+	}
+	copy(rows, sorted)
+	return nil
+}
+
+type crowdSorter struct {
+	ctx      *Ctx
+	question string
+	labels   []string
+}
+
+// sort quicksorts the index slice by crowd preference (winner first).
+func (s *crowdSorter) sort(idx []int) error {
+	if len(idx) <= 1 {
+		return nil
+	}
+	pivot := idx[len(idx)/2]
+	// Resolve every idx-vs-pivot comparison in one batch.
+	var pairs []taskmgr.ComparePair
+	var pairIdx []int
+	for _, i := range idx {
+		if i == pivot || s.labels[i] == s.labels[pivot] {
+			continue
+		}
+		if _, ok := s.ctx.Cache.GetOrder(s.question, s.labels[i], s.labels[pivot]); ok {
+			s.ctx.Stats.CacheHits++
+			continue
+		}
+		if s.ctx.Tasks == nil || !s.ctx.budgetOK() {
+			s.ctx.Stats.BudgetDenied++
+			continue
+		}
+		pairs = append(pairs, taskmgr.ComparePair{Left: s.labels[i], Right: s.labels[pivot]})
+		pairIdx = append(pairIdx, i)
+		s.ctx.Stats.Comparisons++
+	}
+	if len(pairs) > 0 {
+		ds, err := s.ctx.Tasks.CompareOrder(s.question, pairs)
+		if err != nil {
+			return err
+		}
+		for k, d := range ds {
+			if d.Total == 0 {
+				continue
+			}
+			s.ctx.Cache.PutOrder(s.question, pairs[k].Left, pairs[k].Right, d.Value)
+		}
+		_ = pairIdx
+	}
+	var before, after []int
+	for _, i := range idx {
+		if i == pivot {
+			continue
+		}
+		if s.prefers(i, pivot) {
+			before = append(before, i)
+		} else {
+			after = append(after, i)
+		}
+	}
+	if err := s.sort(before); err != nil {
+		return err
+	}
+	if err := s.sort(after); err != nil {
+		return err
+	}
+	n := copy(idx, before)
+	idx[n] = pivot
+	copy(idx[n+1:], after)
+	return nil
+}
+
+// prefers reports whether item i ranks before item j: by crowd verdict when
+// available, by label order otherwise (deterministic fallback for ties,
+// missing answers, and exhausted budgets).
+func (s *crowdSorter) prefers(i, j int) bool {
+	li, lj := s.labels[i], s.labels[j]
+	if li == lj {
+		return i < j
+	}
+	if w, ok := s.ctx.Cache.GetOrder(s.question, li, lj); ok {
+		if w == li {
+			return true
+		}
+		if w == lj {
+			return false
+		}
+	}
+	return li < lj
+}
+
+// ---------------------------------------------------------------------------
+// CrowdProbe: scan with CNULL instantiation and tuple solicitation
+
+type crowdProbeScan struct {
+	node *plan.Scan
+	rows []Row
+	pos  int
+}
+
+func (s *crowdProbeScan) Schema() []plan.Col { return s.node.Schema() }
+
+func (s *crowdProbeScan) Open(ctx *Ctx) error {
+	s.rows, s.pos = nil, 0
+	name := s.node.Table.Name
+	ids, err := ctx.Store.Scan(name)
+	if err != nil {
+		return err
+	}
+	var rows []Row
+	var rowIDs []storage.RowID
+	// Pre-filter on conjuncts that do not touch this table's crowd columns:
+	// predicate push-down shrinks the probe set (experiment E10's win).
+	preFilter, postNeeded := splitCrowdFilter(s.node)
+	for _, id := range ids {
+		row, ok := ctx.Store.Get(name, id)
+		if !ok {
+			continue
+		}
+		ctx.Stats.RowsScanned++
+		keep, err := rowMatches(preFilter, row, s.node.Schema())
+		if err != nil {
+			return err
+		}
+		if keep {
+			rows = append(rows, row)
+			rowIDs = append(rowIDs, id)
+		}
+	}
+
+	// Stop-after push-down (§3.2.2): when the whole filter ran pre-probe,
+	// the surviving rows are final, so the bound applies BEFORE the crowd
+	// is asked — this is exactly the rule's crowd-task saving.
+	if !postNeeded && !s.node.Table.Crowd && s.node.StopAfter >= 0 && int64(len(rows)) > s.node.StopAfter {
+		rows = rows[:s.node.StopAfter]
+		rowIDs = rowIDs[:s.node.StopAfter]
+	}
+
+	// CrowdProbe phase 1: instantiate CNULLs of the asked crowd columns.
+	if ctx.Tasks != nil && len(s.node.AskColumns) > 0 {
+		if err := probeCNulls(ctx, s.node, rows, rowIDs); err != nil {
+			return err
+		}
+	}
+
+	// CrowdProbe phase 2: solicit new tuples for CROWD tables (open world).
+	if ctx.Tasks != nil && s.node.Table.Crowd {
+		acquired, err := solicitTuples(ctx, s.node, rows)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, acquired...)
+	}
+
+	// Final filter (now that CNULLs are instantiated) and stop-after for
+	// closed-world tables.
+	var out []Row
+	for _, row := range rows {
+		keep := true
+		if postNeeded {
+			keep, err = rowMatches(s.node.Filter, row, s.node.Schema())
+			if err != nil {
+				return err
+			}
+		}
+		if keep {
+			out = append(out, row)
+			if !s.node.Table.Crowd && s.node.StopAfter >= 0 && int64(len(out)) >= s.node.StopAfter {
+				break
+			}
+		}
+	}
+	s.rows = out
+	return nil
+}
+
+// splitCrowdFilter separates the scan filter into a pre-probe part (no
+// crowd columns referenced) and reports whether a post-probe pass is
+// needed.
+func splitCrowdFilter(node *plan.Scan) (parser.Expr, bool) {
+	if node.Filter == nil {
+		return nil, false
+	}
+	crowdCols := map[string]bool{}
+	for _, c := range node.Table.Columns {
+		if c.Crowd {
+			crowdCols[strings.ToLower(c.Name)] = true
+		}
+	}
+	var pre parser.Expr
+	post := false
+	for _, conj := range splitConjuncts(node.Filter) {
+		touches := false
+		parser.WalkExprs(conj, func(x parser.Expr) {
+			if cr, ok := x.(*parser.ColumnRef); ok && crowdCols[strings.ToLower(cr.Name)] {
+				touches = true
+			}
+		})
+		if touches {
+			post = true
+		} else {
+			pre = andExpr(pre, conj)
+		}
+	}
+	return pre, post
+}
+
+func splitConjuncts(e parser.Expr) []parser.Expr {
+	if be, ok := e.(*parser.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []parser.Expr{e}
+}
+
+func andExpr(a, b parser.Expr) parser.Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return &parser.BinaryExpr{Op: "AND", L: a, R: b}
+	}
+}
+
+// probeCNulls sends one batched HIT group for every buffered row whose
+// asked crowd columns hold CNULL, coerces the majority answers, writes them
+// back to the row AND the store (memorization), and updates statistics.
+// Rows whose answers miss quorum are re-posted once (the operators'
+// built-in quality control, §3.2.1).
+func probeCNulls(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.RowID) error {
+	if err := probeCNullsOnce(ctx, node, rows, rowIDs); err != nil {
+		return err
+	}
+	// Retry round for rows that still hold CNULL in an asked column.
+	return probeCNullsOnce(ctx, node, rows, rowIDs)
+}
+
+func probeCNullsOnce(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.RowID) error {
+	t := node.Table
+	var reqs []taskmgr.ProbeRequest
+	var reqRow []int
+	for i, row := range rows {
+		var ask []string
+		for _, col := range node.AskColumns {
+			if ci := t.ColumnIndex(col); ci >= 0 && row[ci].IsCNull() {
+				ask = append(ask, col)
+			}
+		}
+		if len(ask) == 0 {
+			continue
+		}
+		known := make(map[string]sqltypes.Value, len(t.Columns))
+		for ci, c := range t.Columns {
+			known[strings.ToLower(c.Name)] = row[ci]
+		}
+		reqs = append(reqs, taskmgr.ProbeRequest{Known: known, Ask: ask})
+		reqRow = append(reqRow, i)
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	ctx.Stats.ProbeRequests += len(reqs)
+	results, err := ctx.Tasks.ProbeValues(t.Name, reqs)
+	if err != nil {
+		return err
+	}
+	for ri, res := range results {
+		i := reqRow[ri]
+		changed := false
+		for col, d := range res.Decisions {
+			if d.Total == 0 || !d.Quorum {
+				continue // no usable answer: the value stays CNULL
+			}
+			ci := t.ColumnIndex(col)
+			v, err := sqltypes.NewString(strings.TrimSpace(d.Value)).Coerce(t.Columns[ci].Type)
+			if err != nil {
+				continue // untypable answer: stays CNULL
+			}
+			rows[i][ci] = v
+			changed = true
+			if n := t.Stats.CNullCount[t.Columns[ci].Name]; n > 0 {
+				t.Stats.CNullCount[t.Columns[ci].Name] = n - 1
+			}
+		}
+		if changed {
+			// Memorize: the crowd is never asked the same value twice.
+			if err := ctx.Store.Update(t.Name, rowIDs[i], rows[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// solicitTuples asks the crowd for new tuples of a CROWD table, bounded by
+// probe keys (expected cardinality) and/or the pushed stop-after.
+func solicitTuples(ctx *Ctx, node *plan.Scan, existing []Row) ([]Row, error) {
+	t := node.Table
+	want := -1
+	if len(node.ProbeKeys) > 0 {
+		matching := 0
+		for _, row := range existing {
+			ok, err := rowMatches(node.Filter, row, node.Schema())
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matching++
+			}
+		}
+		want = int(t.Stats.ExpectedCrowdCard) - matching
+	}
+	if node.StopAfter >= 0 {
+		byLimit := int(node.StopAfter) - len(existing)
+		if want < 0 || byLimit < want {
+			want = byLimit
+		}
+	}
+	if want <= 0 {
+		return nil, nil
+	}
+	prefill := make(map[string]sqltypes.Value, len(node.ProbeKeys))
+	for col, v := range node.ProbeKeys {
+		prefill[col] = v
+	}
+	ctx.Stats.NewTupleRequests += want
+	candidates, err := ctx.Tasks.NewTuples(t.Name, prefill, want)
+	if err != nil {
+		return nil, err
+	}
+	return insertCandidates(ctx, t, candidates)
+}
+
+// insertCandidates coerces raw candidate tuples, inserts them (primary key
+// deduplicates crowd contributions), and returns the accepted rows.
+func insertCandidates(ctx *Ctx, t *catalog.Table, candidates []map[string]string) ([]Row, error) {
+	var out []Row
+	for _, cand := range candidates {
+		row := make(Row, len(t.Columns))
+		ok := true
+		for ci, c := range t.Columns {
+			raw, has := cand[strings.ToLower(c.Name)]
+			if !has {
+				raw = cand[c.Name]
+			}
+			if raw == "" || quality.IsGarbage(raw) {
+				if isPKColumn(t, c.Name) {
+					ok = false // unusable key: drop candidate
+					break
+				}
+				row[ci] = sqltypes.Null()
+				continue
+			}
+			v, err := sqltypes.NewString(strings.TrimSpace(raw)).Coerce(c.Type)
+			if err != nil {
+				if isPKColumn(t, c.Name) {
+					ok = false
+					break
+				}
+				row[ci] = sqltypes.Null()
+				continue
+			}
+			row[ci] = v
+		}
+		if !ok {
+			continue
+		}
+		if _, err := ctx.Store.Insert(t.Name, row); err != nil {
+			// Duplicate key: another worker (or an earlier query) already
+			// contributed this entity — exactly the dedup the paper's PK
+			// requirement exists for.
+			continue
+		}
+		t.Stats.RowCount++
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func isPKColumn(t *catalog.Table, col string) bool {
+	for _, pk := range t.PrimaryKey {
+		if strings.EqualFold(pk, col) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *crowdProbeScan) Next(*Ctx) (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *crowdProbeScan) Close(*Ctx) error { return nil }
+
+// ---------------------------------------------------------------------------
+// CrowdJoin: index nested-loop join soliciting matching inner tuples
+
+// crowdJoin implements the paper's CrowdJoin: an index nested-loop join
+// whose inner is a CROWD table. For every distinct outer key it looks up
+// stored matches and solicits the expected number of missing tuples with
+// the join key pre-filled — all keys batched into ONE HIT group.
+type crowdJoin struct {
+	node     *plan.Join
+	left     Operator
+	scan     *plan.Scan // crowd inner
+	leftKey  parser.Expr
+	rightCol string
+	residual parser.Expr
+
+	out []Row
+	pos int
+}
+
+func (j *crowdJoin) Schema() []plan.Col { return j.node.Schema() }
+
+func (j *crowdJoin) Open(ctx *Ctx) error {
+	j.out, j.pos = nil, 0
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	var leftRows []Row
+	var keys []sqltypes.Value
+	for {
+		r, err := j.left.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		v, err := eval(j.leftKey, &evalCtx{schema: j.left.Schema(), row: r})
+		if err != nil {
+			return err
+		}
+		leftRows = append(leftRows, r)
+		keys = append(keys, v)
+	}
+
+	t := j.scan.Table
+	rightColIdx := t.ColumnIndex(j.rightCol)
+
+	// Index the stored inner rows by join key (and probe their CNULLs).
+	ids, err := ctx.Store.Scan(t.Name)
+	if err != nil {
+		return err
+	}
+	var innerRows []Row
+	var innerIDs []storage.RowID
+	for _, id := range ids {
+		row, ok := ctx.Store.Get(t.Name, id)
+		if !ok {
+			continue
+		}
+		ctx.Stats.RowsScanned++
+		keep, err := rowMatches(j.scan.Filter, row, j.scan.Schema())
+		if err != nil {
+			return err
+		}
+		if keep {
+			innerRows = append(innerRows, row)
+			innerIDs = append(innerIDs, id)
+		}
+	}
+	if ctx.Tasks != nil && len(j.scan.AskColumns) > 0 {
+		if err := probeCNulls(ctx, j.scan, innerRows, innerIDs); err != nil {
+			return err
+		}
+	}
+	matches := make(map[string][]Row)
+	for _, row := range innerRows {
+		matches[storage.IndexKey(row[rightColIdx])] = append(matches[storage.IndexKey(row[rightColIdx])], row)
+	}
+
+	// Solicit missing inner tuples: one TupleRequest per distinct outer
+	// key, all in one group.
+	if ctx.Tasks != nil {
+		var reqs []taskmgr.TupleRequest
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if k.IsUnknown() {
+				continue
+			}
+			kk := storage.IndexKey(k)
+			if seen[kk] {
+				continue
+			}
+			seen[kk] = true
+			want := int(t.Stats.ExpectedCrowdCard) - len(matches[kk])
+			if want <= 0 {
+				continue
+			}
+			prefill := map[string]sqltypes.Value{strings.ToLower(j.rightCol): k}
+			for col, v := range j.scan.ProbeKeys {
+				prefill[col] = v
+			}
+			reqs = append(reqs, taskmgr.TupleRequest{Prefill: prefill, Want: want})
+			ctx.Stats.NewTupleRequests += want
+		}
+		if len(reqs) > 0 {
+			batches, err := ctx.Tasks.NewTuplesBatch(t.Name, reqs)
+			if err != nil {
+				return err
+			}
+			for _, cands := range batches {
+				accepted, err := insertCandidates(ctx, t, cands)
+				if err != nil {
+					return err
+				}
+				for _, row := range accepted {
+					ok, err := rowMatches(j.scan.Filter, row, j.scan.Schema())
+					if err != nil {
+						return err
+					}
+					if ok {
+						kk := storage.IndexKey(row[rightColIdx])
+						matches[kk] = append(matches[kk], row)
+					}
+				}
+			}
+		}
+	}
+
+	// Emit joined rows.
+	for i, l := range leftRows {
+		if keys[i].IsUnknown() {
+			continue
+		}
+		for _, r := range matches[storage.IndexKey(keys[i])] {
+			combined := append(append(Row{}, l...), r...)
+			ok, err := rowMatches(j.residual, combined, j.Schema())
+			if err != nil {
+				return err
+			}
+			if ok {
+				j.out = append(j.out, combined)
+			}
+		}
+	}
+	return nil
+}
+
+func (j *crowdJoin) Next(*Ctx) (Row, error) {
+	if j.pos >= len(j.out) {
+		return nil, nil
+	}
+	r := j.out[j.pos]
+	j.pos++
+	return r, nil
+}
+
+func (j *crowdJoin) Close(ctx *Ctx) error { return j.left.Close(ctx) }

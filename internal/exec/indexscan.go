@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"strings"
+
+	"crowddb/internal/plan"
+	"crowddb/internal/storage"
+)
+
+// indexScan serves a scan whose pushed-down filter pins an indexed column
+// to a literal: the primary key or a secondary index supplies the
+// candidate rows, the full residual filter then verifies them. Chosen by
+// Build for closed-world tables when an access path exists.
+type indexScan struct {
+	node *plan.Scan
+	// pk is true when the primary key answers the lookup; otherwise
+	// indexName/keyCol name the secondary index.
+	pk        bool
+	indexName string
+	keyCol    string
+
+	rows []Row
+	pos  int
+	out  int64
+}
+
+// accessPath inspects a scan's probe keys for an indexable equality.
+// Returns nil when only a sequential scan applies.
+func accessPath(ctx *Ctx, node *plan.Scan) *indexScan {
+	if len(node.ProbeKeys) == 0 {
+		return nil
+	}
+	t := node.Table
+	// Single-column primary key pinned by the filter?
+	if len(t.PrimaryKey) == 1 {
+		if _, ok := node.ProbeKeys[strings.ToLower(t.PrimaryKey[0])]; ok {
+			return &indexScan{node: node, pk: true, keyCol: t.PrimaryKey[0]}
+		}
+	}
+	// Any secondary index whose leading column is pinned?
+	for col := range node.ProbeKeys {
+		if idx, ok := ctx.Cat.IndexOn(t.Name, col); ok && len(idx.Columns) == 1 {
+			return &indexScan{node: node, indexName: idx.Name, keyCol: col}
+		}
+	}
+	return nil
+}
+
+func (s *indexScan) Schema() []plan.Col { return s.node.Schema() }
+
+func (s *indexScan) Open(ctx *Ctx) error {
+	s.rows, s.pos, s.out = nil, 0, 0
+	key := s.node.ProbeKeys[strings.ToLower(s.keyCol)]
+	// Coerce the literal to the column type so the encoded key matches
+	// stored values (e.g. WHERE id = 3 against an INTEGER column).
+	if col, ok := s.node.Table.Column(s.keyCol); ok {
+		if cv, err := key.Coerce(col.Type); err == nil {
+			key = cv
+		}
+	}
+	var ids []storage.RowID
+	if s.pk {
+		if id, ok := ctx.Store.LookupPK(s.node.Table.Name, key); ok {
+			ids = []storage.RowID{id}
+		}
+	} else {
+		found, err := ctx.Store.LookupIndex(s.node.Table.Name, s.indexName, key)
+		if err != nil {
+			return err
+		}
+		ids = found
+	}
+	for _, id := range ids {
+		row, ok := ctx.Store.Get(s.node.Table.Name, id)
+		if !ok {
+			continue
+		}
+		ctx.Stats.RowsScanned++
+		keep, err := rowMatches(s.node.Filter, row, s.node.Schema())
+		if err != nil {
+			return err
+		}
+		if keep {
+			s.rows = append(s.rows, row)
+			if s.node.StopAfter >= 0 && int64(len(s.rows)) >= s.node.StopAfter {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (s *indexScan) Next(*Ctx) (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *indexScan) Close(*Ctx) error { return nil }

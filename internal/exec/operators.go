@@ -1,0 +1,702 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
+)
+
+// Row is an executor tuple.
+type Row = storage.Row
+
+// Operator is a Volcano-style iterator. Next returns (nil, nil) at end of
+// stream.
+type Operator interface {
+	Schema() []plan.Col
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, error)
+	Close(ctx *Ctx) error
+}
+
+// ---------------------------------------------------------------------------
+// SeqScan: plain stored-table scan with pushed filter and stop-after.
+
+type seqScan struct {
+	node *plan.Scan
+	ids  []storage.RowID
+	pos  int
+	out  int64
+}
+
+func (s *seqScan) Schema() []plan.Col { return s.node.Schema() }
+
+func (s *seqScan) Open(ctx *Ctx) error {
+	ids, err := ctx.Store.Scan(s.node.Table.Name)
+	if err != nil {
+		return err
+	}
+	s.ids, s.pos, s.out = ids, 0, 0
+	return nil
+}
+
+func (s *seqScan) Next(ctx *Ctx) (Row, error) {
+	for {
+		if s.node.StopAfter >= 0 && s.out >= s.node.StopAfter {
+			return nil, nil
+		}
+		if s.pos >= len(s.ids) {
+			return nil, nil
+		}
+		row, ok := ctx.Store.Get(s.node.Table.Name, s.ids[s.pos])
+		s.pos++
+		if !ok {
+			continue
+		}
+		ctx.Stats.RowsScanned++
+		keep, err := rowMatches(s.node.Filter, row, s.node.Schema())
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			s.out++
+			return row, nil
+		}
+	}
+}
+
+func (s *seqScan) Close(*Ctx) error { return nil }
+
+// rowMatches evaluates a (crowd-free) predicate to a keep/drop decision.
+func rowMatches(filter parser.Expr, row Row, schema []plan.Col) (bool, error) {
+	if filter == nil {
+		return true, nil
+	}
+	v, err := eval(filter, &evalCtx{schema: schema, row: row})
+	if err != nil {
+		return false, err
+	}
+	b, unknown := boolOf(v)
+	return !unknown && b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Filter (with CrowdCompare support for crowd predicates)
+
+type filterOp struct {
+	node  *plan.Filter
+	input Operator
+	crowd bool
+	rows  []Row
+	pos   int
+}
+
+func (f *filterOp) Schema() []plan.Col { return f.input.Schema() }
+
+func (f *filterOp) Open(ctx *Ctx) error {
+	if err := f.input.Open(ctx); err != nil {
+		return err
+	}
+	f.rows, f.pos = nil, 0
+	if !f.crowd {
+		return nil
+	}
+	// CrowdFilter: drain the input, batch-resolve every CROWDEQUAL pair in
+	// one HIT group (CrowdCompare), then evaluate with the warm cache.
+	var buffered []Row
+	for {
+		r, err := f.input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		buffered = append(buffered, r)
+	}
+	if err := prefetchCrowdEqual(ctx, f.node.Cond, buffered, f.Schema()); err != nil {
+		return err
+	}
+	resolver := cachedEqualResolver(ctx)
+	for _, r := range buffered {
+		v, err := eval(f.node.Cond, &evalCtx{schema: f.Schema(), row: r, crowdEqual: resolver, exec: ctx})
+		if err != nil {
+			return err
+		}
+		if b, unknown := boolOf(v); !unknown && b {
+			f.rows = append(f.rows, r)
+		}
+	}
+	return nil
+}
+
+func (f *filterOp) Next(ctx *Ctx) (Row, error) {
+	if f.crowd {
+		if f.pos >= len(f.rows) {
+			return nil, nil
+		}
+		r := f.rows[f.pos]
+		f.pos++
+		return r, nil
+	}
+	for {
+		r, err := f.input.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		v, err := eval(f.node.Cond, &evalCtx{schema: f.Schema(), row: r, crowdEqual: cachedEqualResolver(ctx), exec: ctx})
+		if err != nil {
+			return nil, err
+		}
+		if b, unknown := boolOf(v); !unknown && b {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterOp) Close(ctx *Ctx) error { return f.input.Close(ctx) }
+
+// ---------------------------------------------------------------------------
+// Project
+
+type projectOp struct {
+	node  *plan.Project
+	input Operator
+}
+
+func (p *projectOp) Schema() []plan.Col { return p.node.Schema() }
+
+func (p *projectOp) Open(ctx *Ctx) error { return p.input.Open(ctx) }
+
+func (p *projectOp) Next(ctx *Ctx) (Row, error) {
+	r, err := p.input.Next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make(Row, len(p.node.Items))
+	ectx := &evalCtx{schema: p.input.Schema(), row: r, crowdEqual: cachedEqualResolver(ctx), exec: ctx}
+	for i, it := range p.node.Items {
+		v, err := eval(it.Expr, ectx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectOp) Close(ctx *Ctx) error { return p.input.Close(ctx) }
+
+// ---------------------------------------------------------------------------
+// Joins
+
+// nlJoin is the general nested-loop join (inner, cross, left outer) with an
+// arbitrary ON condition; the right side is buffered.
+type nlJoin struct {
+	node  *plan.Join
+	left  Operator
+	right Operator
+
+	rightRows []Row
+	cur       Row
+	rpos      int
+	matched   bool
+}
+
+func (j *nlJoin) Schema() []plan.Col { return j.node.Schema() }
+
+func (j *nlJoin) Open(ctx *Ctx) error {
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	j.rightRows = nil
+	for {
+		r, err := j.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		j.rightRows = append(j.rightRows, r)
+	}
+	j.cur, j.rpos, j.matched = nil, 0, false
+	return nil
+}
+
+func (j *nlJoin) Next(ctx *Ctx) (Row, error) {
+	for {
+		if j.cur == nil {
+			l, err := j.left.Next(ctx)
+			if err != nil || l == nil {
+				return nil, err
+			}
+			j.cur, j.rpos, j.matched = l, 0, false
+		}
+		for j.rpos < len(j.rightRows) {
+			r := j.rightRows[j.rpos]
+			j.rpos++
+			combined := append(append(Row{}, j.cur...), r...)
+			ok, err := rowMatches(j.node.On, combined, j.Schema())
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				j.matched = true
+				return combined, nil
+			}
+		}
+		// Right side exhausted for this left row.
+		if j.node.Type == parser.JoinLeft && !j.matched {
+			out := append(Row{}, j.cur...)
+			for range j.right.Schema() {
+				out = append(out, sqltypes.Null())
+			}
+			j.cur = nil
+			return out, nil
+		}
+		j.cur = nil
+	}
+}
+
+func (j *nlJoin) Close(ctx *Ctx) error {
+	if err := j.left.Close(ctx); err != nil {
+		return err
+	}
+	return j.right.Close(ctx)
+}
+
+// hashJoin handles inner equi-joins: it hashes the right input on the join
+// key and streams the left.
+type hashJoin struct {
+	node     *plan.Join
+	left     Operator
+	right    Operator
+	leftKey  parser.Expr
+	rightKey parser.Expr
+	residual parser.Expr
+
+	table map[string][]Row
+	cur   Row
+	bkt   []Row
+	bpos  int
+}
+
+func (j *hashJoin) Schema() []plan.Col { return j.node.Schema() }
+
+func (j *hashJoin) Open(ctx *Ctx) error {
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row)
+	for {
+		r, err := j.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		v, err := eval(j.rightKey, &evalCtx{schema: j.right.Schema(), row: r})
+		if err != nil {
+			return err
+		}
+		if v.IsUnknown() {
+			continue // unknown keys never join
+		}
+		k := storage.IndexKey(v)
+		j.table[k] = append(j.table[k], r)
+	}
+	j.cur, j.bkt, j.bpos = nil, nil, 0
+	return nil
+}
+
+func (j *hashJoin) Next(ctx *Ctx) (Row, error) {
+	for {
+		for j.bpos < len(j.bkt) {
+			r := j.bkt[j.bpos]
+			j.bpos++
+			combined := append(append(Row{}, j.cur...), r...)
+			ok, err := rowMatches(j.residual, combined, j.Schema())
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return combined, nil
+			}
+		}
+		l, err := j.left.Next(ctx)
+		if err != nil || l == nil {
+			return nil, err
+		}
+		v, err := eval(j.leftKey, &evalCtx{schema: j.left.Schema(), row: l})
+		if err != nil {
+			return nil, err
+		}
+		if v.IsUnknown() {
+			continue
+		}
+		j.cur = l
+		j.bkt = j.table[storage.IndexKey(v)]
+		j.bpos = 0
+	}
+}
+
+func (j *hashJoin) Close(ctx *Ctx) error {
+	if err := j.left.Close(ctx); err != nil {
+		return err
+	}
+	return j.right.Close(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// Sort (plain and crowd-backed)
+
+type sortOp struct {
+	node  *plan.Sort
+	input Operator
+	rows  []Row
+	pos   int
+}
+
+func (s *sortOp) Schema() []plan.Col { return s.input.Schema() }
+
+func (s *sortOp) Open(ctx *Ctx) error {
+	if err := s.input.Open(ctx); err != nil {
+		return err
+	}
+	s.rows, s.pos = nil, 0
+	for {
+		r, err := s.input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		s.rows = append(s.rows, r)
+	}
+	// Split keys: a CROWDORDER key delegates to the crowd sort; other keys
+	// sort conventionally. A crowd key must be the only key.
+	for _, k := range s.node.Keys {
+		if parser.HasCrowdFunc(k.Expr) {
+			if len(s.node.Keys) != 1 {
+				return fmt.Errorf("exec: CROWDORDER cannot be combined with other sort keys")
+			}
+			return crowdOrderSort(ctx, s.rows, s.Schema(), k)
+		}
+	}
+	return s.plainSort(ctx)
+}
+
+func (s *sortOp) plainSort(ctx *Ctx) error {
+	type keyed struct {
+		row  Row
+		keys []sqltypes.Value
+	}
+	ks := make([]keyed, len(s.rows))
+	for i, r := range s.rows {
+		ks[i] = keyed{row: r, keys: make([]sqltypes.Value, len(s.node.Keys))}
+		for ki, k := range s.node.Keys {
+			v, err := eval(k.Expr, &evalCtx{schema: s.Schema(), row: r})
+			if err != nil {
+				return err
+			}
+			ks[i].keys[ki] = v
+		}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for ki, k := range s.node.Keys {
+			c := sqltypes.SortCompare(ks[a].keys[ki], ks[b].keys[ki])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for i := range ks {
+		s.rows[i] = ks[i].row
+	}
+	return nil
+}
+
+func (s *sortOp) Next(*Ctx) (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sortOp) Close(ctx *Ctx) error { return s.input.Close(ctx) }
+
+// ---------------------------------------------------------------------------
+// Limit / Distinct
+
+type limitOp struct {
+	node    *plan.Limit
+	input   Operator
+	skipped int64
+	emitted int64
+}
+
+func (l *limitOp) Schema() []plan.Col { return l.input.Schema() }
+
+func (l *limitOp) Open(ctx *Ctx) error {
+	l.skipped, l.emitted = 0, 0
+	return l.input.Open(ctx)
+}
+
+func (l *limitOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		if l.node.N >= 0 && l.emitted >= l.node.N {
+			return nil, nil
+		}
+		r, err := l.input.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		if l.skipped < l.node.Offset {
+			l.skipped++
+			continue
+		}
+		l.emitted++
+		return r, nil
+	}
+}
+
+func (l *limitOp) Close(ctx *Ctx) error { return l.input.Close(ctx) }
+
+type distinctOp struct {
+	input Operator
+	seen  map[string]bool
+}
+
+func (d *distinctOp) Schema() []plan.Col { return d.input.Schema() }
+
+func (d *distinctOp) Open(ctx *Ctx) error {
+	d.seen = make(map[string]bool)
+	return d.input.Open(ctx)
+}
+
+func (d *distinctOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		r, err := d.input.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		k := storage.IndexKey(r...)
+		if !d.seen[k] {
+			d.seen[k] = true
+			return r, nil
+		}
+	}
+}
+
+func (d *distinctOp) Close(ctx *Ctx) error { return d.input.Close(ctx) }
+
+// ---------------------------------------------------------------------------
+// Aggregate
+
+type aggregateOp struct {
+	node  *plan.Aggregate
+	input Operator
+	out   []Row
+	pos   int
+}
+
+func (a *aggregateOp) Schema() []plan.Col { return a.node.Schema() }
+
+func (a *aggregateOp) Open(ctx *Ctx) error {
+	if err := a.input.Open(ctx); err != nil {
+		return err
+	}
+	a.out, a.pos = nil, 0
+	groups := make(map[string][]Row)
+	var order []string
+	for {
+		r, err := a.input.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		keyVals := make([]sqltypes.Value, len(a.node.GroupBy))
+		for i, g := range a.node.GroupBy {
+			v, err := eval(g, &evalCtx{schema: a.input.Schema(), row: r})
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		k := storage.IndexKey(keyVals...)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	// A global aggregate over zero rows still produces one row.
+	if len(a.node.GroupBy) == 0 && len(order) == 0 {
+		order = append(order, "")
+		groups[""] = nil
+	}
+	for _, k := range order {
+		rows := groups[k]
+		if a.node.Having != nil {
+			hv, err := evalAggExpr(a.node.Having, rows, a.input.Schema())
+			if err != nil {
+				return err
+			}
+			if b, unknown := boolOf(hv); unknown || !b {
+				continue
+			}
+		}
+		out := make(Row, len(a.node.Items))
+		for i, it := range a.node.Items {
+			v, err := evalAggExpr(it.Expr, rows, a.input.Schema())
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		a.out = append(a.out, out)
+	}
+	return nil
+}
+
+func (a *aggregateOp) Next(*Ctx) (Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, nil
+}
+
+func (a *aggregateOp) Close(ctx *Ctx) error { return a.input.Close(ctx) }
+
+// evalAggExpr evaluates an expression over a group: aggregates compute over
+// all rows, everything else over the group's first row (legal because the
+// planner enforced grouping).
+func evalAggExpr(e parser.Expr, rows []Row, schema []plan.Col) (sqltypes.Value, error) {
+	if fc, ok := e.(*parser.FuncCall); ok && fc.IsAggregate() {
+		return computeAggregate(fc, rows, schema)
+	}
+	switch x := e.(type) {
+	case *parser.BinaryExpr:
+		if exprHasAggregate(e) {
+			l, err := evalAggExpr(x.L, rows, schema)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			r, err := evalAggExpr(x.R, rows, schema)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			switch x.Op {
+			case "AND", "OR":
+				return evalLogic(x.Op, l, r)
+			case "=", "<>", "<", "<=", ">", ">=":
+				return evalBinary(&parser.BinaryExpr{Op: x.Op,
+					L: &parser.Literal{Val: l}, R: &parser.Literal{Val: r}}, &evalCtx{})
+			default:
+				return evalArith(x.Op, l, r)
+			}
+		}
+	case *parser.UnaryExpr:
+		if exprHasAggregate(e) {
+			v, err := evalAggExpr(x.E, rows, schema)
+			if err != nil {
+				return sqltypes.Value{}, err
+			}
+			return eval(&parser.UnaryExpr{Op: x.Op, E: &parser.Literal{Val: v}}, &evalCtx{})
+		}
+	}
+	if len(rows) == 0 {
+		return sqltypes.Null(), nil
+	}
+	return eval(e, &evalCtx{schema: schema, row: rows[0]})
+}
+
+func exprHasAggregate(e parser.Expr) bool {
+	found := false
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if fc, ok := x.(*parser.FuncCall); ok && fc.IsAggregate() {
+			found = true
+		}
+	})
+	return found
+}
+
+func computeAggregate(fc *parser.FuncCall, rows []Row, schema []plan.Col) (sqltypes.Value, error) {
+	if fc.Star { // COUNT(*)
+		return sqltypes.NewInt(int64(len(rows))), nil
+	}
+	var vals []sqltypes.Value
+	for _, r := range rows {
+		v, err := eval(fc.Args[0], &evalCtx{schema: schema, row: r})
+		if err != nil {
+			return sqltypes.Value{}, err
+		}
+		if !v.IsUnknown() { // SQL aggregates skip NULLs (and CNULLs)
+			vals = append(vals, v)
+		}
+	}
+	switch fc.Name {
+	case "COUNT":
+		return sqltypes.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			f, err := v.Coerce(sqltypes.TypeFloat)
+			if err != nil {
+				return sqltypes.Value{}, fmt.Errorf("exec: %s over non-numeric value %v", fc.Name, v)
+			}
+			sum += f.Float()
+			if v.Kind() != sqltypes.KindInt {
+				allInt = false
+			}
+		}
+		if fc.Name == "AVG" {
+			return sqltypes.NewFloat(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return sqltypes.NewInt(int64(sum)), nil
+		}
+		return sqltypes.NewFloat(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, ok := sqltypes.Compare(v, best)
+			if !ok {
+				return sqltypes.Value{}, fmt.Errorf("exec: %s over incomparable values", fc.Name)
+			}
+			if (fc.Name == "MIN" && c < 0) || (fc.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return sqltypes.Value{}, fmt.Errorf("exec: unknown aggregate %s", fc.Name)
+}

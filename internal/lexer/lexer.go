@@ -1,0 +1,228 @@
+// Package lexer tokenizes CrowdSQL, the SQL dialect of the CrowdDB paper:
+// standard SQL plus the CROWD keyword (DDL), the CNULL literal, and the
+// CROWDEQUAL/CROWDORDER built-in functions (which lex as identifiers; the
+// parser gives them meaning). The crowd-equality shorthand `~=` lexes as a
+// distinct token.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	Number
+	String // quoted string literal, value has quotes removed
+	Symbol // punctuation / operators, value is the exact spelling
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "ident"
+	case Keyword:
+		return "keyword"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Symbol:
+		return "symbol"
+	default:
+		return "?"
+	}
+}
+
+// Token is one lexical unit with its position (byte offset) for errors.
+type Token struct {
+	Kind Kind
+	// Value is the token text. Keywords are upper-cased; identifiers keep
+	// their original spelling; string literals have quotes and escapes
+	// resolved.
+	Value string
+	Pos   int
+}
+
+// keywords is the CrowdSQL reserved-word set. CROWD, CNULL, CROWDEQUAL and
+// CROWDORDER are the paper's additions (§2).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "IS": true, "IN": true, "LIKE": true, "BETWEEN": true,
+	"NULL": true, "CNULL": true, "TRUE": true, "FALSE": true,
+	"CREATE": true, "TABLE": true, "CROWD": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "FOREIGN": true, "REF": true,
+	"REFERENCES": true, "INDEX": true, "ON": true, "UNIQUE": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "CROSS": true, "DISTINCT": true, "ALL": true,
+	"ANNOTATION": true, "EXPLAIN": true, "SHOW": true, "TABLES": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"CROWDEQUAL": true, "CROWDORDER": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[strings.ToUpper(word)] }
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src} }
+
+// Tokenize scans the whole input, returning all tokens up to and excluding
+// EOF. It is the convenience entry point used by the parser and tests.
+func Tokenize(src string) ([]Token, error) {
+	l := New(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber()
+	case isIdentStart(rune(c)):
+		return l.lexWord()
+	default:
+		return l.lexSymbol(start)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexString(quote byte) (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// doubled quote is an escaped quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				sb.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: String, Value: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("lexer: unterminated string literal at offset %d", start)
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return Token{Kind: Number, Value: l.src[start:l.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: Number, Value: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) lexWord() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	if IsKeyword(word) {
+		return Token{Kind: Keyword, Value: strings.ToUpper(word), Pos: start}, nil
+	}
+	return Token{Kind: Ident, Value: word, Pos: start}, nil
+}
+
+// multi-char symbols, longest first.
+var symbols = []string{"<>", "<=", ">=", "!=", "~=", "||",
+	"(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", ".", "%"}
+
+func (l *Lexer) lexSymbol(start int) (Token, error) {
+	rest := l.src[l.pos:]
+	for _, s := range symbols {
+		if strings.HasPrefix(rest, s) {
+			l.pos += len(s)
+			return Token{Kind: Symbol, Value: s, Pos: start}, nil
+		}
+	}
+	return Token{}, fmt.Errorf("lexer: unexpected character %q at offset %d", l.src[l.pos], l.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

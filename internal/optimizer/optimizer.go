@@ -1,0 +1,598 @@
+// Package optimizer implements CrowdDB's rule-based query optimizer
+// (paper §3.2.2): predicate push-down, stop-after push-down, join
+// ordering, and the open-world boundedness analysis that "ensur[es] that
+// the amount of data requested from the crowd is bounded", annotating the
+// plan with cardinality predictions and warning at compile time when the
+// number of crowd requests cannot be bounded.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+	"crowddb/internal/sqltypes"
+)
+
+// Options control optimization.
+type Options struct {
+	// AllowUnbounded downgrades the unbounded-crowd-request error to a
+	// warning; execution then uses stored data only for unbounded scans.
+	AllowUnbounded bool
+	// DisablePushdown, DisableStopAfter and DisableJoinReorder switch off
+	// individual rules (the ablation benchmarks use these).
+	DisablePushdown    bool
+	DisableStopAfter   bool
+	DisableJoinReorder bool
+}
+
+// Result is the optimized plan with its compile-time annotations.
+type Result struct {
+	Root plan.Node
+	// Warnings are human-readable compile-time diagnostics (unbounded
+	// crowd access, cross products, ...).
+	Warnings []string
+	// Bounded reports whether every crowd access in the plan is bounded.
+	Bounded bool
+	// Cards are the optimizer's cardinality predictions per node.
+	Cards map[plan.Node]float64
+}
+
+// Optimize rewrites the logical plan. It returns an error for unbounded
+// crowd access unless opts.AllowUnbounded is set.
+func Optimize(root plan.Node, cat *catalog.Catalog, opts Options) (*Result, error) {
+	o := &optimizer{cat: cat, opts: opts}
+	if !opts.DisablePushdown {
+		root = o.pushPredicates(root)
+	}
+	o.deriveProbeKeys(root)
+	if !opts.DisableJoinReorder {
+		root = o.reorderJoins(root)
+	}
+	if !opts.DisableStopAfter {
+		o.pushLimits(root, -1, true)
+	}
+	res := &Result{Root: root, Cards: map[plan.Node]float64{}}
+	bounded := o.annotate(root, res)
+	res.Bounded = bounded
+	res.Warnings = append(res.Warnings, o.warnings...)
+	if !bounded && !opts.AllowUnbounded {
+		return nil, fmt.Errorf("optimizer: plan requests an unbounded amount of crowd data: %s",
+			strings.Join(o.warnings, "; "))
+	}
+	return res, nil
+}
+
+type optimizer struct {
+	cat      *catalog.Catalog
+	opts     Options
+	warnings []string
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: predicate push-down
+
+// pushPredicates moves non-crowd filter conjuncts as close to the scans as
+// possible; conjuncts spanning an inner/cross join migrate into its ON.
+func (o *optimizer) pushPredicates(n plan.Node) plan.Node {
+	switch x := n.(type) {
+	case *plan.Filter:
+		x.Input = o.pushPredicates(x.Input)
+		var rest []parser.Expr
+		for _, conj := range splitConjuncts(x.Cond) {
+			if parser.HasCrowdFunc(conj) || hasSubquery(conj) || !o.push(x.Input, conj) {
+				rest = append(rest, conj)
+			}
+		}
+		if len(rest) == 0 {
+			return x.Input
+		}
+		x.Cond = joinConjuncts(rest)
+		return x
+	case *plan.Join:
+		x.Left = o.pushPredicates(x.Left)
+		x.Right = o.pushPredicates(x.Right)
+		if x.On != nil && x.Type != parser.JoinLeft {
+			var rest []parser.Expr
+			for _, conj := range splitConjuncts(x.On) {
+				if parser.HasCrowdFunc(conj) || hasSubquery(conj) || !o.pushToSide(x, conj) {
+					rest = append(rest, conj)
+				}
+			}
+			x.On = joinConjuncts(rest)
+		}
+		return x
+	case *plan.Project:
+		x.Input = o.pushPredicates(x.Input)
+		return x
+	case *plan.Aggregate:
+		x.Input = o.pushPredicates(x.Input)
+		return x
+	case *plan.Sort:
+		x.Input = o.pushPredicates(x.Input)
+		return x
+	case *plan.Limit:
+		x.Input = o.pushPredicates(x.Input)
+		return x
+	case *plan.Distinct:
+		x.Input = o.pushPredicates(x.Input)
+		return x
+	default:
+		return n
+	}
+}
+
+// push tries to attach conj below n; it reports success.
+func (o *optimizer) push(n plan.Node, conj parser.Expr) bool {
+	switch x := n.(type) {
+	case *plan.Scan:
+		if coveredBy(conj, x.Schema()) {
+			x.Filter = andExpr(x.Filter, conj)
+			return true
+		}
+	case *plan.Filter:
+		return o.push(x.Input, conj)
+	case *plan.Join:
+		if x.Type == parser.JoinLeft {
+			// Only the preserved (left) side accepts pushes safely.
+			return coveredBy(conj, x.Left.Schema()) && o.push(x.Left, conj)
+		}
+		if coveredBy(conj, x.Left.Schema()) && o.push(x.Left, conj) {
+			return true
+		}
+		if coveredBy(conj, x.Right.Schema()) && o.push(x.Right, conj) {
+			return true
+		}
+		// Spans both sides: fold into the join condition (turns cross
+		// products into equi-joins the executor can run as CrowdJoin).
+		if coveredBy(conj, x.Schema()) {
+			x.On = andExpr(x.On, conj)
+			if x.Type == parser.JoinCross {
+				x.Type = parser.JoinInner
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// pushToSide moves single-side ON conjuncts of inner joins down as filters.
+func (o *optimizer) pushToSide(j *plan.Join, conj parser.Expr) bool {
+	if coveredBy(conj, j.Left.Schema()) && o.push(j.Left, conj) {
+		return true
+	}
+	if coveredBy(conj, j.Right.Schema()) && o.push(j.Right, conj) {
+		return true
+	}
+	return false
+}
+
+func splitConjuncts(e parser.Expr) []parser.Expr {
+	if be, ok := e.(*parser.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []parser.Expr{e}
+}
+
+func joinConjuncts(es []parser.Expr) parser.Expr {
+	var out parser.Expr
+	for _, e := range es {
+		out = andExpr(out, e)
+	}
+	return out
+}
+
+func andExpr(a, b parser.Expr) parser.Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return &parser.BinaryExpr{Op: "AND", L: a, R: b}
+	}
+}
+
+// hasSubquery reports whether e contains an IN-subquery; those stay in
+// Filter nodes where the executor can run them.
+func hasSubquery(e parser.Expr) bool {
+	found := false
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if in, ok := x.(*parser.InExpr); ok && in.Sub != nil {
+			found = true
+		}
+	})
+	return found
+}
+
+// coveredBy reports whether every column reference in e resolves in schema.
+func coveredBy(e parser.Expr, schema []plan.Col) bool {
+	ok := true
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if cr, isCol := x.(*parser.ColumnRef); isCol {
+			if _, err := plan.FindCol(schema, cr.Table, cr.Name); err != nil {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: probe-key derivation
+
+// deriveProbeKeys extracts `col = literal` bindings from scan filters: the
+// keys CrowdProbe pre-fills when soliciting new tuples (§3.1) and the
+// bindings the boundedness analysis accepts.
+func (o *optimizer) deriveProbeKeys(n plan.Node) {
+	if s, ok := n.(*plan.Scan); ok {
+		if s.Filter != nil {
+			for _, conj := range splitConjuncts(s.Filter) {
+				if col, val, ok := equalityBinding(conj); ok {
+					s.ProbeKeys[strings.ToLower(col)] = val
+				}
+			}
+		}
+		return
+	}
+	for _, c := range n.Children() {
+		o.deriveProbeKeys(c)
+	}
+}
+
+// equalityBinding matches `col = literal` (either order).
+func equalityBinding(e parser.Expr) (string, sqltypes.Value, bool) {
+	be, ok := e.(*parser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return "", sqltypes.Value{}, false
+	}
+	if cr, ok := be.L.(*parser.ColumnRef); ok {
+		if lit, ok := be.R.(*parser.Literal); ok {
+			return cr.Name, lit.Val, true
+		}
+	}
+	if cr, ok := be.R.(*parser.ColumnRef); ok {
+		if lit, ok := be.L.(*parser.Literal); ok {
+			return cr.Name, lit.Val, true
+		}
+	}
+	return "", sqltypes.Value{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: join ordering
+
+// reorderJoins rebuilds maximal inner/cross join chains left-deep by a
+// greedy heuristic: start from the cheapest bounded input, repeatedly join
+// the cheapest connected input, putting crowd tables late so they are
+// probed with bound keys rather than enumerated (§3.2.2 "re-order the
+// operators to minimize the requests against the crowd").
+func (o *optimizer) reorderJoins(n plan.Node) plan.Node {
+	switch x := n.(type) {
+	case *plan.Join:
+		if x.Type == parser.JoinLeft {
+			x.Left = o.reorderJoins(x.Left)
+			x.Right = o.reorderJoins(x.Right)
+			return x
+		}
+		leaves, conjuncts := o.collectJoinTree(x)
+		if len(leaves) < 2 {
+			return x
+		}
+		for i := range leaves {
+			leaves[i] = o.reorderJoins(leaves[i])
+		}
+		return o.buildGreedy(leaves, conjuncts)
+	case *plan.Filter:
+		x.Input = o.reorderJoins(x.Input)
+		return x
+	case *plan.Project:
+		x.Input = o.reorderJoins(x.Input)
+		return x
+	case *plan.Aggregate:
+		x.Input = o.reorderJoins(x.Input)
+		return x
+	case *plan.Sort:
+		x.Input = o.reorderJoins(x.Input)
+		return x
+	case *plan.Limit:
+		x.Input = o.reorderJoins(x.Input)
+		return x
+	case *plan.Distinct:
+		x.Input = o.reorderJoins(x.Input)
+		return x
+	default:
+		return n
+	}
+}
+
+// collectJoinTree flattens a chain of inner/cross joins into leaves and ON
+// conjuncts.
+func (o *optimizer) collectJoinTree(j *plan.Join) ([]plan.Node, []parser.Expr) {
+	var leaves []plan.Node
+	var conjs []parser.Expr
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if jn, ok := n.(*plan.Join); ok && jn.Type != parser.JoinLeft {
+			walk(jn.Left)
+			walk(jn.Right)
+			if jn.On != nil {
+				conjs = append(conjs, splitConjuncts(jn.On)...)
+			}
+			return
+		}
+		leaves = append(leaves, n)
+	}
+	walk(j)
+	return leaves, conjs
+}
+
+// leafCost ranks join inputs: bounded closed-world data is cheap, crowd
+// tables without probe keys are effectively infinite.
+func (o *optimizer) leafCost(n plan.Node) float64 {
+	if s, ok := n.(*plan.Scan); ok {
+		return o.scanCard(s)
+	}
+	// Non-scan leaf (e.g. a left join subtree): sum of its scans.
+	cost := 1.0
+	for _, c := range n.Children() {
+		cost += o.leafCost(c)
+	}
+	return cost
+}
+
+func (o *optimizer) buildGreedy(leaves []plan.Node, conjuncts []parser.Expr) plan.Node {
+	used := make([]bool, len(leaves))
+	usedConj := make([]bool, len(conjuncts))
+
+	// Seed: cheapest leaf.
+	best := 0
+	for i := range leaves {
+		if o.leafCost(leaves[i]) < o.leafCost(leaves[best]) {
+			best = i
+		}
+	}
+	cur := leaves[best]
+	used[best] = true
+
+	for remaining := len(leaves) - 1; remaining > 0; remaining-- {
+		curSchema := cur.Schema()
+		pick, pickCost, connectedPick := -1, math.Inf(1), false
+		for i := range leaves {
+			if used[i] {
+				continue
+			}
+			connected := false
+			joint := append(append([]plan.Col{}, curSchema...), leaves[i].Schema()...)
+			for ci, conj := range conjuncts {
+				if usedConj[ci] {
+					continue
+				}
+				if coveredBy(conj, joint) && !coveredBy(conj, curSchema) && !coveredBy(conj, leaves[i].Schema()) {
+					connected = true
+					break
+				}
+			}
+			cost := o.leafCost(leaves[i])
+			// Prefer connected inputs; among equals, cheapest. Always take
+			// the first candidate (costs may be +Inf for unbounded scans).
+			if pick < 0 || (connected && !connectedPick) || (connected == connectedPick && cost < pickCost) {
+				pick, pickCost, connectedPick = i, cost, connected
+			}
+		}
+		next := leaves[pick]
+		used[pick] = true
+		joint := append(append([]plan.Col{}, curSchema...), next.Schema()...)
+		var on parser.Expr
+		for ci, conj := range conjuncts {
+			if usedConj[ci] {
+				continue
+			}
+			if coveredBy(conj, joint) {
+				on = andExpr(on, conj)
+				usedConj[ci] = true
+			}
+		}
+		jt := parser.JoinInner
+		if on == nil {
+			jt = parser.JoinCross
+			o.warnings = append(o.warnings, fmt.Sprintf("cross product between %s and %s", describe(cur), describe(next)))
+		}
+		cur = &plan.Join{Left: cur, Right: next, Type: jt, On: on}
+	}
+	return cur
+}
+
+func describe(n plan.Node) string {
+	if s, ok := n.(*plan.Scan); ok {
+		return s.Alias
+	}
+	return n.Explain()
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: stop-after push-down
+
+// pushLimits walks down from Limit nodes, carrying the bound through
+// row-preserving Projects (exact) and through Sorts (as a crowd-acquisition
+// bound only: stored rows still all participate in the sort, but the number
+// of *new* crowd tuples solicited is capped — the paper's stop-after rule
+// exists to bound crowd requests).
+func (o *optimizer) pushLimits(n plan.Node, bound int64, exact bool) {
+	switch x := n.(type) {
+	case *plan.Limit:
+		b := x.N
+		if b >= 0 {
+			b += x.Offset
+		}
+		o.pushLimits(x.Input, b, true)
+	case *plan.Project:
+		o.pushLimits(x.Input, bound, exact)
+	case *plan.Sort:
+		o.pushLimits(x.Input, bound, false)
+	case *plan.Scan:
+		if bound < 0 {
+			return
+		}
+		if x.Table.Crowd || x.Table.HasCrowdColumns() {
+			// Acquisition bound: cap crowd solicitation.
+			if x.StopAfter < 0 || bound < x.StopAfter {
+				x.StopAfter = bound
+			}
+		} else if exact {
+			if x.StopAfter < 0 || bound < x.StopAfter {
+				x.StopAfter = bound
+			}
+		}
+	default:
+		// Filters, joins, aggregates, distinct: pushing a bound through
+		// would under-produce; recurse without a bound.
+		for _, c := range n.Children() {
+			o.pushLimits(c, -1, false)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: boundedness analysis and cardinality annotation
+
+func (o *optimizer) scanCard(s *plan.Scan) float64 {
+	stored := float64(s.Table.Stats.RowCount)
+	if stored < 1 {
+		stored = 1
+	}
+	sel := 1.0
+	if s.Filter != nil {
+		sel = 0.33
+		for col := range s.ProbeKeys {
+			for _, pk := range s.Table.PrimaryKey {
+				if strings.EqualFold(pk, col) && len(s.Table.PrimaryKey) == 1 {
+					sel = 1 / stored
+				}
+			}
+		}
+	}
+	card := stored * sel
+	if s.Table.Crowd {
+		switch {
+		case len(s.ProbeKeys) > 0:
+			card += float64(s.Table.Stats.ExpectedCrowdCard)
+		case s.StopAfter >= 0:
+			card += float64(s.StopAfter)
+		default:
+			return math.Inf(1)
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+// annotate computes cardinalities bottom-up and records unbounded crowd
+// access warnings. Returns whether n is bounded.
+func (o *optimizer) annotate(n plan.Node, res *Result) bool {
+	bounded := true
+	var card float64
+	switch x := n.(type) {
+	case *plan.Scan:
+		card = o.scanCard(x)
+		if math.IsInf(card, 1) {
+			bounded = false
+			o.warnings = append(o.warnings, fmt.Sprintf(
+				"scan of CROWD table %s is unbounded: add a key predicate or LIMIT", x.Alias))
+			card = float64(x.Table.Stats.RowCount) + 1 // stored-only fallback card
+		}
+	case *plan.Join:
+		lb := o.annotate(x.Left, res)
+		rb := o.annotate(x.Right, res)
+		lc, rc := res.Cards[x.Left], res.Cards[x.Right]
+		bounded = lb && rb
+		// CrowdJoin rescue: an unbounded crowd inner whose key is bound by
+		// the join condition becomes bounded per outer tuple (§3.2.1).
+		if lb && !rb {
+			if s, ok := x.Right.(*plan.Scan); ok && s.Table.Crowd && o.joinBindsScan(x, s) {
+				bounded = true
+				rc = float64(s.Table.Stats.ExpectedCrowdCard)
+				// Pop the unbounded warning the inner scan just logged.
+				o.dropLastWarningFor(s.Alias)
+			}
+		}
+		sel := 1.0
+		if x.On != nil {
+			sel = 0.1
+		}
+		card = lc * rc * sel
+	case *plan.Filter:
+		bounded = o.annotate(x.Input, res)
+		card = res.Cards[x.Input] * 0.33
+	case *plan.Project:
+		bounded = o.annotate(x.Input, res)
+		card = res.Cards[x.Input]
+	case *plan.Aggregate:
+		bounded = o.annotate(x.Input, res)
+		card = res.Cards[x.Input] * 0.1
+	case *plan.Sort:
+		bounded = o.annotate(x.Input, res)
+		card = res.Cards[x.Input]
+	case *plan.Distinct:
+		bounded = o.annotate(x.Input, res)
+		card = res.Cards[x.Input] * 0.7
+	case *plan.Limit:
+		bounded = o.annotate(x.Input, res)
+		card = res.Cards[x.Input]
+		if x.N >= 0 && float64(x.N) < card {
+			card = float64(x.N)
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	res.Cards[n] = card
+	return bounded
+}
+
+// joinBindsScan reports whether the join condition equates some column of
+// the crowd scan with a column of the other side (an index-nested-loop /
+// CrowdJoin binding).
+func (o *optimizer) joinBindsScan(j *plan.Join, s *plan.Scan) bool {
+	if j.On == nil {
+		return false
+	}
+	other := j.Left.Schema()
+	for _, conj := range splitConjuncts(j.On) {
+		be, ok := conj.(*parser.BinaryExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		lc, lok := be.L.(*parser.ColumnRef)
+		rc, rok := be.R.(*parser.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		inScan := func(c *parser.ColumnRef) bool {
+			_, err := plan.FindCol(s.Schema(), c.Table, c.Name)
+			return err == nil
+		}
+		inOther := func(c *parser.ColumnRef) bool {
+			_, err := plan.FindCol(other, c.Table, c.Name)
+			return err == nil
+		}
+		if (inScan(lc) && inOther(rc)) || (inScan(rc) && inOther(lc)) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *optimizer) dropLastWarningFor(alias string) {
+	for i := len(o.warnings) - 1; i >= 0; i-- {
+		if strings.Contains(o.warnings[i], "CROWD table "+alias+" ") {
+			o.warnings = append(o.warnings[:i], o.warnings[i+1:]...)
+			return
+		}
+	}
+}

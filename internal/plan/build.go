@@ -1,0 +1,445 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/parser"
+	"crowddb/internal/sqltypes"
+)
+
+// Build lowers a parsed SELECT into a logical plan, binding every column
+// reference against the catalog. The produced tree is canonical and
+// unoptimized: Scan → Join* → Filter → Aggregate|Project → Distinct →
+// Sort → Limit; the optimizer rewrites it afterwards.
+func Build(sel *parser.Select, cat *catalog.Catalog) (Node, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("plan: SELECT without FROM is not supported")
+	}
+
+	// FROM: scans, joined left-deep in syntactic order.
+	var scans []*Scan
+	seen := map[string]bool{}
+	var root Node
+	for i, tr := range sel.From {
+		t, ok := cat.Table(tr.Table)
+		if !ok {
+			return nil, fmt.Errorf("plan: table %s not found", tr.Table)
+		}
+		alias := tr.Alias
+		if alias == "" {
+			alias = t.Name
+		}
+		if seen[strings.ToLower(alias)] {
+			return nil, fmt.Errorf("plan: duplicate table alias %q", alias)
+		}
+		seen[strings.ToLower(alias)] = true
+		s := NewScan(t, alias)
+		scans = append(scans, s)
+		if i == 0 {
+			root = s
+			continue
+		}
+		jt := tr.Join
+		if jt == parser.JoinNone {
+			jt = parser.JoinCross
+		}
+		root = &Join{Left: root, Right: s, Type: jt, On: tr.On}
+		if tr.On != nil {
+			if err := bindExpr(tr.On, root.Schema()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Expand stars into explicit select items.
+	items, err := expandStars(sel.Items, root.Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	// Bind remaining clauses against the join output schema.
+	if sel.Where != nil {
+		if err := bindExpr(sel.Where, root.Schema()); err != nil {
+			return nil, err
+		}
+		root = &Filter{Input: root, Cond: sel.Where}
+	}
+	for _, g := range sel.GroupBy {
+		if err := bindExpr(g, root.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	for _, it := range items {
+		if err := bindSelectExpr(it.Expr, root.Schema()); err != nil {
+			return nil, err
+		}
+	}
+
+	hasAgg := len(sel.GroupBy) > 0
+	for _, it := range items {
+		if exprHasAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	if hasAgg {
+		if err := checkGrouping(items, sel.GroupBy); err != nil {
+			return nil, err
+		}
+		agg := &Aggregate{Input: root, GroupBy: sel.GroupBy, Items: items, Having: sel.Having}
+		agg.schema = outputSchema(items, root.Schema())
+		if sel.Having != nil {
+			if err := bindHaving(sel.Having, root.Schema()); err != nil {
+				return nil, err
+			}
+		}
+		root = agg
+	} else {
+		if sel.Having != nil {
+			return nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+		}
+		proj := &Project{Input: root, Items: items}
+		proj.schema = outputSchema(items, root.Schema())
+		root = proj
+	}
+
+	if sel.Distinct {
+		root = &Distinct{Input: root}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		node, err := placeSort(root, sel)
+		if err != nil {
+			return nil, err
+		}
+		root = node
+	}
+
+	if sel.Limit >= 0 || sel.Offset > 0 {
+		n := sel.Limit
+		if n < 0 {
+			n = -1
+		}
+		root = &Limit{Input: root, N: n, Offset: sel.Offset}
+	}
+
+	// Mark referenced crowd columns on each scan: the executor must
+	// instantiate their CNULLs (§2.1 semantics).
+	markAskColumns(sel, items, scans)
+	return root, nil
+}
+
+// expandStars replaces * and t.* with explicit column references.
+func expandStars(items []parser.SelectItem, schema []Col) ([]parser.SelectItem, error) {
+	var out []parser.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, c := range schema {
+			if it.StarTable != "" && !strings.EqualFold(c.Table, it.StarTable) {
+				continue
+			}
+			matched = true
+			out = append(out, parser.SelectItem{Expr: &parser.ColumnRef{Table: c.Table, Name: c.Name}})
+		}
+		if !matched {
+			return nil, fmt.Errorf("plan: %s.* matches no table", it.StarTable)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("plan: empty select list")
+	}
+	return out, nil
+}
+
+// bindExpr checks every column reference resolves in the schema.
+func bindExpr(e parser.Expr, schema []Col) error {
+	var firstErr error
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if firstErr != nil {
+			return
+		}
+		if cr, ok := x.(*parser.ColumnRef); ok {
+			if _, err := FindCol(schema, cr.Table, cr.Name); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// bindSelectExpr is bindExpr but permits aggregate calls.
+func bindSelectExpr(e parser.Expr, schema []Col) error { return bindExpr(e, schema) }
+
+// bindHaving permits aggregates over the input schema.
+func bindHaving(e parser.Expr, schema []Col) error { return bindExpr(e, schema) }
+
+// placeSort positions the Sort operator. SQL lets ORDER BY reference output
+// columns (aliases, select-list expressions) or, for plain projections,
+// input columns not in the select list — in the latter case the sort runs
+// below the projection.
+func placeSort(root Node, sel *parser.Select) (Node, error) {
+	outSchema := root.Schema()
+	keys := make([]parser.OrderItem, len(sel.OrderBy))
+	allOutput := true
+	for i, k := range sel.OrderBy {
+		keys[i] = k
+		if parser.HasCrowdFunc(k.Expr) {
+			continue // crowd keys bind loosely at execution time
+		}
+		if cr, ok := k.Expr.(*parser.ColumnRef); ok {
+			if _, err := FindCol(outSchema, cr.Table, cr.Name); err == nil {
+				continue
+			}
+		} else if _, err := FindCol(outSchema, "", k.Expr.String()); err == nil {
+			// e.g. ORDER BY COUNT(*) over an aggregate output column named
+			// "COUNT(*)": rewrite to a reference to that output column.
+			keys[i] = parser.OrderItem{Expr: &parser.ColumnRef{Name: k.Expr.String()}, Desc: k.Desc}
+			continue
+		}
+		allOutput = false
+	}
+	if allOutput {
+		return &Sort{Input: root, Keys: keys}, nil
+	}
+	// Keys reference pre-projection columns: sort under the projection.
+	proj, ok := root.(*Project)
+	if !ok || sel.Distinct {
+		for _, k := range sel.OrderBy {
+			if err := bindSortKey(k.Expr, outSchema); err != nil {
+				return nil, err
+			}
+		}
+		return &Sort{Input: root, Keys: sel.OrderBy}, nil
+	}
+	for _, k := range sel.OrderBy {
+		if err := bindSortKey(k.Expr, proj.Input.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	proj.Input = &Sort{Input: proj.Input, Keys: sel.OrderBy}
+	return proj, nil
+}
+
+// bindSortKey resolves a sort key against the (possibly projected) schema.
+// Keys may name output columns (aliases), input columns, or — for
+// CROWDORDER keys — anything at all: the comparison is delegated to the
+// crowd, with the first argument rendered per row.
+func bindSortKey(e parser.Expr, schema []Col) error {
+	if parser.HasCrowdFunc(e) {
+		return nil
+	}
+	var firstErr error
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if firstErr != nil {
+			return
+		}
+		if cr, ok := x.(*parser.ColumnRef); ok {
+			if _, err := FindCol(schema, cr.Table, cr.Name); err != nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+func exprHasAggregate(e parser.Expr) bool {
+	found := false
+	parser.WalkExprs(e, func(x parser.Expr) {
+		if fc, ok := x.(*parser.FuncCall); ok && fc.IsAggregate() {
+			found = true
+		}
+	})
+	return found
+}
+
+// checkGrouping enforces that non-aggregate select items appear in GROUP BY.
+func checkGrouping(items []parser.SelectItem, groupBy []parser.Expr) error {
+	keys := map[string]bool{}
+	for _, g := range groupBy {
+		keys[g.String()] = true
+	}
+	for _, it := range items {
+		if exprHasAggregate(it.Expr) {
+			continue
+		}
+		if !keys[it.Expr.String()] {
+			return fmt.Errorf("plan: %s must appear in GROUP BY or an aggregate", it.Expr)
+		}
+	}
+	return nil
+}
+
+// outputSchema names projected columns: alias > column name > expression
+// text, with best-effort type inference.
+func outputSchema(items []parser.SelectItem, in []Col) []Col {
+	out := make([]Col, 0, len(items))
+	for _, it := range items {
+		col := Col{Type: inferType(it.Expr, in)}
+		switch e := it.Expr.(type) {
+		case *parser.ColumnRef:
+			col.Table = e.Table
+			col.Name = e.Name
+			if i, err := FindCol(in, e.Table, e.Name); err == nil {
+				col.Table = in[i].Table
+				col.Crowd = in[i].Crowd
+			}
+		default:
+			col.Name = it.Expr.String()
+		}
+		if it.Alias != "" {
+			col.Name = it.Alias
+			col.Table = ""
+		}
+		out = append(out, col)
+	}
+	return out
+}
+
+// inferType derives an output type for an expression.
+func inferType(e parser.Expr, schema []Col) sqltypes.Type {
+	switch x := e.(type) {
+	case *parser.Literal:
+		return x.Val.TypeOf()
+	case *parser.ColumnRef:
+		if i, err := FindCol(schema, x.Table, x.Name); err == nil {
+			return schema[i].Type
+		}
+	case *parser.FuncCall:
+		switch x.Name {
+		case "COUNT", "LENGTH":
+			return sqltypes.TypeInt
+		case "AVG":
+			return sqltypes.TypeFloat
+		case "SUM", "MIN", "MAX", "ROUND", "ABS", "COALESCE":
+			if len(x.Args) > 0 {
+				return inferType(x.Args[0], schema)
+			}
+		case "LOWER", "UPPER", "TRIM", "SUBSTR":
+			return sqltypes.TypeString
+		case "CROWDEQUAL":
+			return sqltypes.TypeBool
+		}
+	case *parser.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE", "~=":
+			return sqltypes.TypeBool
+		case "||":
+			return sqltypes.TypeString
+		default:
+			lt, rt := inferType(x.L, schema), inferType(x.R, schema)
+			if lt == sqltypes.TypeFloat || rt == sqltypes.TypeFloat || x.Op == "/" {
+				return sqltypes.TypeFloat
+			}
+			return sqltypes.TypeInt
+		}
+	case *parser.UnaryExpr:
+		if x.Op == "NOT" {
+			return sqltypes.TypeBool
+		}
+		return inferType(x.E, schema)
+	case *parser.IsNullExpr, *parser.InExpr, *parser.BetweenExpr:
+		return sqltypes.TypeBool
+	}
+	return sqltypes.TypeAny
+}
+
+// markAskColumns records, per scan, the crowd columns the query references
+// anywhere — exactly the CNULLs CrowdDB must instantiate.
+func markAskColumns(sel *parser.Select, items []parser.SelectItem, scans []*Scan) {
+	var exprs []parser.Expr
+	for _, it := range items {
+		exprs = append(exprs, it.Expr)
+	}
+	exprs = append(exprs, sel.Where, sel.Having)
+	exprs = append(exprs, sel.GroupBy...)
+	for _, k := range sel.OrderBy {
+		exprs = append(exprs, k.Expr)
+	}
+	for _, tr := range sel.From {
+		if tr.On != nil {
+			exprs = append(exprs, tr.On)
+		}
+	}
+	for _, s := range scans {
+		asked := map[string]bool{}
+		for _, e := range exprs {
+			walkSkippingNullTests(e, func(x parser.Expr) {
+				cr, ok := x.(*parser.ColumnRef)
+				if !ok {
+					return
+				}
+				if cr.Table != "" && !strings.EqualFold(cr.Table, s.Alias) {
+					return
+				}
+				col, ok := s.Table.Column(cr.Name)
+				if !ok || !col.Crowd {
+					return
+				}
+				// Unqualified references could belong to another scan; only
+				// claim them when the name is unique to this scan among all.
+				if cr.Table == "" && !uniqueAmong(scans, s, cr.Name) {
+					return
+				}
+				asked[col.Name] = true
+			})
+		}
+		s.AskColumns = s.AskColumns[:0]
+		for _, c := range s.Table.Columns {
+			if asked[c.Name] {
+				s.AskColumns = append(s.AskColumns, c.Name)
+			}
+		}
+	}
+}
+
+// walkSkippingNullTests visits sub-expressions like parser.WalkExprs but
+// does not descend into IS [NOT] [C]NULL tests: checking whether a value is
+// CNULL does not *require* the value, so it must not trigger crowdsourcing
+// (otherwise `WHERE abstract IS CNULL` would instantiate every abstract
+// before filtering).
+func walkSkippingNullTests(e parser.Expr, fn func(parser.Expr)) {
+	if e == nil {
+		return
+	}
+	if _, ok := e.(*parser.IsNullExpr); ok {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *parser.BinaryExpr:
+		walkSkippingNullTests(x.L, fn)
+		walkSkippingNullTests(x.R, fn)
+	case *parser.UnaryExpr:
+		walkSkippingNullTests(x.E, fn)
+	case *parser.InExpr:
+		walkSkippingNullTests(x.E, fn)
+		for _, v := range x.List {
+			walkSkippingNullTests(v, fn)
+		}
+	case *parser.BetweenExpr:
+		walkSkippingNullTests(x.E, fn)
+		walkSkippingNullTests(x.Lo, fn)
+		walkSkippingNullTests(x.Hi, fn)
+	case *parser.FuncCall:
+		for _, a := range x.Args {
+			walkSkippingNullTests(a, fn)
+		}
+	}
+}
+
+func uniqueAmong(scans []*Scan, owner *Scan, col string) bool {
+	n := 0
+	for _, s := range scans {
+		if _, ok := s.Table.Column(col); ok {
+			n++
+		}
+	}
+	_, ok := owner.Table.Column(col)
+	return ok && n == 1
+}

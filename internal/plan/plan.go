@@ -1,0 +1,329 @@
+// Package plan defines CrowdDB's logical query algebra and the builder
+// that lowers a parsed SELECT into it. The tree is what the rule-based
+// optimizer (internal/optimizer) rewrites and what the executor
+// (internal/exec) instantiates into physical operators, crowd operators
+// included (paper §3.2.2: "CrowdDB generates the logical plan by parsing
+// the query", then optimizes, then instantiates).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/parser"
+	"crowddb/internal/sqltypes"
+)
+
+// Col is one column of a node's output schema.
+type Col struct {
+	Table string // alias of the producing table ("" for computed columns)
+	Name  string
+	Type  sqltypes.Type
+	// Crowd marks columns whose values may be CNULL and crowdsourced.
+	Crowd bool
+}
+
+func (c Col) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Node is a logical operator.
+type Node interface {
+	// Schema is the node's output columns.
+	Schema() []Col
+	// Children returns input nodes (for traversal).
+	Children() []Node
+	// Explain renders one line of EXPLAIN output.
+	Explain() string
+}
+
+// Scan reads one base table. Filter and StopAfter may be pushed into it by
+// the optimizer; crowd behaviour (probing CNULLs, soliciting tuples) is
+// decided by the executor from the table's catalog entry.
+type Scan struct {
+	Table *catalog.Table
+	Alias string
+	// Filter is a pushed-down predicate over this table only (nil = none).
+	Filter parser.Expr
+	// StopAfter bounds the number of tuples the scan produces (-1 = no
+	// bound). For CROWD tables this bounds crowdsourcing (§3.2.2).
+	StopAfter int64
+	// AskColumns are the crowd columns of this table the query references
+	// and which therefore must be instantiated when CNULL (§2.1).
+	AskColumns []string
+	// ProbeKeys are equality bindings (column = literal) usable to solicit
+	// new tuples with a pre-filled key; derived from pushed predicates.
+	ProbeKeys map[string]sqltypes.Value
+
+	schema []Col
+}
+
+// NewScan builds a scan with its schema derived from the table definition.
+func NewScan(t *catalog.Table, alias string) *Scan {
+	if alias == "" {
+		alias = t.Name
+	}
+	s := &Scan{Table: t, Alias: alias, StopAfter: -1, ProbeKeys: map[string]sqltypes.Value{}}
+	for _, c := range t.Columns {
+		s.schema = append(s.schema, Col{Table: alias, Name: c.Name, Type: c.Type, Crowd: c.Crowd})
+	}
+	return s
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() []Col { return s.schema }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Explain implements Node.
+func (s *Scan) Explain() string {
+	var sb strings.Builder
+	kind := "Scan"
+	if s.Table.Crowd {
+		kind = "CrowdScan"
+	} else if len(s.AskColumns) > 0 {
+		kind = "ProbeScan"
+	}
+	fmt.Fprintf(&sb, "%s(%s", kind, s.Table.Name)
+	if !strings.EqualFold(s.Alias, s.Table.Name) {
+		fmt.Fprintf(&sb, " AS %s", s.Alias)
+	}
+	sb.WriteString(")")
+	if s.Filter != nil {
+		fmt.Fprintf(&sb, " filter=%s", s.Filter)
+	}
+	if s.StopAfter >= 0 {
+		fmt.Fprintf(&sb, " stopafter=%d", s.StopAfter)
+	}
+	if len(s.AskColumns) > 0 {
+		fmt.Fprintf(&sb, " ask=[%s]", strings.Join(s.AskColumns, ","))
+	}
+	return sb.String()
+}
+
+// Filter drops rows not satisfying Cond. Crowd predicates (CROWDEQUAL, ~=)
+// stay in Filter nodes; the executor evaluates them with CrowdCompare.
+type Filter struct {
+	Input Node
+	Cond  parser.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() []Col { return f.Input.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Input} }
+
+// Explain implements Node.
+func (f *Filter) Explain() string {
+	kind := "Filter"
+	if parser.HasCrowdFunc(f.Cond) {
+		kind = "CrowdFilter"
+	}
+	return fmt.Sprintf("%s(%s)", kind, f.Cond)
+}
+
+// Join combines two inputs. Equi-join keys, when detectable, let the
+// executor pick index nested-loop (CrowdJoin when the inner is
+// crowdsourced, §3.2.1) or hash join.
+type Join struct {
+	Left, Right Node
+	Type        parser.JoinType
+	On          parser.Expr
+}
+
+// Schema implements Node.
+func (j *Join) Schema() []Col {
+	return append(append([]Col{}, j.Left.Schema()...), j.Right.Schema()...)
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Explain implements Node.
+func (j *Join) Explain() string {
+	t := map[parser.JoinType]string{
+		parser.JoinInner: "InnerJoin", parser.JoinLeft: "LeftJoin", parser.JoinCross: "CrossJoin",
+	}[j.Type]
+	if j.On != nil {
+		return fmt.Sprintf("%s(%s)", t, j.On)
+	}
+	return t
+}
+
+// Project computes the SELECT list.
+type Project struct {
+	Input Node
+	Items []parser.SelectItem
+
+	schema []Col
+}
+
+// Schema implements Node.
+func (p *Project) Schema() []Col { return p.schema }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// Explain implements Node.
+func (p *Project) Explain() string {
+	var parts []string
+	for _, it := range p.Items {
+		parts = append(parts, it.String())
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Aggregate groups and aggregates.
+type Aggregate struct {
+	Input   Node
+	GroupBy []parser.Expr
+	// Items are the output select items (aggregates and group keys).
+	Items  []parser.SelectItem
+	Having parser.Expr
+
+	schema []Col
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() []Col { return a.schema }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// Explain implements Node.
+func (a *Aggregate) Explain() string {
+	var gs []string
+	for _, g := range a.GroupBy {
+		gs = append(gs, g.String())
+	}
+	s := "Aggregate(group=[" + strings.Join(gs, ", ") + "]"
+	if a.Having != nil {
+		s += " having=" + a.Having.String()
+	}
+	return s + ")"
+}
+
+// Sort orders rows. Keys containing CROWDORDER calls make the executor use
+// the CrowdCompare-backed sort (paper Example 3).
+type Sort struct {
+	Input Node
+	Keys  []parser.OrderItem
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() []Col { return s.Input.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+// Explain implements Node.
+func (s *Sort) Explain() string {
+	var ks []string
+	crowd := false
+	for _, k := range s.Keys {
+		item := k.Expr.String()
+		if k.Desc {
+			item += " DESC"
+		}
+		if parser.HasCrowdFunc(k.Expr) {
+			crowd = true
+		}
+		ks = append(ks, item)
+	}
+	kind := "Sort"
+	if crowd {
+		kind = "CrowdSort"
+	}
+	return kind + "(" + strings.Join(ks, ", ") + ")"
+}
+
+// Limit truncates output.
+type Limit struct {
+	Input  Node
+	N      int64
+	Offset int64
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() []Col { return l.Input.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// Explain implements Node.
+func (l *Limit) Explain() string {
+	if l.Offset > 0 {
+		return fmt.Sprintf("Limit(%d offset %d)", l.N, l.Offset)
+	}
+	return fmt.Sprintf("Limit(%d)", l.N)
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Input Node }
+
+// Schema implements Node.
+func (d *Distinct) Schema() []Col { return d.Input.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Input} }
+
+// Explain implements Node.
+func (d *Distinct) Explain() string { return "Distinct" }
+
+// ExplainTree renders the whole plan, one node per line, children indented.
+func ExplainTree(n Node) string { return ExplainTreeAnnotated(n, nil) }
+
+// ExplainTreeAnnotated renders the plan with an optional per-node
+// annotation (EXPLAIN uses it for the optimizer's cardinality predictions,
+// §3.2.2: "the heuristic first annotates the query plan with the
+// cardinality predictions between the operators").
+func ExplainTreeAnnotated(n Node, annotate func(Node) string) string {
+	var sb strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Explain())
+		if annotate != nil {
+			if extra := annotate(n); extra != "" {
+				sb.WriteString("  " + extra)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// FindCol resolves a column reference against a schema. Empty table matches
+// any alias but must be unambiguous.
+func FindCol(schema []Col, table, name string) (int, error) {
+	found := -1
+	for i, c := range schema {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("plan: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return -1, fmt.Errorf("plan: column %s.%s not found", table, name)
+		}
+		return -1, fmt.Errorf("plan: column %q not found", name)
+	}
+	return found, nil
+}

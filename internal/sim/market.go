@@ -1,0 +1,513 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"crowddb/internal/crowd"
+)
+
+// Config tunes the marketplace. Defaults (see DefaultConfig) are calibrated
+// so the curves match the *shapes* of the paper's AMT micro-benchmarks:
+// higher pay → faster completion with diminishing returns; bigger groups →
+// higher throughput but later last answer; a few workers dominate.
+type Config struct {
+	Seed int64
+	Pool WorkerPoolConfig
+
+	// BaseArrivalPerHour is the worker arrival rate for a group paying
+	// RefReward. Actual rate scales by (reward/RefReward)^PriceElasticity
+	// and a mild group-size boost.
+	BaseArrivalPerHour float64
+	RefReward          crowd.Cents
+	PriceElasticity    float64
+
+	// MeanHITsPerVisit is the mean of the geometric number of HITs one
+	// arriving worker claims.
+	MeanHITsPerVisit float64
+
+	// LatencyMedian is the median virtual time a worker spends per
+	// assignment; per-assignment latency is log-normal with LatencySigma.
+	LatencyMedian time.Duration
+	LatencySigma  float64
+
+	// AffinityProb is the chance an arrival is a returning worker chosen by
+	// preferential attachment rather than a fresh uniform draw.
+	AffinityProb float64
+
+	// FormatNoiseRate is the chance a correct answer arrives with case or
+	// whitespace damage (exercises answer cleansing).
+	FormatNoiseRate float64
+
+	// DiurnalAmplitude in [0,1) modulates worker arrival with the time of
+	// (virtual) day — the paper observed AMT responsiveness varies by time
+	// of day. 0 disables; at A the rate swings between (1-A) and (1+A) of
+	// its base, peaking at virtual noon.
+	DiurnalAmplitude float64
+}
+
+// DefaultConfig returns an AMT-like marketplace.
+func DefaultConfig() Config {
+	return Config{
+		Seed: 1,
+		Pool: WorkerPoolConfig{
+			Size:            2000,
+			SpammerFrac:     0.12,
+			SpammerAccuracy: 0.55,
+			AccuracyMean:    0.88,
+			AccuracySpread:  0.08,
+			GarbageRate:     0.03,
+		},
+		BaseArrivalPerHour: 6,
+		RefReward:          1, // $0.01
+		PriceElasticity:    0.9,
+		MeanHITsPerVisit:   8,
+		LatencyMedian:      45 * time.Second,
+		LatencySigma:       0.8,
+		AffinityProb:       0.65,
+		FormatNoiseRate:    0.25,
+	}
+}
+
+// hitState tracks one HIT's outstanding replication.
+type hitState struct {
+	hit       *crowd.HIT
+	remaining int
+	doneBy    map[string]bool // workers may not repeat a HIT
+}
+
+type group struct {
+	id          crowd.GroupID
+	spec        *crowd.HITGroup
+	hits        []*hitState
+	assignments []*crowd.Assignment
+	byAssignID  map[string]*crowd.Assignment
+	completed   int
+	expired     bool
+	postedAt    time.Duration
+	arrivalsOn  bool
+}
+
+// Market is the simulated labor marketplace both platforms are built on.
+// All methods are safe for concurrent use; the discrete-event clock runs
+// under the market mutex.
+type Market struct {
+	mu       sync.Mutex
+	cfg      Config
+	clock    *Clock
+	rng      *rand.Rand
+	workers  []*Worker
+	returned []*Worker // workers who have completed ≥1 assignment, with repeats (preferential attachment)
+	blocked  map[string]bool
+	groups   map[crowd.GroupID]*group
+	nextGID  int
+	nextAID  int
+
+	totalSubmitted int
+	totalSpent     crowd.Cents
+}
+
+// NewMarket builds a marketplace with its worker population.
+func NewMarket(cfg Config) *Market {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Market{
+		cfg:     cfg,
+		clock:   NewClock(),
+		rng:     rng,
+		workers: NewWorkerPool(cfg.Pool, rng),
+		blocked: make(map[string]bool),
+		groups:  make(map[crowd.GroupID]*group),
+	}
+}
+
+// Block bars a worker from future assignments (the WRM escalation beyond
+// rejecting individual answers). Already-claimed work still completes.
+func (m *Market) Block(workerID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blocked[workerID] = true
+}
+
+// Blocked reports how many workers are blocked.
+func (m *Market) Blocked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocked)
+}
+
+// Now returns the market's virtual time.
+func (m *Market) Now() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock.Now()
+}
+
+// Step advances the simulation by d of virtual time.
+func (m *Market) Step(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock.RunFor(d)
+}
+
+// Post publishes a HIT group and starts its worker-arrival process.
+func (m *Market) Post(spec *crowd.HITGroup) (crowd.GroupID, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextGID++
+	g := &group{
+		id:         crowd.GroupID(fmt.Sprintf("G%05d", m.nextGID)),
+		spec:       spec,
+		byAssignID: make(map[string]*crowd.Assignment),
+		postedAt:   m.clock.Now(),
+	}
+	for _, h := range spec.HITs {
+		g.hits = append(g.hits, &hitState{hit: h, remaining: spec.Assignments, doneBy: make(map[string]bool)})
+	}
+	m.groups[g.id] = g
+	if spec.Expiry > 0 {
+		m.clock.Schedule(spec.Expiry, func() { g.expired = true })
+	}
+	g.arrivalsOn = true
+	m.scheduleArrival(g)
+	return g.id, nil
+}
+
+// arrivalRate computes the Poisson arrival rate (per hour) for a group:
+// price-elastic in the reward, with a mild boost for large groups (big
+// batches are more visible on the platform, a paper observation).
+func (m *Market) arrivalRate(g *group) float64 {
+	ratio := float64(g.spec.Reward) / float64(m.cfg.RefReward)
+	if ratio <= 0 {
+		ratio = 0.01
+	}
+	rate := m.cfg.BaseArrivalPerHour * math.Pow(ratio, m.cfg.PriceElasticity)
+	rate *= 1 + 0.15*math.Log1p(float64(len(g.spec.HITs)))
+	if a := m.cfg.DiurnalAmplitude; a > 0 {
+		hour := math.Mod(m.clock.Now().Hours(), 24)
+		// Peak at 12:00, trough at 00:00 virtual time.
+		rate *= 1 + a*math.Sin(2*math.Pi*hour/24-math.Pi/2)
+	}
+	return rate
+}
+
+func (m *Market) scheduleArrival(g *group) {
+	if g.expired || g.completed == len(g.hits) {
+		g.arrivalsOn = false
+		return
+	}
+	rate := m.arrivalRate(g) // per hour
+	// Exponential inter-arrival time.
+	gap := time.Duration(m.rng.ExpFloat64() / rate * float64(time.Hour))
+	m.clock.Schedule(gap, func() { m.arrive(g) })
+}
+
+// arrive is one worker showing up for a group, claiming HITs, and
+// scheduling their submissions. Runs under the market mutex (clock events
+// fire inside Step).
+func (m *Market) arrive(g *group) {
+	defer m.scheduleArrival(g)
+	if g.expired || g.completed == len(g.hits) {
+		g.arrivalsOn = false
+		return
+	}
+	w := m.pickWorker(g.spec.Venue)
+	if w == nil {
+		return // nobody in the fence this time
+	}
+	// Geometric number of HITs this visit.
+	p := 1 / math.Max(m.cfg.MeanHITsPerVisit, 1)
+	want := 1
+	for m.rng.Float64() > p && want < len(g.hits) {
+		want++
+	}
+	var claimed []*hitState
+	for _, hs := range g.hits {
+		if len(claimed) >= want {
+			break
+		}
+		if hs.remaining > 0 && !hs.doneBy[w.ID] {
+			hs.remaining--
+			hs.doneBy[w.ID] = true
+			claimed = append(claimed, hs)
+		}
+	}
+	elapsed := time.Duration(0)
+	for _, hs := range claimed {
+		// Log-normal work time, scaled by the worker's speed.
+		lat := time.Duration(float64(m.cfg.LatencyMedian) * w.Speed *
+			math.Exp(m.rng.NormFloat64()*m.cfg.LatencySigma))
+		elapsed += lat
+		hs := hs
+		at := elapsed
+		m.clock.Schedule(at, func() { m.submit(g, hs, w) })
+	}
+}
+
+// pickWorker selects an arriving worker: a returning one by preferential
+// attachment with probability AffinityProb, else a uniform draw. With a
+// venue fence only eligible workers are considered.
+func (m *Market) pickWorker(fence *crowd.GeoFence) *Worker {
+	eligible := func(w *Worker) bool { return !m.blocked[w.ID] && w.InFence(fence) }
+	// Affinity first: returning workers by preferential attachment.
+	if len(m.returned) > 0 && m.rng.Float64() < m.cfg.AffinityProb {
+		for try := 0; try < 8; try++ {
+			w := m.returned[m.rng.Intn(len(m.returned))]
+			if eligible(w) {
+				return w
+			}
+		}
+	}
+	for try := 0; try < 32; try++ {
+		w := m.workers[m.rng.Intn(len(m.workers))]
+		if eligible(w) {
+			return w
+		}
+	}
+	return nil
+}
+
+// submit records one finished assignment with simulated answers.
+func (m *Market) submit(g *group, hs *hitState, w *Worker) {
+	if g.expired {
+		return
+	}
+	m.nextAID++
+	a := &crowd.Assignment{
+		ID:          fmt.Sprintf("A%07d", m.nextAID),
+		HITID:       hs.hit.ID,
+		WorkerID:    w.ID,
+		Status:      crowd.AssignmentSubmitted,
+		SubmittedAt: m.clock.Now(),
+		Answers:     m.answer(hs.hit, w),
+	}
+	g.assignments = append(g.assignments, a)
+	g.byAssignID[a.ID] = a
+	w.Completed++
+	m.returned = append(m.returned, w) // one entry per completion = preferential attachment
+	m.totalSubmitted++
+
+	done := true
+	for _, other := range g.hits {
+		if other.remaining > 0 || len(answersFor(g, other.hit.ID)) < g.spec.Assignments {
+			done = false
+			break
+		}
+	}
+	if done {
+		g.completed = len(g.hits)
+	}
+}
+
+func answersFor(g *group, hitID string) []*crowd.Assignment {
+	var out []*crowd.Assignment
+	for _, a := range g.assignments {
+		if a.HITID == hitID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// answer simulates a worker filling the HIT's form. CrowdDB never sees this
+// logic — it only sees the resulting Assignment, exactly as with a live
+// crowd.
+func (m *Market) answer(h *crowd.HIT, w *Worker) map[string]string {
+	out := make(map[string]string)
+	var truth *crowd.SimTruth = h.Truth
+	for _, f := range h.Fields {
+		if f.Kind == crowd.FieldDisplay {
+			continue
+		}
+		if m.rng.Float64() < w.GarbageRate {
+			out[f.Name] = garbageAnswer(m.rng)
+			continue
+		}
+		difficulty := 0.0
+		var correct string
+		var wrongs []string
+		if truth != nil {
+			difficulty = truth.Difficulty
+			correct = truth.Truth[f.Name]
+			wrongs = truth.Wrong[f.Name]
+		}
+		// Effective accuracy degrades toward a coin flip as difficulty→1.
+		eff := w.Accuracy*(1-difficulty) + 0.5*difficulty
+		if correct != "" && m.rng.Float64() < eff {
+			out[f.Name] = m.addFormatNoise(correct)
+			continue
+		}
+		// Wrong (or unknown-truth) answer.
+		switch {
+		case len(wrongs) > 0:
+			out[f.Name] = m.addFormatNoise(wrongs[m.rng.Intn(len(wrongs))])
+		case f.Kind == crowd.FieldChoice && len(f.Options) > 0:
+			out[f.Name] = f.Options[m.rng.Intn(len(f.Options))]
+		default:
+			out[f.Name] = fmt.Sprintf("unsure-%d", m.rng.Intn(1000))
+		}
+	}
+	return out
+}
+
+// addFormatNoise occasionally damages formatting (case, padding) so quality
+// control has real cleansing to do.
+func (m *Market) addFormatNoise(s string) string {
+	if m.rng.Float64() >= m.cfg.FormatNoiseRate {
+		return s
+	}
+	switch m.rng.Intn(4) {
+	case 0:
+		return strings.ToUpper(s)
+	case 1:
+		return strings.ToLower(s)
+	case 2:
+		return "  " + s
+	default:
+		return s + "  "
+	}
+}
+
+func garbageAnswer(rng *rand.Rand) string {
+	junk := []string{"", "asdf", "idk", "???", "n/a", "good"}
+	return junk[rng.Intn(len(junk))]
+}
+
+// Status reports a group's progress.
+func (m *Market) Status(id crowd.GroupID) (crowd.GroupStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return crowd.GroupStatus{}, fmt.Errorf("sim: unknown group %s", id)
+	}
+	st := crowd.GroupStatus{Posted: len(g.hits), Expired: g.expired, Submitted: len(g.assignments)}
+	perHIT := make(map[string]int)
+	for _, a := range g.assignments {
+		perHIT[a.HITID]++
+	}
+	for _, hs := range g.hits {
+		if perHIT[hs.hit.ID] >= g.spec.Assignments {
+			st.Completed++
+		}
+	}
+	return st, nil
+}
+
+// Results returns copies of the group's submitted assignments, ordered by
+// submission time.
+func (m *Market) Results(id crowd.GroupID) ([]*crowd.Assignment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown group %s", id)
+	}
+	out := make([]*crowd.Assignment, len(g.assignments))
+	for i, a := range g.assignments {
+		cp := *a
+		cp.Answers = make(map[string]string, len(a.Answers))
+		for k, v := range a.Answers {
+			cp.Answers[k] = v
+		}
+		out[i] = &cp
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubmittedAt < out[j].SubmittedAt })
+	return out, nil
+}
+
+// Approve pays the worker the group reward plus bonus.
+func (m *Market) Approve(assignmentID string, bonus crowd.Cents) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.groups {
+		if a, ok := g.byAssignID[assignmentID]; ok {
+			if a.Status == crowd.AssignmentApproved {
+				return fmt.Errorf("sim: assignment %s already approved", assignmentID)
+			}
+			a.Status = crowd.AssignmentApproved
+			pay := g.spec.Reward + bonus
+			m.totalSpent += pay
+			if w := m.workerByID(a.WorkerID); w != nil {
+				w.Earned += pay
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: unknown assignment %s", assignmentID)
+}
+
+// Reject refuses an assignment without pay.
+func (m *Market) Reject(assignmentID, _ string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range m.groups {
+		if a, ok := g.byAssignID[assignmentID]; ok {
+			a.Status = crowd.AssignmentRejected
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: unknown assignment %s", assignmentID)
+}
+
+// Expire force-expires a group.
+func (m *Market) Expire(id crowd.GroupID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[id]
+	if !ok {
+		return fmt.Errorf("sim: unknown group %s", id)
+	}
+	g.expired = true
+	return nil
+}
+
+func (m *Market) workerByID(id string) *Worker {
+	for _, w := range m.workers {
+		if w.ID == id {
+			return w
+		}
+	}
+	return nil
+}
+
+// WorkerStats returns per-worker completion counts, most active first —
+// the worker-affinity distribution of experiment E3.
+func (m *Market) WorkerStats() []Worker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Worker
+	for _, w := range m.workers {
+		if w.Completed > 0 {
+			out = append(out, *w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Completed != out[j].Completed {
+			return out[i].Completed > out[j].Completed
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TotalSpent reports all money paid out so far.
+func (m *Market) TotalSpent() crowd.Cents {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalSpent
+}
+
+// TotalSubmitted reports all assignments ever submitted.
+func (m *Market) TotalSubmitted() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalSubmitted
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crowddb/internal/crowd"
+)
+
+func testGroup(n, assignments int, reward crowd.Cents) *crowd.HITGroup {
+	g := &crowd.HITGroup{
+		Title:       "test",
+		Kind:        crowd.TaskProbeValues,
+		Reward:      reward,
+		Assignments: assignments,
+	}
+	for i := 0; i < n; i++ {
+		g.HITs = append(g.HITs, &crowd.HIT{
+			ID:   fmt.Sprintf("H%03d", i),
+			Kind: crowd.TaskProbeValues,
+			Fields: []crowd.Field{
+				{Name: "title", Kind: crowd.FieldDisplay, Value: fmt.Sprintf("talk %d", i)},
+				{Name: "abstract", Kind: crowd.FieldInput, Label: "Enter the abstract"},
+			},
+			Truth: &crowd.SimTruth{Truth: map[string]string{"abstract": fmt.Sprintf("abstract-%d", i)}},
+		})
+	}
+	return g
+}
+
+func TestClockOrdering(t *testing.T) {
+	c := NewClock()
+	var got []int
+	c.Schedule(3*time.Second, func() { got = append(got, 3) })
+	c.Schedule(1*time.Second, func() { got = append(got, 1) })
+	c.Schedule(2*time.Second, func() { got = append(got, 2) })
+	c.Schedule(1*time.Second, func() { got = append(got, 11) }) // same time: schedule order
+	c.RunFor(10 * time.Second)
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: %v", got)
+		}
+	}
+	if c.Now() != 10*time.Second {
+		t.Errorf("Now: %v", c.Now())
+	}
+}
+
+func TestClockNestedSchedule(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.Schedule(time.Second, func() {
+		c.Schedule(time.Second, func() { fired = true })
+	})
+	c.RunFor(3 * time.Second)
+	if !fired {
+		t.Error("nested event in window must fire")
+	}
+}
+
+func TestClockWindowBoundary(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.Schedule(5*time.Second, func() { fired = true })
+	c.RunFor(4 * time.Second)
+	if fired {
+		t.Error("future event fired early")
+	}
+	c.RunFor(time.Second)
+	if !fired {
+		t.Error("due event did not fire")
+	}
+}
+
+func TestGroupCompletes(t *testing.T) {
+	m := NewMarket(DefaultConfig())
+	id, err := m.Post(testGroup(20, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(48 * time.Hour)
+	st, err := m.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 20 {
+		t.Fatalf("only %d/20 HITs complete after 48h: %+v", st.Completed, st)
+	}
+	res, _ := m.Results(id)
+	if len(res) < 60 {
+		t.Errorf("want >= 60 assignments, got %d", len(res))
+	}
+	// Every assignment answers the input field.
+	for _, a := range res {
+		if _, ok := a.Answers["abstract"]; !ok {
+			t.Fatalf("assignment %s missing answer", a.ID)
+		}
+	}
+}
+
+func TestHigherRewardCompletesFaster(t *testing.T) {
+	complete := func(reward crowd.Cents) time.Duration {
+		m := NewMarket(DefaultConfig())
+		id, _ := m.Post(testGroup(30, 3, reward))
+		step := 10 * time.Minute
+		for elapsed := time.Duration(0); elapsed < 200*time.Hour; elapsed += step {
+			m.Step(step)
+			st, _ := m.Status(id)
+			if st.Completed == st.Posted {
+				return elapsed
+			}
+		}
+		return 200 * time.Hour
+	}
+	cheap := complete(1)
+	rich := complete(4)
+	if rich >= cheap {
+		t.Errorf("4¢ (%v) should finish before 1¢ (%v)", rich, cheap)
+	}
+}
+
+func TestWorkerAffinitySkew(t *testing.T) {
+	m := NewMarket(DefaultConfig())
+	id, _ := m.Post(testGroup(100, 3, 2))
+	m.Step(200 * time.Hour)
+	st, _ := m.Status(id)
+	if st.Completed < 90 {
+		t.Fatalf("not enough completion for skew test: %+v", st)
+	}
+	stats := m.WorkerStats()
+	if len(stats) < 5 {
+		t.Fatalf("too few distinct workers: %d", len(stats))
+	}
+	total := 0
+	for _, w := range stats {
+		total += w.Completed
+	}
+	top10 := 0
+	for i := 0; i < len(stats) && i < 10; i++ {
+		top10 += stats[i].Completed
+	}
+	// The paper's affinity observation: a small set of workers does a
+	// disproportionate share of all HITs.
+	if float64(top10) < 0.5*float64(total) {
+		t.Errorf("no affinity skew: top10=%d of %d (%d workers)", top10, total, len(stats))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() (int, time.Duration) {
+		m := NewMarket(DefaultConfig())
+		id, _ := m.Post(testGroup(10, 2, 2))
+		m.Step(24 * time.Hour)
+		res, _ := m.Results(id)
+		if len(res) == 0 {
+			return 0, 0
+		}
+		return len(res), res[len(res)-1].SubmittedAt
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 != n2 || t1 != t2 {
+		t.Errorf("same seed must reproduce: (%d,%v) vs (%d,%v)", n1, t1, n2, t2)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	m1 := NewMarket(cfg)
+	cfg.Seed = 99
+	m2 := NewMarket(cfg)
+	id1, _ := m1.Post(testGroup(10, 2, 2))
+	id2, _ := m2.Post(testGroup(10, 2, 2))
+	m1.Step(24 * time.Hour)
+	m2.Step(24 * time.Hour)
+	r1, _ := m1.Results(id1)
+	r2, _ := m2.Results(id2)
+	if len(r1) > 0 && len(r2) > 0 && r1[0].SubmittedAt == r2[0].SubmittedAt && r1[0].WorkerID == r2[0].WorkerID {
+		t.Error("different seeds produced identical first submissions")
+	}
+}
+
+func TestExpiryStopsAnswers(t *testing.T) {
+	g := testGroup(50, 5, 1)
+	g.Expiry = 30 * time.Minute
+	m := NewMarket(DefaultConfig())
+	id, _ := m.Post(g)
+	m.Step(30 * time.Minute)
+	res1, _ := m.Results(id)
+	m.Step(100 * time.Hour)
+	res2, _ := m.Results(id)
+	if len(res2) != len(res1) {
+		t.Errorf("answers after expiry: %d -> %d", len(res1), len(res2))
+	}
+	st, _ := m.Status(id)
+	if !st.Expired || !st.Done() {
+		t.Errorf("expired group must report done: %+v", st)
+	}
+}
+
+func TestNoWorkerRepeatsAHIT(t *testing.T) {
+	m := NewMarket(DefaultConfig())
+	id, _ := m.Post(testGroup(5, 5, 3))
+	m.Step(100 * time.Hour)
+	res, _ := m.Results(id)
+	seen := map[string]bool{}
+	for _, a := range res {
+		key := a.HITID + "/" + a.WorkerID
+		if seen[key] {
+			t.Fatalf("worker %s answered HIT %s twice", a.WorkerID, a.HITID)
+		}
+		seen[key] = true
+	}
+}
+
+func TestApprovePaysWorker(t *testing.T) {
+	m := NewMarket(DefaultConfig())
+	id, _ := m.Post(testGroup(5, 1, 3))
+	m.Step(48 * time.Hour)
+	res, _ := m.Results(id)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if err := m.Approve(res[0].ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Approve(res[0].ID, 0); err == nil {
+		t.Error("double approve must fail")
+	}
+	if m.TotalSpent() != 5 { // 3 reward + 2 bonus
+		t.Errorf("spent: %v", m.TotalSpent())
+	}
+	if err := m.Reject("A9999999", "x"); err == nil {
+		t.Error("reject unknown must fail")
+	}
+}
+
+func TestGeoFenceFiltersWorkers(t *testing.T) {
+	cfg := DefaultConfig()
+	// Scatter workers over a wide region; fence a small corner.
+	cfg.Pool.Region = &Region{LatMin: 47.0, LatMax: 48.0, LonMin: -123.0, LonMax: -122.0}
+	m := NewMarket(cfg)
+	g := testGroup(10, 2, 3)
+	g.Venue = &crowd.GeoFence{Lat: 47.6, Lon: -122.3, RadiusKM: 5}
+	id, _ := m.Post(g)
+	m.Step(300 * time.Hour)
+	res, _ := m.Results(id)
+	if len(res) == 0 {
+		t.Fatal("fenced group got no answers")
+	}
+	for _, a := range res {
+		w := m.workerByID(a.WorkerID)
+		if !w.InFence(g.Venue) {
+			t.Fatalf("worker %s outside fence answered", w.ID)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	m := NewMarket(DefaultConfig())
+	if _, err := m.Post(&crowd.HITGroup{Title: "empty", Reward: 1, Assignments: 1}); err == nil {
+		t.Error("empty group must fail")
+	}
+	g := testGroup(1, 0, 1)
+	if _, err := m.Post(g); err == nil {
+		t.Error("zero assignments must fail")
+	}
+	g = testGroup(1, 1, 0)
+	if _, err := m.Post(g); err == nil {
+		t.Error("zero reward must fail")
+	}
+	if _, err := m.Status("G99999"); err == nil {
+		t.Error("unknown group status must fail")
+	}
+	if _, err := m.Results("G99999"); err == nil {
+		t.Error("unknown group results must fail")
+	}
+	if err := m.Expire("G99999"); err == nil {
+		t.Error("unknown group expire must fail")
+	}
+}
+
+func TestAnswerQualityTracksAccuracy(t *testing.T) {
+	// With a high-accuracy, no-spammer population, most answers match truth.
+	cfg := DefaultConfig()
+	cfg.Pool.SpammerFrac = 0
+	cfg.Pool.AccuracyMean = 0.95
+	cfg.Pool.AccuracySpread = 0.02
+	cfg.Pool.GarbageRate = 0
+	cfg.FormatNoiseRate = 0
+	m := NewMarket(cfg)
+	id, _ := m.Post(testGroup(40, 3, 2))
+	m.Step(100 * time.Hour)
+	res, _ := m.Results(id)
+	correct := 0
+	for _, a := range res {
+		var want string
+		fmt.Sscanf(a.HITID, "H%s", &want)
+		if a.Answers["abstract"] == "abstract-"+trimLeadingZeros(want) {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(res)); frac < 0.85 {
+		t.Errorf("accuracy too low for clean population: %.2f (%d/%d)", frac, correct, len(res))
+	}
+}
+
+func trimLeadingZeros(s string) string {
+	for len(s) > 1 && s[0] == '0' {
+		s = s[1:]
+	}
+	return s
+}

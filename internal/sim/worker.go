@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crowddb/internal/crowd"
+)
+
+// Worker is one simulated crowd member. The population mixes mostly-reliable
+// workers with a spammer fraction, matching the paper's observation that
+// answers "can never be assumed to be complete or correct" (§3.2.1).
+type Worker struct {
+	ID string
+	// Accuracy is the probability of answering an easy task correctly.
+	Accuracy float64
+	// GarbageRate is the probability of submitting an unusable answer for a
+	// field (empty / keyboard mash) regardless of skill.
+	GarbageRate float64
+	// Speed scales task latency (1.0 = population median).
+	Speed float64
+	// Lat/Lon is the worker's location; the mobile platform geo-fences on it.
+	Lat, Lon float64
+
+	// Completed counts submitted assignments (worker-affinity statistics,
+	// the paper's community observation).
+	Completed int
+	// Earned is total approved pay.
+	Earned crowd.Cents
+}
+
+// Region is a geographic square used to scatter worker locations.
+type Region struct {
+	LatMin, LatMax float64
+	LonMin, LonMax float64
+}
+
+// WorkerPoolConfig controls population generation.
+type WorkerPoolConfig struct {
+	Size int
+	// SpammerFrac of workers answer near-randomly.
+	SpammerFrac     float64
+	SpammerAccuracy float64
+	// Good workers draw accuracy from a clamped normal.
+	AccuracyMean   float64
+	AccuracySpread float64
+	// GarbageRate applies to every worker uniformly at this rate.
+	GarbageRate float64
+	// Region scatters worker locations; nil leaves locations at (0,0).
+	Region *Region
+}
+
+// NewWorkerPool generates a deterministic population from rng.
+func NewWorkerPool(cfg WorkerPoolConfig, rng *rand.Rand) []*Worker {
+	workers := make([]*Worker, cfg.Size)
+	for i := range workers {
+		w := &Worker{
+			ID:          fmt.Sprintf("W%05d", i),
+			GarbageRate: cfg.GarbageRate,
+			Speed:       clamp(math.Exp(rng.NormFloat64()*0.4), 0.3, 4.0),
+		}
+		if rng.Float64() < cfg.SpammerFrac {
+			w.Accuracy = cfg.SpammerAccuracy
+			w.GarbageRate = clamp(cfg.GarbageRate*4, 0, 0.9)
+		} else {
+			w.Accuracy = clamp(cfg.AccuracyMean+rng.NormFloat64()*cfg.AccuracySpread, 0.5, 0.995)
+		}
+		if cfg.Region != nil {
+			w.Lat = cfg.Region.LatMin + rng.Float64()*(cfg.Region.LatMax-cfg.Region.LatMin)
+			w.Lon = cfg.Region.LonMin + rng.Float64()*(cfg.Region.LonMax-cfg.Region.LonMin)
+		}
+		workers[i] = w
+	}
+	return workers
+}
+
+// InFence reports whether the worker is inside the geo fence, using an
+// equirectangular distance approximation (fine at city scale).
+func (w *Worker) InFence(f *crowd.GeoFence) bool {
+	if f == nil {
+		return true
+	}
+	const kmPerDegLat = 111.32
+	dLat := (w.Lat - f.Lat) * kmPerDegLat
+	dLon := (w.Lon - f.Lon) * kmPerDegLat * math.Cos(f.Lat*math.Pi/180)
+	return math.Sqrt(dLat*dLat+dLon*dLon) <= f.RadiusKM
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,7 @@
+package sqltypes
+
+import "math"
+
+// mathFloat64bits is split out so the key-encoding code reads without the
+// math import cluttering value.go.
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,370 @@
+// Package sqltypes defines the value model of CrowdDB: the SQL scalar
+// types, the standard NULL value, and the CrowdSQL-specific CNULL value.
+//
+// CNULL is the crowd equivalent of NULL (paper §2.1): it marks a value that
+// is unknown *and should be crowdsourced when first used*. NULL and CNULL
+// are distinct: NULL means "known to be absent", CNULL means "ask the crowd".
+// Both compare as SQL unknowns in predicates, but the executor intercepts
+// CNULL before predicate evaluation and triggers a CrowdProbe.
+package sqltypes
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the SQL scalar types CrowdDB supports.
+type Type int
+
+// The supported column types. TypeAny is used internally for expressions
+// whose type is not known until runtime (e.g. bare CNULL literals).
+const (
+	TypeAny Type = iota
+	TypeString
+	TypeInt
+	TypeFloat
+	TypeBool
+)
+
+// String returns the DDL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeString:
+		return "STRING"
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return "ANY"
+	}
+}
+
+// ParseType converts a DDL type name to a Type. It accepts the synonyms H2
+// (and therefore CrowdDB's prototype) accepted: VARCHAR/TEXT/STRING,
+// INT/INTEGER/BIGINT, FLOAT/DOUBLE/REAL, BOOL/BOOLEAN.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(s) {
+	case "STRING", "VARCHAR", "TEXT", "CHAR":
+		return TypeString, nil
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return TypeFloat, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	default:
+		return TypeAny, fmt.Errorf("sqltypes: unknown type %q", s)
+	}
+}
+
+// Kind discriminates the runtime representation of a Value.
+type Kind int
+
+// Value kinds. KindNull is the SQL NULL; KindCNull is CrowdSQL's CNULL.
+const (
+	KindNull Kind = iota
+	KindCNull
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// Value is a runtime SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Constructors.
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{kind: KindNull} }
+
+// CNull returns the CrowdSQL CNULL value ("crowdsource me on first use").
+func CNull() Value { return Value{kind: KindCNull} }
+
+// NewString returns a STRING value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewInt returns an INTEGER value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind returns the runtime kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsCNull reports whether v is the CrowdSQL CNULL.
+func (v Value) IsCNull() bool { return v.kind == KindCNull }
+
+// IsUnknown reports whether v is NULL or CNULL (three-valued logic unknown).
+func (v Value) IsUnknown() bool { return v.kind == KindNull || v.kind == KindCNull }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// Int returns the integer payload. It is only meaningful for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload, coercing from int if needed.
+func (v Value) Float() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Bool returns the boolean payload. It is only meaningful for KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// TypeOf returns the schema type a value naturally carries.
+func (v Value) TypeOf() Type {
+	switch v.kind {
+	case KindString:
+		return TypeString
+	case KindInt:
+		return TypeInt
+	case KindFloat:
+		return TypeFloat
+	case KindBool:
+		return TypeBool
+	default:
+		return TypeAny
+	}
+}
+
+// String renders the value the way the REPL and test goldens print it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindCNull:
+		return "CNULL"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "?"
+	}
+}
+
+// SQLLiteral renders the value as a CrowdSQL literal (strings quoted).
+func (v Value) SQLLiteral() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Coerce converts v to the given column type, or returns an error if the
+// conversion is lossy/nonsensical. NULL and CNULL coerce to any type.
+func (v Value) Coerce(t Type) (Value, error) {
+	if v.IsUnknown() || t == TypeAny || v.TypeOf() == t {
+		return v, nil
+	}
+	switch t {
+	case TypeString:
+		return NewString(v.String()), nil
+	case TypeInt:
+		switch v.kind {
+		case KindFloat:
+			if v.f == float64(int64(v.f)) {
+				return NewInt(int64(v.f)), nil
+			}
+			return Value{}, fmt.Errorf("sqltypes: cannot coerce %v to INTEGER without loss", v)
+		case KindString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("sqltypes: cannot coerce %q to INTEGER", v.s)
+			}
+			return NewInt(i), nil
+		case KindBool:
+			if v.b {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		}
+	case TypeFloat:
+		switch v.kind {
+		case KindInt:
+			return NewFloat(float64(v.i)), nil
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("sqltypes: cannot coerce %q to FLOAT", v.s)
+			}
+			return NewFloat(f), nil
+		}
+	case TypeBool:
+		switch v.kind {
+		case KindInt:
+			return NewBool(v.i != 0), nil
+		case KindString:
+			switch strings.ToUpper(strings.TrimSpace(v.s)) {
+			case "TRUE", "T", "YES", "1":
+				return NewBool(true), nil
+			case "FALSE", "F", "NO", "0":
+				return NewBool(false), nil
+			}
+		}
+	}
+	return Value{}, fmt.Errorf("sqltypes: cannot coerce %v (%v) to %v", v, v.TypeOf(), t)
+}
+
+// Compare orders two values. It returns <0, 0, >0 like strings.Compare, and
+// ok=false when either side is unknown (NULL/CNULL) or the kinds are
+// incomparable. Numeric kinds compare cross-kind via float widening.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.IsUnknown() || b.IsUnknown() {
+		return 0, false
+	}
+	switch {
+	case a.kind == KindString && b.kind == KindString:
+		return strings.Compare(a.s, b.s), true
+	case a.kind == KindBool && b.kind == KindBool:
+		switch {
+		case a.b == b.b:
+			return 0, true
+		case b.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	case a.isNumeric() && b.isNumeric():
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1, true
+			case a.i > b.i:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// SortCompare is a total order used by ORDER BY and B-tree keys: NULL sorts
+// first, then CNULL, then values by Compare; incomparable kinds order by
+// kind then by string rendering, so the order is deterministic.
+func SortCompare(a, b Value) int {
+	ra, rb := sortRank(a), sortRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+func sortRank(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindCNull:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Equal reports strict SQL equality; unknowns are never equal to anything.
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Identical reports whether two values are the same, treating NULL==NULL and
+// CNULL==CNULL as true. Used for storage-level comparisons and test goldens,
+// not for SQL predicate semantics.
+func Identical(a, b Value) bool {
+	if a.kind != b.kind {
+		// int/float cross-kind numerics with equal magnitude still differ here.
+		return false
+	}
+	if a.IsUnknown() {
+		return true
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// EncodeKey renders a value as an order-preserving string key for B-tree
+// indexes: SortCompare(a,b) agrees with strings.Compare(EncodeKey(a),
+// EncodeKey(b)) for values of the same column type.
+func EncodeKey(v Value) string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindCNull:
+		return "\x01"
+	case KindBool:
+		if v.b {
+			return "\x02\x01"
+		}
+		return "\x02\x00"
+	case KindInt, KindFloat:
+		return "\x03" + encodeFloatKey(v.Float())
+	default:
+		return "\x04" + v.s
+	}
+}
+
+// encodeFloatKey produces an order-preserving byte string for a float64.
+func encodeFloatKey(f float64) string {
+	bits := floatBits(f)
+	var buf [8]byte
+	for i := 7; i >= 0; i-- {
+		buf[i] = byte(bits)
+		bits >>= 8
+	}
+	return string(buf[:])
+}
+
+func floatBits(f float64) uint64 {
+	bits := mathFloat64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits // negative: flip all
+	}
+	return bits | (1 << 63) // positive: flip sign bit
+}

@@ -1,0 +1,193 @@
+package sqltypes
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"STRING": TypeString, "varchar": TypeString, "Text": TypeString,
+		"INT": TypeInt, "integer": TypeInt, "BIGINT": TypeInt,
+		"FLOAT": TypeFloat, "double": TypeFloat,
+		"BOOL": TypeBool, "Boolean": TypeBool,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("ParseType(BLOB) should fail")
+	}
+}
+
+func TestNullAndCNullDistinct(t *testing.T) {
+	n, c := Null(), CNull()
+	if !n.IsNull() || n.IsCNull() {
+		t.Error("Null() misclassified")
+	}
+	if !c.IsCNull() || c.IsNull() {
+		t.Error("CNull() misclassified")
+	}
+	if !n.IsUnknown() || !c.IsUnknown() {
+		t.Error("both NULL and CNULL must be unknown")
+	}
+	if Identical(n, c) {
+		t.Error("NULL and CNULL must not be Identical")
+	}
+	if Equal(n, n) || Equal(c, c) {
+		t.Error("unknowns are never Equal under SQL semantics")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	c, ok := Compare(NewInt(3), NewFloat(3.0))
+	if !ok || c != 0 {
+		t.Errorf("3 vs 3.0: got %d,%v", c, ok)
+	}
+	c, ok = Compare(NewInt(3), NewFloat(3.5))
+	if !ok || c >= 0 {
+		t.Errorf("3 vs 3.5: got %d,%v", c, ok)
+	}
+	if _, ok := Compare(NewInt(1), NewString("1")); ok {
+		t.Error("int vs string must be incomparable")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := NewString(" 42 ").Coerce(TypeInt)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("coerce ' 42 '->int: %v %v", v, err)
+	}
+	v, err = NewFloat(2).Coerce(TypeInt)
+	if err != nil || v.Int() != 2 {
+		t.Errorf("coerce 2.0->int: %v %v", v, err)
+	}
+	if _, err = NewFloat(2.5).Coerce(TypeInt); err == nil {
+		t.Error("coerce 2.5->int must fail")
+	}
+	v, err = NewString("yes").Coerce(TypeBool)
+	if err != nil || !v.Bool() {
+		t.Errorf("coerce yes->bool: %v %v", v, err)
+	}
+	v, err = CNull().Coerce(TypeInt)
+	if err != nil || !v.IsCNull() {
+		t.Errorf("CNULL must coerce to any type unchanged: %v %v", v, err)
+	}
+}
+
+func TestSQLLiteralQuoting(t *testing.T) {
+	got := NewString("it's").SQLLiteral()
+	if got != "'it''s'" {
+		t.Errorf("SQLLiteral quoting: %q", got)
+	}
+	if NewInt(7).SQLLiteral() != "7" {
+		t.Error("int literal")
+	}
+}
+
+// SortCompare must be a total order: antisymmetric, transitive via sort, and
+// NULL < CNULL < everything.
+func TestSortCompareTotalOrder(t *testing.T) {
+	vals := []Value{
+		Null(), CNull(), NewBool(false), NewBool(true),
+		NewInt(-5), NewInt(0), NewFloat(0.5), NewInt(2), NewFloat(math.Inf(1)),
+		NewString(""), NewString("a"), NewString("b"),
+	}
+	sort.Slice(vals, func(i, j int) bool { return SortCompare(vals[i], vals[j]) < 0 })
+	if !vals[0].IsNull() || !vals[1].IsCNull() {
+		t.Fatalf("NULL then CNULL must sort first: %v", vals[:3])
+	}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			a, b := SortCompare(vals[i], vals[j]), SortCompare(vals[j], vals[i])
+			if (a < 0) != (b > 0) || (a == 0) != (b == 0) {
+				t.Fatalf("antisymmetry violated for %v vs %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestEncodeKeyOrderPreservingInts(t *testing.T) {
+	check := func(a, b int64) bool {
+		ka, kb := EncodeKey(NewInt(a)), EncodeKey(NewInt(b))
+		want := 0
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		}
+		return strings.Compare(ka, kb) == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyOrderPreservingFloats(t *testing.T) {
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := EncodeKey(NewFloat(a)), EncodeKey(NewFloat(b))
+		want := 0
+		switch {
+		case a < b:
+			want = -1
+		case a > b:
+			want = 1
+		}
+		return strings.Compare(ka, kb) == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyOrderPreservingStrings(t *testing.T) {
+	check := func(a, b string) bool {
+		return strings.Compare(EncodeKey(NewString(a)), EncodeKey(NewString(b))) ==
+			strings.Compare(a, b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SortCompare agrees with EncodeKey byte order for same-type values.
+func TestSortCompareAgreesWithEncodeKey(t *testing.T) {
+	check := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		sc := SortCompare(va, vb)
+		kc := strings.Compare(EncodeKey(va), EncodeKey(vb))
+		return (sc < 0) == (kc < 0) && (sc == 0) == (kc == 0)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{CNull(), "CNULL"},
+		{NewInt(42), "42"},
+		{NewFloat(1.5), "1.5"},
+		{NewBool(true), "TRUE"},
+		{NewString("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}

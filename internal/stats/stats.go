@@ -1,0 +1,138 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: rank correlation (Kendall τ) for CROWDORDER quality,
+// percentiles for latency distributions, and share-of-work summaries for
+// the worker-affinity analysis.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KendallTau computes the Kendall rank correlation τ between two rankings
+// given as slices of the same items (by label). 1 = identical order,
+// -1 = reversed. Items missing from either ranking are ignored.
+func KendallTau(a, b []string) (float64, error) {
+	posB := make(map[string]int, len(b))
+	for i, s := range b {
+		posB[s] = i
+	}
+	var ranks []int
+	for _, s := range a {
+		if p, ok := posB[s]; ok {
+			ranks = append(ranks, p)
+		}
+	}
+	n := len(ranks)
+	if n < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 common items, have %d", n)
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ranks[i] < ranks[j] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs), nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// TopKShare returns the fraction of total work done by the k largest
+// contributors (counts need not be sorted).
+func TopKShare(counts []int, k int) float64 {
+	if len(counts) == 0 || k <= 0 {
+		return 0
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total, top := 0, 0
+	for i, c := range sorted {
+		total += c
+		if i < k {
+			top += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// Gini computes the Gini coefficient of the given non-negative counts
+// (0 = perfectly even, →1 = concentrated). Used for worker-affinity skew.
+func Gini(counts []int) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	var cum, total float64
+	for i, c := range sorted {
+		cum += float64(c) * float64(2*(i+1)-n-1)
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}
+
+// PrecisionRecall scores a predicted set against a truth set.
+func PrecisionRecall(predicted, truth map[string]bool) (precision, recall, f1 float64) {
+	tp := 0
+	for p := range predicted {
+		if truth[p] {
+			tp++
+		}
+	}
+	if len(predicted) > 0 {
+		precision = float64(tp) / float64(len(predicted))
+	}
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

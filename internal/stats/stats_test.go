@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTau(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	tau, err := KendallTau(a, a)
+	if err != nil || tau != 1 {
+		t.Errorf("identical: %f %v", tau, err)
+	}
+	rev := []string{"d", "c", "b", "a"}
+	tau, _ = KendallTau(a, rev)
+	if tau != -1 {
+		t.Errorf("reversed: %f", tau)
+	}
+	swapped := []string{"b", "a", "c", "d"}
+	tau, _ = KendallTau(a, swapped)
+	want := float64(5-1) / 6
+	if math.Abs(tau-want) > 1e-9 {
+		t.Errorf("one swap: %f want %f", tau, want)
+	}
+	if _, err := KendallTau([]string{"x"}, []string{"y"}); err == nil {
+		t.Error("too few common items must fail")
+	}
+}
+
+func TestKendallTauIgnoresMissing(t *testing.T) {
+	tau, err := KendallTau([]string{"a", "zz", "b"}, []string{"a", "b", "qq"})
+	if err != nil || tau != 1 {
+		t.Errorf("missing items: %f %v", tau, err)
+	}
+}
+
+// Property: τ is within [-1,1] and antisymmetric under reversal.
+func TestKendallTauBoundsProperty(t *testing.T) {
+	check := func(perm []uint8) bool {
+		if len(perm) < 2 {
+			return true
+		}
+		seen := map[string]bool{}
+		var a []string
+		for _, p := range perm {
+			s := string(rune('a' + p%26))
+			if !seen[s] {
+				seen[s] = true
+				a = append(a, s)
+			}
+		}
+		if len(a) < 2 {
+			return true
+		}
+		b := make([]string, len(a))
+		for i := range a {
+			b[len(a)-1-i] = a[i]
+		}
+		t1, err1 := KendallTau(a, a)
+		t2, err2 := KendallTau(a, b)
+		return err1 == nil && err2 == nil && t1 == 1 &&
+			math.Abs(t1+t2) < 1e-9 && t2 >= -1 && t2 <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Errorf("p50: %f", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Errorf("p100: %f", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0: %f", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty: %f", p)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean: %f", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("empty mean: %f", m)
+	}
+}
+
+func TestTopKShare(t *testing.T) {
+	counts := []int{100, 50, 10, 10, 10, 10, 10}
+	if s := TopKShare(counts, 2); math.Abs(s-0.75) > 1e-9 {
+		t.Errorf("top2: %f", s)
+	}
+	if s := TopKShare(counts, 100); s != 1 {
+		t.Errorf("top-all: %f", s)
+	}
+	if s := TopKShare(nil, 3); s != 0 {
+		t.Errorf("empty: %f", s)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-9 {
+		t.Errorf("even: %f", g)
+	}
+	concentrated := Gini([]int{0, 0, 0, 100})
+	if concentrated < 0.7 {
+		t.Errorf("concentrated: %f", concentrated)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty: %f", g)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	pred := map[string]bool{"a": true, "b": true, "c": true}
+	truth := map[string]bool{"a": true, "b": true, "d": true, "e": true}
+	p, r, f1 := PrecisionRecall(pred, truth)
+	if math.Abs(p-2.0/3) > 1e-9 || math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("p=%f r=%f", p, r)
+	}
+	wantF1 := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if math.Abs(f1-wantF1) > 1e-9 {
+		t.Errorf("f1=%f", f1)
+	}
+	p, r, f1 = PrecisionRecall(nil, nil)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Error("empty sets")
+	}
+}

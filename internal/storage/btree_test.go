@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert("b", 2)
+	bt.Insert("a", 1)
+	bt.Insert("c", 3)
+	bt.Insert("b", 20) // duplicate key, second rowid
+	if got := bt.Search("b"); len(got) != 2 {
+		t.Errorf("Search(b) = %v", got)
+	}
+	if got := bt.Search("zzz"); got != nil {
+		t.Errorf("Search(zzz) = %v", got)
+	}
+	if bt.Len() != 4 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+}
+
+func TestBTreeSplits(t *testing.T) {
+	bt := NewBTree()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		bt.Insert(fmt.Sprintf("key%06d", i), RowID(i))
+	}
+	if bt.Height() < 2 {
+		t.Errorf("tree of %d keys should have split, height=%d", n, bt.Height())
+	}
+	for _, probe := range []int{0, 1, n / 2, n - 1} {
+		got := bt.Search(fmt.Sprintf("key%06d", probe))
+		if len(got) != 1 || got[0] != RowID(probe) {
+			t.Errorf("Search(%d) = %v", probe, got)
+		}
+	}
+}
+
+func TestBTreeAscendOrder(t *testing.T) {
+	bt := NewBTree()
+	perm := rand.New(rand.NewSource(1)).Perm(2000)
+	for _, i := range perm {
+		bt.Insert(fmt.Sprintf("%08d", i), RowID(i))
+	}
+	var keys []string
+	bt.Ascend(func(k string, _ []RowID) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.StringsAreSorted(keys) {
+		t.Error("Ascend not in order")
+	}
+	if len(keys) != 2000 {
+		t.Errorf("visited %d keys", len(keys))
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Insert(fmt.Sprintf("%03d", i), RowID(i))
+	}
+	var got []string
+	bt.AscendRange("010", "020", func(k string, _ []RowID) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != "010" || got[9] != "019" {
+		t.Errorf("range scan: %v", got)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert("a", 1)
+	bt.Insert("a", 2)
+	if !bt.Delete("a", 1) {
+		t.Error("delete existing pair")
+	}
+	if bt.Delete("a", 1) {
+		t.Error("double delete must report false")
+	}
+	if bt.Delete("nope", 1) {
+		t.Error("delete missing key must report false")
+	}
+	if got := bt.Search("a"); len(got) != 1 || got[0] != 2 {
+		t.Errorf("after delete: %v", got)
+	}
+	if !bt.Delete("a", 2) {
+		t.Error("delete last pair")
+	}
+	if got := bt.Search("a"); got != nil {
+		t.Errorf("tombstoned key must not be found: %v", got)
+	}
+	if bt.Len() != 0 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+}
+
+func TestBTreeCompaction(t *testing.T) {
+	bt := NewBTree()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		bt.Insert(fmt.Sprintf("%06d", i), RowID(i))
+	}
+	// Delete most keys to force compaction.
+	for i := 0; i < n-10; i++ {
+		bt.Delete(fmt.Sprintf("%06d", i), RowID(i))
+	}
+	if bt.tombstones > bt.liveKeys && bt.tombstones >= 64 {
+		t.Errorf("compaction did not run: tombstones=%d live=%d", bt.tombstones, bt.liveKeys)
+	}
+	for i := n - 10; i < n; i++ {
+		if got := bt.Search(fmt.Sprintf("%06d", i)); len(got) != 1 {
+			t.Errorf("survivor %d lost: %v", i, got)
+		}
+	}
+}
+
+func TestBTreeReinsertAfterDelete(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert("k", 1)
+	bt.Delete("k", 1)
+	bt.Insert("k", 2)
+	if got := bt.Search("k"); len(got) != 1 || got[0] != 2 {
+		t.Errorf("reinsert into tombstone: %v", got)
+	}
+}
+
+// Property: the B-tree agrees with a reference map under a random workload
+// of inserts and deletes.
+func TestBTreeMatchesReferenceModel(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Rid    uint8
+		Delete bool
+	}
+	check := func(ops []op) bool {
+		bt := NewBTree()
+		ref := map[string]map[RowID]int{} // key -> rid -> count
+		for _, o := range ops {
+			k := fmt.Sprintf("k%03d", o.Key%50)
+			rid := RowID(o.Rid % 8)
+			if o.Delete {
+				bt.Delete(k, rid)
+				if m := ref[k]; m != nil && m[rid] > 0 {
+					m[rid]--
+				}
+			} else {
+				bt.Insert(k, rid)
+				if ref[k] == nil {
+					ref[k] = map[RowID]int{}
+				}
+				ref[k][rid]++
+			}
+		}
+		for k, m := range ref {
+			want := map[RowID]int{}
+			total := 0
+			for rid, c := range m {
+				if c > 0 {
+					want[rid] = c
+					total += c
+				}
+			}
+			got := bt.Search(k)
+			gotCount := map[RowID]int{}
+			for _, r := range got {
+				gotCount[r]++
+			}
+			if len(got) != total {
+				return false
+			}
+			for rid, c := range want {
+				if gotCount[rid] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := NewBTree()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(fmt.Sprintf("%012d", i), RowID(i))
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	bt := NewBTree()
+	for i := 0; i < 100_000; i++ {
+		bt.Insert(fmt.Sprintf("%012d", i), RowID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Search(fmt.Sprintf("%012d", i%100_000))
+	}
+}

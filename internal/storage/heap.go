@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// heap is the row store for one table: rows addressed by stable RowIDs.
+// Deleted slots are tombstoned; IDs are never reused so the WAL can refer to
+// rows by ID across the table's lifetime.
+type heap struct {
+	rows   map[RowID]Row
+	nextID RowID
+}
+
+func newHeap() *heap { return &heap{rows: make(map[RowID]Row), nextID: 1} }
+
+func (h *heap) insert(r Row) RowID {
+	id := h.nextID
+	h.nextID++
+	h.rows[id] = r
+	return id
+}
+
+// insertAt replays an insert with a known ID (WAL recovery).
+func (h *heap) insertAt(id RowID, r Row) {
+	h.rows[id] = r
+	if id >= h.nextID {
+		h.nextID = id + 1
+	}
+}
+
+func (h *heap) get(id RowID) (Row, bool) {
+	r, ok := h.rows[id]
+	return r, ok
+}
+
+func (h *heap) update(id RowID, r Row) error {
+	if _, ok := h.rows[id]; !ok {
+		return fmt.Errorf("storage: row %d not found", id)
+	}
+	h.rows[id] = r
+	return nil
+}
+
+func (h *heap) delete(id RowID) bool {
+	if _, ok := h.rows[id]; !ok {
+		return false
+	}
+	delete(h.rows, id)
+	return true
+}
+
+func (h *heap) count() int { return len(h.rows) }
+
+// scanIDs returns all live row IDs in ascending order, giving scans a
+// deterministic physical order (insertion order).
+func (h *heap) scanIDs() []RowID {
+	ids := make([]RowID, 0, len(h.rows))
+	for id := range h.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crowddb/internal/sqltypes"
+)
+
+// Model-based recovery property: apply a random workload of inserts,
+// updates and deletes against both the store and an in-memory reference
+// model, occasionally checkpointing; then reopen from disk and verify the
+// recovered state matches the model exactly.
+func TestRecoveryMatchesModelUnderRandomWorkload(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + trial)))
+			dir := t.TempDir()
+			s, err := NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.CreateTable("t", []int{0}); err != nil {
+				t.Fatal(err)
+			}
+
+			model := map[string]int64{} // pk -> value
+			ids := map[string]RowID{}
+
+			row := func(pk string, v int64) Row {
+				return Row{sqltypes.NewString(pk), sqltypes.NewInt(v)}
+			}
+			keys := func() []string {
+				out := make([]string, 0, len(model))
+				for k := range model {
+					out = append(out, k)
+				}
+				return out
+			}
+
+			const ops = 400
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // insert
+					pk := fmt.Sprintf("k%03d", rng.Intn(120))
+					v := rng.Int63n(1000)
+					id, err := s.Insert("t", row(pk, v))
+					if _, exists := model[pk]; exists {
+						if err == nil {
+							t.Fatalf("op %d: duplicate insert of %s succeeded", i, pk)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("op %d: insert %s: %v", i, pk, err)
+					}
+					model[pk] = v
+					ids[pk] = id
+				case op < 7: // update
+					ks := keys()
+					if len(ks) == 0 {
+						continue
+					}
+					pk := ks[rng.Intn(len(ks))]
+					v := rng.Int63n(1000)
+					if err := s.Update("t", ids[pk], row(pk, v)); err != nil {
+						t.Fatalf("op %d: update %s: %v", i, pk, err)
+					}
+					model[pk] = v
+				case op < 9: // delete
+					ks := keys()
+					if len(ks) == 0 {
+						continue
+					}
+					pk := ks[rng.Intn(len(ks))]
+					if err := s.Delete("t", ids[pk]); err != nil {
+						t.Fatalf("op %d: delete %s: %v", i, pk, err)
+					}
+					delete(model, pk)
+					delete(ids, pk)
+				default: // checkpoint
+					if err := s.Checkpoint(); err != nil {
+						t.Fatalf("op %d: checkpoint: %v", i, err)
+					}
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen and compare to the model.
+			s2, err := NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if err := s2.CreateTable("t", []int{0}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			n, _ := s2.RowCount("t")
+			if n != len(model) {
+				t.Fatalf("recovered %d rows, model has %d", n, len(model))
+			}
+			for pk, v := range model {
+				id, ok := s2.LookupPK("t", sqltypes.NewString(pk))
+				if !ok {
+					t.Fatalf("key %s lost in recovery", pk)
+				}
+				got, _ := s2.Get("t", id)
+				if got[1].Int() != v {
+					t.Fatalf("key %s: recovered %d, model %d", pk, got[1].Int(), v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,515 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"crowddb/internal/sqltypes"
+)
+
+// IndexKey builds a composite, order-preserving key from column values.
+// Each part's encoding is escaped (0x00 -> 0x00 0xFF) and terminated with
+// 0x00 0x00 so that lexicographic comparison of composite keys matches
+// column-by-column comparison.
+func IndexKey(vals ...sqltypes.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		enc := sqltypes.EncodeKey(v)
+		for i := 0; i < len(enc); i++ {
+			if enc[i] == 0x00 {
+				sb.WriteByte(0x00)
+				sb.WriteByte(0xFF)
+			} else {
+				sb.WriteByte(enc[i])
+			}
+		}
+		sb.WriteByte(0x00)
+		sb.WriteByte(0x00)
+	}
+	return sb.String()
+}
+
+type indexStore struct {
+	name   string
+	cols   []int
+	unique bool
+	tree   *BTree
+}
+
+type tableStore struct {
+	name    string
+	pkCols  []int // ordinals of primary key columns; empty = no PK
+	heap    *heap
+	primary *BTree // over IndexKey(pk values); nil when no PK
+	indexes map[string]*indexStore
+}
+
+// Store is the storage engine: one heap + indexes per table, with an
+// optional write-ahead log for durability. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	log    *wal
+	tables map[string]*tableStore
+}
+
+// NewStore creates a store. With dir == "" the store is memory-only; with a
+// directory, mutations are logged to a WAL inside it. Call Recover after
+// re-creating the schema to replay the log.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir, tables: make(map[string]*tableStore)}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		l, err := openWAL(walPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		s.log = l
+	}
+	return s, nil
+}
+
+// Close releases the WAL file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log.close()
+}
+
+func (s *Store) table(name string) (*tableStore, error) {
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s not found", name)
+	}
+	return t, nil
+}
+
+// CreateTable allocates storage for a table. pkCols are the ordinals of the
+// primary-key columns (may be empty).
+func (s *Store) CreateTable(name string, pkCols []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := s.tables[key]; exists {
+		return fmt.Errorf("storage: table %s already exists", name)
+	}
+	ts := &tableStore{
+		name:    name,
+		pkCols:  append([]int(nil), pkCols...),
+		heap:    newHeap(),
+		indexes: make(map[string]*indexStore),
+	}
+	if len(pkCols) > 0 {
+		ts.primary = NewBTree()
+	}
+	s.tables[key] = ts
+	return nil
+}
+
+// DropTable releases a table's storage.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; !ok {
+		return fmt.Errorf("storage: table %s not found", name)
+	}
+	delete(s.tables, key)
+	return nil
+}
+
+// CreateIndex builds a secondary index over the given column ordinals,
+// indexing existing rows immediately.
+func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	key := strings.ToLower(name)
+	if _, exists := ts.indexes[key]; exists {
+		return fmt.Errorf("storage: index %s already exists on %s", name, table)
+	}
+	idx := &indexStore{name: name, cols: append([]int(nil), cols...), unique: unique, tree: NewBTree()}
+	for _, id := range ts.heap.scanIDs() {
+		row, _ := ts.heap.get(id)
+		k := indexKeyFor(row, idx.cols)
+		if unique && len(idx.tree.Search(k)) > 0 {
+			return fmt.Errorf("storage: unique index %s violated by existing data", name)
+		}
+		idx.tree.Insert(k, id)
+	}
+	ts.indexes[key] = idx
+	return nil
+}
+
+func indexKeyFor(row Row, cols []int) string {
+	vals := make([]sqltypes.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = row[c]
+	}
+	return IndexKey(vals...)
+}
+
+func (ts *tableStore) pkKey(row Row) string { return indexKeyFor(row, ts.pkCols) }
+
+// Insert adds a row, enforcing primary-key uniqueness, and returns its ID.
+func (s *Store) Insert(table string, row Row) (RowID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return 0, err
+	}
+	if ts.primary != nil {
+		k := ts.pkKey(row)
+		if len(ts.primary.Search(k)) > 0 {
+			return 0, &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
+		}
+	}
+	for _, idx := range ts.indexes {
+		if idx.unique && len(idx.tree.Search(indexKeyFor(row, idx.cols))) > 0 {
+			return 0, &DuplicateKeyError{Table: table, Key: idx.name}
+		}
+	}
+	if s.log != nil {
+		data, err := EncodeRow(row)
+		if err != nil {
+			return 0, err
+		}
+		// The row ID the heap will assign is its nextID; log it explicitly.
+		if err := s.log.append(walRecord{Op: "insert", Table: ts.name, Row: ts.heap.nextID, Data: data}); err != nil {
+			return 0, err
+		}
+	}
+	id := ts.heap.insert(row.Clone())
+	if ts.primary != nil {
+		ts.primary.Insert(ts.pkKey(row), id)
+	}
+	for _, idx := range ts.indexes {
+		idx.tree.Insert(indexKeyFor(row, idx.cols), id)
+	}
+	return id, nil
+}
+
+// DuplicateKeyError reports a primary-key or unique-index violation.
+type DuplicateKeyError struct {
+	Table string
+	Key   string
+}
+
+func (e *DuplicateKeyError) Error() string {
+	return fmt.Sprintf("storage: duplicate key %q in table %s", e.Key, e.Table)
+}
+
+func pkString(row Row, cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = row[c].String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Update replaces the row at id, maintaining all indexes.
+func (s *Store) Update(table string, id RowID, row Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	old, ok := ts.heap.get(id)
+	if !ok {
+		return fmt.Errorf("storage: row %d not found in %s", id, table)
+	}
+	if ts.primary != nil {
+		newKey := ts.pkKey(row)
+		if newKey != ts.pkKey(old) {
+			for _, other := range ts.primary.Search(newKey) {
+				if other != id {
+					return &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
+				}
+			}
+		}
+	}
+	if s.log != nil {
+		data, err := EncodeRow(row)
+		if err != nil {
+			return err
+		}
+		if err := s.log.append(walRecord{Op: "update", Table: ts.name, Row: id, Data: data}); err != nil {
+			return err
+		}
+	}
+	if ts.primary != nil {
+		ts.primary.Delete(ts.pkKey(old), id)
+		ts.primary.Insert(ts.pkKey(row), id)
+	}
+	for _, idx := range ts.indexes {
+		idx.tree.Delete(indexKeyFor(old, idx.cols), id)
+		idx.tree.Insert(indexKeyFor(row, idx.cols), id)
+	}
+	return ts.heap.update(id, row.Clone())
+}
+
+// Delete removes the row at id.
+func (s *Store) Delete(table string, id RowID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	old, ok := ts.heap.get(id)
+	if !ok {
+		return fmt.Errorf("storage: row %d not found in %s", id, table)
+	}
+	if s.log != nil {
+		if err := s.log.append(walRecord{Op: "delete", Table: ts.name, Row: id}); err != nil {
+			return err
+		}
+	}
+	if ts.primary != nil {
+		ts.primary.Delete(ts.pkKey(old), id)
+	}
+	for _, idx := range ts.indexes {
+		idx.tree.Delete(indexKeyFor(old, idx.cols), id)
+	}
+	ts.heap.delete(id)
+	return nil
+}
+
+// Get returns a copy of the row at id.
+func (s *Store) Get(table string, id RowID) (Row, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return nil, false
+	}
+	r, ok := ts.heap.get(id)
+	if !ok {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
+// Scan returns all live row IDs of a table in insertion order.
+func (s *Store) Scan(table string) ([]RowID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return ts.heap.scanIDs(), nil
+}
+
+// RowCount returns the number of live rows.
+func (s *Store) RowCount(table string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return 0, err
+	}
+	return ts.heap.count(), nil
+}
+
+// LookupPK finds the row whose primary key equals the given values.
+func (s *Store) LookupPK(table string, pk ...sqltypes.Value) (RowID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, err := s.table(table)
+	if err != nil || ts.primary == nil {
+		return 0, false
+	}
+	rids := ts.primary.Search(IndexKey(pk...))
+	if len(rids) == 0 {
+		return 0, false
+	}
+	return rids[0], true
+}
+
+// LookupIndex returns the row IDs matching key values on a named index.
+func (s *Store) LookupIndex(table, index string, vals ...sqltypes.Value) ([]RowID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ts, err := s.table(table)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok := ts.indexes[strings.ToLower(index)]
+	if !ok {
+		return nil, fmt.Errorf("storage: index %s not found on %s", index, table)
+	}
+	return idx.tree.Search(IndexKey(vals...)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Durability: recovery and checkpointing
+
+// Recover replays the snapshot (if any) and the WAL into the already-created
+// tables. Call exactly once, after the schema has been re-created.
+func (s *Store) Recover() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.loadSnapshotLocked(); err != nil {
+		return err
+	}
+	return replayWAL(walPath(s.dir), func(rec walRecord) error {
+		ts, err := s.table(rec.Table)
+		if err != nil {
+			return err
+		}
+		switch rec.Op {
+		case "insert", "update":
+			row, err := DecodeRow(rec.Data)
+			if err != nil {
+				return err
+			}
+			if old, ok := ts.heap.get(rec.Row); ok {
+				if ts.primary != nil {
+					ts.primary.Delete(ts.pkKey(old), rec.Row)
+				}
+				for _, idx := range ts.indexes {
+					idx.tree.Delete(indexKeyFor(old, idx.cols), rec.Row)
+				}
+			}
+			ts.heap.insertAt(rec.Row, row)
+			if ts.primary != nil {
+				ts.primary.Insert(ts.pkKey(row), rec.Row)
+			}
+			for _, idx := range ts.indexes {
+				idx.tree.Insert(indexKeyFor(row, idx.cols), rec.Row)
+			}
+		case "delete":
+			if old, ok := ts.heap.get(rec.Row); ok {
+				if ts.primary != nil {
+					ts.primary.Delete(ts.pkKey(old), rec.Row)
+				}
+				for _, idx := range ts.indexes {
+					idx.tree.Delete(indexKeyFor(old, idx.cols), rec.Row)
+				}
+				ts.heap.delete(rec.Row)
+			}
+		default:
+			return fmt.Errorf("storage: unknown wal op %q", rec.Op)
+		}
+		return nil
+	})
+}
+
+// snapshotFile is the JSON checkpoint format: rows per table keyed by ID.
+type snapshotFile struct {
+	Tables map[string]map[RowID]json.RawMessage `json:"tables"`
+}
+
+func (s *Store) loadSnapshotLocked() error {
+	data, err := os.ReadFile(snapshotPath(s.dir))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("storage: corrupt snapshot: %w", err)
+	}
+	for tname, rows := range snap.Tables {
+		ts, err := s.table(tname)
+		if err != nil {
+			return err
+		}
+		ids := make([]RowID, 0, len(rows))
+		for id := range rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			row, err := DecodeRow(rows[id])
+			if err != nil {
+				return err
+			}
+			ts.heap.insertAt(id, row)
+			if ts.primary != nil {
+				ts.primary.Insert(ts.pkKey(row), id)
+			}
+			for _, idx := range ts.indexes {
+				idx.tree.Insert(indexKeyFor(row, idx.cols), id)
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes a snapshot of all tables and truncates the WAL. On
+// return, recovery needs only the snapshot plus any later WAL records.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshotFile{Tables: make(map[string]map[RowID]json.RawMessage)}
+	for _, ts := range s.tables {
+		rows := make(map[RowID]json.RawMessage, ts.heap.count())
+		for _, id := range ts.heap.scanIDs() {
+			r, _ := ts.heap.get(id)
+			data, err := EncodeRow(r)
+			if err != nil {
+				return err
+			}
+			rows[id] = data
+		}
+		snap.Tables[ts.name] = rows
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	tmp := snapshotPath(s.dir) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snapshotPath(s.dir)); err != nil {
+		return err
+	}
+	// Truncate the WAL: records up to here are captured by the snapshot.
+	if err := s.log.close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(walPath(s.dir), 0); err != nil {
+		return err
+	}
+	l, err := openWAL(walPath(s.dir))
+	if err != nil {
+		return err
+	}
+	s.log = l
+	return nil
+}
+
+// Tables lists the table names the store currently holds (sorted).
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for _, ts := range s.tables {
+		names = append(names, ts.name)
+	}
+	sort.Strings(names)
+	return names
+}

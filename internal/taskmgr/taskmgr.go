@@ -1,0 +1,430 @@
+// Package taskmgr implements CrowdDB's Task Manager (paper §3, Fig. 1):
+// the abstraction layer between the query executor's crowd operators and
+// the crowdsourcing platforms. It instantiates UI templates for concrete
+// tuples, posts HIT groups, polls their status, collects and
+// quality-controls the answers, settles payments through the WRM, and
+// hands cleansed decisions back to the operators (which memorize them in
+// the store).
+package taskmgr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/quality"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/ui"
+	"crowddb/internal/wrm"
+)
+
+// Oracle supplies simulation-only ground truth for posted tasks. In a real
+// deployment there is no oracle (answers come from people); the simulator
+// needs one to know what a correct answer looks like. Implementations live
+// in internal/workload and the examples.
+type Oracle interface {
+	// ProbeTruth returns truth for a probe of the given tuple's columns.
+	ProbeTruth(table string, known map[string]sqltypes.Value, ask []string) *crowd.SimTruth
+	// NewTupleTruth returns truth for the i-th requested new tuple.
+	NewTupleTruth(table string, prefill map[string]sqltypes.Value, i int) *crowd.SimTruth
+	// CompareTruth returns truth for one comparison task.
+	CompareTruth(kind crowd.TaskKind, question, left, right string) *crowd.SimTruth
+}
+
+// Config tunes task posting.
+type Config struct {
+	// Reward per assignment.
+	Reward crowd.Cents
+	// Assignments is the replication factor per HIT (majority-vote width).
+	Assignments int
+	// PollInterval is how often the Task Manager polls the platform; each
+	// poll advances the simulated crowd by the same amount.
+	PollInterval time.Duration
+	// MaxWait bounds how long to wait for a group before expiring it and
+	// working with partial answers.
+	MaxWait time.Duration
+	// NewTupleAssignments is the replication for new-tuple solicitations
+	// (each assignment is a distinct candidate tuple, so this is the
+	// number of candidates requested per open slot).
+	NewTupleAssignments int
+}
+
+// DefaultConfig matches the paper's experimental defaults: 2¢ HITs,
+// 3-way replication, generous deadline.
+func DefaultConfig() Config {
+	return Config{
+		Reward:              2,
+		Assignments:         3,
+		PollInterval:        time.Minute,
+		MaxWait:             72 * time.Hour,
+		NewTupleAssignments: 1,
+	}
+}
+
+// Stats counts crowd activity for the experiment harness.
+type Stats struct {
+	GroupsPosted   int
+	HITsPosted     int
+	AssignmentsIn  int
+	Decisions      int
+	CrowdTime      time.Duration // virtual time spent waiting on the crowd
+	ApprovedSpend  crowd.Cents   // rewards paid (excl. platform commission)
+	ExpiredGroups  int
+	PartialResults int // HITs resolved from fewer than Assignments answers
+}
+
+// Manager is the Task Manager.
+type Manager struct {
+	platform crowd.Platform
+	ui       *ui.Manager
+	tracker  *quality.Tracker
+	payer    *wrm.Manager
+	oracle   Oracle
+	cfg      Config
+
+	mu    sync.Mutex
+	stats Stats
+	seq   int
+}
+
+// New assembles a Task Manager. oracle may be nil (workers will answer
+// without ground truth — useful only for plumbing tests).
+func New(platform crowd.Platform, uim *ui.Manager, tracker *quality.Tracker, payer *wrm.Manager, oracle Oracle, cfg Config) *Manager {
+	if cfg.Assignments <= 0 {
+		cfg.Assignments = 3
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Minute
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 72 * time.Hour
+	}
+	if cfg.NewTupleAssignments <= 0 {
+		cfg.NewTupleAssignments = 1
+	}
+	if cfg.Reward <= 0 {
+		cfg.Reward = 2
+	}
+	return &Manager{platform: platform, ui: uim, tracker: tracker, payer: payer, oracle: oracle, cfg: cfg}
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Config returns the manager's effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Platform exposes the underlying platform (the REPL reports its name).
+func (m *Manager) Platform() crowd.Platform { return m.platform }
+
+func (m *Manager) nextHITID(prefix string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	return fmt.Sprintf("%s-%06d", prefix, m.seq)
+}
+
+// ProbeRequest asks the crowd to fill the Ask columns of one tuple whose
+// known column values are Known (lower-cased column names).
+type ProbeRequest struct {
+	Known map[string]sqltypes.Value
+	Ask   []string
+}
+
+// ProbeResult carries the majority-vote decision per asked column.
+type ProbeResult struct {
+	Decisions map[string]quality.Decision
+}
+
+// ProbeValues crowdsources missing column values for a batch of tuples of
+// one table, as a single HIT group (CrowdProbe's data path; batching is
+// what makes CrowdJoin efficient, experiment E6). Results align with reqs.
+func (m *Manager) ProbeValues(table string, reqs []ProbeRequest) ([]ProbeResult, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	group := &crowd.HITGroup{
+		Title:       fmt.Sprintf("Fill in missing %s data", table),
+		Description: fmt.Sprintf("Provide missing column values for the %s table.", table),
+		Kind:        crowd.TaskProbeValues,
+		Reward:      m.cfg.Reward,
+		Assignments: m.cfg.Assignments,
+		Expiry:      m.cfg.MaxWait,
+	}
+	for _, r := range reqs {
+		fields, html, err := m.ui.ProbeForm(table, r.Known, r.Ask)
+		if err != nil {
+			return nil, err
+		}
+		hit := &crowd.HIT{
+			ID:     m.nextHITID("probe"),
+			Kind:   crowd.TaskProbeValues,
+			Title:  group.Title,
+			Fields: fields,
+			HTML:   html,
+		}
+		if m.oracle != nil {
+			hit.Truth = m.oracle.ProbeTruth(table, r.Known, r.Ask)
+		}
+		group.HITs = append(group.HITs, hit)
+	}
+	byHIT, err := m.postAndCollect(group)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProbeResult, len(reqs))
+	for i, r := range reqs {
+		hitID := group.HITs[i].ID
+		res := ProbeResult{Decisions: make(map[string]quality.Decision, len(r.Ask))}
+		for _, col := range r.Ask {
+			res.Decisions[col] = m.decide(byHIT[hitID], col)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// NewTuples solicits candidate tuples for a CROWD table, pre-filling the
+// given column values (typically the probing query's join key, as in the
+// paper's NotableAttendee example). want is the number of candidate tuples
+// requested; each candidate is one worker's raw column->answer map.
+func (m *Manager) NewTuples(table string, prefill map[string]sqltypes.Value, want int) ([]map[string]string, error) {
+	res, err := m.NewTuplesBatch(table, []TupleRequest{{Prefill: prefill, Want: want}})
+	if err != nil || res == nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// TupleRequest asks for Want candidate tuples with the given prefill.
+type TupleRequest struct {
+	Prefill map[string]sqltypes.Value
+	Want    int
+}
+
+// NewTuplesBatch solicits candidate tuples for many prefill keys in ONE
+// HIT group. This is CrowdJoin's batching path (experiment E6): one group
+// per join instead of one group per outer tuple. Results align with reqs.
+func (m *Manager) NewTuplesBatch(table string, reqs []TupleRequest) ([][]map[string]string, error) {
+	total := 0
+	for _, r := range reqs {
+		total += r.Want
+	}
+	if total <= 0 {
+		return nil, nil
+	}
+	group := &crowd.HITGroup{
+		Title:       fmt.Sprintf("Contribute new %s entries", table),
+		Description: fmt.Sprintf("Add new rows to the %s table.", table),
+		Kind:        crowd.TaskNewTuple,
+		Reward:      m.cfg.Reward,
+		Assignments: m.cfg.NewTupleAssignments,
+		Expiry:      m.cfg.MaxWait,
+	}
+	hitReq := make(map[string]int) // HIT ID -> request index
+	for ri, r := range reqs {
+		for i := 0; i < r.Want; i++ {
+			fields, html, err := m.ui.NewTupleForm(table, r.Prefill)
+			if err != nil {
+				return nil, err
+			}
+			hit := &crowd.HIT{
+				ID:     m.nextHITID("tuple"),
+				Kind:   crowd.TaskNewTuple,
+				Title:  group.Title,
+				Fields: fields,
+				HTML:   html,
+			}
+			if m.oracle != nil {
+				hit.Truth = m.oracle.NewTupleTruth(table, r.Prefill, i)
+			}
+			hitReq[hit.ID] = ri
+			group.HITs = append(group.HITs, hit)
+		}
+	}
+	byHIT, err := m.postAndCollect(group)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]map[string]string, len(reqs))
+	for _, hit := range group.HITs {
+		ri := hitReq[hit.ID]
+		prefill := reqs[ri].Prefill
+		for _, a := range byHIT[hit.ID] {
+			tuple := make(map[string]string, len(a.Answers)+len(prefill))
+			usable := false
+			for col, ans := range a.Answers {
+				tuple[col] = ans
+				if !quality.IsGarbage(ans) {
+					usable = true
+				}
+			}
+			// Pre-filled columns were shown read-only; the Task Manager
+			// knows their values and completes the candidate tuple.
+			for col, v := range prefill {
+				if _, answered := tuple[col]; !answered && !v.IsUnknown() {
+					tuple[col] = v.String()
+				}
+			}
+			if usable {
+				out[ri] = append(out[ri], tuple)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ComparePair is one binary comparison task.
+type ComparePair struct {
+	Left, Right string
+}
+
+// CompareEqual asks the crowd whether pairs of values denote the same
+// entity (CROWDEQUAL). Decisions are "yes"/"no" majority votes per pair.
+func (m *Manager) CompareEqual(question string, pairs []ComparePair) ([]quality.Decision, error) {
+	return m.compare(crowd.TaskCompareEqual, question, pairs)
+}
+
+// CompareOrder asks the crowd which of two items ranks higher
+// (CROWDORDER); each decision's Value is the winning item.
+func (m *Manager) CompareOrder(question string, pairs []ComparePair) ([]quality.Decision, error) {
+	return m.compare(crowd.TaskCompareOrder, question, pairs)
+}
+
+func (m *Manager) compare(kind crowd.TaskKind, question string, pairs []ComparePair) ([]quality.Decision, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	group := &crowd.HITGroup{
+		Title:       "Compare items",
+		Description: question,
+		Kind:        kind,
+		Reward:      m.cfg.Reward,
+		Assignments: m.cfg.Assignments,
+		Expiry:      m.cfg.MaxWait,
+	}
+	for _, p := range pairs {
+		var fields []crowd.Field
+		var html string
+		var err error
+		if kind == crowd.TaskCompareEqual {
+			fields, html, err = m.ui.CompareEqualForm(question, p.Left, p.Right)
+		} else {
+			fields, html, err = m.ui.CompareOrderForm(question, p.Left, p.Right)
+		}
+		if err != nil {
+			return nil, err
+		}
+		hit := &crowd.HIT{
+			ID:     m.nextHITID("cmp"),
+			Kind:   kind,
+			Title:  group.Title,
+			Fields: fields,
+			HTML:   html,
+		}
+		if m.oracle != nil {
+			hit.Truth = m.oracle.CompareTruth(kind, question, p.Left, p.Right)
+		}
+		group.HITs = append(group.HITs, hit)
+	}
+	byHIT, err := m.postAndCollect(group)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]quality.Decision, len(pairs))
+	for i := range pairs {
+		out[i] = m.decide(byHIT[group.HITs[i].ID], ui.AnswerField)
+	}
+	return out, nil
+}
+
+// decide majority-votes one field over a HIT's assignments and feeds the
+// quality tracker.
+func (m *Manager) decide(assignments []*crowd.Assignment, field string) quality.Decision {
+	votes := make([]quality.Vote, 0, len(assignments))
+	for _, a := range assignments {
+		if ans, ok := a.Answers[field]; ok {
+			votes = append(votes, quality.Vote{WorkerID: a.WorkerID, Answer: ans})
+		}
+	}
+	d := quality.MajorityVote(votes, quality.MajorityFor(m.cfg.Assignments))
+	m.tracker.Record(d)
+	m.mu.Lock()
+	m.stats.Decisions++
+	if len(votes) > 0 && len(votes) < m.cfg.Assignments {
+		m.stats.PartialResults++
+	}
+	m.mu.Unlock()
+	return d
+}
+
+// postAndCollect runs one group through the full lifecycle: post, poll
+// until done or deadline, settle payments, and index assignments by HIT.
+func (m *Manager) postAndCollect(group *crowd.HITGroup) (map[string][]*crowd.Assignment, error) {
+	start := m.platform.Now()
+	id, err := m.platform.Post(group)
+	if err != nil {
+		return nil, fmt.Errorf("taskmgr: post: %w", err)
+	}
+	m.mu.Lock()
+	m.stats.GroupsPosted++
+	m.stats.HITsPosted += len(group.HITs)
+	m.mu.Unlock()
+
+	deadline := start + m.cfg.MaxWait
+	for {
+		st, err := m.platform.Status(id)
+		if err != nil {
+			return nil, fmt.Errorf("taskmgr: status: %w", err)
+		}
+		if st.Done() {
+			if st.Expired {
+				m.mu.Lock()
+				m.stats.ExpiredGroups++
+				m.mu.Unlock()
+			}
+			break
+		}
+		if m.platform.Now() >= deadline {
+			// Deadline: expire and work with what we have (the paper's
+			// operators must tolerate incomplete crowd answers).
+			if err := m.platform.Expire(id); err != nil {
+				return nil, fmt.Errorf("taskmgr: expire: %w", err)
+			}
+			m.mu.Lock()
+			m.stats.ExpiredGroups++
+			m.mu.Unlock()
+			break
+		}
+		m.platform.Step(m.cfg.PollInterval)
+	}
+
+	results, err := m.platform.Results(id)
+	if err != nil {
+		return nil, fmt.Errorf("taskmgr: results: %w", err)
+	}
+	if m.payer != nil {
+		approved, err := m.payer.Settle(m.platform, results)
+		if err != nil {
+			return nil, fmt.Errorf("taskmgr: settle: %w", err)
+		}
+		m.mu.Lock()
+		m.stats.ApprovedSpend += crowd.Cents(approved) * m.cfg.Reward
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.stats.AssignmentsIn += len(results)
+	m.stats.CrowdTime += m.platform.Now() - start
+	m.mu.Unlock()
+
+	byHIT := make(map[string][]*crowd.Assignment)
+	for _, a := range results {
+		byHIT[a.HITID] = append(byHIT[a.HITID], a)
+	}
+	return byHIT, nil
+}

@@ -1,0 +1,292 @@
+// Package ui implements CrowdDB's user-interface generation (paper §3.1):
+// at compile time the UI Creation component turns schema information into
+// HTML form templates for every CROWD table and every table with CROWD
+// columns; the UI Template Manager stores them and lets application
+// developers edit instructions (the Form Editor); at runtime the Task
+// Manager instantiates a template for a concrete tuple — known values are
+// copied into the form, CNULL fields asked by the query become inputs.
+package ui
+
+import (
+	"fmt"
+	"html/template"
+	"sort"
+	"strings"
+	"sync"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/crowd"
+	"crowddb/internal/sqltypes"
+)
+
+// formTemplate is the HTML skeleton every generated task form uses. It
+// mirrors the paper's Fig. 2: instructions at the top, known values shown
+// read-only, missing values as inputs, choices as radio buttons.
+var formTemplate = template.Must(template.New("form").Parse(`<!DOCTYPE html>
+<html>
+<head><title>{{.Title}}</title></head>
+<body>
+<form class="crowddb-task" data-kind="{{.Kind}}">
+<h2>{{.Title}}</h2>
+<p class="instructions">{{.Instructions}}</p>
+{{if .Annotation}}<p class="annotation">{{.Annotation}}</p>{{end}}
+<table>
+{{range .Fields}}<tr>
+  <td class="label">{{.Label}}</td>
+  <td>{{if eq .Control "display"}}<span class="known">{{.Value}}</span>{{end -}}
+      {{if eq .Control "input"}}<input type="text" name="{{.Name}}" value="">{{end -}}
+      {{if eq .Control "choice"}}{{$f := .}}{{range .Options}}<label><input type="radio" name="{{$f.Name}}" value="{{.}}">{{.}}</label> {{end}}{{end}}</td>
+</tr>
+{{end}}</table>
+<button type="submit">Submit</button>
+</form>
+</body>
+</html>
+`))
+
+// templateField is the render model for one form row.
+type templateField struct {
+	Name    string
+	Label   string
+	Control string // display | input | choice
+	Value   string
+	Options []string
+}
+
+type formData struct {
+	Title        string
+	Kind         string
+	Instructions string
+	Annotation   string
+	Fields       []templateField
+}
+
+// Template is one managed UI template. Instructions are the editable part
+// (Form Editor); the field layout is derived from the schema.
+type Template struct {
+	Table        string
+	Kind         crowd.TaskKind
+	Instructions string
+}
+
+func key(table string, kind crowd.TaskKind) string {
+	return strings.ToLower(table) + "#" + kind.String()
+}
+
+// Manager is the UI Template Manager: it owns every generated template and
+// instantiates them into concrete task forms.
+type Manager struct {
+	cat *catalog.Catalog
+
+	mu        sync.RWMutex
+	templates map[string]*Template
+}
+
+// NewManager creates a manager bound to a catalog.
+func NewManager(cat *catalog.Catalog) *Manager {
+	return &Manager{cat: cat, templates: make(map[string]*Template)}
+}
+
+// GenerateAll performs the compile-time generation step: templates for
+// probing CROWD columns, for contributing tuples to CROWD tables, and the
+// two comparison forms. Safe to call repeatedly (e.g. after DDL); existing
+// developer-edited instructions are preserved.
+func (m *Manager) GenerateAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.cat.Tables() {
+		if t.HasCrowdColumns() {
+			m.ensureLocked(t.Name, crowd.TaskProbeValues, fmt.Sprintf(
+				"Please fill in the missing information for this row of the %s table.", t.Name))
+		}
+		if t.Crowd {
+			m.ensureLocked(t.Name, crowd.TaskNewTuple, fmt.Sprintf(
+				"Please contribute a new entry for the %s table.", t.Name))
+		}
+	}
+	m.ensureLocked("", crowd.TaskCompareEqual,
+		"Do the two values below refer to the same real-world entity?")
+	m.ensureLocked("", crowd.TaskCompareOrder,
+		"Please pick the item you consider higher-ranked for the question below.")
+}
+
+func (m *Manager) ensureLocked(table string, kind crowd.TaskKind, instructions string) {
+	k := key(table, kind)
+	if _, ok := m.templates[k]; !ok {
+		m.templates[k] = &Template{Table: table, Kind: kind, Instructions: instructions}
+	}
+}
+
+// Template fetches a managed template.
+func (m *Manager) Template(table string, kind crowd.TaskKind) (*Template, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.templates[key(table, kind)]
+	return t, ok
+}
+
+// Templates lists all managed templates, sorted by table and kind.
+func (m *Manager) Templates() []*Template {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Template, 0, len(m.templates))
+	for _, t := range m.templates {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// EditInstructions is the Form Editor hook: developers replace the default
+// instructions with custom text.
+func (m *Manager) EditInstructions(table string, kind crowd.TaskKind, text string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.templates[key(table, kind)]
+	if !ok {
+		return fmt.Errorf("ui: no template for table %q kind %v", table, kind)
+	}
+	t.Instructions = text
+	return nil
+}
+
+func (m *Manager) instructionsFor(table string, kind crowd.TaskKind, fallback string) string {
+	if t, ok := m.Template(table, kind); ok {
+		return t.Instructions
+	}
+	return fallback
+}
+
+func fieldLabel(col *catalog.Column) string {
+	if col.Annotation != "" {
+		return col.Annotation
+	}
+	return strings.ReplaceAll(col.Name, "_", " ")
+}
+
+// ProbeForm instantiates the probe template for one tuple of a table:
+// known column values become read-only context, the named ask columns
+// become inputs. Returns the rendered fields and HTML.
+func (m *Manager) ProbeForm(table string, known map[string]sqltypes.Value, ask []string) ([]crowd.Field, string, error) {
+	t, ok := m.cat.Table(table)
+	if !ok {
+		return nil, "", fmt.Errorf("ui: unknown table %s", table)
+	}
+	askSet := make(map[string]bool, len(ask))
+	for _, a := range ask {
+		if t.ColumnIndex(a) < 0 {
+			return nil, "", fmt.Errorf("ui: unknown column %s.%s", table, a)
+		}
+		askSet[strings.ToLower(a)] = true
+	}
+	var fields []crowd.Field
+	for i := range t.Columns {
+		col := &t.Columns[i]
+		switch {
+		case askSet[strings.ToLower(col.Name)]:
+			fields = append(fields, crowd.Field{Name: col.Name, Label: fieldLabel(col), Kind: crowd.FieldInput})
+		default:
+			v, ok := known[strings.ToLower(col.Name)]
+			if !ok || v.IsUnknown() {
+				continue // unknown and not asked: omit from the form
+			}
+			fields = append(fields, crowd.Field{Name: col.Name, Label: fieldLabel(col), Kind: crowd.FieldDisplay, Value: v.String()})
+		}
+	}
+	title := fmt.Sprintf("Fill in missing data: %s", t.Name)
+	instr := m.instructionsFor(t.Name, crowd.TaskProbeValues,
+		fmt.Sprintf("Please fill in the missing information for this row of the %s table.", t.Name))
+	html, err := renderForm(title, crowd.TaskProbeValues, instr, t.Annotation, fields)
+	return fields, html, err
+}
+
+// NewTupleForm instantiates the new-tuple template for a CROWD table:
+// every column becomes an input unless prefill pins it (e.g. the foreign
+// key of the probing query, as in the paper's NotableAttendee example).
+func (m *Manager) NewTupleForm(table string, prefill map[string]sqltypes.Value) ([]crowd.Field, string, error) {
+	t, ok := m.cat.Table(table)
+	if !ok {
+		return nil, "", fmt.Errorf("ui: unknown table %s", table)
+	}
+	if !t.Crowd {
+		return nil, "", fmt.Errorf("ui: table %s is not a CROWD table", table)
+	}
+	var fields []crowd.Field
+	for i := range t.Columns {
+		col := &t.Columns[i]
+		if v, ok := prefill[strings.ToLower(col.Name)]; ok && !v.IsUnknown() {
+			fields = append(fields, crowd.Field{Name: col.Name, Label: fieldLabel(col), Kind: crowd.FieldDisplay, Value: v.String()})
+			continue
+		}
+		fields = append(fields, crowd.Field{Name: col.Name, Label: fieldLabel(col), Kind: crowd.FieldInput})
+	}
+	title := fmt.Sprintf("Contribute a new entry: %s", t.Name)
+	instr := m.instructionsFor(t.Name, crowd.TaskNewTuple,
+		fmt.Sprintf("Please contribute a new entry for the %s table.", t.Name))
+	html, err := renderForm(title, crowd.TaskNewTuple, instr, t.Annotation, fields)
+	return fields, html, err
+}
+
+// AnswerField is the canonical input-field name for comparison forms.
+const AnswerField = "answer"
+
+// CompareEqualForm builds the CROWDEQUAL task: two values and a yes/no
+// choice (paper §2.2).
+func (m *Manager) CompareEqualForm(question, left, right string) ([]crowd.Field, string, error) {
+	if question == "" {
+		question = "Do these two values refer to the same entity?"
+	}
+	fields := []crowd.Field{
+		{Name: "question", Label: "Question", Kind: crowd.FieldDisplay, Value: question},
+		{Name: "left", Label: "Value A", Kind: crowd.FieldDisplay, Value: left},
+		{Name: "right", Label: "Value B", Kind: crowd.FieldDisplay, Value: right},
+		{Name: AnswerField, Label: "Same entity?", Kind: crowd.FieldChoice, Options: []string{"yes", "no"}},
+	}
+	instr := m.instructionsFor("", crowd.TaskCompareEqual,
+		"Do the two values below refer to the same real-world entity?")
+	html, err := renderForm("Compare two values", crowd.TaskCompareEqual, instr, "", fields)
+	return fields, html, err
+}
+
+// CompareOrderForm builds the CROWDORDER binary-comparison task: the
+// question from the query (e.g. "Which talk did you like better") plus two
+// items to choose between (paper Example 3).
+func (m *Manager) CompareOrderForm(question, left, right string) ([]crowd.Field, string, error) {
+	if question == "" {
+		question = "Which of the two items ranks higher?"
+	}
+	fields := []crowd.Field{
+		{Name: "question", Label: "Question", Kind: crowd.FieldDisplay, Value: question},
+		{Name: AnswerField, Label: question, Kind: crowd.FieldChoice, Options: []string{left, right}},
+	}
+	instr := m.instructionsFor("", crowd.TaskCompareOrder,
+		"Please pick the item you consider higher-ranked for the question below.")
+	html, err := renderForm("Rank two items", crowd.TaskCompareOrder, instr, "", fields)
+	return fields, html, err
+}
+
+func renderForm(title string, kind crowd.TaskKind, instructions, annotation string, fields []crowd.Field) (string, error) {
+	data := formData{Title: title, Kind: kind.String(), Instructions: instructions, Annotation: annotation}
+	for _, f := range fields {
+		tf := templateField{Name: f.Name, Label: f.Label, Value: f.Value, Options: f.Options}
+		switch f.Kind {
+		case crowd.FieldDisplay:
+			tf.Control = "display"
+		case crowd.FieldInput:
+			tf.Control = "input"
+		case crowd.FieldChoice:
+			tf.Control = "choice"
+		}
+		data.Fields = append(data.Fields, tf)
+	}
+	var sb strings.Builder
+	if err := formTemplate.Execute(&sb, data); err != nil {
+		return "", fmt.Errorf("ui: render: %w", err)
+	}
+	return sb.String(), nil
+}

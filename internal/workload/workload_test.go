@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/sqltypes"
+)
+
+func TestConferenceDeterministic(t *testing.T) {
+	c1 := NewConference(10, 5)
+	c2 := NewConference(10, 5)
+	for i := range c1.Talks {
+		if c1.Talks[i] != c2.Talks[i] {
+			t.Fatal("same seed must generate identical talks")
+		}
+	}
+	if len(c1.Talks) != 10 {
+		t.Errorf("talks: %d", len(c1.Talks))
+	}
+}
+
+func TestConferenceTalkLookup(t *testing.T) {
+	c := NewConference(5, 1)
+	info, ok := c.Talk(strings.ToUpper(c.Talks[2].Title))
+	if !ok || info.Title != c.Talks[2].Title {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := c.Talk("nope"); ok {
+		t.Error("missing talk found")
+	}
+}
+
+func TestConferencePreferenceRanking(t *testing.T) {
+	c := NewConference(8, 2)
+	ranking := c.PreferenceRanking()
+	if len(ranking) != 8 {
+		t.Fatal("ranking size")
+	}
+	for i := 1; i < len(ranking); i++ {
+		prev, _ := c.Talk(ranking[i-1])
+		cur, _ := c.Talk(ranking[i])
+		if prev.Preference < cur.Preference {
+			t.Fatal("ranking must be best-first")
+		}
+	}
+}
+
+func TestConferenceOracleProbe(t *testing.T) {
+	c := NewConference(5, 3)
+	o := c.Oracle()
+	known := map[string]sqltypes.Value{"title": sqltypes.NewString(c.Talks[0].Title)}
+	truth := o.ProbeTruth("Talk", known, []string{"abstract", "nb_attendees"})
+	if truth == nil {
+		t.Fatal("no truth for known talk")
+	}
+	if truth.Truth["abstract"] != c.Talks[0].Abstract {
+		t.Error("abstract truth")
+	}
+	if truth.Truth["nb_attendees"] == "" {
+		t.Error("attendance truth")
+	}
+	if len(truth.Wrong["nb_attendees"]) == 0 {
+		t.Error("plausible wrong answers expected")
+	}
+	if got := o.ProbeTruth("Talk", map[string]sqltypes.Value{"title": sqltypes.NewString("ghost")}, []string{"abstract"}); got != nil {
+		t.Error("unknown talk must have no truth")
+	}
+	if got := o.ProbeTruth("Unregistered", known, nil); got != nil {
+		t.Error("unregistered table must have no truth")
+	}
+}
+
+func TestConferenceOracleTuples(t *testing.T) {
+	c := NewConference(5, 4)
+	o := c.Oracle()
+	title := c.Talks[0].Title
+	prefill := map[string]sqltypes.Value{"title": sqltypes.NewString(title)}
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		truth := o.NewTupleTruth("NotableAttendee", prefill, i)
+		if truth == nil || truth.Truth["name"] == "" {
+			t.Fatalf("tuple truth %d: %+v", i, truth)
+		}
+		if truth.Truth["title"] != title {
+			t.Error("prefilled title must round-trip")
+		}
+		seen[truth.Truth["name"]] = true
+	}
+	if len(seen) < 1 {
+		t.Error("no names generated")
+	}
+}
+
+func TestConferenceOracleCompare(t *testing.T) {
+	c := NewConference(6, 5)
+	o := c.Oracle()
+	a, b := c.Talks[0], c.Talks[1]
+	truth := o.CompareTruth(crowd.TaskCompareOrder, "q", a.Title, b.Title)
+	want := a.Title
+	if b.Preference > a.Preference {
+		want = b.Title
+	}
+	if truth.Truth["answer"] != want {
+		t.Errorf("order truth: %v", truth.Truth)
+	}
+	eq := o.CompareTruth(crowd.TaskCompareEqual, "q", "X", " x ")
+	if eq.Truth["answer"] != "yes" {
+		t.Errorf("loose equality: %v", eq.Truth)
+	}
+}
+
+func TestCompaniesVariantsResolve(t *testing.T) {
+	cs := NewCompanies(8, 7)
+	for _, c := range cs.List {
+		if len(c.Variants) == 0 {
+			t.Fatalf("%s has no variants", c.Canonical)
+		}
+		for _, v := range c.Variants {
+			got := cs.CanonicalOf(v)
+			// Abbreviations may collide; dropped-letter and case variants
+			// must resolve to their own canonical.
+			if got != "" && got != c.Canonical && v != c.Variants[0] && v != c.Variants[1] {
+				t.Errorf("variant %q of %q resolved to %q", v, c.Canonical, got)
+			}
+		}
+		if cs.CanonicalOf(c.Canonical) != c.Canonical {
+			t.Errorf("canonical must resolve to itself: %q", c.Canonical)
+		}
+	}
+	if cs.CanonicalOf("completely unknown") != "" {
+		t.Error("unknown surface form must not resolve")
+	}
+}
+
+func TestCompaniesOracle(t *testing.T) {
+	cs := NewCompanies(4, 8)
+	o := cs.Oracle()
+	c := cs.List[0]
+	same := o.CompareTruth(crowd.TaskCompareEqual, "", c.Canonical, strings.ToLower(c.Canonical))
+	if same.Truth["answer"] != "yes" {
+		t.Errorf("case variant: %v", same.Truth)
+	}
+	diff := o.CompareTruth(crowd.TaskCompareEqual, "", cs.List[0].Canonical, cs.List[1].Canonical)
+	if diff.Truth["answer"] != "no" {
+		t.Errorf("different companies: %v", diff.Truth)
+	}
+}
+
+func TestUniversityOracle(t *testing.T) {
+	u := NewUniversity(10, 9)
+	o := u.Oracle()
+	p := u.Professors[3]
+	truth := o.ProbeTruth("Professor",
+		map[string]sqltypes.Value{"name": sqltypes.NewString(p.Name)},
+		[]string{"email", "department"})
+	if truth == nil || truth.Truth["email"] != p.Email || truth.Truth["department"] != p.Department {
+		t.Errorf("professor truth: %+v", truth)
+	}
+	if o.ProbeTruth("Professor", map[string]sqltypes.Value{"name": sqltypes.NewString("Dr. Nobody")}, []string{"email"}) != nil {
+		t.Error("unknown professor")
+	}
+}
+
+func TestRestaurantsOracle(t *testing.T) {
+	r := NewRestaurants(6, 10)
+	o := r.Oracle()
+	ranking := r.QualityRanking()
+	if len(ranking) != 6 {
+		t.Fatal("ranking size")
+	}
+	best, worst := ranking[0], ranking[len(ranking)-1]
+	truth := o.CompareTruth(crowd.TaskCompareOrder, "", best, worst)
+	if truth.Truth["answer"] != best {
+		t.Errorf("best must win: %v", truth.Truth)
+	}
+	tup := o.NewTupleTruth("Restaurant", nil, 2)
+	if tup == nil || tup.Truth["name"] != r.List[2].Name {
+		t.Errorf("tuple truth: %+v", tup)
+	}
+	unknown := o.CompareTruth(crowd.TaskCompareOrder, "", "ghost a", "ghost b")
+	if len(unknown.Truth) != 0 {
+		t.Error("unknown restaurants must have no truth")
+	}
+}
+
+func TestOracleUnregisteredHandlers(t *testing.T) {
+	o := NewOracle()
+	if o.ProbeTruth("x", nil, nil) != nil || o.NewTupleTruth("x", nil, 0) != nil ||
+		o.CompareTruth(crowd.TaskCompareEqual, "", "a", "b") != nil {
+		t.Error("empty oracle must return nil truths")
+	}
+}

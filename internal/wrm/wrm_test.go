@@ -1,0 +1,194 @@
+package wrm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/crowd/amt"
+	"crowddb/internal/quality"
+)
+
+// settleGroup posts a small group, waits for completion, and settles it.
+func settleGroup(t *testing.T, m *Manager, p *amt.Platform) []*crowd.Assignment {
+	t.Helper()
+	g := &crowd.HITGroup{Title: "t", Reward: 2, Assignments: 3}
+	for i := 0; i < 4; i++ {
+		g.HITs = append(g.HITs, &crowd.HIT{
+			ID:     fmt.Sprintf("H%d", i),
+			Fields: []crowd.Field{{Name: "x", Kind: crowd.FieldInput}},
+			Truth:  &crowd.SimTruth{Truth: map[string]string{"x": "v"}},
+		})
+	}
+	id, err := p.Post(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Step(72 * time.Hour)
+	res, err := p.Results(id)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("results: %v %v", len(res), err)
+	}
+	if _, err := m.Settle(p, res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSettleApprovesAndPays(t *testing.T) {
+	tr := quality.NewTracker()
+	m := New(DefaultPolicy(), tr)
+	p := amt.NewDefault(11)
+	res := settleGroup(t, m, p)
+	paid, _ := p.Spend()
+	if paid < crowd.Cents(len(res))*2 {
+		t.Errorf("paid %v for %d assignments", paid, len(res))
+	}
+	if got := len(m.Ledger()); got != len(res) {
+		t.Errorf("ledger entries: %d vs %d", got, len(res))
+	}
+}
+
+func TestRejectBadWorkers(t *testing.T) {
+	tr := quality.NewTracker()
+	// Poison one worker's score.
+	for i := 0; i < 20; i++ {
+		tr.Record(quality.MajorityVote([]quality.Vote{
+			{WorkerID: "good1", Answer: "x"},
+			{WorkerID: "good2", Answer: "x"},
+			{WorkerID: "spammer", Answer: fmt.Sprintf("junk%d", i)},
+		}, 2))
+	}
+	m := New(PaymentPolicy{AutoApprove: true, RejectBelow: 0.2}, tr)
+	p := amt.NewDefault(11)
+	g := &crowd.HITGroup{Title: "t", Reward: 1, Assignments: 1, HITs: []*crowd.HIT{{
+		ID: "H0", Fields: []crowd.Field{{Name: "x", Kind: crowd.FieldInput}},
+	}}}
+	id, _ := p.Post(g)
+	p.Step(48 * time.Hour)
+	res, _ := p.Results(id)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	// Masquerade the submission as the spammer's to trigger rejection.
+	res[0].WorkerID = "spammer"
+	if _, err := m.Settle(p, res); err != nil {
+		t.Fatal(err)
+	}
+	led := m.Ledger()
+	if len(led) != 1 || !led[0].Rejected {
+		t.Errorf("spammer must be rejected: %+v", led)
+	}
+}
+
+func TestBonusOncePerWorker(t *testing.T) {
+	tr := quality.NewTracker()
+	for i := 0; i < 50; i++ {
+		tr.Record(quality.MajorityVote([]quality.Vote{
+			{WorkerID: "star", Answer: "x"},
+			{WorkerID: "other", Answer: "x"},
+		}, 1))
+	}
+	m := New(PaymentPolicy{AutoApprove: true, BonusAbove: 0.9, BonusAmount: 5}, tr)
+	p := amt.NewDefault(11)
+	g := &crowd.HITGroup{Title: "t", Reward: 1, Assignments: 2, HITs: []*crowd.HIT{{
+		ID: "H0", Fields: []crowd.Field{{Name: "x", Kind: crowd.FieldInput}},
+	}}}
+	id, _ := p.Post(g)
+	p.Step(48 * time.Hour)
+	res, _ := p.Results(id)
+	if len(res) < 2 {
+		t.Fatal("need 2 assignments")
+	}
+	res[0].WorkerID = "star"
+	res[1].WorkerID = "star"
+	if _, err := m.Settle(p, res); err != nil {
+		t.Fatal(err)
+	}
+	var bonuses int
+	for _, e := range m.Ledger() {
+		if e.Bonus > 0 {
+			bonuses++
+		}
+	}
+	if bonuses != 1 {
+		t.Errorf("star worker must be bonused exactly once, got %d", bonuses)
+	}
+}
+
+func TestBlockBelowEscalates(t *testing.T) {
+	tr := quality.NewTracker()
+	for i := 0; i < 20; i++ {
+		tr.Record(quality.MajorityVote([]quality.Vote{
+			{WorkerID: "good1", Answer: "x"},
+			{WorkerID: "good2", Answer: "x"},
+			{WorkerID: "spammer", Answer: fmt.Sprintf("junk%d", i)},
+		}, 2))
+	}
+	m := New(PaymentPolicy{AutoApprove: true, BlockBelow: 0.2}, tr)
+	p := amt.NewDefault(17)
+	g := &crowd.HITGroup{Title: "t", Reward: 1, Assignments: 1, HITs: []*crowd.HIT{{
+		ID: "H0", Fields: []crowd.Field{{Name: "x", Kind: crowd.FieldInput}},
+	}}}
+	id, _ := p.Post(g)
+	p.Step(48 * time.Hour)
+	res, _ := p.Results(id)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	res[0].WorkerID = "spammer"
+	if _, err := m.Settle(p, res); err != nil {
+		t.Fatal(err)
+	}
+	blocked := m.BlockedWorkers()
+	if len(blocked) != 1 || blocked[0] != "spammer" {
+		t.Errorf("blocked: %v", blocked)
+	}
+	if p.Market().Blocked() != 1 {
+		t.Error("block must reach the platform")
+	}
+	// Second settle of the same worker must not double-block.
+	res[0].Status = crowd.AssignmentSubmitted
+	m.Settle(p, res)
+	if len(m.BlockedWorkers()) != 1 {
+		t.Error("double block")
+	}
+}
+
+func TestComplaints(t *testing.T) {
+	m := New(DefaultPolicy(), quality.NewTracker())
+	id1 := m.FileComplaint("W1", "payment late", time.Hour)
+	id2 := m.FileComplaint("W2", "task unclear", 2*time.Hour)
+	open := m.OpenComplaints()
+	if len(open) != 2 || open[0].ID != id1 {
+		t.Errorf("open queue: %+v", open)
+	}
+	if err := m.AnswerComplaint(id1, "paid now, sorry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AnswerComplaint(id1, "again"); err == nil {
+		t.Error("double-resolve must fail")
+	}
+	if err := m.AnswerComplaint(999, "x"); err == nil {
+		t.Error("unknown complaint must fail")
+	}
+	open = m.OpenComplaints()
+	if len(open) != 1 || open[0].ID != id2 {
+		t.Errorf("after resolve: %+v", open)
+	}
+}
+
+func TestCommunityOrder(t *testing.T) {
+	tr := quality.NewTracker()
+	tr.Record(quality.MajorityVote([]quality.Vote{
+		{WorkerID: "good", Answer: "x"},
+		{WorkerID: "good2", Answer: "x"},
+		{WorkerID: "bad", Answer: "y"},
+	}, 2))
+	m := New(DefaultPolicy(), tr)
+	com := m.Community()
+	if len(com) != 3 || com[len(com)-1].WorkerID != "bad" {
+		t.Errorf("community must be best-first: %+v", com)
+	}
+}
