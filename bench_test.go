@@ -40,6 +40,7 @@ func BenchmarkE11Boundedness(b *testing.B)       { benchExperiment(b, bench.E11B
 func BenchmarkE12MobileVsAMT(b *testing.B)       { benchExperiment(b, bench.E12MobileVsAMT) }
 func BenchmarkE13Diurnal(b *testing.B)           { benchExperiment(b, bench.E13Diurnal) }
 func BenchmarkE14VotePolicy(b *testing.B)        { benchExperiment(b, bench.E14VotePolicy) }
+func BenchmarkE15AsyncScheduler(b *testing.B)    { benchExperiment(b, bench.E15AsyncScheduler) }
 
 // --- engine micro-benchmarks (no crowd: the relational substrate) ---
 

@@ -167,6 +167,8 @@ Commands: \stats \workers \templates \quit`)
 			s := t.Stats()
 			fmt.Printf("groups=%d hits=%d assignments=%d decisions=%d crowd-time=%s spend=%s\n",
 				s.GroupsPosted, s.HITsPosted, s.AssignmentsIn, s.Decisions, s.CrowdTime, s.ApprovedSpend)
+			fmt.Printf("async: window=%d peak-in-flight=%d peak-queue=%d expired=%d\n",
+				s.MaxInFlight, s.PeakInFlight, s.PeakQueueDepth, s.ExpiredGroups)
 		} else {
 			fmt.Println("no crowd platform attached")
 		}

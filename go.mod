@@ -1,0 +1,3 @@
+module crowddb
+
+go 1.24

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// E15: the async scheduler must deliver at least the 1.5x wall-clock win
+// the ROADMAP promises at window 8 vs the serial window 1, without ever
+// exceeding its window.
+func TestE15AsyncSpeedup(t *testing.T) {
+	serial, serialStats, err := asyncWorkload(42, 1, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapped, asyncStats, err := asyncWorkload(42, 8, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialStats.PeakInFlight != 1 {
+		t.Errorf("window 1 must serialize groups: peak %d", serialStats.PeakInFlight)
+	}
+	if asyncStats.PeakInFlight > 8 {
+		t.Errorf("window 8 exceeded: peak %d", asyncStats.PeakInFlight)
+	}
+	if speedup := float64(serial) / float64(overlapped); speedup < 1.5 {
+		t.Errorf("async speedup %.2fx below the 1.5x bar (serial %v, window-8 %v)",
+			speedup, serial, overlapped)
+	}
+}
+
+// The E15 table itself must be a deterministic function of the seed — the
+// fixed-seed regression for the whole experiment pipeline.
+func TestE15Deterministic(t *testing.T) {
+	a, b := E15AsyncScheduler(7), E15AsyncScheduler(7)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("E15 not deterministic per seed:\n%v\nvs\n%v", a.Rows, b.Rows)
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("expected 4 window rows: %v", a.Rows)
+	}
+}
+
+// E5 exercises the pipelined CrowdProbe path end to end (engine, probe
+// chunking, async scheduler); its table must also replay identically.
+func TestE5Deterministic(t *testing.T) {
+	a, b := E5CrowdProbe(42), E5CrowdProbe(42)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("E5 not deterministic per seed:\n%v\nvs\n%v", a.Rows, b.Rows)
+	}
+}

@@ -4,6 +4,12 @@
 // experiment returns a Table whose rows are the series the corresponding
 // figure plots; cmd/crowdbench prints them and the root bench_test.go
 // wraps them as testing.B benchmarks.
+//
+// Beyond the paper's exhibits, E13–E15 are extensions: E13 diurnal
+// responsiveness, E14 weighted-vote quality control, and E15 the
+// asynchronous HIT scheduler — wall-clock turnaround of a fixed workload
+// as the Task Manager's in-flight window (taskmgr.Config.MaxInFlight)
+// grows from 1 (the serial task manager) to 8 groups live at once.
 package bench
 
 import (

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"crowddb/internal/taskmgr"
 )
 
 // parse helpers for table cells.
@@ -140,8 +142,11 @@ func TestE6Shape(t *testing.T) {
 	}
 	batchedGroups := cellInt(t, tab.Rows[0][1])
 	naiveGroups := cellInt(t, tab.Rows[1][1])
-	if batchedGroups != 1 || naiveGroups < 10 {
-		t.Errorf("groups: batched=%d naive=%d", batchedGroups, naiveGroups)
+	// The batched join posts at most one async window of concurrent groups;
+	// the naive strategy posts (and serializes) one group per outer tuple.
+	window := taskmgr.DefaultConfig().MaxInFlight
+	if batchedGroups < 1 || batchedGroups > window || naiveGroups < 10 || batchedGroups >= naiveGroups {
+		t.Errorf("groups: batched=%d naive=%d (window %d)", batchedGroups, naiveGroups, window)
 	}
 	if cellDur(t, tab.Rows[0][4]) >= cellDur(t, tab.Rows[1][4]) {
 		t.Errorf("batched join must be faster: %v", tab.Rows)

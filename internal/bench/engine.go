@@ -128,7 +128,7 @@ func E6CrowdJoin(seed int64) *Table {
 	t.AddRow("per-tuple groups", fmt.Sprintf("%d", tsB.GroupsPosted), fmt.Sprintf("%d", tsB.HITsPosted),
 		fmt.Sprintf("%d", rowsB), fmtDur(tsB.CrowdTime))
 	engB.Close()
-	t.Notes = append(t.Notes, "batching posts one group for all join keys; per-tuple posting multiplies groups and serializes crowd waits")
+	t.Notes = append(t.Notes, "batching posts one async window of concurrent groups for all join keys; per-tuple posting multiplies groups and serializes crowd waits")
 	return t
 }
 

@@ -26,6 +26,7 @@ func All() []Experiment {
 		{"E12", "mobile vs AMT", E12MobileVsAMT},
 		{"E13", "diurnal responsiveness (extension)", E13Diurnal},
 		{"E14", "weighted-vote quality control (extension)", E14VotePolicy},
+		{"E15", "async speedup vs in-flight window (extension)", E15AsyncScheduler},
 	}
 }
 

@@ -65,11 +65,10 @@ func (p *Platform) Results(id crowd.GroupID) ([]*crowd.Assignment, error) {
 
 // Approve implements crowd.Platform, collecting the platform commission.
 func (p *Platform) Approve(assignmentID string, bonus crowd.Cents) error {
-	before := p.market.TotalSpent()
-	if err := p.market.Approve(assignmentID, bonus); err != nil {
+	pay, err := p.market.Approve(assignmentID, bonus)
+	if err != nil {
 		return err
 	}
-	pay := p.market.TotalSpent() - before
 	p.mu.Lock()
 	p.paid += pay
 	p.commission += pay * CommissionPct / 100

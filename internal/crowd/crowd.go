@@ -196,7 +196,28 @@ type GroupID string
 
 // Platform is what the Task Manager programs against (paper Fig. 1: the
 // Task Manager "makes the API calls to post tasks, assess their status, and
-// obtain results"). Implementations must be safe for concurrent use.
+// obtain results").
+//
+// Thread-safety contract: the Task Manager's async scheduler keeps several
+// HIT groups in flight and may call Post, Status, Results, Approve, Reject,
+// Expire, Step, and Now from different goroutines at once (Post from
+// submitters, everything else from the current clock driver). Every method
+// must therefore be safe for concurrent use. Additional guarantees
+// implementations must uphold:
+//
+//   - Post is atomic: a group is either fully registered (its ID valid for
+//     every other method) or an error is returned; no partial state.
+//   - Results returns copies — callers may retain and read the assignments
+//     without further synchronization while the simulation advances.
+//   - Step serializes internally; virtual time is monotone and Now never
+//     runs backwards. Callers must not assume Step is exclusive with
+//     Status/Results polling.
+//   - Approve/Reject are idempotence-checked: double-approving the same
+//     assignment is an error, never a double payment.
+//
+// Both simulated platforms (amt, mobile) satisfy this by delegating to the
+// sim.Market, whose methods all run under one mutex (including clock event
+// dispatch, which fires inside Step).
 type Platform interface {
 	// Name identifies the platform ("amt" or "mobile").
 	Name() string

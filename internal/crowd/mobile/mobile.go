@@ -128,7 +128,8 @@ func (p *Platform) Results(id crowd.GroupID) ([]*crowd.Assignment, error) {
 // Approve implements crowd.Platform. The mobile platform takes no
 // commission — it is the researchers' own service.
 func (p *Platform) Approve(assignmentID string, bonus crowd.Cents) error {
-	return p.market.Approve(assignmentID, bonus)
+	_, err := p.market.Approve(assignmentID, bonus)
+	return err
 }
 
 // Reject implements crowd.Platform.

@@ -297,7 +297,9 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 			ctx.Stats.Comparisons++
 		}
 	}
-	// Group by question (one HIT group per distinct question text).
+	// Group by question (HIT groups share one question text), then submit
+	// every group before collecting any: big single-question batches are
+	// split so several groups overlap on the platform (async pipelining).
 	byQ := map[string][]pending{}
 	var qOrder []string
 	for _, p := range todo {
@@ -306,24 +308,78 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 		}
 		byQ[p.question] = append(byQ[p.question], p)
 	}
-	for _, q := range qOrder {
-		batch := byQ[q]
-		pairs := make([]taskmgr.ComparePair, len(batch))
-		for i, p := range batch {
-			pairs[i] = taskmgr.ComparePair{Left: p.l, Right: p.r}
+	type eqCall struct {
+		question string
+		batch    []pending
+		call     *taskmgr.CompareCall
+	}
+	var dispatched []eqCall
+	drainFrom := func(k int) {
+		// An error abandons the remaining calls' results, but their groups
+		// are already live: wait them out so they don't keep occupying the
+		// scheduler's window after this query unwinds.
+		for _, c := range dispatched[k:] {
+			c.call.Wait() //nolint:errcheck // draining after a prior error
 		}
-		ds, err := ctx.Tasks.CompareEqual(q, pairs)
+	}
+	for _, q := range qOrder {
+		// Each question's batch is split into up to one window of groups;
+		// the scheduler queues whatever exceeds the global in-flight cap.
+		for _, batch := range chunkSlice(byQ[q], asyncWindow(ctx)) {
+			pairs := make([]taskmgr.ComparePair, len(batch))
+			for i, p := range batch {
+				pairs[i] = taskmgr.ComparePair{Left: p.l, Right: p.r}
+			}
+			call, err := ctx.Tasks.CompareEqualAsync(q, pairs)
+			if err != nil {
+				drainFrom(0)
+				return err
+			}
+			dispatched = append(dispatched, eqCall{question: q, batch: batch, call: call})
+		}
+	}
+	for k, c := range dispatched {
+		ds, err := c.call.Wait()
 		if err != nil {
+			drainFrom(k + 1)
 			return err
 		}
 		for i, d := range ds {
 			if d.Total == 0 {
 				continue
 			}
-			ctx.Cache.PutEqual(q, batch[i].l, batch[i].r, quality.Normalize(d.Value) == "yes")
+			ctx.Cache.PutEqual(c.question, c.batch[i].l, c.batch[i].r, quality.Normalize(d.Value) == "yes")
 		}
 	}
 	return nil
+}
+
+// asyncWindow is the Task Manager's in-flight window: how many HIT groups
+// the pipelined operators should aim to keep live at once.
+func asyncWindow(ctx *Ctx) int {
+	if ctx.Tasks == nil {
+		return 1
+	}
+	if w := ctx.Tasks.Config().MaxInFlight; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// chunkSlice splits items into at most n contiguous, near-equal chunks.
+func chunkSlice[T any](items []T, n int) [][]T {
+	if len(items) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	size := (len(items) + n - 1) / n
+	var out [][]T
+	for lo := 0; lo < len(items); lo += size {
+		out = append(out, items[lo:min(lo+size, len(items))])
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -385,16 +441,98 @@ type crowdSorter struct {
 	labels   []string
 }
 
-// sort quicksorts the index slice by crowd preference (winner first).
+// sort quicksorts the index slice by crowd preference (winner first),
+// breadth-first: each round batches one pivot-comparison HIT group per
+// open segment and submits them all before collecting any, so sibling
+// partitions' crowd waits overlap (log n rounds, each a window of
+// concurrent groups on the platform).
 func (s *crowdSorter) sort(idx []int) error {
-	if len(idx) <= 1 {
-		return nil
+	frontier := [][]int{idx}
+	for len(frontier) > 0 {
+		type segCall struct {
+			seg   []int
+			pivot int
+			pairs []taskmgr.ComparePair
+			call  *taskmgr.CompareCall
+		}
+		var round []segCall
+		drainFrom := func(k int) {
+			for _, sc := range round[k:] {
+				if sc.call != nil {
+					sc.call.Wait() //nolint:errcheck // draining after a prior error
+				}
+			}
+		}
+		// roundSeen dedups label pairs across sibling segments: with
+		// repeated labels two segments can need the same comparison in one
+		// round, and the cache is only written back at collection time.
+		roundSeen := map[string]bool{}
+		for _, seg := range frontier {
+			if len(seg) <= 1 {
+				continue
+			}
+			pivot := seg[len(seg)/2]
+			sc := segCall{seg: seg, pivot: pivot, pairs: s.pivotPairs(seg, pivot, roundSeen)}
+			if len(sc.pairs) > 0 {
+				call, err := s.ctx.Tasks.CompareOrderAsync(s.question, sc.pairs)
+				if err != nil {
+					drainFrom(0)
+					return err
+				}
+				sc.call = call
+			}
+			round = append(round, sc)
+		}
+		var next [][]int
+		for k, sc := range round {
+			if sc.call != nil {
+				ds, err := sc.call.Wait()
+				if err != nil {
+					drainFrom(k + 1)
+					return err
+				}
+				for k, d := range ds {
+					if d.Total == 0 {
+						continue
+					}
+					s.ctx.Cache.PutOrder(s.question, sc.pairs[k].Left, sc.pairs[k].Right, d.Value)
+				}
+			}
+			// Partition the segment in place around its pivot.
+			var before, after []int
+			for _, i := range sc.seg {
+				if i == sc.pivot {
+					continue
+				}
+				if s.prefers(i, sc.pivot) {
+					before = append(before, i)
+				} else {
+					after = append(after, i)
+				}
+			}
+			n := copy(sc.seg, before)
+			sc.seg[n] = sc.pivot
+			copy(sc.seg[n+1:], after)
+			if n > 1 {
+				next = append(next, sc.seg[:n])
+			}
+			if rest := sc.seg[n+1:]; len(rest) > 1 {
+				next = append(next, rest)
+			}
+		}
+		frontier = next
 	}
-	pivot := idx[len(idx)/2]
-	// Resolve every idx-vs-pivot comparison in one batch.
+	return nil
+}
+
+// pivotPairs gathers the uncached, in-budget comparisons a segment needs
+// against its pivot. roundSeen carries the pairs already gathered by
+// sibling segments this round — a duplicate is dropped here and resolved
+// from the cache once the sibling's group is collected (collection always
+// precedes this segment's partition step).
+func (s *crowdSorter) pivotPairs(seg []int, pivot int, roundSeen map[string]bool) []taskmgr.ComparePair {
 	var pairs []taskmgr.ComparePair
-	var pairIdx []int
-	for _, i := range idx {
+	for _, i := range seg {
 		if i == pivot || s.labels[i] == s.labels[pivot] {
 			continue
 		}
@@ -402,48 +540,19 @@ func (s *crowdSorter) sort(idx []int) error {
 			s.ctx.Stats.CacheHits++
 			continue
 		}
+		key := pairKey(s.question, s.labels[i], s.labels[pivot])
+		if roundSeen[key] {
+			continue
+		}
 		if s.ctx.Tasks == nil || !s.ctx.budgetOK() {
 			s.ctx.Stats.BudgetDenied++
 			continue
 		}
+		roundSeen[key] = true
 		pairs = append(pairs, taskmgr.ComparePair{Left: s.labels[i], Right: s.labels[pivot]})
-		pairIdx = append(pairIdx, i)
 		s.ctx.Stats.Comparisons++
 	}
-	if len(pairs) > 0 {
-		ds, err := s.ctx.Tasks.CompareOrder(s.question, pairs)
-		if err != nil {
-			return err
-		}
-		for k, d := range ds {
-			if d.Total == 0 {
-				continue
-			}
-			s.ctx.Cache.PutOrder(s.question, pairs[k].Left, pairs[k].Right, d.Value)
-		}
-		_ = pairIdx
-	}
-	var before, after []int
-	for _, i := range idx {
-		if i == pivot {
-			continue
-		}
-		if s.prefers(i, pivot) {
-			before = append(before, i)
-		} else {
-			after = append(after, i)
-		}
-	}
-	if err := s.sort(before); err != nil {
-		return err
-	}
-	if err := s.sort(after); err != nil {
-		return err
-	}
-	n := copy(idx, before)
-	idx[n] = pivot
-	copy(idx[n+1:], after)
-	return nil
+	return pairs
 }
 
 // prefers reports whether item i ranks before item j: by crowd verdict when
@@ -599,11 +708,13 @@ func andExpr(a, b parser.Expr) parser.Expr {
 	}
 }
 
-// probeCNulls sends one batched HIT group for every buffered row whose
-// asked crowd columns hold CNULL, coerces the majority answers, writes them
-// back to the row AND the store (memorization), and updates statistics.
-// Rows whose answers miss quorum are re-posted once (the operators'
-// built-in quality control, §3.2.1).
+// probeCNulls sends batched HIT groups for every buffered row whose asked
+// crowd columns hold CNULL, coerces the majority answers, writes them back
+// to the row AND the store (memorization), and updates statistics. The
+// request batch is split into up to MaxInFlight probe groups that are all
+// submitted before any is collected, so their crowd waits overlap. Rows
+// whose answers miss quorum are re-posted once (the operators' built-in
+// quality control, §3.2.1).
 func probeCNulls(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.RowID) error {
 	if err := probeCNullsOnce(ctx, node, rows, rowIDs); err != nil {
 		return err
@@ -637,32 +748,58 @@ func probeCNullsOnce(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.Row
 		return nil
 	}
 	ctx.Stats.ProbeRequests += len(reqs)
-	results, err := ctx.Tasks.ProbeValues(t.Name, reqs)
-	if err != nil {
-		return err
+
+	// Pipelined dispatch: post every chunk, then collect in order.
+	type probeChunk struct {
+		lo   int // offset of the chunk's first request in reqs
+		call *taskmgr.ProbeCall
 	}
-	for ri, res := range results {
-		i := reqRow[ri]
-		changed := false
-		for col, d := range res.Decisions {
-			if d.Total == 0 || !d.Quorum {
-				continue // no usable answer: the value stays CNULL
-			}
-			ci := t.ColumnIndex(col)
-			v, err := sqltypes.NewString(strings.TrimSpace(d.Value)).Coerce(t.Columns[ci].Type)
-			if err != nil {
-				continue // untypable answer: stays CNULL
-			}
-			rows[i][ci] = v
-			changed = true
-			if n := t.Stats.CNullCount[t.Columns[ci].Name]; n > 0 {
-				t.Stats.CNullCount[t.Columns[ci].Name] = n - 1
-			}
+	var chunks []probeChunk
+	drainFrom := func(k int) {
+		for _, c := range chunks[k:] {
+			c.call.Wait() //nolint:errcheck // draining after a prior error
 		}
-		if changed {
-			// Memorize: the crowd is never asked the same value twice.
-			if err := ctx.Store.Update(t.Name, rowIDs[i], rows[i]); err != nil {
-				return err
+	}
+	lo := 0
+	for _, chunk := range chunkSlice(reqs, asyncWindow(ctx)) {
+		call, err := ctx.Tasks.ProbeValuesAsync(t.Name, chunk)
+		if err != nil {
+			drainFrom(0)
+			return err
+		}
+		chunks = append(chunks, probeChunk{lo: lo, call: call})
+		lo += len(chunk)
+	}
+	for k, c := range chunks {
+		results, err := c.call.Wait()
+		if err != nil {
+			drainFrom(k + 1)
+			return err
+		}
+		for ri, res := range results {
+			i := reqRow[c.lo+ri]
+			changed := false
+			for col, d := range res.Decisions {
+				if d.Total == 0 || !d.Quorum {
+					continue // no usable answer: the value stays CNULL
+				}
+				ci := t.ColumnIndex(col)
+				v, err := sqltypes.NewString(strings.TrimSpace(d.Value)).Coerce(t.Columns[ci].Type)
+				if err != nil {
+					continue // untypable answer: stays CNULL
+				}
+				rows[i][ci] = v
+				changed = true
+				if n := t.Stats.CNullCount[t.Columns[ci].Name]; n > 0 {
+					t.Stats.CNullCount[t.Columns[ci].Name] = n - 1
+				}
+			}
+			if changed {
+				// Memorize: the crowd is never asked the same value twice.
+				if err := ctx.Store.Update(t.Name, rowIDs[i], rows[i]); err != nil {
+					drainFrom(k + 1)
+					return err
+				}
 			}
 		}
 	}
@@ -879,23 +1016,46 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 			ctx.Stats.NewTupleRequests += want
 		}
 		if len(reqs) > 0 {
-			batches, err := ctx.Tasks.NewTuplesBatch(t.Name, reqs)
-			if err != nil {
-				return err
+			// Pipelined solicitation: split the outer keys into up to
+			// MaxInFlight groups and post them all before collecting, so the
+			// next batch's HITs are already live while the previous batch's
+			// candidates are being inserted.
+			var calls []*taskmgr.TupleCall
+			drainFrom := func(k int) {
+				for _, c := range calls[k:] {
+					c.Wait() //nolint:errcheck // draining after a prior error
+				}
 			}
-			for _, cands := range batches {
-				accepted, err := insertCandidates(ctx, t, cands)
+			for _, chunk := range chunkSlice(reqs, asyncWindow(ctx)) {
+				call, err := ctx.Tasks.NewTuplesBatchAsync(t.Name, chunk)
 				if err != nil {
+					drainFrom(0)
 					return err
 				}
-				for _, row := range accepted {
-					ok, err := rowMatches(j.scan.Filter, row, j.scan.Schema())
+				calls = append(calls, call)
+			}
+			for k, call := range calls {
+				batches, err := call.Wait()
+				if err != nil {
+					drainFrom(k + 1)
+					return err
+				}
+				for _, cands := range batches {
+					accepted, err := insertCandidates(ctx, t, cands)
 					if err != nil {
+						drainFrom(k + 1)
 						return err
 					}
-					if ok {
-						kk := storage.IndexKey(row[rightColIdx])
-						matches[kk] = append(matches[kk], row)
+					for _, row := range accepted {
+						ok, err := rowMatches(j.scan.Filter, row, j.scan.Schema())
+						if err != nil {
+							drainFrom(k + 1)
+							return err
+						}
+						if ok {
+							kk := storage.IndexKey(row[rightColIdx])
+							matches[kk] = append(matches[kk], row)
+						}
 					}
 				}
 			}

@@ -423,14 +423,16 @@ func (m *Market) Results(id crowd.GroupID) ([]*crowd.Assignment, error) {
 	return out, nil
 }
 
-// Approve pays the worker the group reward plus bonus.
-func (m *Market) Approve(assignmentID string, bonus crowd.Cents) error {
+// Approve pays the worker the group reward plus bonus and returns the
+// amount paid, so callers layering fees on top (the AMT commission) see
+// the exact payment without racing on aggregate counters.
+func (m *Market) Approve(assignmentID string, bonus crowd.Cents) (crowd.Cents, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, g := range m.groups {
 		if a, ok := g.byAssignID[assignmentID]; ok {
 			if a.Status == crowd.AssignmentApproved {
-				return fmt.Errorf("sim: assignment %s already approved", assignmentID)
+				return 0, fmt.Errorf("sim: assignment %s already approved", assignmentID)
 			}
 			a.Status = crowd.AssignmentApproved
 			pay := g.spec.Reward + bonus
@@ -438,10 +440,10 @@ func (m *Market) Approve(assignmentID string, bonus crowd.Cents) error {
 			if w := m.workerByID(a.WorkerID); w != nil {
 				w.Earned += pay
 			}
-			return nil
+			return pay, nil
 		}
 	}
-	return fmt.Errorf("sim: unknown assignment %s", assignmentID)
+	return 0, fmt.Errorf("sim: unknown assignment %s", assignmentID)
 }
 
 // Reject refuses an assignment without pay.

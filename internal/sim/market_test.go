@@ -223,10 +223,14 @@ func TestApprovePaysWorker(t *testing.T) {
 	if len(res) == 0 {
 		t.Fatal("no results")
 	}
-	if err := m.Approve(res[0].ID, 2); err != nil {
+	pay, err := m.Approve(res[0].ID, 2)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Approve(res[0].ID, 0); err == nil {
+	if pay != 5 { // 3 reward + 2 bonus
+		t.Errorf("pay: %v", pay)
+	}
+	if _, err := m.Approve(res[0].ID, 0); err == nil {
 		t.Error("double approve must fail")
 	}
 	if m.TotalSpent() != 5 { // 3 reward + 2 bonus

@@ -1,0 +1,378 @@
+package taskmgr
+
+// The asynchronous HIT-group scheduler (paper §3: "the Task Manager posts
+// the tasks and the executor continues processing while the crowd works").
+// Submit posts a group without waiting for its answers and returns a
+// Pending handle; Wait blocks until the group completes or hits its
+// deadline. Up to Config.MaxInFlight groups are live on the platform at
+// once — further submissions queue and are admitted as slots free up.
+//
+// Virtual time advances only inside Wait: the first goroutine that blocks
+// on an unresolved group takes the driver role, repeatedly polling every
+// in-flight group and stepping the platform clock by PollInterval until
+// its own group resolves, then hands the role to the next waiter. Exactly
+// one goroutine ever steps the clock, so for a fixed seed and a fixed
+// Submit order the simulation replays identically regardless of how many
+// goroutines are waiting — the property the determinism tests pin down.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"crowddb/internal/crowd"
+	"crowddb/internal/quality"
+	"crowddb/internal/ui"
+)
+
+// Pending is a handle to an asynchronously submitted HIT group.
+type Pending struct {
+	m     *Manager
+	group *crowd.HITGroup
+
+	// Scheduler-owned fields, guarded by m.sched.mu until resolution.
+	id       crowd.GroupID
+	posted   bool
+	postedAt time.Duration
+	deadline time.Duration
+
+	// Result fields, written exactly once before done is closed.
+	byHIT map[string][]*crowd.Assignment
+	err   error
+	done  chan struct{}
+}
+
+// Done reports, without blocking, whether the group has resolved.
+func (p *Pending) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the group completes, expires, or fails, and returns
+// its assignments indexed by HIT ID. Concurrent waiters are safe; Wait may
+// be called more than once and returns the same result each time.
+func (p *Pending) Wait() (map[string][]*crowd.Assignment, error) {
+	m := p.m
+	for {
+		select {
+		case <-p.done:
+			return p.byHIT, p.err
+		default:
+		}
+		m.sched.mu.Lock()
+		if m.sched.driving {
+			// Another waiter owns the clock: block until our group resolves
+			// or the driver hands off, then re-contend.
+			handoff := m.sched.handoff
+			m.sched.mu.Unlock()
+			select {
+			case <-p.done:
+				return p.byHIT, p.err
+			case <-handoff:
+			}
+			continue
+		}
+		m.sched.driving = true
+		m.sched.mu.Unlock()
+
+		m.drive(p)
+
+		m.sched.mu.Lock()
+		m.sched.driving = false
+		close(m.sched.handoff)
+		m.sched.handoff = make(chan struct{})
+		m.sched.mu.Unlock()
+	}
+}
+
+// scheduler holds the in-flight window and the clock-driver token. Its
+// mutex guards the pending lists and the Pending bookkeeping fields; it is
+// never held while polling the platform (only across Post, which platforms
+// must support concurrently anyway).
+type scheduler struct {
+	mu       sync.Mutex
+	inflight []*Pending
+	queued   []*Pending
+	driving  bool
+	handoff  chan struct{} // closed and replaced on every driver release
+}
+
+// Submit validates and posts a HIT group asynchronously. If the in-flight
+// window is full the group is queued and posted when a slot frees (its
+// deadline then runs from that later posting time). Submission errors are
+// delivered through Wait.
+func (m *Manager) Submit(group *crowd.HITGroup) *Pending {
+	p := &Pending{m: m, group: group, done: make(chan struct{})}
+	m.sched.mu.Lock()
+	if len(m.sched.inflight) < m.cfg.MaxInFlight {
+		m.admitLocked(p)
+	} else {
+		m.sched.queued = append(m.sched.queued, p)
+		m.noteQueueDepthLocked()
+	}
+	m.sched.mu.Unlock()
+	return p
+}
+
+// admitLocked posts p to the platform. Called with sched.mu held. A post
+// error resolves p immediately.
+func (m *Manager) admitLocked(p *Pending) {
+	id, err := m.platform.Post(p.group)
+	if err != nil {
+		m.resolveLocked(p, nil, fmt.Errorf("taskmgr: post: %w", err))
+		return
+	}
+	p.id = id
+	p.posted = true
+	p.postedAt = m.platform.Now()
+	p.deadline = p.postedAt + m.cfg.MaxWait
+	m.sched.inflight = append(m.sched.inflight, p)
+
+	m.mu.Lock()
+	m.stats.GroupsPosted++
+	m.stats.HITsPosted += len(p.group.HITs)
+	if n := len(m.sched.inflight); n > m.stats.PeakInFlight {
+		m.stats.PeakInFlight = n
+	}
+	m.mu.Unlock()
+}
+
+func (m *Manager) noteQueueDepthLocked() {
+	m.mu.Lock()
+	if n := len(m.sched.queued); n > m.stats.PeakQueueDepth {
+		m.stats.PeakQueueDepth = n
+	}
+	m.mu.Unlock()
+}
+
+// resolveLocked publishes p's result and admits queued groups into the
+// freed slot. Called with sched.mu held.
+func (m *Manager) resolveLocked(p *Pending, byHIT map[string][]*crowd.Assignment, err error) {
+	for i, q := range m.sched.inflight {
+		if q == p {
+			m.sched.inflight = append(m.sched.inflight[:i], m.sched.inflight[i+1:]...)
+			break
+		}
+	}
+	for len(m.sched.queued) > 0 && len(m.sched.inflight) < m.cfg.MaxInFlight {
+		next := m.sched.queued[0]
+		m.sched.queued = m.sched.queued[1:]
+		m.admitLocked(next)
+	}
+	p.byHIT = byHIT
+	p.err = err
+	close(p.done)
+}
+
+// drive owns the platform clock: it polls every in-flight group, resolves
+// the finished ones, and steps virtual time by PollInterval until target
+// resolves. Exactly one goroutine runs drive at a time.
+//
+// CrowdTime accounting lives here: virtual time only ever advances in the
+// Step below, so counting each step taken while at least one group is in
+// flight yields the exact union of the in-flight intervals — overlapping
+// groups count once, and for serial use it matches the old synchronous
+// post-to-collect turnaround.
+func (m *Manager) drive(target *Pending) {
+	for {
+		m.pollInflight()
+		select {
+		case <-target.done:
+			return
+		default:
+		}
+		m.sched.mu.Lock()
+		busy := len(m.sched.inflight) > 0
+		m.sched.mu.Unlock()
+		m.platform.Step(m.cfg.PollInterval)
+		if busy {
+			m.mu.Lock()
+			m.stats.CrowdTime += m.cfg.PollInterval
+			m.mu.Unlock()
+		}
+	}
+}
+
+// pollInflight checks every in-flight group once and resolves those that
+// are done or past their deadline.
+func (m *Manager) pollInflight() {
+	m.sched.mu.Lock()
+	live := append([]*Pending(nil), m.sched.inflight...)
+	m.sched.mu.Unlock()
+
+	for _, p := range live {
+		st, err := m.platform.Status(p.id)
+		if err != nil {
+			m.finish(p, nil, fmt.Errorf("taskmgr: status: %w", err))
+			continue
+		}
+		switch {
+		case st.Done():
+			if st.Expired {
+				m.countExpired()
+			}
+			m.collect(p)
+		case m.platform.Now() >= p.deadline:
+			// Deadline: expire and work with what we have (the paper's
+			// operators must tolerate incomplete crowd answers).
+			if err := m.platform.Expire(p.id); err != nil {
+				m.finish(p, nil, fmt.Errorf("taskmgr: expire: %w", err))
+				continue
+			}
+			m.countExpired()
+			m.collect(p)
+		}
+	}
+}
+
+func (m *Manager) countExpired() {
+	m.mu.Lock()
+	m.stats.ExpiredGroups++
+	m.mu.Unlock()
+}
+
+// collect gathers a finished group's assignments, settles payments, and
+// resolves the Pending.
+func (m *Manager) collect(p *Pending) {
+	results, err := m.platform.Results(p.id)
+	if err != nil {
+		m.finish(p, nil, fmt.Errorf("taskmgr: results: %w", err))
+		return
+	}
+	if m.payer != nil {
+		approved, err := m.payer.Settle(m.platform, results)
+		if err != nil {
+			m.finish(p, nil, fmt.Errorf("taskmgr: settle: %w", err))
+			return
+		}
+		m.mu.Lock()
+		m.stats.ApprovedSpend += crowd.Cents(approved) * m.cfg.Reward
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.stats.AssignmentsIn += len(results)
+	m.mu.Unlock()
+
+	byHIT := make(map[string][]*crowd.Assignment)
+	for _, a := range results {
+		byHIT[a.HITID] = append(byHIT[a.HITID], a)
+	}
+	m.finish(p, byHIT, nil)
+}
+
+// finish resolves p under the scheduler lock.
+func (m *Manager) finish(p *Pending, byHIT map[string][]*crowd.Assignment, err error) {
+	m.sched.mu.Lock()
+	m.resolveLocked(p, byHIT, err)
+	m.sched.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Typed async calls: the futures the pipelined crowd operators consume.
+
+// ProbeCall is an in-flight ProbeValues batch.
+type ProbeCall struct {
+	m       *Manager
+	reqs    []ProbeRequest
+	group   *crowd.HITGroup
+	pending *Pending
+
+	// decide() feeds the quality tracker and the decision counters, so the
+	// derivation must run exactly once however often Wait is called.
+	once sync.Once
+	res  []ProbeResult
+	err  error
+}
+
+// Wait blocks for the probe answers; results align with the request slice.
+// Wait is idempotent: repeated calls return the same result.
+func (c *ProbeCall) Wait() ([]ProbeResult, error) {
+	if c == nil || c.pending == nil {
+		return nil, nil
+	}
+	c.once.Do(func() {
+		byHIT, err := c.pending.Wait()
+		if err != nil {
+			c.err = err
+			return
+		}
+		out := make([]ProbeResult, len(c.reqs))
+		for i, r := range c.reqs {
+			hitID := c.group.HITs[i].ID
+			res := ProbeResult{Decisions: make(map[string]quality.Decision, len(r.Ask))}
+			for _, col := range r.Ask {
+				res.Decisions[col] = c.m.decide(byHIT[hitID], col)
+			}
+			out[i] = res
+		}
+		c.res = out
+	})
+	return c.res, c.err
+}
+
+// TupleCall is an in-flight NewTuplesBatch solicitation.
+type TupleCall struct {
+	m       *Manager
+	reqs    []TupleRequest
+	group   *crowd.HITGroup
+	hitReq  map[string]int
+	pending *Pending
+
+	once sync.Once
+	res  [][]map[string]string
+	err  error
+}
+
+// Wait blocks for the candidate tuples; results align with the requests.
+// Wait is idempotent: repeated calls return the same result.
+func (c *TupleCall) Wait() ([][]map[string]string, error) {
+	if c == nil || c.pending == nil {
+		return nil, nil
+	}
+	c.once.Do(func() {
+		byHIT, err := c.pending.Wait()
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.res = c.m.collectTuples(c.reqs, c.group, c.hitReq, byHIT)
+	})
+	return c.res, c.err
+}
+
+// CompareCall is an in-flight comparison batch (CROWDEQUAL or CROWDORDER).
+type CompareCall struct {
+	m       *Manager
+	pairs   []ComparePair
+	group   *crowd.HITGroup
+	pending *Pending
+
+	once sync.Once
+	res  []quality.Decision
+	err  error
+}
+
+// Wait blocks for the majority-vote decisions; results align with pairs.
+// Wait is idempotent: repeated calls return the same result.
+func (c *CompareCall) Wait() ([]quality.Decision, error) {
+	if c == nil || c.pending == nil {
+		return nil, nil
+	}
+	c.once.Do(func() {
+		byHIT, err := c.pending.Wait()
+		if err != nil {
+			c.err = err
+			return
+		}
+		out := make([]quality.Decision, len(c.pairs))
+		for i := range c.pairs {
+			out[i] = c.m.decide(byHIT[c.group.HITs[i].ID], ui.AnswerField)
+		}
+		c.res = out
+	})
+	return c.res, c.err
+}

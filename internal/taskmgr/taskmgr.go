@@ -48,6 +48,10 @@ type Config struct {
 	// (each assignment is a distinct candidate tuple, so this is the
 	// number of candidates requested per open slot).
 	NewTupleAssignments int
+	// MaxInFlight bounds how many HIT groups may be live on the platform
+	// at once (the async scheduler's window). Submissions beyond it queue
+	// until a slot frees. 1 serializes groups (the original behavior).
+	MaxInFlight int
 }
 
 // DefaultConfig matches the paper's experimental defaults: 2¢ HITs,
@@ -59,19 +63,28 @@ func DefaultConfig() Config {
 		PollInterval:        time.Minute,
 		MaxWait:             72 * time.Hour,
 		NewTupleAssignments: 1,
+		MaxInFlight:         8,
 	}
 }
 
 // Stats counts crowd activity for the experiment harness.
 type Stats struct {
-	GroupsPosted   int
-	HITsPosted     int
-	AssignmentsIn  int
-	Decisions      int
-	CrowdTime      time.Duration // virtual time spent waiting on the crowd
-	ApprovedSpend  crowd.Cents   // rewards paid (excl. platform commission)
+	GroupsPosted  int
+	HITsPosted    int
+	AssignmentsIn int
+	Decisions     int
+	// CrowdTime is the virtual time spent waiting on the crowd: the union
+	// of all in-flight group intervals, so overlapping groups count once.
+	CrowdTime      time.Duration
+	ApprovedSpend  crowd.Cents // rewards paid (excl. platform commission)
 	ExpiredGroups  int
 	PartialResults int // HITs resolved from fewer than Assignments answers
+	// MaxInFlight echoes the configured async window.
+	MaxInFlight int
+	// PeakInFlight is the most groups ever simultaneously live.
+	PeakInFlight int
+	// PeakQueueDepth is the longest the over-window submission queue got.
+	PeakQueueDepth int
 }
 
 // Manager is the Task Manager.
@@ -86,6 +99,8 @@ type Manager struct {
 	mu    sync.Mutex
 	stats Stats
 	seq   int
+
+	sched scheduler
 }
 
 // New assembles a Task Manager. oracle may be nil (workers will answer
@@ -106,14 +121,21 @@ func New(platform crowd.Platform, uim *ui.Manager, tracker *quality.Tracker, pay
 	if cfg.Reward <= 0 {
 		cfg.Reward = 2
 	}
-	return &Manager{platform: platform, ui: uim, tracker: tracker, payer: payer, oracle: oracle, cfg: cfg}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 8
+	}
+	m := &Manager{platform: platform, ui: uim, tracker: tracker, payer: payer, oracle: oracle, cfg: cfg}
+	m.sched.handoff = make(chan struct{})
+	return m
 }
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	st.MaxInFlight = m.cfg.MaxInFlight
+	return st
 }
 
 // Config returns the manager's effective configuration.
@@ -145,6 +167,17 @@ type ProbeResult struct {
 // one table, as a single HIT group (CrowdProbe's data path; batching is
 // what makes CrowdJoin efficient, experiment E6). Results align with reqs.
 func (m *Manager) ProbeValues(table string, reqs []ProbeRequest) ([]ProbeResult, error) {
+	call, err := m.ProbeValuesAsync(table, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return call.Wait()
+}
+
+// ProbeValuesAsync submits a probe batch without waiting for its answers;
+// the returned call's Wait collects them. The pipelined crowd operators
+// use it to keep several probe groups in flight.
+func (m *Manager) ProbeValuesAsync(table string, reqs []ProbeRequest) (*ProbeCall, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -173,20 +206,7 @@ func (m *Manager) ProbeValues(table string, reqs []ProbeRequest) ([]ProbeResult,
 		}
 		group.HITs = append(group.HITs, hit)
 	}
-	byHIT, err := m.postAndCollect(group)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]ProbeResult, len(reqs))
-	for i, r := range reqs {
-		hitID := group.HITs[i].ID
-		res := ProbeResult{Decisions: make(map[string]quality.Decision, len(r.Ask))}
-		for _, col := range r.Ask {
-			res.Decisions[col] = m.decide(byHIT[hitID], col)
-		}
-		out[i] = res
-	}
-	return out, nil
+	return &ProbeCall{m: m, reqs: reqs, group: group, pending: m.Submit(group)}, nil
 }
 
 // NewTuples solicits candidate tuples for a CROWD table, pre-filling the
@@ -211,6 +231,16 @@ type TupleRequest struct {
 // HIT group. This is CrowdJoin's batching path (experiment E6): one group
 // per join instead of one group per outer tuple. Results align with reqs.
 func (m *Manager) NewTuplesBatch(table string, reqs []TupleRequest) ([][]map[string]string, error) {
+	call, err := m.NewTuplesBatchAsync(table, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return call.Wait()
+}
+
+// NewTuplesBatchAsync submits a tuple solicitation without waiting;
+// the returned call's Wait collects the candidates.
+func (m *Manager) NewTuplesBatchAsync(table string, reqs []TupleRequest) (*TupleCall, error) {
 	total := 0
 	for _, r := range reqs {
 		total += r.Want
@@ -247,10 +277,12 @@ func (m *Manager) NewTuplesBatch(table string, reqs []TupleRequest) ([][]map[str
 			group.HITs = append(group.HITs, hit)
 		}
 	}
-	byHIT, err := m.postAndCollect(group)
-	if err != nil {
-		return nil, err
-	}
+	return &TupleCall{m: m, reqs: reqs, group: group, hitReq: hitReq, pending: m.Submit(group)}, nil
+}
+
+// collectTuples turns a solicitation group's assignments into usable
+// candidate tuples aligned with the requests.
+func (m *Manager) collectTuples(reqs []TupleRequest, group *crowd.HITGroup, hitReq map[string]int, byHIT map[string][]*crowd.Assignment) [][]map[string]string {
 	out := make([][]map[string]string, len(reqs))
 	for _, hit := range group.HITs {
 		ri := hitReq[hit.ID]
@@ -276,7 +308,7 @@ func (m *Manager) NewTuplesBatch(table string, reqs []TupleRequest) ([][]map[str
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // ComparePair is one binary comparison task.
@@ -287,16 +319,34 @@ type ComparePair struct {
 // CompareEqual asks the crowd whether pairs of values denote the same
 // entity (CROWDEQUAL). Decisions are "yes"/"no" majority votes per pair.
 func (m *Manager) CompareEqual(question string, pairs []ComparePair) ([]quality.Decision, error) {
-	return m.compare(crowd.TaskCompareEqual, question, pairs)
+	call, err := m.CompareEqualAsync(question, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return call.Wait()
 }
 
 // CompareOrder asks the crowd which of two items ranks higher
 // (CROWDORDER); each decision's Value is the winning item.
 func (m *Manager) CompareOrder(question string, pairs []ComparePair) ([]quality.Decision, error) {
-	return m.compare(crowd.TaskCompareOrder, question, pairs)
+	call, err := m.CompareOrderAsync(question, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return call.Wait()
 }
 
-func (m *Manager) compare(kind crowd.TaskKind, question string, pairs []ComparePair) ([]quality.Decision, error) {
+// CompareEqualAsync submits a CROWDEQUAL batch without waiting.
+func (m *Manager) CompareEqualAsync(question string, pairs []ComparePair) (*CompareCall, error) {
+	return m.compareAsync(crowd.TaskCompareEqual, question, pairs)
+}
+
+// CompareOrderAsync submits a CROWDORDER batch without waiting.
+func (m *Manager) CompareOrderAsync(question string, pairs []ComparePair) (*CompareCall, error) {
+	return m.compareAsync(crowd.TaskCompareOrder, question, pairs)
+}
+
+func (m *Manager) compareAsync(kind crowd.TaskKind, question string, pairs []ComparePair) (*CompareCall, error) {
 	if len(pairs) == 0 {
 		return nil, nil
 	}
@@ -332,15 +382,7 @@ func (m *Manager) compare(kind crowd.TaskKind, question string, pairs []CompareP
 		}
 		group.HITs = append(group.HITs, hit)
 	}
-	byHIT, err := m.postAndCollect(group)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]quality.Decision, len(pairs))
-	for i := range pairs {
-		out[i] = m.decide(byHIT[group.HITs[i].ID], ui.AnswerField)
-	}
-	return out, nil
+	return &CompareCall{m: m, pairs: pairs, group: group, pending: m.Submit(group)}, nil
 }
 
 // decide majority-votes one field over a HIT's assignments and feeds the
@@ -361,70 +403,4 @@ func (m *Manager) decide(assignments []*crowd.Assignment, field string) quality.
 	}
 	m.mu.Unlock()
 	return d
-}
-
-// postAndCollect runs one group through the full lifecycle: post, poll
-// until done or deadline, settle payments, and index assignments by HIT.
-func (m *Manager) postAndCollect(group *crowd.HITGroup) (map[string][]*crowd.Assignment, error) {
-	start := m.platform.Now()
-	id, err := m.platform.Post(group)
-	if err != nil {
-		return nil, fmt.Errorf("taskmgr: post: %w", err)
-	}
-	m.mu.Lock()
-	m.stats.GroupsPosted++
-	m.stats.HITsPosted += len(group.HITs)
-	m.mu.Unlock()
-
-	deadline := start + m.cfg.MaxWait
-	for {
-		st, err := m.platform.Status(id)
-		if err != nil {
-			return nil, fmt.Errorf("taskmgr: status: %w", err)
-		}
-		if st.Done() {
-			if st.Expired {
-				m.mu.Lock()
-				m.stats.ExpiredGroups++
-				m.mu.Unlock()
-			}
-			break
-		}
-		if m.platform.Now() >= deadline {
-			// Deadline: expire and work with what we have (the paper's
-			// operators must tolerate incomplete crowd answers).
-			if err := m.platform.Expire(id); err != nil {
-				return nil, fmt.Errorf("taskmgr: expire: %w", err)
-			}
-			m.mu.Lock()
-			m.stats.ExpiredGroups++
-			m.mu.Unlock()
-			break
-		}
-		m.platform.Step(m.cfg.PollInterval)
-	}
-
-	results, err := m.platform.Results(id)
-	if err != nil {
-		return nil, fmt.Errorf("taskmgr: results: %w", err)
-	}
-	if m.payer != nil {
-		approved, err := m.payer.Settle(m.platform, results)
-		if err != nil {
-			return nil, fmt.Errorf("taskmgr: settle: %w", err)
-		}
-		m.mu.Lock()
-		m.stats.ApprovedSpend += crowd.Cents(approved) * m.cfg.Reward
-		m.mu.Unlock()
-	}
-	m.mu.Lock()
-	m.stats.AssignmentsIn += len(results)
-	m.stats.CrowdTime += m.platform.Now() - start
-	m.mu.Unlock()
-
-	byHIT := make(map[string][]*crowd.Assignment)
-	for _, a := range results {
-		byHIT[a.HITID] = append(byHIT[a.HITID], a)
-	}
-	return byHIT, nil
 }
