@@ -41,6 +41,9 @@ func BenchmarkE12MobileVsAMT(b *testing.B)       { benchExperiment(b, bench.E12M
 func BenchmarkE13Diurnal(b *testing.B)           { benchExperiment(b, bench.E13Diurnal) }
 func BenchmarkE14VotePolicy(b *testing.B)        { benchExperiment(b, bench.E14VotePolicy) }
 func BenchmarkE15AsyncScheduler(b *testing.B)    { benchExperiment(b, bench.E15AsyncScheduler) }
+func BenchmarkE16ConcurrentSessions(b *testing.B) {
+	benchExperiment(b, bench.E16ConcurrentSessions)
+}
 
 // --- engine micro-benchmarks (no crowd: the relational substrate) ---
 

@@ -8,21 +8,53 @@
 //	crowdbench -run E6,E10     # run selected experiments
 //	crowdbench -seed 7         # change the simulation seed
 //	crowdbench -list           # list experiments
+//	crowdbench -json out/      # also write BENCH_<id>.json per experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"crowddb/internal/bench"
 )
 
+// benchJSON is the machine-readable BENCH_<id>.json shape: the full
+// result table plus the experiment's headline metrics (ops/sec, crowd
+// cost, cache hit rate, ...).
+type benchJSON struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Exhibit string             `json:"exhibit"`
+	Seed    int64              `json:"seed"`
+	Headers []string           `json:"headers"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func writeJSON(dir string, seed int64, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(benchJSON{
+		ID: t.ID, Title: t.Title, Exhibit: t.Exhibit, Seed: seed,
+		Headers: t.Headers, Rows: t.Rows, Notes: t.Notes, Metrics: t.Metrics,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+t.ID+".json"), append(data, '\n'), 0o644)
+}
+
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (all experiments are deterministic per seed)")
 	run := flag.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty = all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<id>.json results (empty = disabled)")
 	flag.Parse()
 
 	experiments := bench.All()
@@ -43,7 +75,14 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		e.Run(*seed).Fprint(os.Stdout)
+		tab := e.Run(*seed)
+		tab.Fprint(os.Stdout)
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, *seed, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "crowdbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -172,6 +172,9 @@ Commands: \stats \workers \templates \quit`)
 		} else {
 			fmt.Println("no crowd platform attached")
 		}
+		c := db.Engine().CacheStats()
+		fmt.Printf("compare-cache: size=%d cap=%d hits=%d misses=%d shared-flights=%d evictions=%d\n",
+			c.Size, c.Cap, c.Hits, c.Misses, c.Shared, c.Evictions)
 	case "\\workers":
 		ws := db.Engine().WRM().Community()
 		if len(ws) == 0 {

@@ -1,0 +1,168 @@
+// Command crowddbd is the CrowdDB query server: one shared engine over
+// the simulated crowd, served to many concurrent sessions over HTTP/JSON
+// and a line-oriented TCP wire protocol. Sessions share the store,
+// catalog, task manager, and comparison cache — identical in-flight crowd
+// questions from different sessions collapse into one HIT group.
+//
+// Usage:
+//
+//	crowddbd                          # HTTP on :8090, in-memory, simulated AMT
+//	crowddbd -http :8080 -tcp :4040   # also speak the TCP wire protocol
+//	crowddbd -data ./db -demo         # durable, pre-loaded conference schema
+//	crowddbd -budget 50               # default per-session comparison budget
+//
+// A quick session:
+//
+//	curl -s localhost:8090/query -d '{"sql":"SHOW TABLES;"}'
+//	curl -s localhost:8090/stats
+//	curl -s localhost:8090/healthz
+//
+// SIGINT/SIGTERM drain gracefully: running queries finish, new ones are
+// refused, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowddb"
+	"crowddb/internal/core"
+	"crowddb/internal/server"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func main() {
+	httpAddr := flag.String("http", ":8090", "HTTP/JSON listen address (empty = disabled)")
+	tcpAddr := flag.String("tcp", "", "TCP wire-protocol listen address (empty = disabled)")
+	data := flag.String("data", "", "data directory (empty = in-memory)")
+	platform := flag.String("platform", "amt", "crowd platform: amt, mobile, or none")
+	seed := flag.Int64("seed", 1, "crowd simulation seed")
+	demo := flag.Bool("demo", false, "pre-load the paper's VLDB conference schema and talks")
+	budget := flag.Int("budget", 0, "default per-session crowd-comparison budget (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum registered sessions")
+	maxConcurrent := flag.Int("max-concurrent", 32, "maximum concurrently executing queries")
+	cacheCap := flag.Int("cache-cap", 0, "comparison-cache residency cap (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	flag.Parse()
+
+	if *httpAddr == "" && *tcpAddr == "" {
+		fmt.Fprintln(os.Stderr, "crowddbd: nothing to serve (both -http and -tcp empty)")
+		os.Exit(1)
+	}
+
+	conf := workload.NewConference(20, *seed)
+	cfg := crowddb.Config{
+		DataDir:         *data,
+		Oracle:          conf.Oracle(),
+		Payment:         wrm.DefaultPolicy(),
+		CompareCacheCap: *cacheCap,
+	}
+	switch *platform {
+	case "amt":
+		cfg.Platform = crowddb.NewAMTPlatform(*seed)
+	case "mobile":
+		cfg.Platform = crowddb.NewMobilePlatform(*seed)
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "crowddbd: unknown platform %q\n", *platform)
+		os.Exit(1)
+	}
+
+	db, err := crowddb.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowddbd:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *demo {
+		if err := loadDemo(db.Engine(), conf); err != nil {
+			fmt.Fprintln(os.Stderr, "crowddbd: demo load:", err)
+			os.Exit(1)
+		}
+		fmt.Println("demo schema loaded: Talk (10 talks, crowd columns), NotableAttendee (crowd table)")
+	}
+
+	srv := server.New(db.Engine(), server.Config{
+		MaxSessions:   *maxSessions,
+		MaxConcurrent: *maxConcurrent,
+		SessionBudget: *budget,
+	})
+
+	errc := make(chan error, 2)
+	if *httpAddr != "" {
+		hs := &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
+		go func() {
+			fmt.Printf("crowddbd: HTTP/JSON on %s (platform=%s data=%q)\n", *httpAddr, *platform, *data)
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- err
+			}
+		}()
+		defer hs.Close() //nolint:errcheck // final teardown
+	}
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crowddbd:", err)
+			os.Exit(1)
+		}
+		go func() {
+			fmt.Printf("crowddbd: wire protocol on %s\n", *tcpAddr)
+			if err := srv.ServeWire(ln); err != nil {
+				errc <- err
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("crowddbd: %s, draining...\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "crowddbd:", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "crowddbd: drain:", err)
+	}
+	rep := srv.Stats()
+	fmt.Printf("crowddbd: served %d queries across %d sessions (%d rejected); cache %d entries, %d hits, %d shared flights\n",
+		rep.Server.Queries, rep.Server.SessionsOpened, rep.Server.Rejected,
+		rep.Cache.Size, rep.Cache.Hits, rep.Cache.Shared)
+}
+
+// loadDemo installs the paper's conference schema with the first ten
+// talks (same shape as the REPL's -demo).
+func loadDemo(eng *core.Engine, conf *workload.Conference) error {
+	if _, err := eng.Exec(`CREATE TABLE Talk (
+		title STRING PRIMARY KEY,
+		abstract CROWD STRING,
+		nb_attendees CROWD INTEGER )`); err != nil {
+		return err
+	}
+	if _, err := eng.Exec(`CREATE CROWD TABLE NotableAttendee (
+		name STRING PRIMARY KEY,
+		title STRING,
+		FOREIGN KEY (title) REF Talk(title) )`); err != nil {
+		return err
+	}
+	for _, talk := range conf.Talks[:10] {
+		if _, err := eng.Exec("INSERT INTO Talk (title) VALUES (" +
+			sqltypes.NewString(talk.Title).SQLLiteral() + ")"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -52,6 +52,7 @@ func E15AsyncScheduler(seed int64) *Table {
 		Title:   "async scheduler: turnaround vs in-flight window",
 		Exhibit: "paper §3 asynchronous task manager (extension)",
 		Headers: []string{"window", "makespan", "crowd time", "peak in-flight", "peak queue", "speedup"},
+		Metrics: map[string]float64{},
 	}
 	const groups, hitsPerGroup = 8, 12
 	var base time.Duration
@@ -67,7 +68,9 @@ func E15AsyncScheduler(seed int64) *Table {
 		speedup := "-"
 		if base > 0 && makespan > 0 {
 			speedup = fmt.Sprintf("%.1fx", float64(base)/float64(makespan))
+			t.Metrics[fmt.Sprintf("window%d_speedup", window)] = float64(base) / float64(makespan)
 		}
+		t.Metrics[fmt.Sprintf("window%d_makespan_minutes", window)] = makespan.Minutes()
 		t.AddRow(
 			fmt.Sprintf("%d", window),
 			fmtDur(makespan),

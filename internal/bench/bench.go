@@ -36,6 +36,9 @@ type Table struct {
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics carries machine-readable headline numbers (ops/sec, crowd
+	// cost, cache hit rate, ...) for crowdbench's BENCH_<id>.json output.
+	Metrics map[string]float64
 }
 
 // AddRow appends one formatted row.

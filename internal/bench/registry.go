@@ -27,6 +27,7 @@ func All() []Experiment {
 		{"E13", "diurnal responsiveness (extension)", E13Diurnal},
 		{"E14", "weighted-vote quality control (extension)", E14VotePolicy},
 		{"E15", "async speedup vs in-flight window (extension)", E15AsyncScheduler},
+		{"E16", "concurrent sessions: shared-cache crowd cost (extension)", E16ConcurrentSessions},
 	}
 }
 

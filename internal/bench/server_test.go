@@ -1,0 +1,47 @@
+package bench
+
+import "testing"
+
+// TestE16SublinearCrowdCost pins the acceptance criterion of the
+// multi-session server: total paid crowd comparisons for K concurrent
+// sessions issuing overlapping CROWDEQUAL/CROWDORDER queries grow
+// sublinearly in K.
+func TestE16SublinearCrowdCost(t *testing.T) {
+	one, err := e16Run(42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.comparisons == 0 {
+		t.Fatal("single session paid nothing; workload broken")
+	}
+	eight, err := e16Run(42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear growth would be 8x the single-session cost. Require well
+	// under 2x: the shared work is paid once, only the one private
+	// comparison per session scales.
+	if eight.comparisons >= 2*one.comparisons {
+		t.Errorf("8 sessions paid %d comparisons vs %d for 1 session — not sublinear",
+			eight.comparisons, one.comparisons)
+	}
+	if eight.hitRate <= one.hitRate {
+		t.Errorf("hit rate did not improve with sharing: %f -> %f", one.hitRate, eight.hitRate)
+	}
+}
+
+// TestE16SingleSessionDeterministic: the fixed-seed single-session run is
+// reproducible bit-for-bit (same paid comparisons, HITs, and spend).
+func TestE16SingleSessionDeterministic(t *testing.T) {
+	a, err := e16Run(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e16Run(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("single-session run not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -57,7 +57,10 @@ type Statistics struct {
 // probe against a CROWD table.
 const DefaultCrowdCard = 3
 
-// Table is a full table definition.
+// Table is a full table definition. Statistics live behind a mutex because
+// concurrent SELECTs update them from the crowd operators (memorizing a
+// probed value decrements the CNULL count, an accepted crowd tuple bumps
+// the row count) while other queries' optimizations read them.
 type Table struct {
 	Name        string
 	Crowd       bool // CREATE CROWD TABLE: open-world, tuples may be crowdsourced
@@ -65,7 +68,78 @@ type Table struct {
 	PrimaryKey  []string
 	ForeignKeys []ForeignKey
 	Annotation  string
-	Stats       Statistics
+
+	statsMu sync.Mutex
+	stats   Statistics
+}
+
+// Stats returns a consistent copy of the table's statistics.
+func (t *Table) Stats() Statistics {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	cp := t.stats
+	cp.CNullCount = make(map[string]int64, len(t.stats.CNullCount))
+	for k, v := range t.stats.CNullCount {
+		cp.CNullCount[k] = v
+	}
+	return cp
+}
+
+// RowCount returns the current stored-row count.
+func (t *Table) RowCount() int64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats.RowCount
+}
+
+// AddRowCount adjusts the stored-row count by delta.
+func (t *Table) AddRowCount(delta int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.stats.RowCount += delta
+}
+
+// SetRowCount overwrites the stored-row count (recovery).
+func (t *Table) SetRowCount(n int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.stats.RowCount = n
+}
+
+// AdjustCNull adjusts a column's outstanding-CNULL count by delta,
+// clamping at zero (answers can race recovery's recount).
+func (t *Table) AdjustCNull(col string, delta int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats.CNullCount == nil {
+		t.stats.CNullCount = make(map[string]int64)
+	}
+	n := t.stats.CNullCount[col] + delta
+	if n < 0 {
+		n = 0
+	}
+	t.stats.CNullCount[col] = n
+}
+
+// ResetCNullCounts clears all CNULL counters (before a recovery recount).
+func (t *Table) ResetCNullCounts() {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.stats.CNullCount = make(map[string]int64)
+}
+
+// ExpectedCrowdCard returns the predicted crowd tuples per probe key.
+func (t *Table) ExpectedCrowdCard() int64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats.ExpectedCrowdCard
+}
+
+// SetExpectedCrowdCard overrides the predicted crowd cardinality.
+func (t *Table) SetExpectedCrowdCard(n int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.stats.ExpectedCrowdCard = n
 }
 
 // Column returns the column definition by name (case-insensitive, like H2).
@@ -188,12 +262,14 @@ func (c *Catalog) CreateTable(t *Table) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	if t.Stats.CNullCount == nil {
-		t.Stats.CNullCount = make(map[string]int64)
+	t.statsMu.Lock()
+	if t.stats.CNullCount == nil {
+		t.stats.CNullCount = make(map[string]int64)
 	}
-	if t.Stats.ExpectedCrowdCard == 0 {
-		t.Stats.ExpectedCrowdCard = DefaultCrowdCard
+	if t.stats.ExpectedCrowdCard == 0 {
+		t.stats.ExpectedCrowdCard = DefaultCrowdCard
 	}
+	t.statsMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(t.Name)

@@ -198,10 +198,17 @@ func TestDefaultStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	tab, _ := c.Table("Talk")
-	if tab.Stats.ExpectedCrowdCard != DefaultCrowdCard {
-		t.Errorf("default crowd card: %d", tab.Stats.ExpectedCrowdCard)
+	if tab.Stats().ExpectedCrowdCard != DefaultCrowdCard {
+		t.Errorf("default crowd card: %d", tab.Stats().ExpectedCrowdCard)
 	}
-	if tab.Stats.CNullCount == nil {
-		t.Error("CNullCount map must be initialized")
+	// CNULL accounting works on a fresh table (the internal map is
+	// initialized and clamps at zero on the way down).
+	tab.AdjustCNull("abstract", 1)
+	if n := tab.Stats().CNullCount["abstract"]; n != 1 {
+		t.Errorf("CNULL count after increment: %d", n)
+	}
+	tab.AdjustCNull("abstract", -2)
+	if n := tab.Stats().CNullCount["abstract"]; n != 0 {
+		t.Errorf("CNULL count must clamp at zero, got %d", n)
 	}
 }

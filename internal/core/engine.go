@@ -48,6 +48,11 @@ type Config struct {
 	AllowUnbounded bool
 	// CompareBudget caps crowd comparisons per query (0 = unlimited).
 	CompareBudget int
+	// CompareCacheCap bounds the resident comparison-cache entries
+	// (0 = unbounded). Answers are persisted to the system table when
+	// memoized, and a resident miss reads through to it, so a paid
+	// answer is never re-purchased — only re-read from storage.
+	CompareCacheCap int
 	// Optimizer exposes the rule switches (ablation benchmarks).
 	Optimizer optimizer.Options
 }
@@ -68,7 +73,11 @@ type Result struct {
 	Stats exec.Stats
 }
 
-// Engine is a CrowdDB instance.
+// Engine is a CrowdDB instance. It is safe for concurrent use: SELECT,
+// EXPLAIN, and SHOW statements run concurrently (the storage and catalog
+// layers serialize internally, and crowd answers memoize through the
+// thread-safe comparison cache), while DDL and DML serialize against
+// everything else.
 type Engine struct {
 	cfg     Config
 	cat     *catalog.Catalog
@@ -79,19 +88,28 @@ type Engine struct {
 	tasks   *taskmgr.Manager
 	cache   *exec.CompareCache
 
-	mu        sync.Mutex
-	persisted map[string]bool // compare-cache entries already in the system table
+	// mu is the statement lock: read side for queries, write side for
+	// DDL/DML (which mutate catalog structure and UI templates in ways
+	// the readers do not tolerate mid-statement).
+	mu sync.RWMutex
+
+	// persistMu serializes compare-cache persistence; pendingPersist
+	// holds entries whose system-table write failed, for retry.
+	persistMu      sync.Mutex
+	pendingPersist []exec.Entry
 }
 
 // Open builds an engine, replaying any persisted schema and data.
 func Open(cfg Config) (*Engine, error) {
 	e := &Engine{
-		cfg:       cfg,
-		cat:       catalog.New(),
-		tracker:   quality.NewTracker(),
-		cache:     exec.NewCompareCache(),
-		persisted: make(map[string]bool),
+		cfg:     cfg,
+		cat:     catalog.New(),
+		tracker: quality.NewTracker(),
+		cache:   exec.NewCompareCacheSize(cfg.CompareCacheCap),
 	}
+	// Evicted answers stay readable: a resident miss falls back to the
+	// system table before the crowd is paid again.
+	e.cache.ReadThrough = e.lookupPersistedCompare
 	store, err := storage.NewStore(cfg.DataDir)
 	if err != nil {
 		return nil, err
@@ -122,11 +140,20 @@ func Open(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases resources (the WAL handle).
-func (e *Engine) Close() error { return e.store.Close() }
+// Close releases resources (the WAL handle) after in-flight statements
+// finish.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Close()
+}
 
 // Checkpoint snapshots the store and truncates the WAL.
-func (e *Engine) Checkpoint() error { return e.store.Checkpoint() }
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Checkpoint()
+}
 
 // Catalog exposes schema metadata (REPL, UI tooling).
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
@@ -142,6 +169,12 @@ func (e *Engine) Tasks() *taskmgr.Manager { return e.tasks }
 
 // Tracker exposes worker quality scores.
 func (e *Engine) Tracker() *quality.Tracker { return e.tracker }
+
+// Cache exposes the shared comparison cache (server stats, experiments).
+func (e *Engine) Cache() *exec.CompareCache { return e.cache }
+
+// CacheStats snapshots the shared comparison cache's counters.
+func (e *Engine) CacheStats() exec.CacheStats { return e.cache.Stats() }
 
 // schemaPath is the DDL replay script inside the data dir.
 func (e *Engine) schemaPath() string { return filepath.Join(e.cfg.DataDir, "schema.sql") }
@@ -187,10 +220,8 @@ func (e *Engine) refreshStats() {
 		if err != nil {
 			continue
 		}
-		t.Stats.RowCount = int64(n)
-		for k := range t.Stats.CNullCount {
-			delete(t.Stats.CNullCount, k)
-		}
+		t.SetRowCount(int64(n))
+		t.ResetCNullCounts()
 		ids, err := e.store.Scan(t.Name)
 		if err != nil {
 			continue
@@ -202,7 +233,7 @@ func (e *Engine) refreshStats() {
 			}
 			for ci, c := range t.Columns {
 				if row[ci].IsCNull() {
-					t.Stats.CNullCount[c.Name]++
+					t.AdjustCNull(c.Name, 1)
 				}
 			}
 		}
@@ -239,8 +270,40 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return e.ExecStmt(stmt)
 }
 
-// ExecStmt runs one parsed statement.
+// ExecOpts tunes one statement execution. The multi-session server uses
+// it to apply per-session crowd budgets on a shared engine.
+type ExecOpts struct {
+	// CompareBudget caps crowd comparisons for this statement. Negative
+	// uses the engine default (Config.CompareBudget); 0 is unlimited.
+	CompareBudget int
+}
+
+// DefaultExecOpts defers every knob to the engine configuration.
+func DefaultExecOpts() ExecOpts { return ExecOpts{CompareBudget: -1} }
+
+// ExecStmt runs one parsed statement with the engine defaults.
 func (e *Engine) ExecStmt(stmt parser.Statement) (*Result, error) {
+	return e.ExecStmtOpts(stmt, DefaultExecOpts())
+}
+
+// ExecStmtOpts runs one parsed statement. Read-only statements (SELECT,
+// EXPLAIN, SHOW) run concurrently with each other; DDL and DML serialize
+// against everything.
+func (e *Engine) ExecStmtOpts(stmt parser.Statement, opts ExecOpts) (*Result, error) {
+	switch s := stmt.(type) {
+	case *parser.Select:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.execSelect(s, opts)
+	case *parser.Explain:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.execExplain(s)
+	case *parser.ShowTables:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.execShowTables()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	switch s := stmt.(type) {
@@ -255,26 +318,24 @@ func (e *Engine) ExecStmt(stmt parser.Statement) (*Result, error) {
 		return e.execUpdate(s)
 	case *parser.Delete:
 		return e.execDelete(s)
-	case *parser.Select:
-		return e.execSelect(s)
-	case *parser.Explain:
-		return e.execExplain(s)
-	case *parser.ShowTables:
-		res := &Result{Columns: []string{"table", "kind", "rows"}}
-		for _, t := range e.cat.Tables() {
-			kind := "table"
-			if t.Crowd {
-				kind = "crowd table"
-			} else if t.HasCrowdColumns() {
-				kind = "table (crowd columns)"
-			}
-			res.Rows = append(res.Rows, storage.Row{
-				sqltypes.NewString(t.Name), sqltypes.NewString(kind), sqltypes.NewInt(t.Stats.RowCount),
-			})
-		}
-		return res, nil
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+func (e *Engine) execShowTables() (*Result, error) {
+	res := &Result{Columns: []string{"table", "kind", "rows"}}
+	for _, t := range e.cat.Tables() {
+		kind := "table"
+		if t.Crowd {
+			kind = "crowd table"
+		} else if t.HasCrowdColumns() {
+			kind = "table (crowd columns)"
+		}
+		res.Rows = append(res.Rows, storage.Row{
+			sqltypes.NewString(t.Name), sqltypes.NewString(kind), sqltypes.NewInt(t.RowCount()),
+		})
+	}
+	return res, nil
 }
 
 // applyDDL executes a DDL statement; persist controls schema-script append
@@ -403,10 +464,10 @@ func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
 		if _, err := e.store.Insert(t.Name, row); err != nil {
 			return nil, err
 		}
-		t.Stats.RowCount++
+		t.AddRowCount(1)
 		for ci, c := range t.Columns {
 			if row[ci].IsCNull() {
-				t.Stats.CNullCount[c.Name]++
+				t.AdjustCNull(c.Name, 1)
 			}
 		}
 		inserted++
@@ -455,11 +516,9 @@ func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
 				return nil, fmt.Errorf("core: column %s: %w", a.Column, err)
 			}
 			if row[ci].IsCNull() && !cv.IsCNull() {
-				if n := t.Stats.CNullCount[t.Columns[ci].Name]; n > 0 {
-					t.Stats.CNullCount[t.Columns[ci].Name] = n - 1
-				}
+				t.AdjustCNull(t.Columns[ci].Name, -1)
 			} else if !row[ci].IsCNull() && cv.IsCNull() {
-				t.Stats.CNullCount[t.Columns[ci].Name]++
+				t.AdjustCNull(t.Columns[ci].Name, 1)
 			}
 			updated[ci] = cv
 		}
@@ -497,15 +556,13 @@ func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
 		}
 		for ci, c := range t.Columns {
 			if row[ci].IsCNull() {
-				if n := t.Stats.CNullCount[c.Name]; n > 0 {
-					t.Stats.CNullCount[c.Name] = n - 1
-				}
+				t.AdjustCNull(c.Name, -1)
 			}
 		}
 		if err := e.store.Delete(t.Name, id); err != nil {
 			return nil, err
 		}
-		t.Stats.RowCount--
+		t.AddRowCount(-1)
 		affected++
 	}
 	return &Result{Affected: affected}, nil
@@ -521,17 +578,21 @@ func (e *Engine) compile(s *parser.Select) (*optimizer.Result, error) {
 	return optimizer.Optimize(root, e.cat, opts)
 }
 
-func (e *Engine) execSelect(s *parser.Select) (*Result, error) {
+func (e *Engine) execSelect(s *parser.Select, opts ExecOpts) (*Result, error) {
 	opt, err := e.compile(s)
 	if err != nil {
 		return nil, err
+	}
+	budget := e.cfg.CompareBudget
+	if opts.CompareBudget >= 0 {
+		budget = opts.CompareBudget
 	}
 	ctx := &exec.Ctx{
 		Store:         e.store,
 		Cat:           e.cat,
 		Tasks:         e.tasks,
 		Cache:         e.cache,
-		CompareBudget: e.cfg.CompareBudget,
+		CompareBudget: budget,
 	}
 	e.installSubqueryRunner(ctx, 0)
 	op, err := exec.Build(opt.Root, ctx)
@@ -571,12 +632,23 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 		if len(opt.Root.Schema()) != 1 {
 			return nil, fmt.Errorf("core: IN subquery must return exactly one column, got %d", len(opt.Root.Schema()))
 		}
+		// The subquery spends from the statement's remaining budget, not
+		// a fresh copy — its Comparisons merge into ctx.Stats below, so
+		// the outer query's later checks see the combined spend too.
+		budget := ctx.CompareBudget
+		if budget > 0 {
+			if remaining := budget - ctx.Stats.Comparisons; remaining > 0 {
+				budget = remaining
+			} else {
+				budget = -1 // exhausted: deny, do not grant unlimited
+			}
+		}
 		sub := &exec.Ctx{
 			Store:         ctx.Store,
 			Cat:           ctx.Cat,
 			Tasks:         ctx.Tasks,
 			Cache:         ctx.Cache,
-			CompareBudget: ctx.CompareBudget,
+			CompareBudget: budget,
 		}
 		e.installSubqueryRunner(sub, depth+1)
 		op, err := exec.Build(opt.Root, sub)
@@ -591,6 +663,8 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 		ctx.Stats.NewTupleRequests += sub.Stats.NewTupleRequests
 		ctx.Stats.Comparisons += sub.Stats.Comparisons
 		ctx.Stats.CacheHits += sub.Stats.CacheHits
+		ctx.Stats.SharedFlights += sub.Stats.SharedFlights
+		ctx.Stats.BudgetDenied += sub.Stats.BudgetDenied
 		ctx.Stats.RowsScanned += sub.Stats.RowsScanned
 		vals := make([]sqltypes.Value, len(rows))
 		for i, r := range rows {
@@ -620,26 +694,65 @@ func (e *Engine) execExplain(s *parser.Explain) (*Result, error) {
 	return &Result{Plan: sb.String(), Warnings: opt.Warnings}, nil
 }
 
-// persistCompareCache writes new comparison answers to the system table.
+// lookupPersistedCompare reads one comparison answer from the system
+// table (the cache's ReadThrough: resident misses check durable storage
+// before paying the crowd again). left/right arrive normalized. Entries
+// drained from the cache but not yet written (persist in progress or
+// retrying after an error) are covered by the pending list.
+func (e *Engine) lookupPersistedCompare(kind, question, left, right string) (string, bool) {
+	e.persistMu.Lock()
+	for _, en := range e.pendingPersist {
+		if en.Kind == kind && en.Question == question && en.Left == left && en.Right == right {
+			answer := en.Answer
+			e.persistMu.Unlock()
+			return answer, true
+		}
+	}
+	e.persistMu.Unlock()
+	id, ok := e.store.LookupPK(compareTable,
+		sqltypes.NewString(kind), sqltypes.NewString(question),
+		sqltypes.NewString(left), sqltypes.NewString(right))
+	if !ok {
+		return "", false
+	}
+	row, ok := e.store.Get(compareTable, id)
+	if !ok || len(row) != 5 {
+		return "", false
+	}
+	return row[4].Str(), true
+}
+
+// persistCompareCache writes the comparison answers memoized since the
+// last pass to the system table. Only the deltas are walked — the
+// resident cache is cross-session and can be large. Entries whose write
+// fails are retried on the next pass.
 func (e *Engine) persistCompareCache() error {
-	for _, entry := range e.cache.Snapshot() {
-		key := entry.Kind + "\x00" + entry.Question + "\x00" + entry.Left + "\x00" + entry.Right
-		if e.persisted[key] {
-			continue
+	e.persistMu.Lock()
+	defer e.persistMu.Unlock()
+	e.pendingPersist = append(e.pendingPersist, e.cache.TakeDirty()...)
+	for len(e.pendingPersist) > 0 {
+		if err := e.persistEntryLocked(e.pendingPersist[0]); err != nil {
+			return err
 		}
-		row := storage.Row{
-			sqltypes.NewString(entry.Kind),
-			sqltypes.NewString(entry.Question),
-			sqltypes.NewString(entry.Left),
-			sqltypes.NewString(entry.Right),
-			sqltypes.NewString(entry.Answer),
+		e.pendingPersist = e.pendingPersist[1:]
+	}
+	return nil
+}
+
+// persistEntryLocked writes one cache entry; an entry already in the
+// system table (duplicate key) is a no-op. Caller holds persistMu.
+func (e *Engine) persistEntryLocked(entry exec.Entry) error {
+	row := storage.Row{
+		sqltypes.NewString(entry.Kind),
+		sqltypes.NewString(entry.Question),
+		sqltypes.NewString(entry.Left),
+		sqltypes.NewString(entry.Right),
+		sqltypes.NewString(entry.Answer),
+	}
+	if _, err := e.store.Insert(compareTable, row); err != nil {
+		if _, dup := err.(*storage.DuplicateKeyError); !dup {
+			return err
 		}
-		if _, err := e.store.Insert(compareTable, row); err != nil {
-			if _, dup := err.(*storage.DuplicateKeyError); !dup {
-				return err
-			}
-		}
-		e.persisted[key] = true
 	}
 	return nil
 }
@@ -655,12 +768,10 @@ func (e *Engine) loadCompareCache() error {
 		if !ok || len(row) != 5 {
 			continue
 		}
-		entry := exec.Entry{
+		entries = append(entries, exec.Entry{
 			Kind: row[0].Str(), Question: row[1].Str(),
 			Left: row[2].Str(), Right: row[3].Str(), Answer: row[4].Str(),
-		}
-		entries = append(entries, entry)
-		e.persisted[entry.Kind+"\x00"+entry.Question+"\x00"+entry.Left+"\x00"+entry.Right] = true
+		})
 	}
 	e.cache.Load(entries)
 	return nil

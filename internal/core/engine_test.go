@@ -317,8 +317,8 @@ func TestInsertDefaultsCrowdColumnsToCNull(t *testing.T) {
 		t.Errorf("all inserted talks have CNULL abstracts: %d", len(res.Rows))
 	}
 	tab, _ := eng.Catalog().Table("Talk")
-	if tab.Stats.CNullCount["abstract"] != 10 {
-		t.Errorf("CNULL stats: %+v", tab.Stats.CNullCount)
+	if tab.Stats().CNullCount["abstract"] != 10 {
+		t.Errorf("CNULL stats: %+v", tab.Stats().CNullCount)
 	}
 }
 

@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCompareCacheLRUEviction(t *testing.T) {
+	c := NewCompareCacheSize(3)
+
+	c.PutEqual("q", "a", "b", true)
+	c.PutOrder("q", "a", "b", "a")
+	c.PutEqual("q", "c", "d", false)
+	if st := c.Stats(); st.Size != 3 || st.Evictions != 0 {
+		t.Fatalf("before cap: %+v", st)
+	}
+	// Drain the dirty record (as the engine's persist pass does): from
+	// here on, an evicted entry is only readable via ReadThrough.
+	if dirty := c.TakeDirty(); len(dirty) != 3 {
+		t.Fatalf("dirty entries: %v", dirty)
+	}
+	// Touch the oldest so the second-oldest is the LRU victim.
+	if same, ok := c.GetEqual("q", "a", "b"); !ok || !same {
+		t.Fatalf("GetEqual(a,b) = %v, %v", same, ok)
+	}
+	c.PutOrder("q", "e", "f", "f")
+	st := c.Stats()
+	if st.Size != 3 || st.Evictions != 1 {
+		t.Fatalf("after cap: %+v", st)
+	}
+	// The recently-touched equal entry survived; the order entry is gone.
+	if _, ok := c.GetEqual("q", "a", "b"); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if _, ok := c.GetOrder("q", "a", "b"); ok {
+		t.Error("LRU victim still resident (no ReadThrough set)")
+	}
+}
+
+func TestCompareCacheDirtyEntriesSurviveEviction(t *testing.T) {
+	c := NewCompareCacheSize(1)
+	c.PutEqual("q", "a", "b", true)
+	c.PutEqual("q", "c", "d", false) // evicts (a,b), whose record is still dirty
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if same, ok := c.GetEqual("q", "a", "b"); !ok || !same {
+		t.Error("evicted-but-unpersisted answer must stay readable")
+	}
+	if claim := c.ClaimEqual("q", "b", "a"); !claim.Hit || claim.Value != "yes" {
+		t.Errorf("claim on dirty evicted entry must hit, got %+v", claim)
+	}
+}
+
+func TestCompareCacheReadThroughRestoresEvicted(t *testing.T) {
+	durable := map[string]string{}
+	c := NewCompareCacheSize(1)
+	c.ReadThrough = func(kind, question, l, r string) (string, bool) {
+		v, ok := durable[kind+"/"+question+"/"+l+"/"+r]
+		return v, ok
+	}
+	c.PutEqual("q", "a", "b", true)
+	for _, e := range c.TakeDirty() { // the engine's persist pass
+		durable[e.Kind+"/"+e.Question+"/"+e.Left+"/"+e.Right] = e.Answer
+	}
+	c.PutEqual("q", "c", "d", false) // evicts the persisted (a,b)
+
+	// A claim on the evicted pair restores it from durable storage
+	// instead of appointing a paying leader.
+	claim := c.ClaimEqual("q", "b", "a")
+	if !claim.Hit || claim.Value != "yes" {
+		t.Fatalf("claim after eviction: %+v", claim)
+	}
+	// No paying leader was ever appointed: the restore counts as a hit
+	// (and re-inserting it evicted the other resident entry).
+	if st := c.Stats(); st.Misses != 0 || st.Hits != 1 {
+		t.Errorf("restored answer stats: %+v", st)
+	}
+}
+
+func TestCompareCacheClaimStates(t *testing.T) {
+	c := NewCompareCache()
+
+	leader := c.ClaimEqual("q", "x", "y")
+	if !leader.Leader || leader.Hit {
+		t.Fatalf("first claim must lead: %+v", leader)
+	}
+	follower := c.ClaimEqual("q", "y", "x") // symmetric key
+	if follower.Leader || follower.Hit {
+		t.Fatalf("second claim must follow: %+v", follower)
+	}
+
+	done := make(chan bool, 1)
+	go func() {
+		v, ok := follower.Wait()
+		done <- ok && v == "yes"
+	}()
+	c.PutEqual("q", "x", "y", true)
+	if !<-done {
+		t.Fatal("follower did not observe the leader's answer")
+	}
+	if hit := c.ClaimEqual("q", "x", "y"); !hit.Hit || hit.Value != "yes" {
+		t.Fatalf("post-resolution claim must hit: %+v", hit)
+	}
+
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCompareCacheAbandonWakesFollowers(t *testing.T) {
+	c := NewCompareCache()
+	leader := c.ClaimOrder("q", "l", "r")
+	follower := c.ClaimOrder("q", "l", "r")
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := follower.Wait()
+		done <- ok
+	}()
+	leader.Abandon()
+	if <-done {
+		t.Fatal("abandoned flight must resolve followers with ok=false")
+	}
+	// The question is claimable again, and a later Put is a no-op on the
+	// dead flight.
+	again := c.ClaimOrder("q", "l", "r")
+	if !again.Leader {
+		t.Fatalf("re-claim after abandon must lead: %+v", again)
+	}
+	c.PutOrder("q", "l", "r", "l")
+	leader.Abandon() // idempotent no-op after the answer is memoized
+	if v, ok := c.GetOrder("q", "l", "r"); !ok || v != "l" {
+		t.Fatalf("answer lost: %q, %v", v, ok)
+	}
+}
+
+func TestCompareCacheConcurrentClaims(t *testing.T) {
+	c := NewCompareCacheSize(64)
+	const goroutines, pairs = 16, 32
+	var paid sync.Map // pair index -> number of leaders
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < pairs; p++ {
+				l, r := string(rune('a'+p)), string(rune('A'+p))
+				claim := c.ClaimEqual("q", l, r)
+				switch {
+				case claim.Hit:
+				case claim.Leader:
+					n, _ := paid.LoadOrStore(p, new(int))
+					*(n.(*int))++ // counts leaders; must end at 1 per pair
+					c.PutEqual("q", l, r, true)
+				default:
+					if _, ok := claim.Wait(); !ok {
+						t.Errorf("pair %d: follower woke without answer", p)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for p := 0; p < pairs; p++ {
+		n, ok := paid.Load(p)
+		if !ok || *(n.(*int)) != 1 {
+			t.Errorf("pair %d paid %v times, want exactly 1", p, n)
+		}
+	}
+	if st := c.Stats(); st.Misses != pairs {
+		t.Errorf("misses = %d, want %d (one leader per pair)", st.Misses, pairs)
+	}
+}
+
+func TestCompareCacheSnapshotLoadRoundTrip(t *testing.T) {
+	c := NewCompareCache()
+	c.PutEqual("same entity?", "IBM", "International Business Machines", true)
+	c.PutOrder("better talk?", "A", "B", "B")
+	snap := c.TakeDirty()
+	if len(snap) != 2 {
+		t.Fatalf("dirty size %d", len(snap))
+	}
+	c2 := NewCompareCache()
+	c2.Load(snap)
+	if same, ok := c2.GetEqual("same entity?", "International Business Machines", "IBM"); !ok || !same {
+		t.Error("equal entry lost in round trip")
+	}
+	if w, ok := c2.GetOrder("better talk?", "B", "A"); !ok || w != "B" {
+		t.Error("order entry lost in round trip")
+	}
+	if st := c2.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("Load must not count stats: %+v", st)
+	}
+}

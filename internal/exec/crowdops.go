@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"crowddb/internal/catalog"
 	"crowddb/internal/parser"
@@ -21,10 +20,15 @@ type Stats struct {
 	ProbeRequests int
 	// NewTupleRequests counts solicited candidate tuples.
 	NewTupleRequests int
-	// Comparisons counts crowd-answered comparisons (cache misses).
+	// Comparisons counts crowd-answered comparisons this query paid for
+	// (cache misses it led).
 	Comparisons int
 	// CacheHits counts comparisons answered from the memo.
 	CacheHits int
+	// SharedFlights counts comparisons resolved by adopting another
+	// session's in-flight crowd question (singleflight) — answered without
+	// paying the crowd again.
+	SharedFlights int
 	// BudgetDenied counts comparisons skipped because the budget ran out.
 	BudgetDenied int
 }
@@ -38,8 +42,9 @@ type Ctx struct {
 	Tasks *taskmgr.Manager
 	// Cache memoizes crowd comparisons across queries.
 	Cache *CompareCache
-	// CompareBudget caps crowd comparisons per query (0 = unlimited);
-	// beyond it, CROWDORDER falls back to a deterministic label order.
+	// CompareBudget caps crowd comparisons per query (0 = unlimited,
+	// negative = already exhausted by an enclosing query); beyond it,
+	// CROWDORDER falls back to a deterministic label order.
 	CompareBudget int
 	// RunSubquery executes an uncorrelated IN-subquery and returns its
 	// single column's values; the engine installs it (nil = subqueries
@@ -71,110 +76,10 @@ func (c *Ctx) subqueryValues(e *parser.InExpr) ([]sqltypes.Value, error) {
 }
 
 func (c *Ctx) budgetOK() bool {
-	return c.CompareBudget <= 0 || c.Stats.Comparisons < c.CompareBudget
-}
-
-// ---------------------------------------------------------------------------
-// CompareCache: the memo for CrowdCompare answers. The engine persists it
-// in a system table so comparisons, like all crowd answers, are paid for
-// only once (paper §3: "Results obtained from the crowd are always stored
-// in the database for future use").
-
-// CompareCache is safe for concurrent use.
-type CompareCache struct {
-	mu    sync.Mutex
-	equal map[string]bool
-	order map[string]string
-}
-
-// NewCompareCache returns an empty cache.
-func NewCompareCache() *CompareCache {
-	return &CompareCache{equal: make(map[string]bool), order: make(map[string]string)}
-}
-
-func pairKey(question, l, r string) string {
-	if r < l {
-		l, r = r, l
+	if c.CompareBudget < 0 {
+		return false
 	}
-	return question + "\x00" + l + "\x00" + r
-}
-
-// GetEqual looks up a cached CROWDEQUAL verdict.
-func (c *CompareCache) GetEqual(question, l, r string) (bool, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.equal[pairKey(question, l, r)]
-	return v, ok
-}
-
-// PutEqual memoizes a CROWDEQUAL verdict.
-func (c *CompareCache) PutEqual(question, l, r string, same bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.equal[pairKey(question, l, r)] = same
-}
-
-// GetOrder looks up a cached CROWDORDER winner.
-func (c *CompareCache) GetOrder(question, l, r string) (string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.order[pairKey(question, l, r)]
-	return v, ok
-}
-
-// PutOrder memoizes a CROWDORDER winner.
-func (c *CompareCache) PutOrder(question, l, r, winner string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.order[pairKey(question, l, r)] = winner
-}
-
-// Entry is one persisted cache row (kind, question, left, right, answer).
-type Entry struct {
-	Kind     string // "equal" | "order"
-	Question string
-	Left     string
-	Right    string
-	Answer   string // "yes"/"no" or the winning label
-}
-
-// Snapshot dumps the cache for persistence.
-func (c *CompareCache) Snapshot() []Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []Entry
-	for k, v := range c.equal {
-		q, l, r := splitKey(k)
-		ans := "no"
-		if v {
-			ans = "yes"
-		}
-		out = append(out, Entry{Kind: "equal", Question: q, Left: l, Right: r, Answer: ans})
-	}
-	for k, v := range c.order {
-		q, l, r := splitKey(k)
-		out = append(out, Entry{Kind: "order", Question: q, Left: l, Right: r, Answer: v})
-	}
-	return out
-}
-
-// Load restores persisted entries.
-func (c *CompareCache) Load(entries []Entry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range entries {
-		k := pairKey(e.Question, e.Left, e.Right)
-		if e.Kind == "equal" {
-			c.equal[k] = e.Answer == "yes"
-		} else {
-			c.order[k] = e.Answer
-		}
-	}
-}
-
-func splitKey(k string) (q, l, r string) {
-	parts := strings.SplitN(k, "\x00", 3)
-	return parts[0], parts[1], parts[2]
+	return c.CompareBudget == 0 || c.Stats.Comparisons < c.CompareBudget
 }
 
 // ---------------------------------------------------------------------------
@@ -182,34 +87,52 @@ func splitKey(k string) (q, l, r string) {
 
 // cachedEqualResolver returns the evaluator hook for CROWDEQUAL: cache
 // first, then a single-pair crowd task (CrowdFilter prefetches batches, so
-// this path is the cold fallback, e.g. CROWDEQUAL in a SELECT list).
+// this path is the cold fallback, e.g. CROWDEQUAL in a SELECT list). The
+// cache claim collapses identical questions from concurrent sessions into
+// one crowd task.
 func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
 	if ctx.Cache == nil {
 		return nil
 	}
 	return func(question, l, r string) (sqltypes.Value, error) {
-		if same, ok := ctx.Cache.GetEqual(question, l, r); ok {
-			ctx.Stats.CacheHits++
+		// A follower whose leader abandons retries and, at the latest on
+		// the second pass, leads (or budget-denies) itself.
+		for attempt := 0; attempt < 3; attempt++ {
+			claim := ctx.Cache.ClaimEqual(question, l, r)
+			if claim.Hit {
+				ctx.Stats.CacheHits++
+				return sqltypes.NewBool(claim.Value == "yes"), nil
+			}
+			if !claim.Leader {
+				if v, ok := claim.Wait(); ok {
+					ctx.Stats.SharedFlights++
+					return sqltypes.NewBool(v == "yes"), nil
+				}
+				continue
+			}
+			if ctx.Tasks == nil || !ctx.budgetOK() {
+				claim.Abandon()
+				if ctx.Tasks != nil {
+					ctx.Stats.BudgetDenied++
+				}
+				return sqltypes.Null(), nil
+			}
+			ds, err := ctx.Tasks.CompareEqual(question, []taskmgr.ComparePair{{Left: l, Right: r}})
+			if err != nil {
+				claim.Abandon()
+				return sqltypes.Value{}, err
+			}
+			ctx.Stats.Comparisons++
+			d := ds[0]
+			if d.Total == 0 {
+				claim.Abandon()
+				return sqltypes.Null(), nil
+			}
+			same := quality.Normalize(d.Value) == "yes"
+			ctx.Cache.PutEqual(question, l, r, same) // resolves the claim
 			return sqltypes.NewBool(same), nil
 		}
-		if ctx.Tasks == nil || !ctx.budgetOK() {
-			if ctx.Tasks != nil {
-				ctx.Stats.BudgetDenied++
-			}
-			return sqltypes.Null(), nil
-		}
-		ds, err := ctx.Tasks.CompareEqual(question, []taskmgr.ComparePair{{Left: l, Right: r}})
-		if err != nil {
-			return sqltypes.Value{}, err
-		}
-		ctx.Stats.Comparisons++
-		d := ds[0]
-		if d.Total == 0 {
-			return sqltypes.Null(), nil
-		}
-		same := quality.Normalize(d.Value) == "yes"
-		ctx.Cache.PutEqual(question, l, r, same)
-		return sqltypes.NewBool(same), nil
+		return sqltypes.Null(), nil
 	}
 }
 
@@ -242,7 +165,9 @@ func collectCrowdEqualCalls(e parser.Expr) []crowdEqualCall {
 
 // prefetchCrowdEqual resolves, in one HIT group, every CROWDEQUAL pair the
 // condition needs across the buffered rows — the CrowdCompare batching the
-// paper's operators do.
+// paper's operators do. Pairs another session is already asking the crowd
+// about are not re-posted: their flights are adopted after this query's
+// own groups resolve (singleflight).
 func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Col) error {
 	if ctx.Tasks == nil || ctx.Cache == nil {
 		return nil
@@ -257,6 +182,16 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 	}
 	seen := map[string]bool{}
 	var todo []pending
+	var leaderClaims []Claim
+	var followers []Claim
+	// Every leader claim must resolve, or followers in other sessions hang.
+	// Memoizing an answer resolves it; this abandons the rest (errors, no
+	// quorum) as a no-op for the already-memoized ones.
+	defer func() {
+		for _, cl := range leaderClaims {
+			cl.Abandon()
+		}
+	}()
 	for _, row := range rows {
 		ectx := &evalCtx{schema: schema, row: row}
 		for _, call := range calls {
@@ -285,14 +220,21 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 				continue
 			}
 			seen[k] = true
-			if _, ok := ctx.Cache.GetEqual(question, l, r); ok {
+			claim := ctx.Cache.ClaimEqual(question, l, r)
+			if claim.Hit {
 				ctx.Stats.CacheHits++
 				continue
 			}
+			if !claim.Leader {
+				followers = append(followers, claim)
+				continue
+			}
 			if !ctx.budgetOK() {
+				claim.Abandon()
 				ctx.Stats.BudgetDenied++
 				continue
 			}
+			leaderClaims = append(leaderClaims, claim)
 			todo = append(todo, pending{question: question, l: l, r: r})
 			ctx.Stats.Comparisons++
 		}
@@ -350,6 +292,22 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 			}
 			ctx.Cache.PutEqual(c.question, c.batch[i].l, c.batch[i].r, quality.Normalize(d.Value) == "yes")
 		}
+	}
+	// Release leader claims whose groups yielded no quorum (their answers
+	// were never memoized) BEFORE waiting on foreign flights: a session
+	// symmetric to this one may be blocked on exactly those claims.
+	for _, cl := range leaderClaims {
+		cl.Abandon()
+	}
+	// Adopt the answers other sessions are sourcing. This must come after
+	// every own claim resolved: two sessions following each other's pairs
+	// before fulfilling their own would deadlock.
+	for _, cl := range followers {
+		if _, ok := cl.Wait(); ok {
+			ctx.Stats.SharedFlights++
+		}
+		// ok=false: the leader abandoned (error or no quorum); the pair
+		// resolves — or stays unknown — at eval time.
 	}
 	return nil
 }
@@ -445,7 +403,10 @@ type crowdSorter struct {
 // breadth-first: each round batches one pivot-comparison HIT group per
 // open segment and submits them all before collecting any, so sibling
 // partitions' crowd waits overlap (log n rounds, each a window of
-// concurrent groups on the platform).
+// concurrent groups on the platform). Pairs another session is already
+// asking are adopted from its flight instead of re-posted (singleflight);
+// their verdicts are awaited after this round's own groups resolve and
+// before any segment partitions.
 func (s *crowdSorter) sort(idx []int) error {
 	frontier := [][]int{idx}
 	for len(frontier) > 0 {
@@ -456,6 +417,15 @@ func (s *crowdSorter) sort(idx []int) error {
 			call  *taskmgr.CompareCall
 		}
 		var round []segCall
+		var leaderClaims, followers []Claim
+		// Abandon any leader claim whose answer was not memoized (post
+		// error or no quorum) so follower sessions never hang; memoized
+		// pairs make this a no-op.
+		releaseRound := func() {
+			for _, cl := range leaderClaims {
+				cl.Abandon()
+			}
+		}
 		drainFrom := func(k int) {
 			for _, sc := range round[k:] {
 				if sc.call != nil {
@@ -472,33 +442,54 @@ func (s *crowdSorter) sort(idx []int) error {
 				continue
 			}
 			pivot := seg[len(seg)/2]
-			sc := segCall{seg: seg, pivot: pivot, pairs: s.pivotPairs(seg, pivot, roundSeen)}
+			pairs, segLeaders, segFollowers := s.pivotPairs(seg, pivot, roundSeen)
+			leaderClaims = append(leaderClaims, segLeaders...)
+			followers = append(followers, segFollowers...)
+			sc := segCall{seg: seg, pivot: pivot, pairs: pairs}
 			if len(sc.pairs) > 0 {
 				call, err := s.ctx.Tasks.CompareOrderAsync(s.question, sc.pairs)
 				if err != nil {
 					drainFrom(0)
+					releaseRound()
 					return err
 				}
 				sc.call = call
 			}
 			round = append(round, sc)
 		}
-		var next [][]int
+		// Collect every own group, memoizing verdicts (which resolves this
+		// session's claims for follower sessions).
 		for k, sc := range round {
-			if sc.call != nil {
-				ds, err := sc.call.Wait()
-				if err != nil {
-					drainFrom(k + 1)
-					return err
-				}
-				for k, d := range ds {
-					if d.Total == 0 {
-						continue
-					}
-					s.ctx.Cache.PutOrder(s.question, sc.pairs[k].Left, sc.pairs[k].Right, d.Value)
-				}
+			if sc.call == nil {
+				continue
 			}
-			// Partition the segment in place around its pivot.
+			ds, err := sc.call.Wait()
+			if err != nil {
+				drainFrom(k + 1)
+				releaseRound()
+				return err
+			}
+			for i, d := range ds {
+				if d.Total == 0 {
+					continue
+				}
+				s.ctx.Cache.PutOrder(s.question, sc.pairs[i].Left, sc.pairs[i].Right, d.Value)
+			}
+		}
+		releaseRound()
+		// Adopt verdicts other sessions are sourcing. Waiting only after
+		// all own groups are memoized avoids deadlocking with a session
+		// symmetric to this one.
+		for _, cl := range followers {
+			if _, ok := cl.Wait(); ok {
+				s.ctx.Stats.SharedFlights++
+			}
+			// ok=false: the leader abandoned; prefers falls back to the
+			// deterministic label order for this pair.
+		}
+		// Partition every segment in place around its pivot.
+		var next [][]int
+		for _, sc := range round {
 			var before, after []int
 			for _, i := range sc.seg {
 				if i == sc.pivot {
@@ -525,34 +516,43 @@ func (s *crowdSorter) sort(idx []int) error {
 	return nil
 }
 
-// pivotPairs gathers the uncached, in-budget comparisons a segment needs
-// against its pivot. roundSeen carries the pairs already gathered by
-// sibling segments this round — a duplicate is dropped here and resolved
-// from the cache once the sibling's group is collected (collection always
-// precedes this segment's partition step).
-func (s *crowdSorter) pivotPairs(seg []int, pivot int, roundSeen map[string]bool) []taskmgr.ComparePair {
-	var pairs []taskmgr.ComparePair
+// pivotPairs gathers the comparisons a segment needs against its pivot:
+// uncached, in-budget pairs this session will post (with their leader
+// claims), plus follower claims on pairs other sessions have in flight.
+// roundSeen carries the pairs already claimed by sibling segments this
+// round — a duplicate is dropped here and resolved from the cache once
+// the sibling's group is collected (collection always precedes the
+// partition step).
+func (s *crowdSorter) pivotPairs(seg []int, pivot int, roundSeen map[string]bool) (pairs []taskmgr.ComparePair, leaders, followers []Claim) {
 	for _, i := range seg {
 		if i == pivot || s.labels[i] == s.labels[pivot] {
-			continue
-		}
-		if _, ok := s.ctx.Cache.GetOrder(s.question, s.labels[i], s.labels[pivot]); ok {
-			s.ctx.Stats.CacheHits++
 			continue
 		}
 		key := pairKey(s.question, s.labels[i], s.labels[pivot])
 		if roundSeen[key] {
 			continue
 		}
+		claim := s.ctx.Cache.ClaimOrder(s.question, s.labels[i], s.labels[pivot])
+		if claim.Hit {
+			s.ctx.Stats.CacheHits++
+			continue
+		}
+		if !claim.Leader {
+			roundSeen[key] = true
+			followers = append(followers, claim)
+			continue
+		}
 		if s.ctx.Tasks == nil || !s.ctx.budgetOK() {
+			claim.Abandon()
 			s.ctx.Stats.BudgetDenied++
 			continue
 		}
 		roundSeen[key] = true
+		leaders = append(leaders, claim)
 		pairs = append(pairs, taskmgr.ComparePair{Left: s.labels[i], Right: s.labels[pivot]})
 		s.ctx.Stats.Comparisons++
 	}
-	return pairs
+	return pairs, leaders, followers
 }
 
 // prefers reports whether item i ranks before item j: by crowd verdict when
@@ -790,9 +790,7 @@ func probeCNullsOnce(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.Row
 				}
 				rows[i][ci] = v
 				changed = true
-				if n := t.Stats.CNullCount[t.Columns[ci].Name]; n > 0 {
-					t.Stats.CNullCount[t.Columns[ci].Name] = n - 1
-				}
+				t.AdjustCNull(t.Columns[ci].Name, -1)
 			}
 			if changed {
 				// Memorize: the crowd is never asked the same value twice.
@@ -822,7 +820,7 @@ func solicitTuples(ctx *Ctx, node *plan.Scan, existing []Row) ([]Row, error) {
 				matching++
 			}
 		}
-		want = int(t.Stats.ExpectedCrowdCard) - matching
+		want = int(t.ExpectedCrowdCard()) - matching
 	}
 	if node.StopAfter >= 0 {
 		byLimit := int(node.StopAfter) - len(existing)
@@ -885,7 +883,7 @@ func insertCandidates(ctx *Ctx, t *catalog.Table, candidates []map[string]string
 			// requirement exists for.
 			continue
 		}
-		t.Stats.RowCount++
+		t.AddRowCount(1)
 		out = append(out, row)
 	}
 	return out, nil
@@ -1004,7 +1002,7 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 				continue
 			}
 			seen[kk] = true
-			want := int(t.Stats.ExpectedCrowdCard) - len(matches[kk])
+			want := int(t.ExpectedCrowdCard()) - len(matches[kk])
 			if want <= 0 {
 				continue
 			}

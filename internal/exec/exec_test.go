@@ -45,7 +45,7 @@ func (h *harness) insert(t *testing.T, table string, rows ...Row) {
 		if _, err := h.store.Insert(table, r); err != nil {
 			t.Fatal(err)
 		}
-		tab.Stats.RowCount++
+		tab.AddRowCount(1)
 	}
 }
 
@@ -270,9 +270,9 @@ func TestCompareCacheRoundTrip(t *testing.T) {
 	if w, ok := c.GetOrder("q2", "y", "x"); !ok || w != "y" {
 		t.Error("order lookup must be symmetric")
 	}
-	snap := c.Snapshot()
+	snap := c.TakeDirty()
 	if len(snap) != 2 {
-		t.Fatalf("snapshot: %v", snap)
+		t.Fatalf("dirty entries: %v", snap)
 	}
 	c2 := NewCompareCache()
 	c2.Load(snap)

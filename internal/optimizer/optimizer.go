@@ -460,7 +460,7 @@ func (o *optimizer) pushLimits(n plan.Node, bound int64, exact bool) {
 // Rule 5: boundedness analysis and cardinality annotation
 
 func (o *optimizer) scanCard(s *plan.Scan) float64 {
-	stored := float64(s.Table.Stats.RowCount)
+	stored := float64(s.Table.RowCount())
 	if stored < 1 {
 		stored = 1
 	}
@@ -479,7 +479,7 @@ func (o *optimizer) scanCard(s *plan.Scan) float64 {
 	if s.Table.Crowd {
 		switch {
 		case len(s.ProbeKeys) > 0:
-			card += float64(s.Table.Stats.ExpectedCrowdCard)
+			card += float64(s.Table.ExpectedCrowdCard())
 		case s.StopAfter >= 0:
 			card += float64(s.StopAfter)
 		default:
@@ -504,7 +504,7 @@ func (o *optimizer) annotate(n plan.Node, res *Result) bool {
 			bounded = false
 			o.warnings = append(o.warnings, fmt.Sprintf(
 				"scan of CROWD table %s is unbounded: add a key predicate or LIMIT", x.Alias))
-			card = float64(x.Table.Stats.RowCount) + 1 // stored-only fallback card
+			card = float64(x.Table.RowCount()) + 1 // stored-only fallback card
 		}
 	case *plan.Join:
 		lb := o.annotate(x.Left, res)
@@ -516,7 +516,7 @@ func (o *optimizer) annotate(n plan.Node, res *Result) bool {
 		if lb && !rb {
 			if s, ok := x.Right.(*plan.Scan); ok && s.Table.Crowd && o.joinBindsScan(x, s) {
 				bounded = true
-				rc = float64(s.Table.Stats.ExpectedCrowdCard)
+				rc = float64(s.Table.ExpectedCrowdCard())
 				// Pop the unbounded warning the inner scan just logged.
 				o.dropLastWarningFor(s.Alias)
 			}

@@ -21,7 +21,6 @@ func testCatalog(t *testing.T) *catalog.Catalog {
 				{Name: "abstract", Type: sqltypes.TypeString, Crowd: true},
 				{Name: "nb_attendees", Type: sqltypes.TypeInt, Crowd: true},
 			},
-			Stats: catalog.Statistics{RowCount: 100},
 		},
 		{
 			Name:  "NotableAttendee",
@@ -31,7 +30,6 @@ func testCatalog(t *testing.T) *catalog.Catalog {
 				{Name: "title", Type: sqltypes.TypeString},
 			},
 			ForeignKeys: []catalog.ForeignKey{{Columns: []string{"title"}, RefTable: "Talk", RefColumns: []string{"title"}}},
-			Stats:       catalog.Statistics{RowCount: 5, ExpectedCrowdCard: 3},
 		},
 		{
 			Name: "Room",
@@ -39,12 +37,20 @@ func testCatalog(t *testing.T) *catalog.Catalog {
 				{Name: "rtitle", Type: sqltypes.TypeString, PrimaryKey: true},
 				{Name: "capacity", Type: sqltypes.TypeInt},
 			},
-			Stats: catalog.Statistics{RowCount: 10},
 		},
 	} {
 		if err := cat.CreateTable(tab); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if tab, ok := cat.Table("Talk"); ok {
+		tab.SetRowCount(100)
+	}
+	if tab, ok := cat.Table("NotableAttendee"); ok {
+		tab.SetRowCount(5)
+	}
+	if tab, ok := cat.Table("Room"); ok {
+		tab.SetRowCount(10)
 	}
 	return cat
 }

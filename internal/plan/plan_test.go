@@ -20,7 +20,6 @@ func testCatalog(t *testing.T) *catalog.Catalog {
 				{Name: "abstract", Type: sqltypes.TypeString, Crowd: true},
 				{Name: "nb_attendees", Type: sqltypes.TypeInt, Crowd: true},
 			},
-			Stats: catalog.Statistics{RowCount: 100},
 		},
 		{
 			Name:  "NotableAttendee",
@@ -37,12 +36,17 @@ func testCatalog(t *testing.T) *catalog.Catalog {
 				{Name: "rtitle", Type: sqltypes.TypeString, PrimaryKey: true},
 				{Name: "capacity", Type: sqltypes.TypeInt},
 			},
-			Stats: catalog.Statistics{RowCount: 10},
 		},
 	} {
 		if err := cat.CreateTable(tab); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if tab, ok := cat.Table("Talk"); ok {
+		tab.SetRowCount(100)
+	}
+	if tab, ok := cat.Table("Room"); ok {
+		tab.SetRowCount(10)
 	}
 	return cat
 }

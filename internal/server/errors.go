@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Code classifies a query-service error so clients can react without
+// parsing message text. Codes are stable wire contract; messages are not.
+type Code string
+
+const (
+	// CodeParse: the statement did not parse (or is unsupported CrowdSQL).
+	CodeParse Code = "parse_error"
+	// CodeBudgetExhausted: the session spent its crowd-comparison budget.
+	CodeBudgetExhausted Code = "budget_exhausted"
+	// CodeBusy: admission control rejected the query (concurrency slots
+	// full or the task manager's submission queue is too deep).
+	CodeBusy Code = "server_busy"
+	// CodeShuttingDown: the server is draining and takes no new queries.
+	CodeShuttingDown Code = "shutting_down"
+	// CodeUnknownSession: the request named a session that does not exist
+	// (never created, or already closed).
+	CodeUnknownSession Code = "unknown_session"
+	// CodeTooManySessions: the session cap is reached.
+	CodeTooManySessions Code = "too_many_sessions"
+	// CodeInternal: execution failed after admission (storage, platform,
+	// or engine errors).
+	CodeInternal Code = "internal"
+)
+
+// Error is a coded query-service error.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// HTTPStatus maps the code to its HTTP response status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeParse, CodeUnknownSession:
+		return http.StatusBadRequest
+	case CodeBudgetExhausted:
+		return http.StatusTooManyRequests
+	case CodeBusy, CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case CodeTooManySessions:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"crowddb/internal/core"
+	"crowddb/internal/exec"
+)
+
+// HTTP/JSON API.
+//
+//	POST /query            {"sql": "...", "session": "s000001"?, }
+//	POST /session          {"budget": 25}?          -> session info
+//	DELETE /session/{id}                            -> close session
+//	GET  /stats                                     -> StatsReport
+//	GET  /healthz                                   -> liveness (503 when draining)
+//
+// Every error body is {"error": {"code": "...", "message": "..."}} with
+// the code drawn from the Code constants.
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Session names a registered session; empty runs an anonymous
+	// one-shot session with the default budget.
+	Session string `json:"session"`
+}
+
+// queryResponse is the POST /query result. Values are rendered as
+// strings; SQL NULL and CNULL become JSON null.
+type queryResponse struct {
+	Session  string      `json:"session,omitempty"`
+	Columns  []string    `json:"columns,omitempty"`
+	Rows     [][]*string `json:"rows,omitempty"`
+	Affected int         `json:"affected"`
+	Plan     string      `json:"plan,omitempty"`
+	Warnings []string    `json:"warnings,omitempty"`
+	Stats    exec.Stats  `json:"stats"`
+}
+
+type sessionRequest struct {
+	// Budget caps the session's paid crowd comparisons
+	// (0 = server default, negative = unlimited).
+	Budget int `json:"budget"`
+}
+
+type errorResponse struct {
+	Error *Error `json:"error"`
+}
+
+// HTTPHandler returns the service's HTTP API.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/session/", s.handleSessionID)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // client gone is not our error
+}
+
+func writeError(w http.ResponseWriter, err *Error) {
+	writeJSON(w, err.HTTPStatus(), errorResponse{Error: err})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, errf(CodeParse, "use POST /query"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, errf(CodeParse, "bad request body: %v", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, errf(CodeParse, "empty sql"))
+		return
+	}
+	res, qerr := s.Query(req.Session, req.SQL)
+	if qerr != nil {
+		writeError(w, qerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res, req.Session))
+}
+
+func resultJSON(res *core.Result, session string) queryResponse {
+	out := queryResponse{
+		Session:  session,
+		Columns:  res.Columns,
+		Affected: res.Affected,
+		Plan:     res.Plan,
+		Warnings: res.Warnings,
+		Stats:    res.Stats,
+	}
+	for _, row := range res.Rows {
+		cells := make([]*string, len(row))
+		for i, v := range row {
+			if v.IsUnknown() {
+				continue // JSON null
+			}
+			rendered := v.String()
+			cells[i] = &rendered
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, errf(CodeParse, "use POST /session"))
+		return
+	}
+	var req sessionRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, errf(CodeParse, "bad request body: %v", err))
+			return
+		}
+	}
+	sess, serr := s.CreateSession(req.Budget)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleSessionID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/session/")
+	switch r.Method {
+	case http.MethodDelete:
+		if err := s.CloseSession(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+	case http.MethodGet:
+		sess, err := s.Session(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sess.Info())
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeError(w, errf(CodeParse, "use GET or DELETE /session/{id}"))
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.Healthy() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck // test buffer
+	return resp, buf.Bytes()
+}
+
+func TestHTTPQuerySessionStatsHealthz(t *testing.T) {
+	eng := pairEngine(t, 23, 4)
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	// Create a session with a budget.
+	resp, body := postJSON(t, ts.URL+"/session", map[string]int{"budget": 50})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /session: %d %s", resp.StatusCode, body)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.BudgetLeft != 50 {
+		t.Fatalf("session info = %+v", info)
+	}
+
+	// A crowd query through the session.
+	resp, body = postJSON(t, ts.URL+"/query",
+		map[string]string{"sql": "SELECT id FROM Pair WHERE a ~= b", "session": info.ID})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %d %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Session string      `json:"session"`
+		Columns []string    `json:"columns"`
+		Rows    [][]*string `json:"rows"`
+		Stats   struct {
+			Comparisons int `json:"Comparisons"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Session != info.ID || len(qr.Columns) != 1 || qr.Stats.Comparisons != 4 {
+		t.Fatalf("query response: %s", body)
+	}
+
+	// Anonymous query (no session field), NULL rendering.
+	postJSON(t, ts.URL+"/query", map[string]string{"sql": "INSERT INTO Pair (id) VALUES (99)"})
+	resp, body = postJSON(t, ts.URL+"/query", map[string]string{"sql": "SELECT a, id FROM Pair WHERE id = 99"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous query: %d %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`[null,"99"]`)) {
+		t.Errorf("NULL not rendered as JSON null: %s", body)
+	}
+
+	// Parse errors are coded 400s.
+	resp, body = postJSON(t, ts.URL+"/query", map[string]string{"sql": "SELEC nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error status: %d", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == nil || er.Error.Code != CodeParse {
+		t.Fatalf("parse error body: %s", body)
+	}
+
+	// Budget exhaustion is a coded 429.
+	_, tinyBody := postJSON(t, ts.URL+"/session", map[string]int{"budget": 1})
+	var tinyInfo SessionInfo
+	json.Unmarshal(tinyBody, &tinyInfo) //nolint:errcheck // checked below
+	postJSON(t, ts.URL+"/query", map[string]string{
+		"sql": "SELECT a FROM Pair ORDER BY CROWDORDER(a, 'nicer name?')", "session": tinyInfo.ID})
+	resp, body = postJSON(t, ts.URL+"/query", map[string]string{
+		"sql": "SELECT a FROM Pair ORDER BY CROWDORDER(a, 'nicer name, again?')", "session": tinyInfo.ID})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("budget exhaustion status: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == nil || er.Error.Code != CodeBudgetExhausted {
+		t.Fatalf("budget exhaustion body: %s", body)
+	}
+
+	// /stats reflects the shared cache and sessions.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report StatsReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if report.Server.Queries < 2 || report.Cache.Size == 0 || report.Tasks == nil {
+		t.Errorf("stats report: %+v", report)
+	}
+	if len(report.Sessions) != 2 {
+		t.Errorf("sessions in report: %d, want 2", len(report.Sessions))
+	}
+
+	// Healthz flips on shutdown.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// Closing a session frees it.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+info.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE session: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/session/" + info.ID)
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET closed session: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestWireProtocol(t *testing.T) {
+	eng := pairEngine(t, 29, 3)
+	srv := New(eng, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeWire(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	greeting, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(greeting, "# crowddb wire/1 session=") {
+		t.Fatalf("greeting = %q, %v", greeting, err)
+	}
+
+	send := func(line string) {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readBlock := func() []string {
+		var lines []string
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read: %v (so far %v)", err, lines)
+			}
+			line = strings.TrimRight(line, "\n")
+			if line == "." {
+				return lines
+			}
+			lines = append(lines, line)
+			if strings.HasPrefix(line, "ERR ") {
+				return lines
+			}
+		}
+	}
+
+	// A crowd query: OK header, column line, 3 rows.
+	send("SELECT id FROM Pair WHERE a ~= b;")
+	block := readBlock()
+	if block[0] != "OK 3" || block[1] != "# id" || len(block) != 5 {
+		t.Fatalf("wire result: %v", block)
+	}
+
+	// Multi-line statements buffer until ';'.
+	send("SELECT id")
+	send("FROM Pair;")
+	if block = readBlock(); block[0] != "OK 3" {
+		t.Fatalf("multi-line result: %v", block)
+	}
+
+	// Coded errors come back as single ERR lines.
+	send("SELEC nope;")
+	if block = readBlock(); !strings.HasPrefix(block[0], "ERR parse_error ") {
+		t.Fatalf("wire error: %v", block)
+	}
+
+	// \stats reports the session and shared cache.
+	send("\\stats")
+	block = readBlock()
+	if block[0] != "OK 1" || !strings.Contains(block[1], "shared_flights") {
+		t.Fatalf("wire stats: %v", block)
+	}
+
+	// \quit closes cleanly and the session is released.
+	send("\\quit")
+	if block = readBlock(); block[0] != "OK 0" {
+		t.Fatalf("quit: %v", block)
+	}
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after \\quit")
+	}
+
+	ln.Close()
+	if err := <-serveDone; err == nil {
+		t.Log("serve loop ended")
+	}
+	if n := srv.Stats().Server.ActiveSessions; n != 0 {
+		t.Errorf("%d sessions still registered after disconnect", n)
+	}
+}

@@ -1,0 +1,390 @@
+// Package server is crowddbd's concurrent query service: many client
+// sessions over one shared CrowdDB engine. Sessions carry their own crowd
+// budgets and statistics while sharing the store, catalog, task manager,
+// and — crucially — the comparison cache, whose singleflight claims
+// collapse identical in-flight crowd questions from concurrent sessions
+// into a single HIT group (the crowd is paid once, everyone reads the
+// answer).
+//
+// The service fronts the engine twice: an HTTP/JSON API (POST /query,
+// GET /stats, GET /healthz) and a line-oriented TCP wire protocol. Both
+// run through the same admission control: a bounded pool of concurrently
+// executing queries, plus backpressure keyed off the task manager's
+// submission queue — when crowd work is already piling up behind the
+// in-flight window, new queries are rejected with a retryable error
+// instead of deepening the backlog. Shutdown drains: running queries
+// finish, new ones are refused.
+package server
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"crowddb/internal/core"
+	"crowddb/internal/exec"
+	"crowddb/internal/parser"
+	"crowddb/internal/taskmgr"
+)
+
+// Config tunes the query service. The zero value serves with defaults.
+type Config struct {
+	// MaxSessions caps registered sessions (0 = 64).
+	MaxSessions int
+	// MaxConcurrent bounds concurrently executing queries (0 = 32).
+	MaxConcurrent int
+	// MaxQueueDepth is the task-manager submission-queue depth beyond
+	// which new queries are rejected as busy (0 = 4x the async window).
+	MaxQueueDepth int
+	// SessionBudget is the default per-session crowd-comparison budget
+	// (0 = unlimited). Sessions may be created with an explicit budget.
+	SessionBudget int
+}
+
+// Stats counts the service's activity.
+type Stats struct {
+	Queries         int64 `json:"queries"`
+	Rejected        int64 `json:"rejected"`
+	Errors          int64 `json:"errors"`
+	SessionsOpened  int64 `json:"sessions_opened"`
+	SessionsClosed  int64 `json:"sessions_closed"`
+	ActiveSessions  int   `json:"active_sessions"`
+	InFlightQueries int   `json:"in_flight_queries"`
+	Draining        bool  `json:"draining"`
+}
+
+// StatsReport is the full /stats payload: service counters plus the
+// shared engine's task-manager and comparison-cache state.
+type StatsReport struct {
+	Server   Stats           `json:"server"`
+	Sessions []SessionInfo   `json:"sessions"`
+	Cache    exec.CacheStats `json:"cache"`
+	// Tasks is nil when the engine runs without a crowd platform.
+	Tasks             *taskmgr.Stats `json:"tasks,omitempty"`
+	SchedulerInFlight int            `json:"scheduler_in_flight"`
+	SchedulerQueued   int            `json:"scheduler_queued"`
+}
+
+// Server is the concurrent multi-session query service.
+type Server struct {
+	cfg     Config
+	eng     *core.Engine
+	slots   chan struct{}
+	drainCh chan struct{} // closed when Shutdown begins
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int64
+	draining bool
+	inflight int
+	stats    Stats
+
+	active sync.WaitGroup
+
+	lnMu      sync.Mutex
+	listeners []interface{ Close() error } // closed when Shutdown begins
+	postDrain []interface{ Close() error } // closed after the drain completes
+}
+
+// New assembles a server over an engine.
+func New(eng *core.Engine, cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 32
+	}
+	if cfg.MaxQueueDepth <= 0 {
+		window := 8
+		if t := eng.Tasks(); t != nil && t.Config().MaxInFlight > 0 {
+			window = t.Config().MaxInFlight
+		}
+		cfg.MaxQueueDepth = 4 * window
+	}
+	return &Server{
+		cfg:      cfg,
+		eng:      eng,
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		drainCh:  make(chan struct{}),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// Engine exposes the shared engine (experiments, tests).
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// CreateSession registers a session. budget caps the session's paid crowd
+// comparisons (0 = the configured default, negative = unlimited).
+func (s *Server) CreateSession(budget int) (*Session, *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errf(CodeShuttingDown, "server is shutting down")
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, errf(CodeTooManySessions, "session limit %d reached", s.cfg.MaxSessions)
+	}
+	s.seq++
+	sess := &Session{id: newSessionID(s.seq), budget: s.effectiveBudget(budget)}
+	s.sessions[sess.id] = sess
+	s.stats.SessionsOpened++
+	return sess, nil
+}
+
+// effectiveBudget resolves a requested budget against the default:
+// 0 defers to Config.SessionBudget, negative means unlimited, and the
+// stored representation is -1 for unlimited.
+func (s *Server) effectiveBudget(budget int) int {
+	if budget == 0 {
+		budget = s.cfg.SessionBudget
+	}
+	if budget <= 0 {
+		return -1
+	}
+	return budget
+}
+
+// Session looks up a registered session.
+func (s *Server) Session(id string) (*Session, *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, errf(CodeUnknownSession, "unknown session %q", id)
+	}
+	return sess, nil
+}
+
+// CloseSession unregisters a session. Its paid answers stay in the shared
+// cache — that is the point.
+func (s *Server) CloseSession(id string) *Error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return errf(CodeUnknownSession, "unknown session %q", id)
+	}
+	sess.mu.Lock()
+	sess.closed = true
+	sess.mu.Unlock()
+	delete(s.sessions, id)
+	s.stats.SessionsClosed++
+	return nil
+}
+
+// Query runs a CrowdSQL script (one or more ;-separated statements) on
+// behalf of a session and returns the last statement's result. With
+// sessionID empty, an anonymous one-shot session (default budget, not
+// registered) is used; the returned id is then empty.
+func (s *Server) Query(sessionID, sql string) (*core.Result, *Error) {
+	sess, serr := s.resolveSession(sessionID)
+	if serr != nil {
+		s.countRejected(serr)
+		return nil, serr
+	}
+	return s.querySession(sess, sql)
+}
+
+func (s *Server) resolveSession(sessionID string) (*Session, *Error) {
+	if sessionID == "" {
+		// Anonymous one-shot: default budget, not registered, no cap.
+		return &Session{id: "(anonymous)", budget: s.effectiveBudget(0)}, nil
+	}
+	return s.Session(sessionID)
+}
+
+// querySession is Query for an already-resolved session.
+func (s *Server) querySession(sess *Session, sql string) (*core.Result, *Error) {
+	if err := s.admit(); err != nil {
+		s.countRejected(err)
+		return nil, err
+	}
+	defer s.release()
+
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		s.countError()
+		return nil, errf(CodeParse, "%v", err)
+	}
+	var last *core.Result
+	for _, stmt := range stmts {
+		reserved, berr := sess.reserveBudget()
+		if berr != nil {
+			s.countError()
+			return nil, berr
+		}
+		opts := core.DefaultExecOpts()
+		if reserved > 0 {
+			opts.CompareBudget = reserved
+		}
+		res, err := s.eng.ExecStmtOpts(stmt, opts)
+		if err != nil {
+			// The reservation is forfeited: a failed statement may have
+			// paid the crowd before erroring and the engine cannot report
+			// partial spend, so refunding would allow overspend. Erring
+			// on the side of the meter keeps budgets a hard cap.
+			s.countError()
+			return nil, errf(CodeInternal, "%v", err)
+		}
+		sess.settle(res.Stats, reserved)
+		last = res
+	}
+	s.mu.Lock()
+	s.stats.Queries++
+	s.mu.Unlock()
+	return last, nil
+}
+
+// admit runs admission control: refuse while draining, shed load while
+// the task manager's submission queue is deep, then take an execution
+// slot (blocking briefly is fine — slots turn over at engine speed).
+func (s *Server) admit() *Error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errf(CodeShuttingDown, "server is shutting down")
+	}
+	s.active.Add(1)
+	s.inflight++
+	s.mu.Unlock()
+
+	if t := s.eng.Tasks(); t != nil {
+		if _, queued := t.Load(); queued > s.cfg.MaxQueueDepth {
+			s.exitActive()
+			return errf(CodeBusy,
+				"task manager backlog: %d HIT groups queued (limit %d); retry later",
+				queued, s.cfg.MaxQueueDepth)
+		}
+	}
+	// Queries parked behind full slots must not start once draining
+	// begins — re-check via the drain channel while blocked.
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-s.drainCh:
+		s.exitActive()
+		return errf(CodeShuttingDown, "server is shutting down")
+	}
+}
+
+func (s *Server) exitActive() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+	s.active.Done()
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.exitActive()
+}
+
+func (s *Server) countRejected(err *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch err.Code {
+	case CodeBusy, CodeShuttingDown, CodeTooManySessions:
+		s.stats.Rejected++
+	default:
+		s.stats.Errors++
+	}
+}
+
+func (s *Server) countError() {
+	s.mu.Lock()
+	s.stats.Errors++
+	s.mu.Unlock()
+}
+
+// Stats snapshots the full service report.
+func (s *Server) Stats() StatsReport {
+	s.mu.Lock()
+	st := s.stats
+	st.ActiveSessions = len(s.sessions)
+	st.InFlightQueries = s.inflight
+	st.Draining = s.draining
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	report := StatsReport{Server: st, Cache: s.eng.CacheStats()}
+	for _, sess := range sessions {
+		report.Sessions = append(report.Sessions, sess.Info())
+	}
+	sort.Slice(report.Sessions, func(i, j int) bool {
+		return report.Sessions[i].ID < report.Sessions[j].ID
+	})
+	if t := s.eng.Tasks(); t != nil {
+		ts := t.Stats()
+		report.Tasks = &ts
+		report.SchedulerInFlight, report.SchedulerQueued = t.Load()
+	}
+	return report
+}
+
+// Healthy reports whether the server accepts queries.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
+// trackListener registers a listener to be closed when Shutdown begins
+// (stops new connections).
+func (s *Server) trackListener(c interface{ Close() error }) {
+	s.lnMu.Lock()
+	s.listeners = append(s.listeners, c)
+	s.lnMu.Unlock()
+}
+
+// trackPostDrain registers a closer to run only after the drain, so
+// in-flight work still reaches its client (wire connections).
+func (s *Server) trackPostDrain(c interface{ Close() error }) {
+	s.lnMu.Lock()
+	s.postDrain = append(s.postDrain, c)
+	s.lnMu.Unlock()
+}
+
+// Shutdown drains the server: listeners close immediately (no new
+// connections), new queries are refused, running ones finish and deliver
+// their responses (or ctx expires), then remaining wire connections are
+// force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+
+	s.lnMu.Lock()
+	listeners := s.listeners
+	s.listeners = nil
+	s.lnMu.Unlock()
+	for _, l := range listeners {
+		l.Close() //nolint:errcheck // best-effort teardown
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.lnMu.Lock()
+	post := s.postDrain
+	s.postDrain = nil
+	s.lnMu.Unlock()
+	for _, c := range post {
+		c.Close() //nolint:errcheck // best-effort teardown
+	}
+	return err
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"crowddb/internal/core"
+)
+
+// The line-oriented TCP wire protocol. One connection is one session:
+//
+//	S: # crowddb wire/1 session=s000001
+//	C: SELECT title FROM Talk;            (statements end with ';',
+//	C: \stats                              may span lines; \-commands
+//	C: \quit                               are single lines)
+//
+// Responses:
+//
+//	OK <nrows>                             result header
+//	# col1<TAB>col2                        column names (SELECT only)
+//	val1<TAB>val2                          one line per row, \N = NULL
+//	.                                      terminator
+//	ERR <code> <message>                   single-line coded error
+//
+// The session closes when the connection does; its paid answers remain
+// in the shared cache.
+
+// wireConns tracks open connections for forced close on Shutdown.
+type wireConns struct {
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+// ServeWire accepts wire-protocol connections until the listener closes
+// (Shutdown closes it, then force-closes connections after the drain).
+func (s *Server) ServeWire(ln net.Listener) error {
+	s.trackListener(ln)
+	wc := &wireConns{conns: make(map[net.Conn]bool)}
+	s.trackPostDrain(closerFunc(func() error {
+		wc.mu.Lock()
+		defer wc.mu.Unlock()
+		for c := range wc.conns {
+			c.Close() //nolint:errcheck // teardown
+		}
+		return nil
+	}))
+	var retryDelay time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !s.Healthy() {
+				return nil // listener closed by Shutdown
+			}
+			// Transient failures (fd exhaustion under load, ECONNABORTED)
+			// back off and retry instead of killing the listener — the
+			// same policy as net/http's accept loop.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // the net/http accept-loop idiom
+				if retryDelay == 0 {
+					retryDelay = 5 * time.Millisecond
+				} else if retryDelay *= 2; retryDelay > time.Second {
+					retryDelay = time.Second
+				}
+				time.Sleep(retryDelay)
+				continue
+			}
+			return err
+		}
+		retryDelay = 0
+		wc.mu.Lock()
+		wc.conns[conn] = true
+		wc.mu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close() //nolint:errcheck // already torn down on error paths
+				wc.mu.Lock()
+				delete(wc.conns, conn)
+				wc.mu.Unlock()
+			}()
+			s.serveWireConn(conn)
+		}()
+	}
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+func (s *Server) serveWireConn(conn net.Conn) {
+	sess, serr := s.CreateSession(0)
+	w := bufio.NewWriter(conn)
+	if serr != nil {
+		writeWireError(w, serr)
+		w.Flush() //nolint:errcheck // closing anyway
+		return
+	}
+	defer s.CloseSession(sess.ID()) //nolint:errcheck // session may be gone on shutdown
+	fmt.Fprintf(w, "# crowddb wire/1 session=%s\n", sess.ID())
+	w.Flush() //nolint:errcheck // greeting best-effort
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var buf strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if s.wireCommand(w, sess, trimmed) {
+				return
+			}
+			w.Flush() //nolint:errcheck // checked via next read
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			continue
+		}
+		sql := buf.String()
+		buf.Reset()
+		res, qerr := s.querySession(sess, sql)
+		if qerr != nil {
+			writeWireError(w, qerr)
+		} else {
+			writeWireResult(w, res)
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+	// A read error (e.g. a line beyond the 1 MiB cap) still gets a coded
+	// ERR line before the connection closes.
+	if err := sc.Err(); err != nil {
+		writeWireError(w, errf(CodeParse, "read: %v", err))
+		w.Flush() //nolint:errcheck // closing anyway
+	}
+}
+
+// wireCommand handles a \-command; reports whether the connection should
+// close.
+func (s *Server) wireCommand(w *bufio.Writer, sess *Session, cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\quit", "\\q":
+		fmt.Fprintln(w, "OK 0")
+		fmt.Fprintln(w, ".")
+		w.Flush() //nolint:errcheck // closing anyway
+		return true
+	case "\\stats":
+		info := sess.Info()
+		cache := s.eng.CacheStats()
+		fmt.Fprintln(w, "OK 1")
+		fmt.Fprintf(w, "# session\tqueries\tbudget_left\tcomparisons\tcache_hits\tshared_flights\tcache_size\n")
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			info.ID, info.Queries, info.BudgetLeft,
+			info.Stats.Comparisons, info.Stats.CacheHits, info.Stats.SharedFlights, cache.Size)
+		fmt.Fprintln(w, ".")
+	default:
+		writeWireError(w, errf(CodeParse, "unknown command %s", cmd))
+	}
+	return false
+}
+
+func writeWireError(w *bufio.Writer, err *Error) {
+	msg := strings.ReplaceAll(err.Message, "\n", " ")
+	fmt.Fprintf(w, "ERR %s %s\n", err.Code, msg)
+}
+
+func writeWireResult(w *bufio.Writer, res *core.Result) {
+	if res.Plan != "" {
+		lines := strings.Split(strings.TrimRight(res.Plan, "\n"), "\n")
+		fmt.Fprintf(w, "OK %d\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintln(w, ".")
+		return
+	}
+	if len(res.Columns) == 0 {
+		fmt.Fprintf(w, "OK %d\n", res.Affected)
+		fmt.Fprintln(w, ".")
+		return
+	}
+	fmt.Fprintf(w, "OK %d\n", len(res.Rows))
+	fmt.Fprintf(w, "# %s\n", strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			if v.IsUnknown() {
+				cells[i] = `\N`
+			} else {
+				cells[i] = strings.ReplaceAll(v.String(), "\t", " ")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintln(w, ".")
+}

@@ -141,6 +141,16 @@ func (m *Manager) Stats() Stats {
 // Config returns the manager's effective configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
+// Load reports the async scheduler's current occupancy: groups live on
+// the platform and submissions queued behind the in-flight window. The
+// query server keys admission control off the queue depth — a deep queue
+// means new crowd work would only pile onto the backlog.
+func (m *Manager) Load() (inflight, queued int) {
+	m.sched.mu.Lock()
+	defer m.sched.mu.Unlock()
+	return len(m.sched.inflight), len(m.sched.queued)
+}
+
 // Platform exposes the underlying platform (the REPL reports its name).
 func (m *Manager) Platform() crowd.Platform { return m.platform }
 
