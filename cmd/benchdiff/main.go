@@ -1,0 +1,44 @@
+// Command benchdiff is the benchmark-regression gate: it compares a
+// candidate crowdbench run (crowdbench -json <dir>) against the committed
+// baselines and exits non-zero when a cost or performance metric
+// regresses beyond tolerance.
+//
+// Usage:
+//
+//	crowdbench -seed 42 -json /tmp/bench
+//	benchdiff -baseline bench/baselines -candidate /tmp/bench
+//
+// Tolerance: each metric may drift by max(-tol × baseline, -slack)
+// against its direction (cost-like metrics must not rise, benefit-like
+// metrics must not fall); see internal/bench/diff.go for the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crowddb/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench/baselines", "directory with committed BENCH_*.json baselines")
+	candidate := flag.String("candidate", "", "directory with the candidate run's BENCH_*.json files")
+	tol := flag.Float64("tol", 0.10, "relative tolerance per metric")
+	slack := flag.Float64("slack", 1.0, "absolute slack per metric (protects single-digit metrics)")
+	flag.Parse()
+
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -candidate is required")
+		os.Exit(2)
+	}
+	res, err := bench.CompareDirs(*baseline, *candidate, *tol, *slack)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.Report())
+	if !res.OK() {
+		os.Exit(1)
+	}
+}

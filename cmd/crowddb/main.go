@@ -77,6 +77,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(crowddb.FormatTable(res))
+		if res.Predicted.Cents > 0 || res.ActualCents > 0 {
+			fmt.Printf("cost: predicted %s, actual ¢%.1f\n", res.Predicted, res.ActualCents)
+		}
 		return
 	}
 
@@ -148,6 +151,9 @@ func repl(db *crowddb.DB) {
 				res.Stats.ProbeRequests, res.Stats.NewTupleRequests,
 				res.Stats.Comparisons, res.Stats.CacheHits)
 		}
+		if res.Predicted.Cents > 0 || res.ActualCents > 0 {
+			fmt.Printf("cost: predicted %s, actual ¢%.1f\n", res.Predicted, res.ActualCents)
+		}
 	}
 }
 
@@ -167,14 +173,19 @@ Commands: \stats \workers \templates \quit`)
 			s := t.Stats()
 			fmt.Printf("groups=%d hits=%d assignments=%d decisions=%d crowd-time=%s spend=%s\n",
 				s.GroupsPosted, s.HITsPosted, s.AssignmentsIn, s.Decisions, s.CrowdTime, s.ApprovedSpend)
-			fmt.Printf("async: window=%d peak-in-flight=%d peak-queue=%d expired=%d\n",
-				s.MaxInFlight, s.PeakInFlight, s.PeakQueueDepth, s.ExpiredGroups)
+			fmt.Printf("async: window=%d peak-in-flight=%d peak-queue=%d expired=%d rtt-p50=%s rtt-p90=%s\n",
+				s.MaxInFlight, s.PeakInFlight, s.PeakQueueDepth, s.ExpiredGroups,
+				s.GroupLatencyP50, s.GroupLatencyP90)
 		} else {
 			fmt.Println("no crowd platform attached")
 		}
 		c := db.Engine().CacheStats()
 		fmt.Printf("compare-cache: size=%d cap=%d hits=%d misses=%d shared-flights=%d evictions=%d\n",
 			c.Size, c.Cap, c.Hits, c.Misses, c.Shared, c.Evictions)
+		if cms := db.Engine().CostModel(); cms.Statements > 0 {
+			fmt.Printf("cost-model: %d statements, predicted=¢%.1f actual=¢%.1f mean-abs-err=%.0f%%\n",
+				cms.Statements, cms.PredictedCents, cms.ActualCents, cms.MeanAbsPctErr)
+		}
 	case "\\workers":
 		ws := db.Engine().WRM().Community()
 		if len(ws) == 0 {

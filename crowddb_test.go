@@ -100,3 +100,53 @@ func TestOpenWithoutPlatform(t *testing.T) {
 		t.Errorf("crowd-free engine: %v %v", res, err)
 	}
 }
+
+// TestExplainReportsCosts: EXPLAIN annotates every operator with the cost
+// model's predicted cents and seconds, plus the statement total.
+func TestExplainReportsCosts(t *testing.T) {
+	db, _ := openDemo(t, 31)
+	res, err := db.Exec(`EXPLAIN SELECT abstract FROM Talk LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "¢") {
+		t.Errorf("EXPLAIN must show predicted cents:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "predicted: ") {
+		t.Errorf("EXPLAIN must show the statement total:\n%s", res.Plan)
+	}
+}
+
+// TestPredictedVsActualFeedback: executing a crowd query records the
+// forecast next to the measured spend, and the engine aggregates the
+// error for /stats.
+func TestPredictedVsActualFeedback(t *testing.T) {
+	db, _ := openDemo(t, 32)
+	res, err := db.Query(`SELECT abstract FROM Talk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicted.Cents <= 0 {
+		t.Errorf("crowd probe query must forecast a spend: %+v", res.Predicted)
+	}
+	if res.ActualCents <= 0 {
+		t.Errorf("measured spend missing: %v", res.ActualCents)
+	}
+	cms := db.Engine().CostModel()
+	if cms.Statements == 0 || cms.ActualCents != res.ActualCents {
+		t.Errorf("engine must aggregate the error: %+v", cms)
+	}
+	// The forecast converges: repeated probes are memorized, so the
+	// second run predicts (and pays) nothing.
+	res2, err := db.Query(`SELECT abstract FROM Talk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ActualCents != 0 {
+		t.Errorf("memorized answers must be free: %v", res2.ActualCents)
+	}
+	if res2.Predicted.Cents >= res.Predicted.Cents {
+		t.Errorf("forecast must shrink once answers are stored: %v -> %v",
+			res.Predicted.Cents, res2.Predicted.Cents)
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir string, bf *BenchFile) {
+	t.Helper()
+	data, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+bf.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func baseFile() *BenchFile {
+	return &BenchFile{
+		ID: "E99", Seed: 42,
+		Rows: [][]string{{"a", "1"}},
+		Metrics: map[string]float64{
+			"paid_comparisons": 30,
+			"cache_hit_rate":   0.9,
+			"makespan_minutes": 120,
+		},
+	}
+}
+
+func runCompare(t *testing.T, cand *BenchFile) *DiffResult {
+	t.Helper()
+	res := &DiffResult{}
+	Compare(baseFile(), cand, 0.10, 1.0, res)
+	return res
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	cand := baseFile()
+	cand.Metrics["paid_comparisons"] = 32  // +2 of 30: within 10%
+	cand.Metrics["cache_hit_rate"] = 0.88  // within absolute slack
+	cand.Metrics["makespan_minutes"] = 130 // within 10%+slack
+	if res := runCompare(t, cand); !res.OK() {
+		t.Errorf("within tolerance must pass: %v", res.Failures)
+	}
+}
+
+func TestDiffPredictedMetricsAreInformational(t *testing.T) {
+	base := baseFile()
+	base.Metrics["predicted_cents"] = 10
+	cand := baseFile()
+	cand.Metrics["predicted_cents"] = 50 // forecast became more accurate
+	res := &DiffResult{}
+	Compare(base, cand, 0.10, 1.0, res)
+	if !res.OK() {
+		t.Errorf("forecast metrics must not be direction-gated: %v", res.Failures)
+	}
+}
+
+func TestDiffFailsOnCostRegression(t *testing.T) {
+	cand := baseFile()
+	cand.Metrics["paid_comparisons"] = 40 // +33%: regression
+	res := runCompare(t, cand)
+	if res.OK() || !strings.Contains(res.Failures[0], "paid_comparisons") {
+		t.Errorf("comparison regression must fail: %v", res.Failures)
+	}
+}
+
+func TestDiffFailsOnBenefitRegression(t *testing.T) {
+	cand := baseFile()
+	// hit_rate is higher-is-better; a drop past relative tolerance is
+	// within the 1.0 absolute slack, so shrink the slack in a direct call.
+	res := &DiffResult{}
+	Compare(baseFile(), cand, 0.10, 0.01, res)
+	if !res.OK() {
+		t.Fatalf("identical metrics must pass: %v", res.Failures)
+	}
+	cand.Metrics["cache_hit_rate"] = 0.5
+	res = &DiffResult{}
+	Compare(baseFile(), cand, 0.10, 0.01, res)
+	if res.OK() {
+		t.Error("hit-rate drop must fail with tight slack")
+	}
+}
+
+func TestDiffFailsOnMissingPieces(t *testing.T) {
+	// Missing experiment.
+	res := &DiffResult{}
+	Compare(baseFile(), nil, 0.10, 1.0, res)
+	if res.OK() {
+		t.Error("missing candidate experiment must fail")
+	}
+	// Missing metric.
+	cand := baseFile()
+	delete(cand.Metrics, "makespan_minutes")
+	if res := runCompare(t, cand); res.OK() {
+		t.Error("missing metric must fail")
+	}
+	// Seed mismatch.
+	cand = baseFile()
+	cand.Seed = 7
+	if res := runCompare(t, cand); res.OK() {
+		t.Error("seed mismatch must fail")
+	}
+	// Row-count change.
+	cand = baseFile()
+	cand.Rows = nil
+	if res := runCompare(t, cand); res.OK() {
+		t.Error("row-count change must fail")
+	}
+}
+
+func TestDiffNotesTextChangesAndNewMetrics(t *testing.T) {
+	cand := baseFile()
+	cand.Rows = [][]string{{"a", "2"}}
+	cand.Metrics["new_metric"] = 1
+	res := runCompare(t, cand)
+	if !res.OK() {
+		t.Fatalf("textual change is a note, not a failure: %v", res.Failures)
+	}
+	if len(res.Notes) != 2 {
+		t.Errorf("want a cell-change note and a new-metric note: %v", res.Notes)
+	}
+}
+
+func TestCompareDirsEndToEnd(t *testing.T) {
+	baseDir, candDir := t.TempDir(), t.TempDir()
+	writeBench(t, baseDir, baseFile())
+	cand := baseFile()
+	cand.Metrics["paid_comparisons"] = 60
+	writeBench(t, candDir, cand)
+	res, err := CompareDirs(baseDir, candDir, 0.10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || res.Compared != 1 {
+		t.Errorf("regression must fail the gate: %+v", res)
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "FAIL") {
+		t.Errorf("report must show the failure:\n%s", rep)
+	}
+	// An empty baseline dir is an error, not a silent pass.
+	if _, err := CompareDirs(t.TempDir(), candDir, 0.10, 1.0); err == nil {
+		t.Error("empty baseline dir must error")
+	}
+}

@@ -89,6 +89,7 @@ func E6CrowdJoin(seed int64) *Table {
 		Title:   "CrowdJoin: batched index-NL join vs per-tuple probing",
 		Exhibit: "SIGMOD'11 Fig. 10 (CrowdJoin)",
 		Headers: []string{"strategy", "groups posted", "HITs posted", "rows out", "crowd time"},
+		Metrics: map[string]float64{},
 	}
 	const nTalks = 15
 
@@ -106,6 +107,10 @@ func E6CrowdJoin(seed int64) *Table {
 	tsA := engA.Tasks().Stats()
 	t.AddRow("CrowdJoin (batched)", fmt.Sprintf("%d", tsA.GroupsPosted), fmt.Sprintf("%d", tsA.HITsPosted),
 		fmt.Sprintf("%d", len(resA.Rows)), fmtDur(tsA.CrowdTime))
+	t.Metrics["batched_groups"] = float64(tsA.GroupsPosted)
+	t.Metrics["batched_hits_posted"] = float64(tsA.HITsPosted)
+	t.Metrics["batched_crowd_minutes"] = tsA.CrowdTime.Minutes()
+	t.Metrics["batched_rows_out"] = float64(len(resA.Rows))
 	engA.Close()
 
 	// Strategy B: one bounded query per talk — a group per outer tuple.
@@ -236,6 +241,7 @@ func E10OptimizerRules(seed int64) *Table {
 		Title:   "optimizer ablation: crowd tasks per rule set",
 		Exhibit: "demo §3.2.2 (rule-based optimizations)",
 		Headers: []string{"configuration", "probe tasks", "tuple tasks", "rows out"},
+		Metrics: map[string]float64{},
 	}
 	const nTalks = 24
 	// The probe query: selective non-crowd predicate + LIMIT.
@@ -271,6 +277,13 @@ func E10OptimizerRules(seed int64) *Table {
 			fmt.Sprintf("%d", res.Stats.ProbeRequests),
 			fmt.Sprintf("%d", res.Stats.NewTupleRequests),
 			fmt.Sprintf("%d", len(res.Rows)))
+		if c.name == "probe: all rules" {
+			t.Metrics["full_rules_probe_tasks"] = float64(res.Stats.ProbeRequests)
+		}
+		if c.name == "join: all rules" {
+			t.Metrics["join_full_rules_tuple_tasks"] = float64(res.Stats.NewTupleRequests)
+			t.Metrics["join_full_rules_rows_out"] = float64(len(res.Rows))
+		}
 		eng.Close()
 	}
 	t.Notes = append(t.Notes,

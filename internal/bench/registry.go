@@ -28,6 +28,7 @@ func All() []Experiment {
 		{"E14", "weighted-vote quality control (extension)", E14VotePolicy},
 		{"E15", "async speedup vs in-flight window (extension)", E15AsyncScheduler},
 		{"E16", "concurrent sessions: shared-cache crowd cost (extension)", E16ConcurrentSessions},
+		{"E17", "cost-based optimizer vs flat heuristic (extension)", E17CostBasedOptimizer},
 	}
 }
 

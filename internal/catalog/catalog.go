@@ -51,7 +51,26 @@ type Statistics struct {
 	// CNullCount tracks, per column name, how many stored values are still
 	// CNULL — CrowdProbe uses it to estimate outstanding work.
 	CNullCount map[string]int64
+
+	// Runtime feedback: observations the executor reports back after each
+	// statement, consumed only by the cost model's predictions (never by
+	// execution itself, so feedback cannot change query answers — only
+	// which plan the optimizer prefers and what EXPLAIN forecasts).
+
+	// ObservedFilterSel is an exponential moving average of kept/scanned
+	// for scans with a pushed-down predicate on this table.
+	ObservedFilterSel  float64
+	FilterObservations int64
+	// ObservedCrowdFanout is an EWMA of accepted crowd tuples per
+	// solicited key (the measured counterpart of ExpectedCrowdCard).
+	ObservedCrowdFanout float64
+	FanoutObservations  int64
 }
+
+// feedbackAlpha is the EWMA weight of a new observation: high enough that
+// a handful of statements converge, low enough that one outlier does not
+// swing predictions.
+const feedbackAlpha = 0.3
 
 // DefaultCrowdCard is the default expected number of crowdsourced tuples per
 // probe against a CROWD table.
@@ -140,6 +159,56 @@ func (t *Table) SetExpectedCrowdCard(n int64) {
 	t.statsMu.Lock()
 	defer t.statsMu.Unlock()
 	t.stats.ExpectedCrowdCard = n
+}
+
+// ObserveFilter feeds back one filtered-scan execution: scanned input
+// rows vs rows the pushed predicate kept.
+func (t *Table) ObserveFilter(scanned, kept int64) {
+	if scanned <= 0 {
+		return
+	}
+	sel := float64(kept) / float64(scanned)
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats.FilterObservations == 0 {
+		t.stats.ObservedFilterSel = sel
+	} else {
+		t.stats.ObservedFilterSel += feedbackAlpha * (sel - t.stats.ObservedFilterSel)
+	}
+	t.stats.FilterObservations++
+}
+
+// FilterSelectivity returns the observed pushed-predicate selectivity and
+// whether any observation exists.
+func (t *Table) FilterSelectivity() (float64, bool) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats.ObservedFilterSel, t.stats.FilterObservations > 0
+}
+
+// ObserveCrowdFanout feeds back one solicitation round: keys asked vs
+// crowd tuples accepted.
+func (t *Table) ObserveCrowdFanout(keys, accepted int64) {
+	if keys <= 0 {
+		return
+	}
+	fan := float64(accepted) / float64(keys)
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.stats.FanoutObservations == 0 {
+		t.stats.ObservedCrowdFanout = fan
+	} else {
+		t.stats.ObservedCrowdFanout += feedbackAlpha * (fan - t.stats.ObservedCrowdFanout)
+	}
+	t.stats.FanoutObservations++
+}
+
+// CrowdFanout returns the observed tuples-per-key fanout and whether any
+// observation exists.
+func (t *Table) CrowdFanout() (float64, bool) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats.ObservedCrowdFanout, t.stats.FanoutObservations > 0
 }
 
 // Column returns the column definition by name (case-insensitive, like H2).

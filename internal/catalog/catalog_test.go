@@ -212,3 +212,48 @@ func TestDefaultStats(t *testing.T) {
 		t.Errorf("CNULL count must clamp at zero, got %d", n)
 	}
 }
+
+func TestObservedFilterSelectivityEWMA(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := c.Table("Talk")
+	if _, ok := tab.FilterSelectivity(); ok {
+		t.Error("no observation yet")
+	}
+	tab.ObserveFilter(100, 50)
+	if sel, ok := tab.FilterSelectivity(); !ok || sel != 0.5 {
+		t.Errorf("first observation must seed the EWMA: %v %v", sel, ok)
+	}
+	// Subsequent observations move the average toward the new value.
+	tab.ObserveFilter(100, 10)
+	if sel, _ := tab.FilterSelectivity(); sel >= 0.5 || sel <= 0.1 {
+		t.Errorf("EWMA must land between old and new: %v", sel)
+	}
+	// Zero scanned rows are ignored (no divide-by-zero, no skew).
+	before, _ := tab.FilterSelectivity()
+	tab.ObserveFilter(0, 0)
+	if after, _ := tab.FilterSelectivity(); after != before {
+		t.Errorf("empty scans must not move the EWMA: %v -> %v", before, after)
+	}
+}
+
+func TestObservedCrowdFanoutEWMA(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(talkTable()); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := c.Table("Talk")
+	if _, ok := tab.CrowdFanout(); ok {
+		t.Error("no observation yet")
+	}
+	tab.ObserveCrowdFanout(2, 6)
+	if fan, ok := tab.CrowdFanout(); !ok || fan != 3 {
+		t.Errorf("first fanout observation: %v %v", fan, ok)
+	}
+	tab.ObserveCrowdFanout(1, 1)
+	if fan, _ := tab.CrowdFanout(); fan >= 3 || fan <= 1 {
+		t.Errorf("EWMA must land between old and new: %v", fan)
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,6 +72,13 @@ type Result struct {
 	Warnings []string
 	// Stats reports the executor's crowd activity for the statement.
 	Stats exec.Stats
+	// Predicted is the cost model's forecast for the statement (crowd
+	// cents, crowd-latency seconds, output rows).
+	Predicted plan.Cost
+	// ActualCents is the crowd spend the statement actually incurred, in
+	// the cost model's units (rewards × replication for every paid probe,
+	// solicitation, and comparison).
+	ActualCents float64
 }
 
 // Engine is a CrowdDB instance. It is safe for concurrent use: SELECT,
@@ -97,6 +105,48 @@ type Engine struct {
 	// holds entries whose system-table write failed, for retry.
 	persistMu      sync.Mutex
 	pendingPersist []exec.Entry
+
+	// costMu guards the predicted-vs-actual cost-model accounting.
+	costMu    sync.Mutex
+	costModel CostModelStats
+}
+
+// CostModelStats aggregates the cost model's predicted-vs-actual error
+// across executed statements (crowd-active SELECTs only). The relative
+// error of each statement's cents forecast is averaged; /stats and the
+// REPL surface it so drift is visible in production.
+type CostModelStats struct {
+	// Statements counts crowd-active SELECTs scored.
+	Statements int64 `json:"statements"`
+	// PredictedCents / ActualCents are running totals.
+	PredictedCents float64 `json:"predicted_cents"`
+	ActualCents    float64 `json:"actual_cents"`
+	// MeanAbsPctErr is the mean |predicted−actual| / max(actual, 1¢)
+	// over scored statements, in percent.
+	MeanAbsPctErr float64 `json:"mean_abs_pct_err"`
+}
+
+// CostModel snapshots the predicted-vs-actual accounting.
+func (e *Engine) CostModel() CostModelStats {
+	e.costMu.Lock()
+	defer e.costMu.Unlock()
+	return e.costModel
+}
+
+// observeCostError scores one executed statement's forecast.
+func (e *Engine) observeCostError(predicted, actual float64) {
+	denom := actual
+	if denom < 1 {
+		denom = 1
+	}
+	errPct := 100 * math.Abs(predicted-actual) / denom
+	e.costMu.Lock()
+	defer e.costMu.Unlock()
+	n := float64(e.costModel.Statements)
+	e.costModel.MeanAbsPctErr = (e.costModel.MeanAbsPctErr*n + errPct) / (n + 1)
+	e.costModel.Statements++
+	e.costModel.PredictedCents += predicted
+	e.costModel.ActualCents += actual
 }
 
 // Open builds an engine, replaying any persisted schema and data.
@@ -575,7 +625,42 @@ func (e *Engine) compile(s *parser.Select) (*optimizer.Result, error) {
 	}
 	opts := e.cfg.Optimizer
 	opts.AllowUnbounded = opts.AllowUnbounded || e.cfg.AllowUnbounded
+	opts.Cost = e.costInputs()
 	return optimizer.Optimize(root, e.cat, opts)
+}
+
+// costInputs assembles the live numbers the cost model prices plans with:
+// the task manager's pricing and observed round-trip latency plus the
+// shared comparison cache's hit rate — the runtime feedback loop.
+func (e *Engine) costInputs() optimizer.CostInputs {
+	ci := optimizer.DefaultCostInputs()
+	if e.tasks != nil {
+		cfg := e.tasks.Config()
+		ci.RewardCents = float64(cfg.Reward)
+		ci.CompareAssignments = float64(cfg.Assignments)
+		ci.TupleAssignments = float64(cfg.NewTupleAssignments)
+		ci.Window = float64(cfg.MaxInFlight)
+		if p50, _, n := e.tasks.LatencyStats(); n > 0 && p50 > 0 {
+			ci.RoundTripSeconds = p50.Seconds()
+		}
+	}
+	cs := e.cache.Stats()
+	if resolved := cs.Hits + cs.Misses + cs.Shared; resolved > 0 {
+		ci.CacheHitRate = float64(cs.Hits+cs.Shared) / float64(resolved)
+	}
+	return ci
+}
+
+// actualCents prices a statement's measured crowd activity in the cost
+// model's units: every probe and comparison pays reward × replication,
+// every solicited tuple reward × tuple replication.
+func (e *Engine) actualCents(st exec.Stats) float64 {
+	if e.tasks == nil {
+		return 0
+	}
+	cfg := e.tasks.Config()
+	return float64(st.Comparisons+st.ProbeRequests)*float64(cfg.Reward)*float64(cfg.Assignments) +
+		float64(st.NewTupleRequests)*float64(cfg.Reward)*float64(cfg.NewTupleAssignments)
 }
 
 func (e *Engine) execSelect(s *parser.Select, opts ExecOpts) (*Result, error) {
@@ -607,6 +692,12 @@ func (e *Engine) execSelect(s *parser.Select, opts ExecOpts) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Rows: rows, Warnings: opt.Warnings, Stats: ctx.Stats}
+	res.Predicted = opt.Predicted
+	res.ActualCents = e.actualCents(ctx.Stats)
+	if e.tasks != nil && !opt.Predicted.IsUnbounded() &&
+		(opt.Predicted.Cents > 0 || res.ActualCents > 0) {
+		e.observeCostError(opt.Predicted.Cents, res.ActualCents)
+	}
 	for _, c := range opt.Root.Schema() {
 		res.Columns = append(res.Columns, c.Name)
 	}
@@ -685,13 +776,18 @@ func (e *Engine) execExplain(s *parser.Explain) (*Result, error) {
 	}
 	var sb strings.Builder
 	sb.WriteString(plan.ExplainTreeAnnotated(opt.Root, func(n plan.Node) string {
+		var parts []string
 		if card, ok := opt.Cards[n]; ok {
-			return fmt.Sprintf("~%.0f rows", card)
+			parts = append(parts, fmt.Sprintf("~%.0f rows", card))
 		}
-		return ""
+		if cost, ok := opt.Costs[n]; ok {
+			parts = append(parts, cost.String())
+		}
+		return strings.Join(parts, "  ")
 	}))
 	fmt.Fprintf(&sb, "bounded: %v\n", opt.Bounded)
-	return &Result{Plan: sb.String(), Warnings: opt.Warnings}, nil
+	fmt.Fprintf(&sb, "predicted: %s\n", opt.Predicted)
+	return &Result{Plan: sb.String(), Warnings: opt.Warnings, Predicted: opt.Predicted}, nil
 }
 
 // lookupPersistedCompare reads one comparison answer from the system

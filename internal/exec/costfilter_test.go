@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"testing"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/optimizer"
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+	"crowddb/internal/sqltypes"
+)
+
+// runCtxOpts is runCtx with explicit optimizer options (the phase-ordering
+// tests compare cost-based against the flat ablation).
+func (h *harness) runCtxOpts(t *testing.T, ctx *Ctx, sql string, opts optimizer.Options) []Row {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := plan.Build(stmt.(*parser.Select), h.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := optimizer.Optimize(root, h.cat, opts)
+	if err != nil {
+		t.Fatalf("Optimize(%q): %v", sql, err)
+	}
+	op, err := Build(opt.Root, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Run(op, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// equalOracleHarness extends the crowd harness with a pair table whose
+// CROWDEQUAL truth is "yes" iff the two strings match case-insensitively
+// (orderOracle's CompareTruth answers the winner field; for equality the
+// sim uses Truth["answer"], so reuse the same oracle and let noise be
+// irrelevant: we only count comparisons, not verdicts).
+func crowdFilterFixture(t *testing.T, seed int64) (*harness, *Ctx) {
+	h, ctx := crowdHarness(t, seed)
+	h.createTable(t, &catalog.Table{
+		Name: "v",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqltypes.TypeInt, PrimaryKey: true},
+			{Name: "a", Type: sqltypes.TypeString},
+			{Name: "b", Type: sqltypes.TypeString},
+		},
+	})
+	h.createTable(t, &catalog.Table{
+		Name: "w",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqltypes.TypeInt, PrimaryKey: true},
+			{Name: "keep", Type: sqltypes.TypeInt},
+		},
+	})
+	for i := 1; i <= 4; i++ {
+		h.insert(t, "v", Row{num(int64(i)), str("left" + string(rune('0'+i))), str("right" + string(rune('0'+i)))})
+	}
+	// Only row 2 is marked keep=1.
+	h.insert(t, "w",
+		Row{num(1), num(0)}, Row{num(2), num(1)}, Row{num(3), num(0)}, Row{num(4), num(0)})
+	return h, ctx
+}
+
+// The query mixes a paid crowd predicate with a cheap machine predicate
+// the rule-based rewrites cannot push down (it spans a LEFT JOIN's null-
+// producing side, so it must stay in the WHERE filter).
+const mixedFilterQuery = `SELECT v.id FROM v LEFT JOIN w ON w.id = v.id WHERE v.a ~= v.b AND w.keep = 1`
+
+// TestCrowdFilterCheapFirstPruning: with cost-based phase ordering, only
+// rows surviving the machine predicate pay for a comparison.
+func TestCrowdFilterCheapFirstPruning(t *testing.T) {
+	h, ctx := crowdFilterFixture(t, 71)
+	rows := h.runCtxOpts(t, ctx, mixedFilterQuery, optimizer.Options{})
+	if ctx.Stats.Comparisons != 1 {
+		t.Errorf("cheap-first filter must pay for exactly the kept row: %+v", ctx.Stats)
+	}
+	for _, r := range rows {
+		if r[0].Int() != 2 {
+			t.Errorf("only id=2 can qualify: %v", rows)
+		}
+	}
+}
+
+// TestCrowdFilterFlatAblationPaysForAllRows: the pre-cost-model behavior
+// (DisableCostBased) prefetches a comparison for every buffered row.
+func TestCrowdFilterFlatAblationPaysForAllRows(t *testing.T) {
+	h, ctx := crowdFilterFixture(t, 71)
+	h.runCtxOpts(t, ctx, mixedFilterQuery, optimizer.Options{DisableCostBased: true})
+	if ctx.Stats.Comparisons != 4 {
+		t.Errorf("flat filter must pay one comparison per row: %+v", ctx.Stats)
+	}
+}
+
+// TestCheapFirstSameAnswers: phase ordering is an optimization, not a
+// semantics change — both plans return identical rows.
+func TestCheapFirstSameAnswers(t *testing.T) {
+	hA, ctxA := crowdFilterFixture(t, 72)
+	fast := hA.runCtxOpts(t, ctxA, mixedFilterQuery, optimizer.Options{})
+	hB, ctxB := crowdFilterFixture(t, 72)
+	flat := hB.runCtxOpts(t, ctxB, mixedFilterQuery, optimizer.Options{DisableCostBased: true})
+	if len(fast) != len(flat) {
+		t.Fatalf("row counts differ: %d vs %d", len(fast), len(flat))
+	}
+	for i := range fast {
+		if fast[i][0].Int() != flat[i][0].Int() {
+			t.Errorf("row %d differs: %v vs %v", i, fast[i], flat[i])
+		}
+	}
+}

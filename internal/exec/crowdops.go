@@ -597,12 +597,14 @@ func (s *crowdProbeScan) Open(ctx *Ctx) error {
 	// Pre-filter on conjuncts that do not touch this table's crowd columns:
 	// predicate push-down shrinks the probe set (experiment E10's win).
 	preFilter, postNeeded := splitCrowdFilter(s.node)
+	scanned := int64(0)
 	for _, id := range ids {
 		row, ok := ctx.Store.Get(name, id)
 		if !ok {
 			continue
 		}
 		ctx.Stats.RowsScanned++
+		scanned++
 		keep, err := rowMatches(preFilter, row, s.node.Schema())
 		if err != nil {
 			return err
@@ -611,6 +613,10 @@ func (s *crowdProbeScan) Open(ctx *Ctx) error {
 			rows = append(rows, row)
 			rowIDs = append(rowIDs, id)
 		}
+	}
+	if s.node.Filter != nil && scanned > 0 {
+		// Cost-model feedback: observed selectivity of the pushed predicate.
+		s.node.Table.ObserveFilter(scanned, int64(len(rows)))
 	}
 
 	// Stop-after push-down (§3.2.2): when the whole filter ran pre-probe,
@@ -840,7 +846,14 @@ func solicitTuples(ctx *Ctx, node *plan.Scan, existing []Row) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return insertCandidates(ctx, t, candidates)
+	accepted, err := insertCandidates(ctx, t, candidates)
+	if err == nil && len(node.ProbeKeys) > 0 {
+		// Cost-model feedback: accepted crowd tuples per solicited key.
+		// Only key-driven solicitations are representative — a stop-after
+		// fill ("give me 30 rows") would poison the per-key fanout EWMA.
+		t.ObserveCrowdFanout(1, int64(len(accepted)))
+	}
+	return accepted, err
 }
 
 // insertCandidates coerces raw candidate tuples, inserts them (primary key
@@ -1032,6 +1045,7 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 				}
 				calls = append(calls, call)
 			}
+			totalAccepted := int64(0)
 			for k, call := range calls {
 				batches, err := call.Wait()
 				if err != nil {
@@ -1044,6 +1058,7 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 						drainFrom(k + 1)
 						return err
 					}
+					totalAccepted += int64(len(accepted))
 					for _, row := range accepted {
 						ok, err := rowMatches(j.scan.Filter, row, j.scan.Schema())
 						if err != nil {
@@ -1057,6 +1072,8 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 					}
 				}
 			}
+			// Cost-model feedback: accepted crowd tuples per solicited key.
+			t.ObserveCrowdFanout(int64(len(reqs)), totalAccepted)
 		}
 	}
 

@@ -26,10 +26,11 @@ type Operator interface {
 // SeqScan: plain stored-table scan with pushed filter and stop-after.
 
 type seqScan struct {
-	node *plan.Scan
-	ids  []storage.RowID
-	pos  int
-	out  int64
+	node    *plan.Scan
+	ids     []storage.RowID
+	pos     int
+	out     int64
+	scanned int64
 }
 
 func (s *seqScan) Schema() []plan.Col { return s.node.Schema() }
@@ -39,7 +40,7 @@ func (s *seqScan) Open(ctx *Ctx) error {
 	if err != nil {
 		return err
 	}
-	s.ids, s.pos, s.out = ids, 0, 0
+	s.ids, s.pos, s.out, s.scanned = ids, 0, 0, 0
 	return nil
 }
 
@@ -57,6 +58,7 @@ func (s *seqScan) Next(ctx *Ctx) (Row, error) {
 			continue
 		}
 		ctx.Stats.RowsScanned++
+		s.scanned++
 		keep, err := rowMatches(s.node.Filter, row, s.node.Schema())
 		if err != nil {
 			return nil, err
@@ -68,7 +70,13 @@ func (s *seqScan) Next(ctx *Ctx) (Row, error) {
 	}
 }
 
-func (s *seqScan) Close(*Ctx) error { return nil }
+func (s *seqScan) Close(*Ctx) error {
+	// Feed the observed predicate selectivity back to the cost model.
+	if s.node.Filter != nil && s.scanned > 0 {
+		s.node.Table.ObserveFilter(s.scanned, s.out)
+	}
+	return nil
+}
 
 // rowMatches evaluates a (crowd-free) predicate to a keep/drop decision.
 func rowMatches(filter parser.Expr, row Row, schema []plan.Col) (bool, error) {
@@ -116,6 +124,23 @@ func (f *filterOp) Open(ctx *Ctx) error {
 			break
 		}
 		buffered = append(buffered, r)
+	}
+	// Cost-based phase ordering: when the optimizer split off a cheap
+	// (crowd-free) phase, prune with it first — rows a machine predicate
+	// rejects must never cost a paid comparison. AND semantics make this
+	// exact: a row failing Pre fails Cond regardless of crowd verdicts.
+	if f.node.Pre != nil {
+		kept := buffered[:0]
+		for _, r := range buffered {
+			v, err := eval(f.node.Pre, &evalCtx{schema: f.Schema(), row: r, exec: ctx})
+			if err != nil {
+				return err
+			}
+			if b, unknown := boolOf(v); !unknown && b {
+				kept = append(kept, r)
+			}
+		}
+		buffered = kept
 	}
 	if err := prefetchCrowdEqual(ctx, f.node.Cond, buffered, f.Schema()); err != nil {
 		return err

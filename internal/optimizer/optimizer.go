@@ -27,6 +27,15 @@ type Options struct {
 	DisablePushdown    bool
 	DisableStopAfter   bool
 	DisableJoinReorder bool
+	// DisableCostBased turns off the crowd-aware cost-based optimizations
+	// (DP join-order search, cheap-first crowd-filter phases) and falls
+	// back to the flat greedy heuristic — the pre-cost-model behavior,
+	// kept for ablation benchmarks.
+	DisableCostBased bool
+	// Cost carries the live runtime-feedback numbers the cost model
+	// prices plans with. The zero value is normalized to
+	// DefaultCostInputs.
+	Cost CostInputs
 }
 
 // Result is the optimized plan with its compile-time annotations.
@@ -39,11 +48,17 @@ type Result struct {
 	Bounded bool
 	// Cards are the optimizer's cardinality predictions per node.
 	Cards map[plan.Node]float64
+	// Costs are the cost model's per-node predictions (crowd cents,
+	// crowd-latency seconds, output rows); EXPLAIN prints them.
+	Costs map[plan.Node]plan.Cost
+	// Predicted is the root's total predicted cost for the statement.
+	Predicted plan.Cost
 }
 
 // Optimize rewrites the logical plan. It returns an error for unbounded
 // crowd access unless opts.AllowUnbounded is set.
 func Optimize(root plan.Node, cat *catalog.Catalog, opts Options) (*Result, error) {
+	opts.Cost = opts.Cost.normalized()
 	o := &optimizer{cat: cat, opts: opts}
 	if !opts.DisablePushdown {
 		root = o.pushPredicates(root)
@@ -55,21 +70,69 @@ func Optimize(root plan.Node, cat *catalog.Catalog, opts Options) (*Result, erro
 	if !opts.DisableStopAfter {
 		o.pushLimits(root, -1, true)
 	}
+	if !opts.DisableCostBased {
+		o.orderFilterPhases(root)
+	}
 	res := &Result{Root: root, Cards: map[plan.Node]float64{}}
 	bounded := o.annotate(root, res)
 	res.Bounded = bounded
-	res.Warnings = append(res.Warnings, o.warnings...)
+	// Final costing pass: a fresh model, because the tree was mutated
+	// (stop-after, filter phases) since any costs computed during the
+	// join-order search.
+	cm := newCostModel(o)
+	res.Predicted = cm.cost(root)
+	res.Costs = cm.memo
+	res.Warnings = append(res.Warnings, o.warningTexts()...)
 	if !bounded && !opts.AllowUnbounded {
 		return nil, fmt.Errorf("optimizer: plan requests an unbounded amount of crowd data: %s",
-			strings.Join(o.warnings, "; "))
+			strings.Join(res.Warnings, "; "))
 	}
 	return res, nil
+}
+
+// warning is one structured compile-time diagnostic. Unbounded-scan
+// warnings carry the scan that logged them so the CrowdJoin rescue can
+// retract exactly that warning — not whichever string happens to match —
+// regardless of how join reordering interleaved other warnings.
+type warning struct {
+	text    string
+	scan    *plan.Scan
+	dropped bool
 }
 
 type optimizer struct {
 	cat      *catalog.Catalog
 	opts     Options
-	warnings []string
+	warnings []warning
+}
+
+func (o *optimizer) warnf(format string, args ...interface{}) {
+	o.warnings = append(o.warnings, warning{text: fmt.Sprintf(format, args...)})
+}
+
+func (o *optimizer) warnScan(s *plan.Scan, format string, args ...interface{}) {
+	o.warnings = append(o.warnings, warning{text: fmt.Sprintf(format, args...), scan: s})
+}
+
+// dropScanWarning retracts the (latest) unbounded warning logged for
+// exactly this scan node.
+func (o *optimizer) dropScanWarning(s *plan.Scan) {
+	for i := len(o.warnings) - 1; i >= 0; i-- {
+		if o.warnings[i].scan == s && !o.warnings[i].dropped {
+			o.warnings[i].dropped = true
+			return
+		}
+	}
+}
+
+func (o *optimizer) warningTexts() []string {
+	var out []string
+	for _, w := range o.warnings {
+		if !w.dropped {
+			out = append(out, w.text)
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------
@@ -285,7 +348,7 @@ func (o *optimizer) reorderJoins(n plan.Node) plan.Node {
 		for i := range leaves {
 			leaves[i] = o.reorderJoins(leaves[i])
 		}
-		return o.buildGreedy(leaves, conjuncts)
+		return o.orderJoinChain(leaves, conjuncts)
 	case *plan.Filter:
 		x.Input = o.reorderJoins(x.Input)
 		return x
@@ -344,9 +407,37 @@ func (o *optimizer) leafCost(n plan.Node) float64 {
 	return cost
 }
 
-func (o *optimizer) buildGreedy(leaves []plan.Node, conjuncts []parser.Expr) plan.Node {
+// orderJoinChain rebuilds one flattened inner/cross join chain. The flat
+// greedy heuristic is always computed (it is the deterministic baseline);
+// with the cost model enabled and the chain small enough, a bounded DP
+// enumeration of left-deep orders runs too and wins only when its
+// predicted money×latency score is strictly better — ties keep the greedy
+// plan, so existing workloads replay identically.
+func (o *optimizer) orderJoinChain(leaves []plan.Node, conjuncts []parser.Expr) plan.Node {
+	greedy, greedyCrosses := o.buildGreedy(leaves, conjuncts)
+	chosen, crosses := greedy, greedyCrosses
+	if !o.opts.DisableCostBased && len(leaves) <= dpMaxLeaves && len(conjuncts) <= dpMaxConjuncts {
+		if dp, dpCrosses, ok := o.buildDP(leaves, conjuncts); ok {
+			cm := newCostModel(o)
+			if cm.score(dp) < cm.score(greedy)-scoreEpsilon {
+				chosen, crosses = dp, dpCrosses
+			}
+		}
+	}
+	for _, cp := range crosses {
+		o.warnf("cross product between %s and %s", describe(cp.left), describe(cp.right))
+	}
+	return chosen
+}
+
+// crossPair records a cross product a join-order builder introduced, in
+// build order, so the chosen plan's warnings match the legacy ordering.
+type crossPair struct{ left, right plan.Node }
+
+func (o *optimizer) buildGreedy(leaves []plan.Node, conjuncts []parser.Expr) (plan.Node, []crossPair) {
 	used := make([]bool, len(leaves))
 	usedConj := make([]bool, len(conjuncts))
+	var crosses []crossPair
 
 	// Seed: cheapest leaf.
 	best := 0
@@ -399,11 +490,11 @@ func (o *optimizer) buildGreedy(leaves []plan.Node, conjuncts []parser.Expr) pla
 		jt := parser.JoinInner
 		if on == nil {
 			jt = parser.JoinCross
-			o.warnings = append(o.warnings, fmt.Sprintf("cross product between %s and %s", describe(cur), describe(next)))
+			crosses = append(crosses, crossPair{left: cur, right: next})
 		}
 		cur = &plan.Join{Left: cur, Right: next, Type: jt, On: on}
 	}
-	return cur
+	return cur, crosses
 }
 
 func describe(n plan.Node) string {
@@ -502,8 +593,7 @@ func (o *optimizer) annotate(n plan.Node, res *Result) bool {
 		card = o.scanCard(x)
 		if math.IsInf(card, 1) {
 			bounded = false
-			o.warnings = append(o.warnings, fmt.Sprintf(
-				"scan of CROWD table %s is unbounded: add a key predicate or LIMIT", x.Alias))
+			o.warnScan(x, "scan of CROWD table %s is unbounded: add a key predicate or LIMIT", x.Alias)
 			card = float64(x.Table.RowCount()) + 1 // stored-only fallback card
 		}
 	case *plan.Join:
@@ -517,8 +607,8 @@ func (o *optimizer) annotate(n plan.Node, res *Result) bool {
 			if s, ok := x.Right.(*plan.Scan); ok && s.Table.Crowd && o.joinBindsScan(x, s) {
 				bounded = true
 				rc = float64(s.Table.ExpectedCrowdCard())
-				// Pop the unbounded warning the inner scan just logged.
-				o.dropLastWarningFor(s.Alias)
+				// Retract the unbounded warning the inner scan just logged.
+				o.dropScanWarning(s)
 			}
 		}
 		sel := 1.0
@@ -586,13 +676,4 @@ func (o *optimizer) joinBindsScan(j *plan.Join, s *plan.Scan) bool {
 		}
 	}
 	return false
-}
-
-func (o *optimizer) dropLastWarningFor(alias string) {
-	for i := len(o.warnings) - 1; i >= 0; i-- {
-		if strings.Contains(o.warnings[i], "CROWD table "+alias+" ") {
-			o.warnings = append(o.warnings[:i], o.warnings[i+1:]...)
-			return
-		}
-	}
 }

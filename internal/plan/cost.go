@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cost is the optimizer's two-dimensional crowd cost prediction for a
+// (sub)plan (paper §3.2.2: crowd queries must be planned against monetary
+// cost AND human latency, not tuple counts alone). Cents is the expected
+// crowd spend, Seconds the expected crowd-side latency (virtual time the
+// query waits on people), Rows the predicted output cardinality.
+type Cost struct {
+	Cents   float64
+	Seconds float64
+	Rows    float64
+}
+
+// Plus accumulates the crowd dimensions of another cost (Rows is a
+// per-node property and is NOT summed; the caller sets it explicitly).
+func (c Cost) Plus(o Cost) Cost {
+	c.Cents += o.Cents
+	c.Seconds += o.Seconds
+	return c
+}
+
+// IsUnbounded reports whether the prediction diverged (an unbounded crowd
+// access: infinitely many tuples, infinite spend).
+func (c Cost) IsUnbounded() bool {
+	return math.IsInf(c.Cents, 1) || math.IsInf(c.Rows, 1)
+}
+
+// String renders the crowd dimensions compactly for EXPLAIN:
+// "¢36.0 ~30m". A costless node renders as "¢0".
+func (c Cost) String() string {
+	if c.IsUnbounded() {
+		return "¢∞"
+	}
+	if c.Cents == 0 && c.Seconds == 0 {
+		return "¢0"
+	}
+	return fmt.Sprintf("¢%.1f ~%s", c.Cents, fmtSeconds(c.Seconds))
+}
+
+// fmtSeconds renders a duration prediction in seconds as minutes or hours
+// (crowd latencies are human-scale).
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 90:
+		return fmt.Sprintf("%.0fs", s)
+	case s < 2*3600:
+		return fmt.Sprintf("%.0fm", s/60)
+	default:
+		return fmt.Sprintf("%.1fh", s/3600)
+	}
+}

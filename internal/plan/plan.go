@@ -111,6 +111,12 @@ func (s *Scan) Explain() string {
 type Filter struct {
 	Input Node
 	Cond  parser.Expr
+	// Pre is the cheap (crowd-free) part of Cond, ordered first by the
+	// cost-based optimizer: the executor prunes rows with Pre before any
+	// crowd comparison is paid for, so rows a machine predicate rejects
+	// never reach the crowd. Nil when Cond has no cheap conjuncts or
+	// cost-based optimization is disabled (Cond alone is then complete).
+	Pre parser.Expr
 }
 
 // Schema implements Node.
@@ -124,6 +130,9 @@ func (f *Filter) Explain() string {
 	kind := "Filter"
 	if parser.HasCrowdFunc(f.Cond) {
 		kind = "CrowdFilter"
+	}
+	if f.Pre != nil {
+		return fmt.Sprintf("%s(%s) pre=%s", kind, f.Cond, f.Pre)
 	}
 	return fmt.Sprintf("%s(%s)", kind, f.Cond)
 }

@@ -38,6 +38,10 @@ type queryResponse struct {
 	Plan     string      `json:"plan,omitempty"`
 	Warnings []string    `json:"warnings,omitempty"`
 	Stats    exec.Stats  `json:"stats"`
+	// Cost-model forecast vs measured spend for the statement.
+	PredictedCents   float64 `json:"predicted_cents,omitempty"`
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	ActualCents      float64 `json:"actual_cents,omitempty"`
 }
 
 type sessionRequest struct {
@@ -105,6 +109,11 @@ func resultJSON(res *core.Result, session string) queryResponse {
 		Warnings: res.Warnings,
 		Stats:    res.Stats,
 	}
+	if !res.Predicted.IsUnbounded() {
+		out.PredictedCents = res.Predicted.Cents
+		out.PredictedSeconds = res.Predicted.Seconds
+	}
+	out.ActualCents = res.ActualCents
 	for _, row := range res.Rows {
 		cells := make([]*string, len(row))
 		for i, v := range row {

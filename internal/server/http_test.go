@@ -230,3 +230,43 @@ func TestWireProtocol(t *testing.T) {
 		t.Errorf("%d sessions still registered after disconnect", n)
 	}
 }
+
+// TestStatsIncludesCostModel: /stats surfaces the optimizer's aggregate
+// predicted-vs-actual error, and query responses carry the per-statement
+// forecast.
+func TestStatsIncludesCostModel(t *testing.T) {
+	eng := pairEngine(t, 29, 3)
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query", map[string]string{"sql": "SELECT id FROM Pair WHERE a ~= b"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %d %s", resp.StatusCode, body)
+	}
+	var qr struct {
+		PredictedCents float64 `json:"predicted_cents"`
+		ActualCents    float64 `json:"actual_cents"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.PredictedCents <= 0 || qr.ActualCents <= 0 {
+		t.Errorf("crowd query must report forecast and spend: %+v", qr)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: %d", resp.StatusCode)
+	}
+	var rep StatsReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CostModel.Statements == 0 || rep.CostModel.ActualCents <= 0 {
+		t.Errorf("cost model must be populated after a crowd query: %+v", rep.CostModel)
+	}
+	if !strings.Contains(string(body), `"cost_model"`) {
+		t.Error("/stats must include the cost_model section")
+	}
+}

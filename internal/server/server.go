@@ -63,6 +63,8 @@ type StatsReport struct {
 	Tasks             *taskmgr.Stats `json:"tasks,omitempty"`
 	SchedulerInFlight int            `json:"scheduler_in_flight"`
 	SchedulerQueued   int            `json:"scheduler_queued"`
+	// CostModel is the optimizer's aggregate predicted-vs-actual error.
+	CostModel core.CostModelStats `json:"cost_model"`
 }
 
 // Server is the concurrent multi-session query service.
@@ -309,7 +311,7 @@ func (s *Server) Stats() StatsReport {
 	}
 	s.mu.Unlock()
 
-	report := StatsReport{Server: st, Cache: s.eng.CacheStats()}
+	report := StatsReport{Server: st, Cache: s.eng.CacheStats(), CostModel: s.eng.CostModel()}
 	for _, sess := range sessions {
 		report.Sessions = append(report.Sessions, sess.Info())
 	}

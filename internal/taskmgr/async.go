@@ -158,6 +158,10 @@ func (m *Manager) resolveLocked(p *Pending, byHIT map[string][]*crowd.Assignment
 			break
 		}
 	}
+	if p.posted && err == nil {
+		// Observed round-trip: the cost model's latency feedback.
+		m.recordLatency(m.platform.Now() - p.postedAt)
+	}
 	for len(m.sched.queued) > 0 && len(m.sched.inflight) < m.cfg.MaxInFlight {
 		next := m.sched.queued[0]
 		m.sched.queued = m.sched.queued[1:]

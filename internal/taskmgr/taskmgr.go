@@ -9,6 +9,7 @@ package taskmgr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -85,6 +86,13 @@ type Stats struct {
 	PeakInFlight int
 	// PeakQueueDepth is the longest the over-window submission queue got.
 	PeakQueueDepth int
+	// GroupLatencyP50/P90 are observed HIT-group round-trip percentiles
+	// (post to resolution, virtual time) over a sliding window of recent
+	// groups; the cost model prices crowd rounds with them.
+	GroupLatencyP50 time.Duration
+	GroupLatencyP90 time.Duration
+	// LatencySamples is how many group round-trips have been observed.
+	LatencySamples int64
 }
 
 // Manager is the Task Manager.
@@ -99,9 +107,16 @@ type Manager struct {
 	mu    sync.Mutex
 	stats Stats
 	seq   int
+	// latSamples is a ring of recent group round-trip latencies; latPos
+	// counts total observations (ring writes wrap at latencyWindow).
+	latSamples []time.Duration
+	latPos     int64
 
 	sched scheduler
 }
+
+// latencyWindow bounds the round-trip sample ring.
+const latencyWindow = 64
 
 // New assembles a Task Manager. oracle may be nil (workers will answer
 // without ground truth — useful only for plumbing tests).
@@ -135,7 +150,43 @@ func (m *Manager) Stats() Stats {
 	defer m.mu.Unlock()
 	st := m.stats
 	st.MaxInFlight = m.cfg.MaxInFlight
+	st.GroupLatencyP50, st.GroupLatencyP90 = m.latencyPercentilesLocked()
+	st.LatencySamples = m.latPos
 	return st
+}
+
+// recordLatency notes one group's post-to-resolution round-trip.
+func (m *Manager) recordLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.latSamples) < latencyWindow {
+		m.latSamples = append(m.latSamples, d)
+	} else {
+		m.latSamples[m.latPos%latencyWindow] = d
+	}
+	m.latPos++
+}
+
+// LatencyStats returns observed group round-trip percentiles (virtual
+// time) over the recent-sample window, plus the total observation count.
+func (m *Manager) LatencyStats() (p50, p90 time.Duration, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p50, p90 = m.latencyPercentilesLocked()
+	return p50, p90, m.latPos
+}
+
+func (m *Manager) latencyPercentilesLocked() (p50, p90 time.Duration) {
+	if len(m.latSamples) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), m.latSamples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return idx(0.5), idx(0.9)
 }
 
 // Config returns the manager's effective configuration.

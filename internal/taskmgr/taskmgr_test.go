@@ -207,3 +207,30 @@ func TestConfigDefaultsApplied(t *testing.T) {
 		t.Error("platform accessor")
 	}
 }
+
+// TestObservedGroupLatency: resolved groups feed the round-trip sample
+// ring; percentiles are ordered and surfaced through Stats.
+func TestObservedGroupLatency(t *testing.T) {
+	m, _ := newManager(t, 99)
+	if _, _, n := m.LatencyStats(); n != 0 {
+		t.Fatalf("no samples expected before any group resolves, got %d", n)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.CompareEqual("same company?", []ComparePair{
+			{Left: "IBM", Right: "International Business Machines"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p50, p90, n := m.LatencyStats()
+	if n != 3 {
+		t.Errorf("3 resolved groups must yield 3 samples, got %d", n)
+	}
+	if p50 <= 0 || p90 < p50 {
+		t.Errorf("percentiles must be positive and ordered: p50=%v p90=%v", p50, p90)
+	}
+	st := m.Stats()
+	if st.GroupLatencyP50 != p50 || st.GroupLatencyP90 != p90 || st.LatencySamples != n {
+		t.Errorf("Stats must surface the latency numbers: %+v", st)
+	}
+}
