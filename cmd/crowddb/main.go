@@ -7,6 +7,8 @@
 //	crowddb -data ./mydb            # durable: schema/data/answers persist
 //	crowddb -platform mobile        # use the VLDB mobile crowd
 //	crowddb -demo                   # pre-load the paper's conference schema
+//	crowddb -shards 8               # hash-partition tables across 8 shards
+//	crowddb -wal-sync always        # fsync every WAL record (default: group)
 //
 // Inside the shell, CrowdSQL statements end with ';'. Extra commands:
 //
@@ -26,6 +28,7 @@ import (
 
 	"crowddb"
 	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
 	"crowddb/internal/workload"
 	"crowddb/internal/wrm"
 )
@@ -36,11 +39,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "crowd simulation seed")
 	demo := flag.Bool("demo", false, "pre-load the paper's VLDB conference schema and talks")
 	command := flag.String("c", "", "execute this CrowdSQL script and exit (non-interactive)")
+	shards := flag.Int("shards", 0, "storage shards per table (0 = one per CPU, capped; durable stores adopt their on-disk count)")
+	walSync := flag.String("wal-sync", "group", "WAL durability: always, group, or off")
 	flag.Parse()
 
 	conf := workload.NewConference(20, *seed)
 	cfg := crowddb.Config{
 		DataDir: *data,
+		Shards:  *shards,
+		WALSync: storage.SyncMode(*walSync),
 		Oracle:  conf.Oracle(),
 		Payment: wrm.DefaultPolicy(),
 	}

@@ -10,6 +10,7 @@
 //	crowddbd -http :8080 -tcp :4040   # also speak the TCP wire protocol
 //	crowddbd -data ./db -demo         # durable, pre-loaded conference schema
 //	crowddbd -budget 50               # default per-session comparison budget
+//	crowddbd -shards 8 -wal-sync group  # storage fan-out and WAL durability
 //
 // A quick session:
 //
@@ -36,6 +37,7 @@ import (
 	"crowddb/internal/core"
 	"crowddb/internal/server"
 	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
 	"crowddb/internal/workload"
 	"crowddb/internal/wrm"
 )
@@ -52,6 +54,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 32, "maximum concurrently executing queries")
 	cacheCap := flag.Int("cache-cap", 0, "comparison-cache residency cap (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	shards := flag.Int("shards", 0, "storage shards per table (0 = one per CPU, capped; durable stores adopt their on-disk count)")
+	walSync := flag.String("wal-sync", "group", "WAL durability: always, group, or off")
 	flag.Parse()
 
 	if *httpAddr == "" && *tcpAddr == "" {
@@ -62,6 +66,8 @@ func main() {
 	conf := workload.NewConference(20, *seed)
 	cfg := crowddb.Config{
 		DataDir:         *data,
+		Shards:          *shards,
+		WALSync:         storage.SyncMode(*walSync),
 		Oracle:          conf.Oracle(),
 		Payment:         wrm.DefaultPolicy(),
 		CompareCacheCap: *cacheCap,

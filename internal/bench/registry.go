@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"E15", "async speedup vs in-flight window (extension)", E15AsyncScheduler},
 		{"E16", "concurrent sessions: shared-cache crowd cost (extension)", E16ConcurrentSessions},
 		{"E17", "cost-based optimizer vs flat heuristic (extension)", E17CostBasedOptimizer},
+		{"E18", "sharded storage throughput (extension)", E18StorageThroughput},
 	}
 }
 

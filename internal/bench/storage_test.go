@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// E18 shape: four shard configurations, positive throughput everywhere,
+// deterministic coverage counters, and the informational speedup ratios
+// present. Absolute speedups are NOT asserted — they depend on the
+// runner's core count (GOMAXPROCS=1 gives ratios near 1 for scans).
+func TestE18Shape(t *testing.T) {
+	tab := E18StorageThroughput(42)
+	if len(tab.Rows) != len(e18ShardCounts) {
+		t.Fatalf("rows: %v (notes: %v)", tab.Rows, tab.Notes)
+	}
+	for _, shards := range e18ShardCounts {
+		for _, key := range []string{"scan_rows_per_sec_", "insert_rows_per_sec_"} {
+			k := key + map[int]string{1: "1shards", 2: "2shards", 4: "4shards", 8: "8shards"}[shards]
+			if tab.Metrics[k] <= 0 {
+				t.Errorf("metric %s missing or non-positive: %v", k, tab.Metrics[k])
+			}
+		}
+	}
+	if tab.Metrics["scan_rows_out"] != e18ScanRows {
+		t.Errorf("scan coverage: %v", tab.Metrics["scan_rows_out"])
+	}
+	if tab.Metrics["insert_rows_out"] != e18InsertRows {
+		t.Errorf("insert coverage: %v", tab.Metrics["insert_rows_out"])
+	}
+	for _, k := range []string{"scan_par8_vs_1", "insert_par8_vs_1"} {
+		if tab.Metrics[k] <= 0 {
+			t.Errorf("ratio %s missing: %v", k, tab.Metrics[k])
+		}
+	}
+}

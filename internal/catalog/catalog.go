@@ -52,6 +52,12 @@ type Statistics struct {
 	// CNULL — CrowdProbe uses it to estimate outstanding work.
 	CNullCount map[string]int64
 
+	// ShardCount is the storage engine's hash-partition fan-out for this
+	// table (set by the engine at create/open time). The cost model
+	// divides machine scan time by min(ShardCount, available cores);
+	// 0 means unknown and is treated as 1.
+	ShardCount int64
+
 	// Runtime feedback: observations the executor reports back after each
 	// statement, consumed only by the cost model's predictions (never by
 	// execution itself, so feedback cannot change query answers — only
@@ -109,6 +115,21 @@ func (t *Table) RowCount() int64 {
 	t.statsMu.Lock()
 	defer t.statsMu.Unlock()
 	return t.stats.RowCount
+}
+
+// ShardCount returns the storage fan-out recorded for this table (0 =
+// unknown; callers treat it as 1).
+func (t *Table) ShardCount() int64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats.ShardCount
+}
+
+// SetShardCount records the storage engine's hash-partition fan-out.
+func (t *Table) SetShardCount(n int64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	t.stats.ShardCount = n
 }
 
 // AddRowCount adjusts the stored-row count by delta.

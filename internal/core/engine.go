@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -35,6 +36,13 @@ const compareTable = "__crowd_compare"
 type Config struct {
 	// DataDir enables durability when non-empty.
 	DataDir string
+	// Shards is the storage engine's hash-partition fan-out per table
+	// (0 = automatic: one per CPU, capped; a durable store adopts its
+	// on-disk count). Scans, probes, and the WAL parallelize per shard.
+	Shards int
+	// WALSync is the WAL durability mode: storage.SyncAlways,
+	// SyncGroup (default — group commit), or SyncOff.
+	WALSync storage.SyncMode
 	// Platform is the crowdsourcing platform; nil disables crowdsourcing
 	// (queries then run on stored data only).
 	Platform crowd.Platform
@@ -160,7 +168,10 @@ func Open(cfg Config) (*Engine, error) {
 	// Evicted answers stay readable: a resident miss falls back to the
 	// system table before the crowd is paid again.
 	e.cache.ReadThrough = e.lookupPersistedCompare
-	store, err := storage.NewStore(cfg.DataDir)
+	store, err := storage.NewStoreOptions(cfg.DataDir, storage.Options{
+		Shards: cfg.Shards,
+		Sync:   cfg.WALSync,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +274,7 @@ func (e *Engine) appendSchema(ddl string) error {
 }
 
 // refreshStats recomputes per-table row counts and CNULL counts after
-// recovery.
+// recovery (one bulk snapshot per table, not a Get per row).
 func (e *Engine) refreshStats() {
 	for _, t := range e.cat.Tables() {
 		n, err := e.store.RowCount(t.Name)
@@ -272,15 +283,11 @@ func (e *Engine) refreshStats() {
 		}
 		t.SetRowCount(int64(n))
 		t.ResetCNullCounts()
-		ids, err := e.store.Scan(t.Name)
+		_, rows, err := e.store.ScanRows(t.Name)
 		if err != nil {
 			continue
 		}
-		for _, id := range ids {
-			row, ok := e.store.Get(t.Name, id)
-			if !ok {
-				continue
-			}
+		for _, row := range rows {
 			for ci, c := range t.Columns {
 				if row[ci].IsCNull() {
 					t.AdjustCNull(c.Name, 1)
@@ -411,6 +418,7 @@ func (e *Engine) applyDDL(stmt parser.Statement, persist bool) error {
 			e.cat.DropTable(t.Name)
 			return err
 		}
+		t.SetShardCount(int64(e.store.NumShards()))
 		e.uim.GenerateAll()
 		if persist {
 			return e.appendSchema(s.String())
@@ -537,16 +545,13 @@ func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
 			return nil, fmt.Errorf("core: column %s.%s not found", s.Table, a.Column)
 		}
 	}
-	ids, err := e.store.Scan(t.Name)
+	ids, rows, err := e.store.ScanRows(t.Name)
 	if err != nil {
 		return nil, err
 	}
 	affected := 0
-	for _, id := range ids {
-		row, ok := e.store.Get(t.Name, id)
-		if !ok {
-			continue
-		}
+	for i, row := range rows {
+		id := ids[i]
 		match, err := exec.RowMatches(s.Where, row, schema)
 		if err != nil {
 			return nil, err
@@ -587,16 +592,13 @@ func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
 	}
 	scan := plan.NewScan(t, "")
 	schema := scan.Schema()
-	ids, err := e.store.Scan(t.Name)
+	ids, rows, err := e.store.ScanRows(t.Name)
 	if err != nil {
 		return nil, err
 	}
 	affected := 0
-	for _, id := range ids {
-		row, ok := e.store.Get(t.Name, id)
-		if !ok {
-			continue
-		}
+	for i, row := range rows {
+		id := ids[i]
 		match, err := exec.RowMatches(s.Where, row, schema)
 		if err != nil {
 			return nil, err
@@ -648,6 +650,9 @@ func (e *Engine) costInputs() optimizer.CostInputs {
 	if resolved := cs.Hits + cs.Misses + cs.Shared; resolved > 0 {
 		ci.CacheHitRate = float64(cs.Hits+cs.Shared) / float64(resolved)
 	}
+	// Machine side: parallel scans fan out across shards, bounded by the
+	// CPU workers actually available.
+	ci.MachineParallelism = float64(runtime.GOMAXPROCS(0))
 	return ci
 }
 
@@ -805,13 +810,9 @@ func (e *Engine) lookupPersistedCompare(kind, question, left, right string) (str
 		}
 	}
 	e.persistMu.Unlock()
-	id, ok := e.store.LookupPK(compareTable,
+	_, row, ok := e.store.LookupPKRow(compareTable,
 		sqltypes.NewString(kind), sqltypes.NewString(question),
 		sqltypes.NewString(left), sqltypes.NewString(right))
-	if !ok {
-		return "", false
-	}
-	row, ok := e.store.Get(compareTable, id)
 	if !ok || len(row) != 5 {
 		return "", false
 	}
@@ -854,14 +855,13 @@ func (e *Engine) persistEntryLocked(entry exec.Entry) error {
 }
 
 func (e *Engine) loadCompareCache() error {
-	ids, err := e.store.Scan(compareTable)
+	_, rows, err := e.store.ScanRows(compareTable)
 	if err != nil {
 		return err
 	}
 	var entries []exec.Entry
-	for _, id := range ids {
-		row, ok := e.store.Get(compareTable, id)
-		if !ok || len(row) != 5 {
+	for _, row := range rows {
+		if len(row) != 5 {
 			continue
 		}
 		entries = append(entries, exec.Entry{

@@ -50,7 +50,11 @@ type Ctx struct {
 	// single column's values; the engine installs it (nil = subqueries
 	// unsupported in this context).
 	RunSubquery func(sel *parser.Select) ([]sqltypes.Value, error)
-	Stats       Stats
+	// ParallelScanMinRows overrides the table-size threshold for
+	// fanning a sequential scan out across shards (0 = the default,
+	// DefaultParallelScanMinRows; negative = never parallelize).
+	ParallelScanMinRows int
+	Stats               Stats
 
 	subqMemo map[*parser.InExpr][]sqltypes.Value
 }
@@ -588,7 +592,7 @@ func (s *crowdProbeScan) Schema() []plan.Col { return s.node.Schema() }
 func (s *crowdProbeScan) Open(ctx *Ctx) error {
 	s.rows, s.pos = nil, 0
 	name := s.node.Table.Name
-	ids, err := ctx.Store.Scan(name)
+	ids, stored, err := ctx.Store.ScanRows(name)
 	if err != nil {
 		return err
 	}
@@ -598,11 +602,7 @@ func (s *crowdProbeScan) Open(ctx *Ctx) error {
 	// predicate push-down shrinks the probe set (experiment E10's win).
 	preFilter, postNeeded := splitCrowdFilter(s.node)
 	scanned := int64(0)
-	for _, id := range ids {
-		row, ok := ctx.Store.Get(name, id)
-		if !ok {
-			continue
-		}
+	for i, row := range stored {
 		ctx.Stats.RowsScanned++
 		scanned++
 		keep, err := rowMatches(preFilter, row, s.node.Schema())
@@ -611,7 +611,7 @@ func (s *crowdProbeScan) Open(ctx *Ctx) error {
 		}
 		if keep {
 			rows = append(rows, row)
-			rowIDs = append(rowIDs, id)
+			rowIDs = append(rowIDs, ids[i])
 		}
 	}
 	if s.node.Filter != nil && scanned > 0 {
@@ -970,17 +970,14 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 	rightColIdx := t.ColumnIndex(j.rightCol)
 
 	// Index the stored inner rows by join key (and probe their CNULLs).
-	ids, err := ctx.Store.Scan(t.Name)
+	ids, stored, err := ctx.Store.ScanRows(t.Name)
 	if err != nil {
 		return err
 	}
 	var innerRows []Row
 	var innerIDs []storage.RowID
-	for _, id := range ids {
-		row, ok := ctx.Store.Get(t.Name, id)
-		if !ok {
-			continue
-		}
+	for i, row := range stored {
+		id := ids[i]
 		ctx.Stats.RowsScanned++
 		keep, err := rowMatches(j.scan.Filter, row, j.scan.Schema())
 		if err != nil {

@@ -4,7 +4,6 @@ import (
 	"strings"
 
 	"crowddb/internal/plan"
-	"crowddb/internal/storage"
 )
 
 // indexScan serves a scan whose pushed-down filter pins an indexed column
@@ -58,21 +57,22 @@ func (s *indexScan) Open(ctx *Ctx) error {
 			key = cv
 		}
 	}
-	var ids []storage.RowID
+	// Bulk candidate fetch: the row(s) come back with the index probe
+	// under one lock acquisition per shard — no per-row Get round-trips.
+	var candidates []Row
 	if s.pk {
-		if id, ok := ctx.Store.LookupPK(s.node.Table.Name, key); ok {
-			ids = []storage.RowID{id}
+		if _, row, ok := ctx.Store.LookupPKRow(s.node.Table.Name, key); ok {
+			candidates = []Row{row}
 		}
 	} else {
-		found, err := ctx.Store.LookupIndex(s.node.Table.Name, s.indexName, key)
+		_, rows, err := ctx.Store.LookupIndexRows(s.node.Table.Name, s.indexName, key)
 		if err != nil {
 			return err
 		}
-		ids = found
+		candidates = rows
 	}
-	for _, id := range ids {
-		row, ok := ctx.Store.Get(s.node.Table.Name, id)
-		if !ok {
+	for _, row := range candidates {
+		if row == nil {
 			continue
 		}
 		ctx.Stats.RowsScanned++

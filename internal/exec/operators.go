@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"crowddb/internal/parser"
 	"crowddb/internal/plan"
@@ -23,39 +24,171 @@ type Operator interface {
 }
 
 // ---------------------------------------------------------------------------
-// SeqScan: plain stored-table scan with pushed filter and stop-after.
+// SeqScan: stored-table scan with pushed filter and stop-after. Small
+// tables snapshot in bulk (one lock acquisition per shard, no per-row
+// store round-trips); large tables on a sharded store fan out one worker
+// per shard and merge by ascending row ID, which IS global insertion
+// order (IDs are allocated from one per-table counter), so the parallel
+// scan emits byte-identical output to the sequential one.
+
+// DefaultParallelScanMinRows is the table size (catalog estimate) below
+// which a scan stays sequential: fan-out overhead beats the win on small
+// tables, and the paper's crowd workloads live well under it.
+const DefaultParallelScanMinRows = 2048
 
 type seqScan struct {
 	node    *plan.Scan
-	ids     []storage.RowID
+	rows    []Row
+	ids     []storage.RowID // lazy (stop-after) path only
 	pos     int
 	out     int64
 	scanned int64
+	// prefiltered marks the parallel path: workers already applied the
+	// pushed filter, Next only drains the merged rows.
+	prefiltered bool
 }
 
 func (s *seqScan) Schema() []plan.Col { return s.node.Schema() }
 
 func (s *seqScan) Open(ctx *Ctx) error {
-	ids, err := ctx.Store.Scan(s.node.Table.Name)
+	s.rows, s.ids, s.pos, s.out, s.scanned, s.prefiltered = nil, nil, 0, 0, 0, false
+	if parallelEligible(ctx, s.node) {
+		return s.openParallel(ctx)
+	}
+	if s.node.StopAfter >= 0 {
+		// The scan may stop far short of the table: fetch IDs only and
+		// materialize rows lazily so a filled quota costs O(quota), not
+		// O(table) clones.
+		ids, err := ctx.Store.Scan(s.node.Table.Name)
+		if err != nil {
+			return err
+		}
+		s.ids = ids
+		return nil
+	}
+	_, rows, err := ctx.Store.ScanRows(s.node.Table.Name)
 	if err != nil {
 		return err
 	}
-	s.ids, s.pos, s.out, s.scanned = ids, 0, 0, 0
+	s.rows = rows
+	return nil
+}
+
+// parallelEligible gates the fan-out: never when a stop-after could end
+// the scan early (the sequential path stops scanning the moment the
+// quota fills, and the selectivity feedback must see the same counts),
+// and never below the size threshold.
+func parallelEligible(ctx *Ctx, node *plan.Scan) bool {
+	if node.StopAfter >= 0 || ctx.Store.NumShards() < 2 {
+		return false
+	}
+	min := ctx.ParallelScanMinRows
+	if min == 0 {
+		min = DefaultParallelScanMinRows
+	}
+	return min > 0 && node.Table.RowCount() >= int64(min)
+}
+
+func (s *seqScan) openParallel(ctx *Ctx) error {
+	sch := s.node.Schema() // resolved once; workers share it read-only
+	name := s.node.Table.Name
+	n := ctx.Store.NumShards()
+	type part struct {
+		ids     []storage.RowID
+		rows    []Row
+		scanned int64
+		err     error
+	}
+	parts := make([]part, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			p := &parts[shard]
+			ids, rows, err := ctx.Store.ScanShardRows(name, shard)
+			if err != nil {
+				p.err = err
+				return
+			}
+			for j, row := range rows {
+				p.scanned++
+				keep, err := rowMatches(s.node.Filter, row, sch)
+				if err != nil {
+					p.err = err
+					return
+				}
+				if keep {
+					p.ids = append(p.ids, ids[j])
+					p.rows = append(p.rows, row)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i := range parts {
+		if parts[i].err != nil {
+			return parts[i].err
+		}
+		s.scanned += parts[i].scanned
+		total += len(parts[i].ids)
+	}
+	// Deterministic merge: ascending row ID across shards reconstructs
+	// insertion order exactly, so seeded replays stay bit-identical.
+	merged := make([]Row, 0, total)
+	pos := make([]int, n)
+	for len(merged) < total {
+		best := -1
+		var bestID storage.RowID
+		for i := range parts {
+			if pos[i] >= len(parts[i].ids) {
+				continue
+			}
+			if best < 0 || parts[i].ids[pos[i]] < bestID {
+				best, bestID = i, parts[i].ids[pos[i]]
+			}
+		}
+		merged = append(merged, parts[best].rows[pos[best]])
+		pos[best]++
+	}
+	s.rows, s.prefiltered = merged, true
+	s.out = int64(total)
+	ctx.Stats.RowsScanned += int(s.scanned)
 	return nil
 }
 
 func (s *seqScan) Next(ctx *Ctx) (Row, error) {
+	if s.prefiltered {
+		if s.pos >= len(s.rows) {
+			return nil, nil
+		}
+		r := s.rows[s.pos]
+		s.pos++
+		return r, nil
+	}
+	lazy := s.ids != nil
 	for {
 		if s.node.StopAfter >= 0 && s.out >= s.node.StopAfter {
 			return nil, nil
 		}
-		if s.pos >= len(s.ids) {
-			return nil, nil
-		}
-		row, ok := ctx.Store.Get(s.node.Table.Name, s.ids[s.pos])
-		s.pos++
-		if !ok {
-			continue
+		var row Row
+		if lazy {
+			if s.pos >= len(s.ids) {
+				return nil, nil
+			}
+			got, ok := ctx.Store.Get(s.node.Table.Name, s.ids[s.pos])
+			s.pos++
+			if !ok {
+				continue
+			}
+			row = got
+		} else {
+			if s.pos >= len(s.rows) {
+				return nil, nil
+			}
+			row = s.rows[s.pos]
+			s.pos++
 		}
 		ctx.Stats.RowsScanned++
 		s.scanned++

@@ -54,11 +54,22 @@ type CostInputs struct {
 	// LatencyCentsPerHour folds crowd latency into money for plan
 	// ranking: one hour of waiting is "worth" this many cents.
 	LatencyCentsPerHour float64
+	// MachineParallelism is the number of CPU workers available to the
+	// storage engine (GOMAXPROCS). A scan's machine time divides by the
+	// effective parallelism min(table shards, MachineParallelism), so
+	// EXPLAIN and plan ranking reflect the sharded engine's real
+	// hardware. 0 normalizes to 1 (sequential).
+	MachineParallelism float64
 }
+
+// scanRowsPerSecond is the assumed single-worker heap-scan throughput
+// (rows cloned + filtered per second) used to price machine scan time.
+const scanRowsPerSecond = 2e6
 
 // DefaultCostInputs matches the paper's experimental defaults: 2¢ HITs,
 // 3-way replication, single-candidate solicitations, a 30-minute group
-// round-trip, window 8, and a cold cache.
+// round-trip, window 8, a cold cache, and a sequential (1-worker)
+// machine.
 func DefaultCostInputs() CostInputs {
 	return CostInputs{
 		RewardCents:         2,
@@ -68,6 +79,7 @@ func DefaultCostInputs() CostInputs {
 		Window:              8,
 		CacheHitRate:        0,
 		LatencyCentsPerHour: 6,
+		MachineParallelism:  1,
 	}
 }
 
@@ -98,6 +110,9 @@ func (ci CostInputs) normalized() CostInputs {
 	}
 	if ci.CacheHitRate > 0.95 {
 		ci.CacheHitRate = 0.95
+	}
+	if ci.MachineParallelism < 1 {
+		ci.MachineParallelism = 1
 	}
 	return ci
 }
@@ -132,14 +147,14 @@ func newCostModel(o *optimizer) *costModel {
 }
 
 // score folds a subtree's prediction into one scalar for plan ranking:
-// cents, latency at the configured exchange rate, and a vanishing weight
-// on intermediate rows as the tie-breaker.
+// cents, latency (crowd and machine) at the configured exchange rate,
+// and a vanishing weight on intermediate rows as the tie-breaker.
 func (cm *costModel) score(n plan.Node) float64 {
 	c := cm.cost(n)
 	if c.IsUnbounded() {
 		return math.Inf(1)
 	}
-	return c.Cents + c.Seconds*cm.in.LatencyCentsPerHour/3600 + cm.work[n]*workWeight
+	return c.Cents + (c.Seconds+c.MachineSeconds)*cm.in.LatencyCentsPerHour/3600 + cm.work[n]*workWeight
 }
 
 // cost predicts one node's cumulative crowd cost (memoized).
@@ -270,8 +285,28 @@ func (cm *costModel) solicitCost(want float64) plan.Cost {
 	}
 }
 
+// machineScanSeconds prices the machine side of a sequential scan: every
+// stored row is read and filtered once, divided by the effective
+// parallelism of the sharded engine (min of the table's shard count and
+// the CPU workers available) — the parallel seqScan's actual fan-out.
+func (cm *costModel) machineScanSeconds(s *plan.Scan) float64 {
+	rows := float64(s.Table.RowCount())
+	if rows <= 0 {
+		return 0
+	}
+	par := float64(s.Table.ShardCount())
+	if par < 1 {
+		par = 1
+	}
+	if par > cm.in.MachineParallelism {
+		par = cm.in.MachineParallelism
+	}
+	return rows / scanRowsPerSecond / par
+}
+
 func (cm *costModel) scanCost(s *plan.Scan) plan.Cost {
 	storedOut := cm.storedScanRows(s)
+	machine := cm.machineScanSeconds(s)
 	if !s.Table.Crowd {
 		// Stop-after truncates a closed-world scan before the crowd is
 		// asked whenever the whole pushed filter runs pre-probe (no crowd
@@ -280,6 +315,7 @@ func (cm *costModel) scanCost(s *plan.Scan) plan.Cost {
 			storedOut = float64(s.StopAfter)
 		}
 		c := cm.probeCost(s, storedOut)
+		c.MachineSeconds += machine
 		c.Rows = storedOut
 		if s.StopAfter >= 0 && float64(s.StopAfter) < c.Rows {
 			c.Rows = float64(s.StopAfter)
@@ -287,6 +323,7 @@ func (cm *costModel) scanCost(s *plan.Scan) plan.Cost {
 		return c
 	}
 	c := cm.probeCost(s, storedOut)
+	c.MachineSeconds += machine
 	c.Rows = storedOut
 	// Open world: solicitation. Execution wants ExpectedCrowdCard matches
 	// per probe key (or fills up to the stop-after bound); the predicted
@@ -350,7 +387,7 @@ func countCrowdEqualCalls(e parser.Expr) float64 {
 
 func (cm *costModel) filterCost(f *plan.Filter) plan.Cost {
 	in := cm.cost(f.Input)
-	c := plan.Cost{Cents: in.Cents, Seconds: in.Seconds}
+	c := plan.Cost{Cents: in.Cents, Seconds: in.Seconds, MachineSeconds: in.MachineSeconds}
 	calls := countCrowdEqualCalls(f.Cond)
 	if calls > 0 && !math.IsInf(in.Rows, 1) {
 		pairRows := in.Rows
@@ -371,7 +408,7 @@ func (cm *costModel) filterCost(f *plan.Filter) plan.Cost {
 
 func (cm *costModel) sortCost(s *plan.Sort) plan.Cost {
 	in := cm.cost(s.Input)
-	c := plan.Cost{Cents: in.Cents, Seconds: in.Seconds, Rows: in.Rows}
+	c := plan.Cost{Cents: in.Cents, Seconds: in.Seconds, Rows: in.Rows, MachineSeconds: in.MachineSeconds}
 	crowd := false
 	for _, k := range s.Keys {
 		if parser.HasCrowdFunc(k.Expr) {
@@ -409,7 +446,8 @@ func (cm *costModel) joinCost(j *plan.Join) plan.Cost {
 	if j.Type == parser.JoinInner && !l.IsUnbounded() {
 		if s, ok := j.Right.(*plan.Scan); ok && s.Table.Crowd && cm.o.joinBindsScan(j, s) {
 			storedInner := cm.storedScanRows(s)
-			c := plan.Cost{Cents: l.Cents, Seconds: l.Seconds}
+			c := plan.Cost{Cents: l.Cents, Seconds: l.Seconds,
+				MachineSeconds: l.MachineSeconds + cm.machineScanSeconds(s)}
 			c = c.Plus(cm.probeCost(s, storedInner))
 			keys := l.Rows
 			execFan := float64(s.Table.ExpectedCrowdCard())
@@ -424,7 +462,8 @@ func (cm *costModel) joinCost(j *plan.Join) plan.Cost {
 		}
 	}
 
-	c := plan.Cost{Cents: l.Cents + r.Cents, Seconds: l.Seconds + r.Seconds}
+	c := plan.Cost{Cents: l.Cents + r.Cents, Seconds: l.Seconds + r.Seconds,
+		MachineSeconds: l.MachineSeconds + r.MachineSeconds}
 	c.Rows = l.Rows * r.Rows * sel
 	return c
 }

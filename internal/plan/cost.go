@@ -5,22 +5,29 @@ import (
 	"math"
 )
 
-// Cost is the optimizer's two-dimensional crowd cost prediction for a
-// (sub)plan (paper §3.2.2: crowd queries must be planned against monetary
-// cost AND human latency, not tuple counts alone). Cents is the expected
-// crowd spend, Seconds the expected crowd-side latency (virtual time the
-// query waits on people), Rows the predicted output cardinality.
+// Cost is the optimizer's crowd cost prediction for a (sub)plan (paper
+// §3.2.2: crowd queries must be planned against monetary cost AND human
+// latency, not tuple counts alone). Cents is the expected crowd spend,
+// Seconds the expected crowd-side latency (virtual time the query waits
+// on people), Rows the predicted output cardinality. MachineSeconds is
+// the machine-side scan time after dividing by the storage engine's
+// effective scan parallelism (shards × cores) — microscopic next to any
+// crowd round-trip, but it makes EXPLAIN and plan ranking reflect the
+// real hardware.
 type Cost struct {
-	Cents   float64
-	Seconds float64
-	Rows    float64
+	Cents          float64
+	Seconds        float64
+	Rows           float64
+	MachineSeconds float64
 }
 
-// Plus accumulates the crowd dimensions of another cost (Rows is a
-// per-node property and is NOT summed; the caller sets it explicitly).
+// Plus accumulates the crowd and machine dimensions of another cost
+// (Rows is a per-node property and is NOT summed; the caller sets it
+// explicitly).
 func (c Cost) Plus(o Cost) Cost {
 	c.Cents += o.Cents
 	c.Seconds += o.Seconds
+	c.MachineSeconds += o.MachineSeconds
 	return c
 }
 
@@ -31,15 +38,29 @@ func (c Cost) IsUnbounded() bool {
 }
 
 // String renders the crowd dimensions compactly for EXPLAIN:
-// "¢36.0 ~30m". A costless node renders as "¢0".
+// "¢36.0 ~30m". A costless node renders as "¢0". Machine time is shown
+// only once it is human-noticeable (≥ 1ms) — crowd dimensions dominate
+// every real plan, and sub-millisecond noise would only clutter EXPLAIN.
 func (c Cost) String() string {
 	if c.IsUnbounded() {
 		return "¢∞"
 	}
-	if c.Cents == 0 && c.Seconds == 0 {
-		return "¢0"
+	machine := ""
+	if c.MachineSeconds >= 0.001 {
+		machine = " cpu:" + fmtMachineSeconds(c.MachineSeconds)
 	}
-	return fmt.Sprintf("¢%.1f ~%s", c.Cents, fmtSeconds(c.Seconds))
+	if c.Cents == 0 && c.Seconds == 0 {
+		return "¢0" + machine
+	}
+	return fmt.Sprintf("¢%.1f ~%s%s", c.Cents, fmtSeconds(c.Seconds), machine)
+}
+
+// fmtMachineSeconds renders machine scan time (milliseconds to seconds).
+func fmtMachineSeconds(s float64) string {
+	if s < 1 {
+		return fmt.Sprintf("%.0fms", s*1000)
+	}
+	return fmt.Sprintf("%.1fs", s)
 }
 
 // fmtSeconds renders a duration prediction in seconds as minutes or hours

@@ -5,9 +5,12 @@ import (
 	"sort"
 )
 
-// heap is the row store for one table: rows addressed by stable RowIDs.
-// Deleted slots are tombstoned; IDs are never reused so the WAL can refer to
-// rows by ID across the table's lifetime.
+// heap is the row store for one shard of a table: rows addressed by
+// stable RowIDs. Deleted slots are tombstoned; IDs are never reused so
+// the WAL can refer to rows by ID across the table's lifetime. ID
+// allocation lives at the table level (tableStore.nextID) so IDs stay
+// globally monotonic across shards; nextID here only tracks the high
+// water mark for recovery.
 type heap struct {
 	rows   map[RowID]Row
 	nextID RowID
@@ -15,14 +18,7 @@ type heap struct {
 
 func newHeap() *heap { return &heap{rows: make(map[RowID]Row), nextID: 1} }
 
-func (h *heap) insert(r Row) RowID {
-	id := h.nextID
-	h.nextID++
-	h.rows[id] = r
-	return id
-}
-
-// insertAt replays an insert with a known ID (WAL recovery).
+// insertAt stores a row under a caller-allocated (or replayed) ID.
 func (h *heap) insertAt(id RowID, r Row) {
 	h.rows[id] = r
 	if id >= h.nextID {

@@ -3,10 +3,13 @@ package storage
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"crowddb/internal/sqltypes"
 )
@@ -33,6 +36,54 @@ func IndexKey(vals ...sqltypes.Value) string {
 	return sb.String()
 }
 
+// Shard-count bounds: MaxShards caps explicit configuration, and
+// defaultShardCap caps the automatic runtime.NumCPU() default so small
+// tables on big machines do not fragment into dozens of near-empty shards.
+const (
+	MaxShards       = 64
+	defaultShardCap = 8
+)
+
+// DefaultShards is the automatic shard count: one per CPU, capped.
+func DefaultShards() int {
+	n := runtime.NumCPU()
+	if n > defaultShardCap {
+		n = defaultShardCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Options tunes a store at open time.
+type Options struct {
+	// Shards is the hash-partition fan-out for every table. 0 adopts the
+	// on-disk count (or DefaultShards for a fresh store); an explicit
+	// positive count that disagrees with the on-disk layout is an error
+	// (the pinned contract: shard counts never change silently — see
+	// ErrShardMismatch).
+	Shards int
+	// Sync is the WAL durability mode (default SyncGroup).
+	Sync SyncMode
+}
+
+// ErrShardMismatch is returned when a store directory was created with a
+// different shard count than the one explicitly requested. Rows are
+// placed by hash(PK) % shards, so reopening with a different fan-out
+// would make every lookup miss; re-shard by dump/re-import, or pass
+// Shards: 0 to adopt the persisted count.
+type ErrShardMismatch struct {
+	Dir       string
+	OnDisk    int
+	Requested int
+}
+
+func (e *ErrShardMismatch) Error() string {
+	return fmt.Sprintf("storage: %s was created with %d shards, reopen requested %d (pass 0 to adopt the on-disk count)",
+		e.Dir, e.OnDisk, e.Requested)
+}
+
 type indexStore struct {
 	name   string
 	cols   []int
@@ -40,76 +91,260 @@ type indexStore struct {
 	tree   *BTree
 }
 
-type tableStore struct {
-	name    string
-	pkCols  []int // ordinals of primary key columns; empty = no PK
+// indexDef is the table-level definition an index is instantiated from
+// (one tree per shard).
+type indexDef struct {
+	name   string
+	cols   []int
+	unique bool
+}
+
+// tableShard is one hash partition of a table: its own heap, primary
+// B-tree, and secondary trees, all behind one lock. Writers on different
+// shards never contend.
+type tableShard struct {
+	mu      sync.RWMutex
 	heap    *heap
-	primary *BTree // over IndexKey(pk values); nil when no PK
+	primary *BTree // nil when the table has no PK
 	indexes map[string]*indexStore
+	// rowLSN records each live row's last mutation LSN; recovery uses it
+	// to resolve the two-copies case a crashed cross-shard move leaves.
+	rowLSN map[RowID]int64
 }
 
-// Store is the storage engine: one heap + indexes per table, with an
-// optional write-ahead log for durability. All methods are safe for
-// concurrent use.
-type Store struct {
-	mu     sync.RWMutex
-	dir    string
-	log    *wal
-	tables map[string]*tableStore
+type tableStore struct {
+	name   string
+	pkCols []int // ordinals of primary key columns; empty = no PK
+	// nextID allocates globally unique, monotonically increasing row IDs
+	// across all shards, so ascending-ID merges reproduce insertion order
+	// exactly as the unsharded engine did.
+	nextID atomic.Int64
+	// lsn orders mutations across shards (stamped into WAL records).
+	lsn    atomic.Int64
+	shards []*tableShard
+
+	// defMu guards the index-definition list; the per-shard trees
+	// themselves are guarded by their shard lock.
+	defMu     sync.RWMutex
+	idxDefs   []indexDef
+	hasUnique atomic.Bool // any unique secondary index (insert slow path)
 }
 
-// NewStore creates a store. With dir == "" the store is memory-only; with a
-// directory, mutations are logged to a WAL inside it. Call Recover after
-// re-creating the schema to replay the log.
-func NewStore(dir string) (*Store, error) {
-	s := &Store{dir: dir, tables: make(map[string]*tableStore)}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("storage: %w", err)
+func newTableStore(name string, pkCols []int, nshards int) *tableStore {
+	ts := &tableStore{name: name, pkCols: append([]int(nil), pkCols...)}
+	for i := 0; i < nshards; i++ {
+		sh := &tableShard{heap: newHeap(), indexes: make(map[string]*indexStore), rowLSN: make(map[RowID]int64)}
+		if len(pkCols) > 0 {
+			sh.primary = NewBTree()
 		}
-		l, err := openWAL(walPath(dir))
-		if err != nil {
+		ts.shards = append(ts.shards, sh)
+	}
+	return ts
+}
+
+// shardOf routes a row to its home shard: hash of the encoded primary key
+// for PK tables (so uniqueness is a single-shard question and LookupPK
+// touches one lock), row ID modulo fan-out otherwise.
+func (ts *tableStore) shardOf(row Row, id RowID) int {
+	if len(ts.pkCols) > 0 {
+		return ts.shardOfKey(ts.pkKey(row))
+	}
+	return int(id) % len(ts.shards)
+}
+
+func (ts *tableStore) shardOfKey(key string) int {
+	if len(ts.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(ts.shards)))
+}
+
+// findShard locates the shard currently holding id (read-locking each
+// candidate in turn). PK-routed rows can live on any shard, so the probe
+// walks them; ID-routed rows resolve directly.
+func (ts *tableStore) findShard(id RowID) (int, Row, bool) {
+	if len(ts.pkCols) == 0 {
+		i := int(id) % len(ts.shards)
+		sh := ts.shards[i]
+		sh.mu.RLock()
+		r, ok := sh.heap.get(id)
+		sh.mu.RUnlock()
+		if ok {
+			return i, r, true
+		}
+		return 0, nil, false
+	}
+	for i, sh := range ts.shards {
+		sh.mu.RLock()
+		r, ok := sh.heap.get(id)
+		sh.mu.RUnlock()
+		if ok {
+			return i, r, true
+		}
+	}
+	return 0, nil, false
+}
+
+// lockShards write-locks the given shard indexes in ascending order (the
+// global lock order: shard-major), deduplicating. Returns an unlock func.
+func (ts *tableStore) lockShards(idx ...int) func() {
+	sort.Ints(idx)
+	locked := idx[:0]
+	prev := -1
+	for _, i := range idx {
+		if i == prev {
+			continue
+		}
+		ts.shards[i].mu.Lock()
+		locked = append(locked, i)
+		prev = i
+	}
+	return func() {
+		for j := len(locked) - 1; j >= 0; j-- {
+			ts.shards[locked[j]].mu.Unlock()
+		}
+	}
+}
+
+// allShardIdx returns 0..n-1 (the unique-secondary-index slow path locks
+// every shard: a unique secondary key can collide across shards).
+func (ts *tableStore) allShardIdx() []int {
+	idx := make([]int, len(ts.shards))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Store is the storage engine: every table hash-partitioned across N
+// shards (per-shard heap + B-trees + WAL file, each behind its own lock),
+// with optional write-ahead logging for durability. Row IDs are allocated
+// from one per-table counter, so merging shards by ascending ID
+// reconstructs global insertion order deterministically. All methods are
+// safe for concurrent use; operations on different shards do not contend.
+type Store struct {
+	dir     string
+	nshards int
+	mode    SyncMode
+	logs    []*wal // one per shard; nil when memory-only
+
+	// mu serializes DDL (table-map swaps) and checkpointing; row
+	// operations never take it — they load the copy-on-write table map
+	// and then synchronize per shard.
+	mu     sync.Mutex
+	tables atomic.Value // map[string]*tableStore
+}
+
+// NewStore creates a store with default options (automatic shard count,
+// group-commit WAL). With dir == "" the store is memory-only; with a
+// directory, mutations are logged to per-shard WALs inside it. Call
+// Recover after re-creating the schema to replay the logs.
+func NewStore(dir string) (*Store, error) {
+	return NewStoreOptions(dir, Options{})
+}
+
+// NewStoreOptions creates a store with explicit sharding and WAL options.
+func NewStoreOptions(dir string, opts Options) (*Store, error) {
+	mode := opts.Sync
+	if mode == "" {
+		mode = SyncGroup
+	}
+	if err := mode.valid(); err != nil {
+		return nil, err
+	}
+	nshards := opts.Shards
+	if nshards > MaxShards {
+		return nil, fmt.Errorf("storage: %d shards exceeds the maximum %d", nshards, MaxShards)
+	}
+	s := &Store{dir: dir, mode: mode}
+	s.tables.Store(map[string]*tableStore{})
+	if dir == "" {
+		if nshards <= 0 {
+			nshards = DefaultShards()
+		}
+		s.nshards = nshards
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	onDisk, err := readShardMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case onDisk > 0 && nshards > 0 && onDisk != nshards:
+		return nil, &ErrShardMismatch{Dir: dir, OnDisk: onDisk, Requested: nshards}
+	case onDisk > 0:
+		nshards = onDisk
+	case nshards <= 0:
+		nshards = DefaultShards()
+	}
+	s.nshards = nshards
+	if onDisk == 0 {
+		if err := writeShardMeta(dir, nshards); err != nil {
 			return nil, err
 		}
-		s.log = l
+	}
+	for i := 0; i < nshards; i++ {
+		l, err := openWAL(walShardPath(dir, i), mode)
+		if err != nil {
+			for _, prev := range s.logs {
+				prev.close()
+			}
+			return nil, err
+		}
+		s.logs = append(s.logs, l)
 	}
 	return s, nil
 }
 
-// Close releases the WAL file handle.
+// NumShards reports the hash-partition fan-out.
+func (s *Store) NumShards() int { return s.nshards }
+
+// Close flushes and releases every per-shard WAL handle.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.log.close()
+	var first error
+	for _, l := range s.logs {
+		if err := l.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *Store) tableMap() map[string]*tableStore {
+	return s.tables.Load().(map[string]*tableStore)
 }
 
 func (s *Store) table(name string) (*tableStore, error) {
-	t, ok := s.tables[strings.ToLower(name)]
+	t, ok := s.tableMap()[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("storage: table %s not found", name)
 	}
 	return t, nil
 }
 
-// CreateTable allocates storage for a table. pkCols are the ordinals of the
-// primary-key columns (may be empty).
+// CreateTable allocates sharded storage for a table. pkCols are the
+// ordinals of the primary-key columns (may be empty).
 func (s *Store) CreateTable(name string, pkCols []int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, exists := s.tables[key]; exists {
+	old := s.tableMap()
+	if _, exists := old[key]; exists {
 		return fmt.Errorf("storage: table %s already exists", name)
 	}
-	ts := &tableStore{
-		name:    name,
-		pkCols:  append([]int(nil), pkCols...),
-		heap:    newHeap(),
-		indexes: make(map[string]*indexStore),
+	next := make(map[string]*tableStore, len(old)+1)
+	for k, v := range old {
+		next[k] = v
 	}
-	if len(pkCols) > 0 {
-		ts.primary = NewBTree()
-	}
-	s.tables[key] = ts
+	next[key] = newTableStore(name, pkCols, s.nshards)
+	s.tables.Store(next)
 	return nil
 }
 
@@ -118,15 +353,22 @@ func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, ok := s.tables[key]; !ok {
+	old := s.tableMap()
+	if _, ok := old[key]; !ok {
 		return fmt.Errorf("storage: table %s not found", name)
 	}
-	delete(s.tables, key)
+	next := make(map[string]*tableStore, len(old))
+	for k, v := range old {
+		if k != key {
+			next[k] = v
+		}
+	}
+	s.tables.Store(next)
 	return nil
 }
 
-// CreateIndex builds a secondary index over the given column ordinals,
-// indexing existing rows immediately.
+// CreateIndex builds a secondary index over the given column ordinals
+// (one tree per shard), indexing existing rows immediately.
 func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -135,19 +377,39 @@ func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
 		return err
 	}
 	key := strings.ToLower(name)
-	if _, exists := ts.indexes[key]; exists {
-		return fmt.Errorf("storage: index %s already exists on %s", name, table)
-	}
-	idx := &indexStore{name: name, cols: append([]int(nil), cols...), unique: unique, tree: NewBTree()}
-	for _, id := range ts.heap.scanIDs() {
-		row, _ := ts.heap.get(id)
-		k := indexKeyFor(row, idx.cols)
-		if unique && len(idx.tree.Search(k)) > 0 {
-			return fmt.Errorf("storage: unique index %s violated by existing data", name)
+	ts.defMu.Lock()
+	defer ts.defMu.Unlock()
+	for _, d := range ts.idxDefs {
+		if strings.ToLower(d.name) == key {
+			return fmt.Errorf("storage: index %s already exists on %s", name, table)
 		}
-		idx.tree.Insert(k, id)
 	}
-	ts.indexes[key] = idx
+	unlock := ts.lockShards(ts.allShardIdx()...)
+	defer unlock()
+	// Uniqueness is a cross-shard property for secondary keys: collect all
+	// keys first, then commit the trees only if no duplicate exists.
+	def := indexDef{name: name, cols: append([]int(nil), cols...), unique: unique}
+	seen := make(map[string]bool)
+	trees := make([]*BTree, len(ts.shards))
+	for i, sh := range ts.shards {
+		trees[i] = NewBTree()
+		for _, id := range sh.heap.scanIDs() {
+			row, _ := sh.heap.get(id)
+			k := indexKeyFor(row, def.cols)
+			if unique && seen[k] {
+				return fmt.Errorf("storage: unique index %s violated by existing data", name)
+			}
+			seen[k] = true
+			trees[i].Insert(k, id)
+		}
+	}
+	for i, sh := range ts.shards {
+		sh.indexes[key] = &indexStore{name: name, cols: def.cols, unique: unique, tree: trees[i]}
+	}
+	ts.idxDefs = append(ts.idxDefs, def)
+	if unique {
+		ts.hasUnique.Store(true)
+	}
 	return nil
 }
 
@@ -160,45 +422,6 @@ func indexKeyFor(row Row, cols []int) string {
 }
 
 func (ts *tableStore) pkKey(row Row) string { return indexKeyFor(row, ts.pkCols) }
-
-// Insert adds a row, enforcing primary-key uniqueness, and returns its ID.
-func (s *Store) Insert(table string, row Row) (RowID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ts, err := s.table(table)
-	if err != nil {
-		return 0, err
-	}
-	if ts.primary != nil {
-		k := ts.pkKey(row)
-		if len(ts.primary.Search(k)) > 0 {
-			return 0, &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
-		}
-	}
-	for _, idx := range ts.indexes {
-		if idx.unique && len(idx.tree.Search(indexKeyFor(row, idx.cols))) > 0 {
-			return 0, &DuplicateKeyError{Table: table, Key: idx.name}
-		}
-	}
-	if s.log != nil {
-		data, err := EncodeRow(row)
-		if err != nil {
-			return 0, err
-		}
-		// The row ID the heap will assign is its nextID; log it explicitly.
-		if err := s.log.append(walRecord{Op: "insert", Table: ts.name, Row: ts.heap.nextID, Data: data}); err != nil {
-			return 0, err
-		}
-	}
-	id := ts.heap.insert(row.Clone())
-	if ts.primary != nil {
-		ts.primary.Insert(ts.pkKey(row), id)
-	}
-	for _, idx := range ts.indexes {
-		idx.tree.Insert(indexKeyFor(row, idx.cols), id)
-	}
-	return id, nil
-}
 
 // DuplicateKeyError reports a primary-key or unique-index violation.
 type DuplicateKeyError struct {
@@ -218,191 +441,658 @@ func pkString(row Row, cols []int) string {
 	return strings.Join(parts, ",")
 }
 
-// Update replaces the row at id, maintaining all indexes.
-func (s *Store) Update(table string, id RowID, row Row) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ts, err := s.table(table)
-	if err != nil {
-		return err
-	}
-	old, ok := ts.heap.get(id)
-	if !ok {
-		return fmt.Errorf("storage: row %d not found in %s", id, table)
-	}
-	if ts.primary != nil {
-		newKey := ts.pkKey(row)
-		if newKey != ts.pkKey(old) {
-			for _, other := range ts.primary.Search(newKey) {
-				if other != id {
-					return &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
+// uniqueViolated reports whether a unique secondary index already holds
+// the row's key on some shard (other than owner id, for updates). Caller
+// holds every shard lock.
+func (ts *tableStore) uniqueViolated(row Row, self RowID) (string, bool) {
+	for _, d := range ts.idxDefs {
+		if !d.unique {
+			continue
+		}
+		k := indexKeyFor(row, d.cols)
+		for _, sh := range ts.shards {
+			for _, rid := range sh.indexes[strings.ToLower(d.name)].tree.Search(k) {
+				if rid != self {
+					return d.name, true
 				}
 			}
 		}
 	}
-	if s.log != nil {
-		data, err := EncodeRow(row)
-		if err != nil {
-			return err
-		}
-		if err := s.log.append(walRecord{Op: "update", Table: ts.name, Row: id, Data: data}); err != nil {
-			return err
-		}
-	}
-	if ts.primary != nil {
-		ts.primary.Delete(ts.pkKey(old), id)
-		ts.primary.Insert(ts.pkKey(row), id)
-	}
-	for _, idx := range ts.indexes {
-		idx.tree.Delete(indexKeyFor(old, idx.cols), id)
-		idx.tree.Insert(indexKeyFor(row, idx.cols), id)
-	}
-	return ts.heap.update(id, row.Clone())
+	return "", false
 }
 
-// Delete removes the row at id.
-func (s *Store) Delete(table string, id RowID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Insert adds a row, enforcing primary-key uniqueness, and returns its ID.
+// The fast path locks only the row's home shard; tables with unique
+// secondary indexes lock every shard (the key may collide anywhere).
+func (s *Store) Insert(table string, row Row) (RowID, error) {
+	ts, err := s.table(table)
+	if err != nil {
+		return 0, err
+	}
+	pkRouted := len(ts.pkCols) > 0
+	var unlock func()
+	var home int
+	var id RowID
+	for {
+		lockAll := ts.hasUnique.Load()
+		if pkRouted {
+			home = ts.shardOfKey(ts.pkKey(row))
+		} else {
+			// ID-routed: the ID decides the shard, so allocate first.
+			id = RowID(ts.nextID.Add(1))
+			home = int(id) % len(ts.shards)
+		}
+		if lockAll {
+			unlock = ts.lockShards(ts.allShardIdx()...)
+		} else {
+			unlock = ts.lockShards(home)
+		}
+		// A concurrent CREATE UNIQUE INDEX (which holds every shard lock
+		// to install) may have landed between the flag read and our lock:
+		// re-check and widen the lock set if so. The flag is monotonic.
+		if !lockAll && ts.hasUnique.Load() {
+			unlock()
+			continue
+		}
+		break
+	}
+	if pkRouted && len(ts.shards[home].primary.Search(ts.pkKey(row))) > 0 {
+		unlock()
+		return 0, &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
+	}
+	if ts.hasUnique.Load() {
+		if idx, bad := ts.uniqueViolated(row, 0); bad {
+			unlock()
+			return 0, &DuplicateKeyError{Table: table, Key: idx}
+		}
+	}
+	if pkRouted {
+		// Allocate after the duplicate checks so failed inserts burn no
+		// IDs and single-threaded replays keep the unsharded sequence.
+		id = RowID(ts.nextID.Add(1))
+	}
+	return s.finishInsert(ts, home, id, row, unlock)
+}
+
+// finishInsert logs and applies an insert into shard `home` with the
+// caller holding (at least) that shard's lock; unlock releases it.
+// Group-commit acknowledgement happens after the locks are released so
+// concurrent writers on the shard coalesce into one fsync.
+func (s *Store) finishInsert(ts *tableStore, home int, id RowID, row Row, unlock func()) (RowID, error) {
+	lsn := ts.lsn.Add(1)
+	var seq int64
+	if s.logs != nil {
+		data, err := EncodeRow(row)
+		if err != nil {
+			unlock()
+			return 0, err
+		}
+		seq, err = s.logs[home].append(walRecord{Op: "insert", Table: ts.name, Row: id, LSN: lsn, Data: data})
+		if err != nil {
+			unlock()
+			return 0, err
+		}
+	}
+	sh := ts.shards[home]
+	sh.heap.insertAt(id, row.Clone())
+	sh.rowLSN[id] = lsn
+	if sh.primary != nil {
+		sh.primary.Insert(ts.pkKey(row), id)
+	}
+	for _, idx := range sh.indexes {
+		idx.tree.Insert(indexKeyFor(row, idx.cols), id)
+	}
+	unlock()
+	if s.logs != nil {
+		if err := s.logs[home].commit(seq); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Update replaces the row at id, maintaining all indexes. A primary-key
+// change can re-home the row onto a different shard; both shards are
+// locked in ascending order and the move is logged as a delete on the old
+// shard's WAL plus an upsert on the new one's.
+func (s *Store) Update(table string, id RowID, row Row) error {
 	ts, err := s.table(table)
 	if err != nil {
 		return err
 	}
-	old, ok := ts.heap.get(id)
-	if !ok {
-		return fmt.Errorf("storage: row %d not found in %s", id, table)
-	}
-	if s.log != nil {
-		if err := s.log.append(walRecord{Op: "delete", Table: ts.name, Row: id}); err != nil {
-			return err
+	for {
+		oldShard, _, ok := ts.findShard(id)
+		if !ok {
+			return fmt.Errorf("storage: row %d not found in %s", id, table)
 		}
+		newShard := oldShard
+		if len(ts.pkCols) > 0 {
+			newShard = ts.shardOfKey(ts.pkKey(row))
+		}
+		lockAll := ts.hasUnique.Load()
+		var unlock func()
+		if lockAll {
+			unlock = ts.lockShards(ts.allShardIdx()...)
+		} else {
+			unlock = ts.lockShards(oldShard, newShard)
+		}
+		// Re-check after locking: a concurrent CREATE UNIQUE INDEX may
+		// have landed between the flag read and our lock acquisition.
+		if !lockAll && ts.hasUnique.Load() {
+			unlock()
+			continue
+		}
+		src := ts.shards[oldShard]
+		old, ok := src.heap.get(id)
+		if !ok {
+			unlock() // the row moved or vanished between probe and lock
+			continue
+		}
+		if src.primary != nil {
+			newKey := ts.pkKey(row)
+			if newKey != ts.pkKey(old) {
+				for _, other := range ts.shards[newShard].primary.Search(newKey) {
+					if other != id {
+						unlock()
+						return &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
+					}
+				}
+			}
+		}
+		if ts.hasUnique.Load() {
+			if idx, bad := ts.uniqueViolated(row, id); bad {
+				unlock()
+				return &DuplicateKeyError{Table: table, Key: idx}
+			}
+		}
+		lsn := ts.lsn.Add(1)
+		var seqs [2]int64
+		var logged [2]int
+		nlogged := 0
+		if s.logs != nil {
+			data, err := EncodeRow(row)
+			if err != nil {
+				unlock()
+				return err
+			}
+			// Cross-shard move: the new shard's upsert is logged (and
+			// below, fsynced) BEFORE the old shard's delete. A crash
+			// between the two can leave both copies live — never zero —
+			// and recovery keeps the higher-LSN copy (reconcileMoves).
+			seq, err := s.logs[newShard].append(walRecord{Op: "update", Table: ts.name, Row: id, LSN: lsn, Data: data})
+			if err != nil {
+				unlock()
+				return err
+			}
+			seqs[nlogged], logged[nlogged] = seq, newShard
+			nlogged++
+			if newShard != oldShard {
+				seq, err := s.logs[oldShard].append(walRecord{Op: "delete", Table: ts.name, Row: id, LSN: lsn})
+				if err != nil {
+					unlock()
+					return err
+				}
+				seqs[nlogged], logged[nlogged] = seq, oldShard
+				nlogged++
+			}
+		}
+		dst := ts.shards[newShard]
+		if src.primary != nil {
+			src.primary.Delete(ts.pkKey(old), id)
+			dst.primary.Insert(ts.pkKey(row), id)
+		}
+		for name, idx := range src.indexes {
+			idx.tree.Delete(indexKeyFor(old, idx.cols), id)
+			dst.indexes[name].tree.Insert(indexKeyFor(row, idx.cols), id)
+		}
+		if newShard != oldShard {
+			src.heap.delete(id)
+			delete(src.rowLSN, id)
+		}
+		dst.heap.insertAt(id, row.Clone())
+		dst.rowLSN[id] = lsn
+		unlock()
+		for i := 0; i < nlogged; i++ {
+			if err := s.logs[logged[i]].commit(seqs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if ts.primary != nil {
-		ts.primary.Delete(ts.pkKey(old), id)
-	}
-	for _, idx := range ts.indexes {
-		idx.tree.Delete(indexKeyFor(old, idx.cols), id)
-	}
-	ts.heap.delete(id)
-	return nil
 }
 
-// Get returns a copy of the row at id.
+// Delete removes the row at id.
+func (s *Store) Delete(table string, id RowID) error {
+	ts, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	for {
+		shard, _, ok := ts.findShard(id)
+		if !ok {
+			return fmt.Errorf("storage: row %d not found in %s", id, table)
+		}
+		unlock := ts.lockShards(shard)
+		sh := ts.shards[shard]
+		old, ok := sh.heap.get(id)
+		if !ok {
+			unlock()
+			continue
+		}
+		var seq int64
+		if s.logs != nil {
+			seq, err = s.logs[shard].append(walRecord{Op: "delete", Table: ts.name, Row: id, LSN: ts.lsn.Add(1)})
+			if err != nil {
+				unlock()
+				return err
+			}
+		}
+		if sh.primary != nil {
+			sh.primary.Delete(ts.pkKey(old), id)
+		}
+		for _, idx := range sh.indexes {
+			idx.tree.Delete(indexKeyFor(old, idx.cols), id)
+		}
+		sh.heap.delete(id)
+		delete(sh.rowLSN, id)
+		unlock()
+		if s.logs != nil {
+			return s.logs[shard].commit(seq)
+		}
+		return nil
+	}
+}
+
+// Get returns a copy of the row at id (probing shards for PK-routed
+// tables; resolving directly for ID-routed ones).
 func (s *Store) Get(table string, id RowID) (Row, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ts, err := s.table(table)
 	if err != nil {
 		return nil, false
 	}
-	r, ok := ts.heap.get(id)
+	_, r, ok := ts.findShard(id)
 	if !ok {
 		return nil, false
 	}
 	return r.Clone(), true
 }
 
-// Scan returns all live row IDs of a table in insertion order.
+// Scan returns all live row IDs of a table in insertion order (ascending
+// ID across shards).
 func (s *Store) Scan(table string) ([]RowID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ts, err := s.table(table)
 	if err != nil {
 		return nil, err
 	}
-	return ts.heap.scanIDs(), nil
+	perShard := make([][]RowID, len(ts.shards))
+	total := 0
+	for i, sh := range ts.shards {
+		sh.mu.RLock()
+		perShard[i] = sh.heap.scanIDs()
+		sh.mu.RUnlock()
+		total += len(perShard[i])
+	}
+	return mergeIDs(perShard, total), nil
+}
+
+// mergeIDs k-way merges ascending per-shard ID lists into one ascending
+// list (global insertion order).
+func mergeIDs(perShard [][]RowID, total int) []RowID {
+	out := make([]RowID, 0, total)
+	pos := make([]int, len(perShard))
+	for len(out) < total {
+		best, bestID := -1, RowID(0)
+		for i, ids := range perShard {
+			if pos[i] >= len(ids) {
+				continue
+			}
+			if best < 0 || ids[pos[i]] < bestID {
+				best, bestID = i, ids[pos[i]]
+			}
+		}
+		out = append(out, bestID)
+		pos[best]++
+	}
+	return out
+}
+
+// ScanRows snapshots a table's live rows in insertion order with one lock
+// acquisition per shard, returning parallel ID and row slices. This is
+// the bulk read path: no per-row lock churn, no per-row Get.
+func (s *Store) ScanRows(table string) ([]RowID, []Row, error) {
+	ts, err := s.table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([][]RowID, len(ts.shards))
+	rows := make([][]Row, len(ts.shards))
+	total := 0
+	for i := range ts.shards {
+		ids[i], rows[i] = ts.snapshotShard(i)
+		total += len(ids[i])
+	}
+	return mergeRows(ids, rows, total)
+}
+
+// ScanShardRows snapshots one shard's live rows (ascending ID) under one
+// lock acquisition — the unit of work of a parallel scan.
+func (s *Store) ScanShardRows(table string, shard int) ([]RowID, []Row, error) {
+	ts, err := s.table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if shard < 0 || shard >= len(ts.shards) {
+		return nil, nil, fmt.Errorf("storage: shard %d out of range for %s (%d shards)", shard, table, len(ts.shards))
+	}
+	ids, rows := ts.snapshotShard(shard)
+	return ids, rows, nil
+}
+
+func (ts *tableStore) snapshotShard(i int) ([]RowID, []Row) {
+	sh := ts.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ids := sh.heap.scanIDs()
+	rows := make([]Row, len(ids))
+	for j, id := range ids {
+		r, _ := sh.heap.get(id)
+		rows[j] = r.Clone()
+	}
+	return ids, rows
+}
+
+func mergeRows(ids [][]RowID, rows [][]Row, total int) ([]RowID, []Row, error) {
+	outIDs := make([]RowID, 0, total)
+	outRows := make([]Row, 0, total)
+	pos := make([]int, len(ids))
+	for len(outIDs) < total {
+		best, bestID := -1, RowID(0)
+		for i := range ids {
+			if pos[i] >= len(ids[i]) {
+				continue
+			}
+			if best < 0 || ids[i][pos[i]] < bestID {
+				best, bestID = i, ids[i][pos[i]]
+			}
+		}
+		outIDs = append(outIDs, bestID)
+		outRows = append(outRows, rows[best][pos[best]])
+		pos[best]++
+	}
+	return outIDs, outRows, nil
 }
 
 // RowCount returns the number of live rows.
 func (s *Store) RowCount(table string) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	ts, err := s.table(table)
 	if err != nil {
 		return 0, err
 	}
-	return ts.heap.count(), nil
+	n := 0
+	for _, sh := range ts.shards {
+		sh.mu.RLock()
+		n += sh.heap.count()
+		sh.mu.RUnlock()
+	}
+	return n, nil
 }
 
-// LookupPK finds the row whose primary key equals the given values.
+// LookupPK finds the row whose primary key equals the given values (a
+// single-shard probe: the key hashes to its home shard).
 func (s *Store) LookupPK(table string, pk ...sqltypes.Value) (RowID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ts, err := s.table(table)
-	if err != nil || ts.primary == nil {
-		return 0, false
-	}
-	rids := ts.primary.Search(IndexKey(pk...))
-	if len(rids) == 0 {
-		return 0, false
-	}
-	return rids[0], true
+	id, _, ok := s.lookupPK(table, false, pk)
+	return id, ok
 }
 
-// LookupIndex returns the row IDs matching key values on a named index.
+// LookupPKRow is LookupPK that also returns a copy of the row under the
+// same lock acquisition (no separate Get round-trip).
+func (s *Store) LookupPKRow(table string, pk ...sqltypes.Value) (RowID, Row, bool) {
+	return s.lookupPK(table, true, pk)
+}
+
+func (s *Store) lookupPK(table string, withRow bool, pk []sqltypes.Value) (RowID, Row, bool) {
+	ts, err := s.table(table)
+	if err != nil || len(ts.pkCols) == 0 {
+		return 0, nil, false
+	}
+	key := IndexKey(pk...)
+	sh := ts.shards[ts.shardOfKey(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rids := sh.primary.Search(key)
+	if len(rids) == 0 {
+		return 0, nil, false
+	}
+	if !withRow {
+		return rids[0], nil, true
+	}
+	r, ok := sh.heap.get(rids[0])
+	if !ok {
+		return 0, nil, false
+	}
+	return rids[0], r.Clone(), true
+}
+
+// LookupIndex returns the row IDs matching key values on a named index,
+// in insertion order (ascending ID across shards).
 func (s *Store) LookupIndex(table, index string, vals ...sqltypes.Value) ([]RowID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	ids, _, err := s.lookupIndex(table, index, false, vals)
+	return ids, err
+}
+
+// LookupIndexRows returns matching rows (with their IDs) in insertion
+// order, cloned under one lock acquisition per shard.
+func (s *Store) LookupIndexRows(table, index string, vals ...sqltypes.Value) ([]RowID, []Row, error) {
+	return s.lookupIndex(table, index, true, vals)
+}
+
+func (s *Store) lookupIndex(table, index string, withRows bool, vals []sqltypes.Value) ([]RowID, []Row, error) {
 	ts, err := s.table(table)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	idx, ok := ts.indexes[strings.ToLower(index)]
-	if !ok {
-		return nil, fmt.Errorf("storage: index %s not found on %s", index, table)
+	key := IndexKey(vals...)
+	iname := strings.ToLower(index)
+	type hit struct {
+		id  RowID
+		row Row
 	}
-	return idx.tree.Search(IndexKey(vals...)), nil
+	var hits []hit
+	for _, sh := range ts.shards {
+		sh.mu.RLock()
+		idx, ok := sh.indexes[iname]
+		if !ok {
+			sh.mu.RUnlock()
+			return nil, nil, fmt.Errorf("storage: index %s not found on %s", index, table)
+		}
+		for _, rid := range idx.tree.Search(key) {
+			h := hit{id: rid}
+			if withRows {
+				if r, ok := sh.heap.get(rid); ok {
+					h.row = r.Clone()
+				}
+			}
+			hits = append(hits, h)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	ids := make([]RowID, len(hits))
+	var rows []Row
+	if withRows {
+		rows = make([]Row, len(hits))
+	}
+	for i, h := range hits {
+		ids[i] = h.id
+		if withRows {
+			rows[i] = h.row
+		}
+	}
+	return ids, rows, nil
 }
 
 // ---------------------------------------------------------------------------
 // Durability: recovery and checkpointing
 
-// Recover replays the snapshot (if any) and the WAL into the already-created
-// tables. Call exactly once, after the schema has been re-created.
+// Recover replays the per-shard snapshots (if any) and WALs into the
+// already-created tables, one goroutine per shard. Call exactly once,
+// after the schema has been re-created.
 func (s *Store) Recover() error {
 	if s.dir == "" {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.loadSnapshotLocked(); err != nil {
+	if legacy := walLegacyPath(s.dir); fileExists(legacy) {
+		return fmt.Errorf("storage: %s uses the pre-sharding single-WAL layout; re-import the data (legacy %s present)", s.dir, legacy)
+	}
+	errs := make([]error, s.nshards)
+	var wg sync.WaitGroup
+	for i := 0; i < s.nshards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			errs[shard] = s.recoverShard(shard)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.reconcileMoves()
+	// Row-ID and LSN allocation resume above every recovered value.
+	for _, ts := range s.tableMap() {
+		var max RowID
+		var maxLSN int64
+		for _, sh := range ts.shards {
+			if m := sh.heap.nextID - 1; m > max {
+				max = m
+			}
+			for _, l := range sh.rowLSN {
+				if l > maxLSN {
+					maxLSN = l
+				}
+			}
+		}
+		if int64(max) > ts.nextID.Load() {
+			ts.nextID.Store(int64(max))
+		}
+		if maxLSN > ts.lsn.Load() {
+			ts.lsn.Store(maxLSN)
+		}
+	}
+	return nil
+}
+
+// reconcileMoves resolves the one inconsistency a crashed cross-shard
+// move can leave: the new shard's upsert was fsynced but the old shard's
+// delete was not, so the same RowID is live on two shards. The upsert is
+// always made durable first, so the higher-LSN copy is the newer one —
+// keep it, purge the stale copy. (Zero copies is impossible: the delete
+// is never durable before the upsert.)
+func (s *Store) reconcileMoves() {
+	for _, ts := range s.tableMap() {
+		if len(ts.pkCols) == 0 || len(ts.shards) == 1 {
+			continue // ID-routed rows never move
+		}
+		type loc struct {
+			shard int
+			lsn   int64
+		}
+		seen := make(map[RowID]loc)
+		for i, sh := range ts.shards {
+			for _, id := range sh.heap.scanIDs() {
+				l := sh.rowLSN[id]
+				prev, dup := seen[id]
+				if !dup {
+					seen[id] = loc{i, l}
+					continue
+				}
+				victim := prev.shard
+				if l < prev.lsn {
+					victim = i
+				} else {
+					seen[id] = loc{i, l}
+				}
+				ts.purgeRow(victim, id)
+			}
+		}
+	}
+}
+
+// purgeRow removes a stale row copy from one shard (recovery only; no
+// locking needed and nothing is logged — the WAL already reflects the
+// surviving copy).
+func (ts *tableStore) purgeRow(shard int, id RowID) {
+	sh := ts.shards[shard]
+	row, ok := sh.heap.get(id)
+	if !ok {
+		return
+	}
+	if sh.primary != nil {
+		sh.primary.Delete(ts.pkKey(row), id)
+	}
+	for _, idx := range sh.indexes {
+		idx.tree.Delete(indexKeyFor(row, idx.cols), id)
+	}
+	sh.heap.delete(id)
+	delete(sh.rowLSN, id)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// recoverShard loads one shard's snapshot then replays its WAL. Shards
+// are disjoint, so recovery parallelizes with no locking beyond the
+// shard's own mutex (taken for symmetry; no concurrent use yet).
+func (s *Store) recoverShard(shard int) error {
+	if err := s.loadSnapshotShard(shard); err != nil {
 		return err
 	}
-	return replayWAL(walPath(s.dir), func(rec walRecord) error {
+	return replayWAL(walShardPath(s.dir, shard), func(rec walRecord) error {
 		ts, err := s.table(rec.Table)
 		if err != nil {
 			return err
 		}
+		sh := ts.shards[shard]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		switch rec.Op {
 		case "insert", "update":
 			row, err := DecodeRow(rec.Data)
 			if err != nil {
 				return err
 			}
-			if old, ok := ts.heap.get(rec.Row); ok {
-				if ts.primary != nil {
-					ts.primary.Delete(ts.pkKey(old), rec.Row)
+			if old, ok := sh.heap.get(rec.Row); ok {
+				if sh.primary != nil {
+					sh.primary.Delete(ts.pkKey(old), rec.Row)
 				}
-				for _, idx := range ts.indexes {
+				for _, idx := range sh.indexes {
 					idx.tree.Delete(indexKeyFor(old, idx.cols), rec.Row)
 				}
 			}
-			ts.heap.insertAt(rec.Row, row)
-			if ts.primary != nil {
-				ts.primary.Insert(ts.pkKey(row), rec.Row)
+			sh.heap.insertAt(rec.Row, row)
+			sh.rowLSN[rec.Row] = rec.LSN
+			if sh.primary != nil {
+				sh.primary.Insert(ts.pkKey(row), rec.Row)
 			}
-			for _, idx := range ts.indexes {
+			for _, idx := range sh.indexes {
 				idx.tree.Insert(indexKeyFor(row, idx.cols), rec.Row)
 			}
 		case "delete":
-			if old, ok := ts.heap.get(rec.Row); ok {
-				if ts.primary != nil {
-					ts.primary.Delete(ts.pkKey(old), rec.Row)
+			if old, ok := sh.heap.get(rec.Row); ok {
+				if sh.primary != nil {
+					sh.primary.Delete(ts.pkKey(old), rec.Row)
 				}
-				for _, idx := range ts.indexes {
+				for _, idx := range sh.indexes {
 					idx.tree.Delete(indexKeyFor(old, idx.cols), rec.Row)
 				}
-				ts.heap.delete(rec.Row)
+				sh.heap.delete(rec.Row)
+				delete(sh.rowLSN, rec.Row)
 			}
 		default:
 			return fmt.Errorf("storage: unknown wal op %q", rec.Op)
@@ -411,13 +1101,20 @@ func (s *Store) Recover() error {
 	})
 }
 
-// snapshotFile is the JSON checkpoint format: rows per table keyed by ID.
+// snapshotFile is the per-shard JSON checkpoint format: rows per table
+// keyed by ID (the rows of exactly one shard of each table), each with
+// the LSN of its last mutation (for post-crash move reconciliation).
 type snapshotFile struct {
-	Tables map[string]map[RowID]json.RawMessage `json:"tables"`
+	Tables map[string]map[RowID]snapRow `json:"tables"`
 }
 
-func (s *Store) loadSnapshotLocked() error {
-	data, err := os.ReadFile(snapshotPath(s.dir))
+type snapRow struct {
+	Data json.RawMessage `json:"d"`
+	LSN  int64           `json:"l,omitempty"`
+}
+
+func (s *Store) loadSnapshotShard(shard int) error {
+	data, err := os.ReadFile(snapshotShardPath(s.dir, shard))
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -426,53 +1123,99 @@ func (s *Store) loadSnapshotLocked() error {
 	}
 	var snap snapshotFile
 	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("storage: corrupt snapshot: %w", err)
+		return fmt.Errorf("storage: corrupt snapshot shard %d: %w", shard, err)
 	}
 	for tname, rows := range snap.Tables {
 		ts, err := s.table(tname)
 		if err != nil {
 			return err
 		}
+		sh := ts.shards[shard]
+		sh.mu.Lock()
 		ids := make([]RowID, 0, len(rows))
 		for id := range rows {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
-			row, err := DecodeRow(rows[id])
+			row, err := DecodeRow(rows[id].Data)
 			if err != nil {
+				sh.mu.Unlock()
 				return err
 			}
-			ts.heap.insertAt(id, row)
-			if ts.primary != nil {
-				ts.primary.Insert(ts.pkKey(row), id)
+			sh.heap.insertAt(id, row)
+			sh.rowLSN[id] = rows[id].LSN
+			if sh.primary != nil {
+				sh.primary.Insert(ts.pkKey(row), id)
 			}
-			for _, idx := range ts.indexes {
+			for _, idx := range sh.indexes {
 				idx.tree.Insert(indexKeyFor(row, idx.cols), id)
 			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Checkpoint writes per-shard snapshots and truncates each shard's WAL,
+// one goroutine per shard. On return, recovery needs only the snapshots
+// plus any later WAL records. Each shard checkpoints independently: it
+// locks that shard of every table (shard-major lock order), snapshots,
+// then resets its WAL — writers on other shards are never blocked.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return nil
+	}
+	s.mu.Lock() // excludes DDL: the table set must not change mid-checkpoint
+	defer s.mu.Unlock()
+	tables := s.tableMap()
+	names := make([]string, 0, len(tables))
+	for k := range tables {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	errs := make([]error, s.nshards)
+	var wg sync.WaitGroup
+	for i := 0; i < s.nshards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			errs[shard] = s.checkpointShard(shard, names, tables)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Checkpoint writes a snapshot of all tables and truncates the WAL. On
-// return, recovery needs only the snapshot plus any later WAL records.
-func (s *Store) Checkpoint() error {
-	if s.dir == "" {
-		return nil
+func (s *Store) checkpointShard(shard int, names []string, tables map[string]*tableStore) error {
+	// Lock this shard of every table (ascending name: the shard-major
+	// global order), so no writer can append to this shard's WAL between
+	// the snapshot and the truncation.
+	for _, n := range names {
+		tables[n].shards[shard].mu.Lock()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap := snapshotFile{Tables: make(map[string]map[RowID]json.RawMessage)}
-	for _, ts := range s.tables {
-		rows := make(map[RowID]json.RawMessage, ts.heap.count())
-		for _, id := range ts.heap.scanIDs() {
-			r, _ := ts.heap.get(id)
+	defer func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			tables[names[i]].shards[shard].mu.Unlock()
+		}
+	}()
+	snap := snapshotFile{Tables: make(map[string]map[RowID]snapRow)}
+	for _, n := range names {
+		ts := tables[n]
+		sh := ts.shards[shard]
+		rows := make(map[RowID]snapRow, sh.heap.count())
+		for _, id := range sh.heap.scanIDs() {
+			r, _ := sh.heap.get(id)
 			data, err := EncodeRow(r)
 			if err != nil {
 				return err
 			}
-			rows[id] = data
+			rows[id] = snapRow{Data: data, LSN: sh.rowLSN[id]}
 		}
 		snap.Tables[ts.name] = rows
 	}
@@ -480,34 +1223,23 @@ func (s *Store) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	tmp := snapshotPath(s.dir) + ".tmp"
+	path := snapshotShardPath(s.dir, shard)
+	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, snapshotPath(s.dir)); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
-	// Truncate the WAL: records up to here are captured by the snapshot.
-	if err := s.log.close(); err != nil {
-		return err
-	}
-	if err := os.Truncate(walPath(s.dir), 0); err != nil {
-		return err
-	}
-	l, err := openWAL(walPath(s.dir))
-	if err != nil {
-		return err
-	}
-	s.log = l
-	return nil
+	// Records up to here are captured by the snapshot: reset the WAL.
+	return s.logs[shard].reset()
 }
 
 // Tables lists the table names the store currently holds (sorted).
 func (s *Store) Tables() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.tables))
-	for _, ts := range s.tables {
+	m := s.tableMap()
+	names := make([]string, 0, len(m))
+	for _, ts := range m {
 		names = append(names, ts.name)
 	}
 	sort.Strings(names)

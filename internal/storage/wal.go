@@ -7,53 +7,192 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
+// SyncMode is the WAL durability policy.
+type SyncMode string
+
+const (
+	// SyncAlways flushes and fsyncs every record before the mutation
+	// returns: maximum durability, one syscall pair per row.
+	SyncAlways SyncMode = "always"
+	// SyncGroup (the default) acknowledges a mutation only after its
+	// record is flushed and fsynced, but batches: concurrent writers on
+	// the same shard coalesce into one flush+fsync (leader-based group
+	// commit). No acknowledged write is ever lost.
+	SyncGroup SyncMode = "group"
+	// SyncOff flushes records to the OS per append but never fsyncs:
+	// process crashes lose nothing, machine crashes may lose the tail.
+	SyncOff SyncMode = "off"
+)
+
+func (m SyncMode) valid() error {
+	switch m {
+	case SyncAlways, SyncGroup, SyncOff:
+		return nil
+	}
+	return fmt.Errorf("storage: unknown WAL sync mode %q (want always, group, or off)", m)
+}
+
 // walRecord is one JSON line in the write-ahead log. Exactly one of the
-// payload field groups is meaningful per Op.
+// payload field groups is meaningful per Op. LSN is a per-table
+// monotonic mutation counter: a cross-shard row move writes records to
+// two WAL files, and if a crash makes both copies of the row live,
+// recovery keeps the one with the higher LSN.
 type walRecord struct {
 	Op    string          `json:"op"` // "insert", "update", "delete"
 	Table string          `json:"table"`
 	Row   RowID           `json:"row"`
+	LSN   int64           `json:"lsn,omitempty"`
 	Data  json.RawMessage `json:"data,omitempty"` // EncodeRow payload
 }
 
-// wal is an append-only JSON-lines log. Every mutation is durably appended
-// before it is applied to the in-memory heap, and replayed on open.
+// wal is an append-only JSON-lines log for one shard. Records are
+// buffered under mu (callers hold their shard lock, so per-row order in
+// the file matches apply order); durability is governed by the sync mode.
+// In group mode, commit() is the acknowledgement barrier: the first
+// waiter becomes the leader, flushes and fsyncs everything buffered so
+// far, and wakes the batch — one syscall pair for many rows.
 type wal struct {
-	f *os.File
-	w *bufio.Writer
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	w    *bufio.Writer
+	mode SyncMode
+
+	seq     int64 // records appended (buffered)
+	synced  int64 // records durably committed
+	syncing bool  // a leader is mid-flush
+	err     error // sticky I/O error: the log is poisoned once a write fails
 }
 
-func openWAL(path string) (*wal, error) {
+func openWAL(path string, mode SyncMode) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriter(f)}, nil
+	l := &wal{f: f, w: bufio.NewWriter(f), mode: mode}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
 }
 
-func (l *wal) append(rec walRecord) error {
+// append buffers one record and returns its sequence number. Callers in
+// group mode must call commit(seq) after releasing their shard lock; in
+// always/off modes the record is already flushed on return.
+func (l *wal) append(rec walRecord) (int64, error) {
 	data, err := json.Marshal(rec)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
 	}
 	if _, err := l.w.Write(data); err != nil {
-		return err
+		l.err = err
+		return 0, err
 	}
 	if err := l.w.WriteByte('\n'); err != nil {
+		l.err = err
+		return 0, err
+	}
+	l.seq++
+	switch l.mode {
+	case SyncAlways:
+		err := l.w.Flush()
+		if err == nil {
+			err = l.f.Sync()
+		}
+		if err != nil {
+			l.err = err
+			return 0, err
+		}
+		l.synced = l.seq
+	case SyncOff:
+		// Flush per record (crowd answers survive process crashes) but
+		// skip the fsync: machine crashes may lose the tail.
+		if err := l.w.Flush(); err != nil {
+			l.err = err
+			return 0, err
+		}
+		l.synced = l.seq
+	}
+	return l.seq, nil
+}
+
+// commit blocks until record seq is durable. In group mode the first
+// caller to arrive leads: it flushes and fsyncs the whole buffered batch
+// while later arrivals wait on the condition variable, then everyone
+// covered by the batch returns together.
+func (l *wal) commit(seq int64) error {
+	if l.mode != SyncGroup {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.synced < seq && l.err == nil {
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		target := l.seq
+		err := l.w.Flush()
+		l.mu.Unlock()
+		if err == nil {
+			err = l.f.Sync() // the batched syscall, outside the buffer lock
+		}
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = err
+		} else if target > l.synced {
+			l.synced = target
+		}
+		l.cond.Broadcast()
+	}
+	return l.err
+}
+
+// reset truncates the log after a checkpoint. Callers must guarantee no
+// concurrent appends (the checkpoint holds this shard of every table),
+// but writers may be parked in commit() for records the snapshot just
+// captured — seq/synced are therefore MONOTONIC, never rewound: every
+// record buffered so far is durable via the renamed snapshot, so synced
+// jumps to seq and the waiters are released.
+func (l *wal) reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	// CrowdDB flushes per record: losing crowd answers means paying twice.
-	return l.w.Flush()
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.synced, l.err = l.seq, nil
+	l.cond.Broadcast()
+	return nil
 }
 
 func (l *wal) close() error {
 	if l == nil {
 		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return err
+	}
+	if l.mode != SyncOff {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
 	}
 	return l.f.Close()
 }
@@ -92,6 +231,58 @@ func replayWAL(path string, apply func(walRecord) error) error {
 	return nil
 }
 
-// walPath and snapshotPath name the on-disk artifacts inside a data dir.
-func walPath(dir string) string      { return filepath.Join(dir, "wal.log") }
-func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot.json") }
+// ---------------------------------------------------------------------------
+// On-disk layout: per-shard WALs and snapshots plus a shard-count meta
+// file pinning the layout.
+
+// walShardPath and snapshotShardPath name one shard's on-disk artifacts.
+func walShardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%03d.log", shard))
+}
+
+func snapshotShardPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%03d.json", shard))
+}
+
+// walLegacyPath is the pre-sharding single WAL; its presence marks an old
+// layout this engine refuses to guess at.
+func walLegacyPath(dir string) string { return filepath.Join(dir, "wal.log") }
+
+func shardMetaPath(dir string) string { return filepath.Join(dir, "shards.json") }
+
+// shardMeta pins a data directory's partitioning. Rows are placed by
+// hash(PK) % shards, so the count must never change silently.
+type shardMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+func readShardMeta(dir string) (int, error) {
+	data, err := os.ReadFile(shardMetaPath(dir))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var m shardMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("storage: corrupt shard meta: %w", err)
+	}
+	if m.Shards < 1 || m.Shards > MaxShards {
+		return 0, fmt.Errorf("storage: shard meta claims %d shards (want 1..%d)", m.Shards, MaxShards)
+	}
+	return m.Shards, nil
+}
+
+func writeShardMeta(dir string, shards int) error {
+	data, err := json.Marshal(shardMeta{Version: 1, Shards: shards})
+	if err != nil {
+		return err
+	}
+	tmp := shardMetaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, shardMetaPath(dir))
+}
