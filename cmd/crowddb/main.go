@@ -9,6 +9,9 @@
 //	crowddb -demo                   # pre-load the paper's conference schema
 //	crowddb -shards 8               # hash-partition tables across 8 shards
 //	crowddb -wal-sync always        # fsync every WAL record (default: group)
+//	crowddb -server http://host:8090  # no local engine: drive a crowddbd
+//	                                  # through the v1 Jobs API (pkg/client);
+//	                                  # rows stream live, Ctrl-C cancels
 //
 // Inside the shell, CrowdSQL statements end with ';'. Extra commands:
 //
@@ -41,7 +44,14 @@ func main() {
 	command := flag.String("c", "", "execute this CrowdSQL script and exit (non-interactive)")
 	shards := flag.Int("shards", 0, "storage shards per table (0 = one per CPU, capped; durable stores adopt their on-disk count)")
 	walSync := flag.String("wal-sync", "group", "WAL durability: always, group, or off")
+	server := flag.String("server", "", "crowddbd base URL; when set the shell runs remotely over the v1 Jobs API (pkg/client) instead of embedding an engine")
+	budget := flag.Int("budget", 0, "remote-session crowd-comparison budget (-server mode; 0 = server default)")
 	flag.Parse()
+
+	if *server != "" {
+		serverMain(*server, *command, *budget)
+		return
+	}
 
 	conf := workload.NewConference(20, *seed)
 	cfg := crowddb.Config{

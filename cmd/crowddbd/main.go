@@ -12,8 +12,12 @@
 //	crowddbd -budget 50               # default per-session comparison budget
 //	crowddbd -shards 8 -wal-sync group  # storage fan-out and WAL durability
 //
-// A quick session:
+// A quick session (the v1 Jobs API is the primary surface; POST /query
+// remains as a byte-compatible shim — see docs/openapi.yaml):
 //
+//	curl -s localhost:8090/v1/queries -d '{"sql":"SHOW TABLES;"}'
+//	curl -sN localhost:8090/v1/queries/j000001/rows     # stream partial rows
+//	curl -s -X DELETE localhost:8090/v1/queries/j000001 # cancel
 //	curl -s localhost:8090/query -d '{"sql":"SHOW TABLES;"}'
 //	curl -s localhost:8090/stats
 //	curl -s localhost:8090/healthz

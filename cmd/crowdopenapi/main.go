@@ -1,0 +1,52 @@
+// Command crowdopenapi generates docs/openapi.yaml from the server's
+// in-code API contract (internal/server/openapi.go). CI regenerates the
+// document with -check to fail when the committed artifact is stale;
+// the server test suite additionally validates that the document covers
+// every route, job state, and error code actually served.
+//
+// Usage:
+//
+//	crowdopenapi                  # write docs/openapi.yaml
+//	crowdopenapi -out spec.yaml   # write elsewhere
+//	crowdopenapi -check           # exit 1 if the file on disk is stale
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"crowddb/internal/server"
+)
+
+func main() {
+	out := flag.String("out", filepath.Join("docs", "openapi.yaml"), "output path")
+	check := flag.Bool("check", false, "verify the file on disk matches the generator instead of writing")
+	flag.Parse()
+
+	spec := server.OpenAPISpec()
+	if *check {
+		disk, err := os.ReadFile(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crowdopenapi: %v (generate with `go run ./cmd/crowdopenapi`)\n", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(disk, spec) {
+			fmt.Fprintf(os.Stderr, "crowdopenapi: %s is stale; regenerate with `go run ./cmd/crowdopenapi`\n", *out)
+			os.Exit(1)
+		}
+		fmt.Printf("crowdopenapi: %s is up to date (%d bytes)\n", *out, len(spec))
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdopenapi:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, spec, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "crowdopenapi:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crowdopenapi: wrote %s (%d bytes)\n", *out, len(spec))
+}

@@ -26,6 +26,7 @@
 package crowddb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -64,6 +65,11 @@ type (
 	Value = sqltypes.Value
 	// ExecStats counts a statement's crowd activity.
 	ExecStats = exec.Stats
+	// ExecOpts tunes one Execute call (budget, streaming sink, stats
+	// observers); see core.ExecOpts.
+	ExecOpts = core.ExecOpts
+	// RowSink consumes streamed result rows (ExecOpts.Sink).
+	RowSink = core.RowSink
 )
 
 // DB is a CrowdDB database handle. It is safe for concurrent use; crowd-
@@ -96,6 +102,20 @@ func (db *DB) Exec(sql string) (*Result, error) { return db.eng.Exec(sql) }
 
 // Query runs a single SELECT.
 func (db *DB) Query(sql string) (*Result, error) { return db.eng.Query(sql) }
+
+// Execute runs a CrowdSQL script under ctx: cancelling ctx stops the
+// running statement mid-crowd-wait (no new HITs are posted, paid work
+// settles). Use ExecuteOpts to additionally stream rows out as they are
+// produced.
+func (db *DB) Execute(ctx context.Context, sql string) (*Result, error) {
+	return db.eng.Execute(ctx, sql, core.DefaultExecOpts())
+}
+
+// ExecuteOpts is Execute with per-call options (budget, streaming sink,
+// stats observers).
+func (db *DB) ExecuteOpts(ctx context.Context, sql string, opts ExecOpts) (*Result, error) {
+	return db.eng.Execute(ctx, sql, opts)
+}
 
 // Engine exposes the underlying engine for advanced integrations (the
 // Form Editor, WRM console, and benchmark harness use it).

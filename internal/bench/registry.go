@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"E16", "concurrent sessions: shared-cache crowd cost (extension)", E16ConcurrentSessions},
 		{"E17", "cost-based optimizer vs flat heuristic (extension)", E17CostBasedOptimizer},
 		{"E18", "sharded storage throughput (extension)", E18StorageThroughput},
+		{"E19", "streaming vs materialized time-to-first-row (extension)", E19Streaming},
 	}
 }
 

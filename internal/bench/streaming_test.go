@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestE19Shape pins the streaming experiment's structural claims: both
+// modes produce the identical row count, and the streaming seam holds
+// exactly one row between the executor and the caller at first delivery
+// while materialization holds the whole result.
+func TestE19Shape(t *testing.T) {
+	tab := E19Streaming(42)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v (notes %v)", tab.Rows, tab.Notes)
+	}
+	if tab.Metrics["streamed_rows_out"] != tab.Metrics["materialized_rows_out"] {
+		t.Errorf("answers differ: streamed %v vs materialized %v rows",
+			tab.Metrics["streamed_rows_out"], tab.Metrics["materialized_rows_out"])
+	}
+	if tab.Metrics["streamed_rows_out"] == 0 {
+		t.Error("experiment produced no rows")
+	}
+	if tab.Metrics["streamed_first_row_buffered"] != 1 {
+		t.Errorf("streaming must deliver the first row unbuffered, got %v",
+			tab.Metrics["streamed_first_row_buffered"])
+	}
+	if tab.Metrics["materialized_first_row_buffered"] != tab.Metrics["materialized_rows_out"] {
+		t.Errorf("materialization must buffer the whole result before the first row, got %v of %v",
+			tab.Metrics["materialized_first_row_buffered"], tab.Metrics["materialized_rows_out"])
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -327,12 +328,34 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return e.ExecStmt(stmt)
 }
 
+// RowSink consumes a SELECT's result rows as the executor produces them
+// (the jobs API's streaming seam). Returning an error stops the
+// statement.
+type RowSink = exec.RowSink
+
 // ExecOpts tunes one statement execution. The multi-session server uses
-// it to apply per-session crowd budgets on a shared engine.
+// it to apply per-session crowd budgets on a shared engine and to stream
+// job results.
 type ExecOpts struct {
 	// CompareBudget caps crowd comparisons for this statement. Negative
 	// uses the engine default (Config.CompareBudget); 0 is unlimited.
 	CompareBudget int
+	// Sink, when set, streams a SELECT's rows out as operators produce
+	// them; the returned Result's Rows then stay nil. Non-SELECT
+	// statements ignore it.
+	Sink RowSink
+	// OnSchema, when set, is called with the result column names after a
+	// SELECT compiles and before its first row is produced (streaming
+	// clients need the header ahead of the rows).
+	OnSchema func(cols []string)
+	// OnStats, when set, always receives the statement's final crowd
+	// stats — including when execution fails or is cancelled midway, when
+	// the Result carries no stats. Budget settlement for work already
+	// paid depends on it.
+	OnStats func(exec.Stats)
+	// Progress, when set, receives stats snapshots whenever a crowd
+	// operator commits to paid work mid-statement (live spend reporting).
+	Progress func(exec.Stats)
 }
 
 // DefaultExecOpts defers every knob to the engine configuration.
@@ -343,15 +366,45 @@ func (e *Engine) ExecStmt(stmt parser.Statement) (*Result, error) {
 	return e.ExecStmtOpts(stmt, DefaultExecOpts())
 }
 
-// ExecStmtOpts runs one parsed statement. Read-only statements (SELECT,
-// EXPLAIN, SHOW) run concurrently with each other; DDL and DML serialize
-// against everything.
+// ExecStmtOpts runs one parsed statement with the background context.
 func (e *Engine) ExecStmtOpts(stmt parser.Statement, opts ExecOpts) (*Result, error) {
+	return e.ExecStmtCtx(context.Background(), stmt, opts)
+}
+
+// Execute parses and runs a CrowdSQL script under ctx, returning the last
+// statement's result. Cancelling ctx stops the running statement: crowd
+// operators stop posting new HIT groups within one scheduler tick,
+// queued submissions are withdrawn, singleflight claims are released, and
+// opts.OnStats still reports the work already paid for. This is the
+// context-aware entry point the jobs API and the client SDK build on.
+func (e *Engine) Execute(ctx context.Context, sql string, opts ExecOpts) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := e.ExecStmtCtx(ctx, s, opts)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+// ExecStmtCtx runs one parsed statement under ctx. Read-only statements
+// (SELECT, EXPLAIN, SHOW) run concurrently with each other; DDL and DML
+// serialize against everything.
+func (e *Engine) ExecStmtCtx(ctx context.Context, stmt parser.Statement, opts ExecOpts) (*Result, error) {
 	switch s := stmt.(type) {
 	case *parser.Select:
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return e.execSelect(s, opts)
+		return e.execSelect(ctx, s, opts)
 	case *parser.Explain:
 		e.mu.RLock()
 		defer e.mu.RUnlock()
@@ -656,6 +709,11 @@ func (e *Engine) costInputs() optimizer.CostInputs {
 	return ci
 }
 
+// PriceStats prices measured crowd activity in the cost model's units —
+// the jobs API reports a running "cents spent so far" from progress
+// snapshots with it.
+func (e *Engine) PriceStats(st exec.Stats) float64 { return e.actualCents(st) }
+
 // actualCents prices a statement's measured crowd activity in the cost
 // model's units: every probe and comparison pays reward × replication,
 // every solicited tuple reward × tuple replication.
@@ -668,7 +726,7 @@ func (e *Engine) actualCents(st exec.Stats) float64 {
 		float64(st.NewTupleRequests)*float64(cfg.Reward)*float64(cfg.NewTupleAssignments)
 }
 
-func (e *Engine) execSelect(s *parser.Select, opts ExecOpts) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts) (*Result, error) {
 	opt, err := e.compile(s)
 	if err != nil {
 		return nil, err
@@ -677,35 +735,55 @@ func (e *Engine) execSelect(s *parser.Select, opts ExecOpts) (*Result, error) {
 	if opts.CompareBudget >= 0 {
 		budget = opts.CompareBudget
 	}
-	ctx := &exec.Ctx{
+	ectx := &exec.Ctx{
 		Store:         e.store,
 		Cat:           e.cat,
 		Tasks:         e.tasks,
 		Cache:         e.cache,
 		CompareBudget: budget,
+		Context:       ctx,
+		Progress:      opts.Progress,
 	}
-	e.installSubqueryRunner(ctx, 0)
-	op, err := exec.Build(opt.Root, ctx)
+	// The stats observer fires even when the statement errors or is
+	// cancelled midway: the crowd work already committed must reach the
+	// caller's budget settlement, and the Result cannot carry it then.
+	if opts.OnStats != nil {
+		defer func() { opts.OnStats(ectx.Stats) }()
+	}
+	var cols []string
+	for _, c := range opt.Root.Schema() {
+		cols = append(cols, c.Name)
+	}
+	if opts.OnSchema != nil {
+		opts.OnSchema(cols)
+	}
+	e.installSubqueryRunner(ectx, 0)
+	op, err := exec.Build(opt.Root, ectx)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Run(op, ctx)
+	var rows []storage.Row
+	if opts.Sink != nil {
+		err = exec.RunSink(op, ectx, opts.Sink)
+	} else {
+		rows, err = exec.Run(op, ectx)
+	}
+	// Answers paid for before a failure or cancellation are still
+	// memoized: persist them so they are never re-purchased.
+	if perr := e.persistCompareCache(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return nil, err
 	}
-	if err := e.persistCompareCache(); err != nil {
-		return nil, err
-	}
-	res := &Result{Rows: rows, Warnings: opt.Warnings, Stats: ctx.Stats}
+	res := &Result{Rows: rows, Warnings: opt.Warnings, Stats: ectx.Stats}
 	res.Predicted = opt.Predicted
-	res.ActualCents = e.actualCents(ctx.Stats)
+	res.ActualCents = e.actualCents(ectx.Stats)
 	if e.tasks != nil && !opt.Predicted.IsUnbounded() &&
 		(opt.Predicted.Cents > 0 || res.ActualCents > 0) {
 		e.observeCostError(opt.Predicted.Cents, res.ActualCents)
 	}
-	for _, c := range opt.Root.Schema() {
-		res.Columns = append(res.Columns, c.Name)
-	}
+	res.Columns = cols
 	return res, nil
 }
 
@@ -745,6 +823,15 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 			Tasks:         ctx.Tasks,
 			Cache:         ctx.Cache,
 			CompareBudget: budget,
+			Context:       ctx.Context,
+		}
+		// Live-progress observers see the outer statement's totals plus
+		// the subquery's running snapshot — never the subquery's counts
+		// alone, which would make reported spend regress mid-statement.
+		// The subquery runs on the calling goroutine, so reading
+		// ctx.Stats here is race-free.
+		if ctx.Progress != nil {
+			sub.Progress = func(st exec.Stats) { ctx.Progress(ctx.Stats.Add(st)) }
 		}
 		e.installSubqueryRunner(sub, depth+1)
 		op, err := exec.Build(opt.Root, sub)
@@ -752,16 +839,13 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 			return nil, err
 		}
 		rows, err := exec.Run(op, sub)
+		// Crowd work the subquery already paid for must reach the outer
+		// statement's stats even when it fails or is cancelled mid-flight:
+		// budget settlement reads the outer ctx.Stats (via OnStats).
+		ctx.Stats = ctx.Stats.Add(sub.Stats)
 		if err != nil {
 			return nil, err
 		}
-		ctx.Stats.ProbeRequests += sub.Stats.ProbeRequests
-		ctx.Stats.NewTupleRequests += sub.Stats.NewTupleRequests
-		ctx.Stats.Comparisons += sub.Stats.Comparisons
-		ctx.Stats.CacheHits += sub.Stats.CacheHits
-		ctx.Stats.SharedFlights += sub.Stats.SharedFlights
-		ctx.Stats.BudgetDenied += sub.Stats.BudgetDenied
-		ctx.Stats.RowsScanned += sub.Stats.RowsScanned
 		vals := make([]sqltypes.Value, len(rows))
 		for i, r := range rows {
 			vals[i] = r[0]

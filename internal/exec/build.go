@@ -171,24 +171,47 @@ func coveredBySchema(e parser.Expr, schema []plan.Col) bool {
 	return covered
 }
 
-// Run executes an operator tree to completion and returns all rows.
-func Run(op Operator, ctx *Ctx) ([]Row, error) {
+// RowSink consumes streamed result rows; returning an error stops the
+// statement (the row that errored is not retried).
+type RowSink func(Row) error
+
+// RunSink executes an operator tree, handing each row to sink the moment
+// the root operator produces it — the streaming seam the jobs API and the
+// wire shims consume. Cancellation (Ctx.Context) is checked between rows,
+// so a cancelled statement stops without draining its input.
+func RunSink(op Operator, ctx *Ctx, sink RowSink) error {
 	if err := op.Open(ctx); err != nil {
-		return nil, err
+		return err
 	}
-	var rows []Row
 	for {
+		if err := ctx.Canceled(); err != nil {
+			op.Close(ctx)
+			return err
+		}
 		r, err := op.Next(ctx)
 		if err != nil {
 			op.Close(ctx)
-			return nil, err
+			return err
 		}
 		if r == nil {
 			break
 		}
-		rows = append(rows, r)
+		if err := sink(r); err != nil {
+			op.Close(ctx)
+			return err
+		}
 	}
-	if err := op.Close(ctx); err != nil {
+	return op.Close(ctx)
+}
+
+// Run executes an operator tree to completion and returns all rows
+// (RunSink materialized).
+func Run(op Operator, ctx *Ctx) ([]Row, error) {
+	var rows []Row
+	if err := RunSink(op, ctx, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return rows, nil

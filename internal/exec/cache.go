@@ -2,6 +2,7 @@ package exec
 
 import (
 	"container/list"
+	"context"
 	"strings"
 	"sync"
 )
@@ -81,6 +82,15 @@ func NewCompareCacheSize(cap int) *CompareCache {
 		flights:   make(map[string]*flight),
 		dirtyKeys: make(map[string]string),
 	}
+}
+
+// InFlight reports the number of unresolved singleflight claims. A quiet
+// cache must read zero: every leader either memoized an answer or
+// abandoned its claim (the cancellation tests pin this down).
+func (c *CompareCache) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.flights)
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -273,14 +283,25 @@ type Claim struct {
 // ok is false when the leader abandoned the flight (error, no quorum, or
 // budget denial); the caller should re-claim or fall back.
 func (cl Claim) Wait() (string, bool) {
+	return cl.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with cancellation: it returns ("", false) as soon as the
+// context is done, leaving the flight (and its eventual answer) untouched
+// for other followers.
+func (cl Claim) WaitCtx(ctx context.Context) (string, bool) {
 	if cl.Hit {
 		return cl.Value, true
 	}
 	if cl.f == nil {
 		return "", false
 	}
-	<-cl.f.done
-	return cl.f.val, cl.f.ok
+	select {
+	case <-cl.f.done:
+		return cl.f.val, cl.f.ok
+	case <-ctx.Done():
+		return "", false
+	}
 }
 
 // Abandon releases a leader claim without an answer, waking followers with

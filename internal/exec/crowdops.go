@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,6 +34,20 @@ type Stats struct {
 	BudgetDenied int
 }
 
+// Add returns the field-wise sum of two stats snapshots. Every
+// aggregation site (session settlement, job resources, subquery merge)
+// goes through it so a new counter cannot silently drop from one.
+func (s Stats) Add(o Stats) Stats {
+	s.RowsScanned += o.RowsScanned
+	s.ProbeRequests += o.ProbeRequests
+	s.NewTupleRequests += o.NewTupleRequests
+	s.Comparisons += o.Comparisons
+	s.CacheHits += o.CacheHits
+	s.SharedFlights += o.SharedFlights
+	s.BudgetDenied += o.BudgetDenied
+	return s
+}
+
 // Ctx is the per-query execution context.
 type Ctx struct {
 	Store *storage.Store
@@ -54,9 +69,43 @@ type Ctx struct {
 	// fanning a sequential scan out across shards (0 = the default,
 	// DefaultParallelScanMinRows; negative = never parallelize).
 	ParallelScanMinRows int
-	Stats               Stats
+	// Context carries the statement's cancellation signal end-to-end:
+	// operators check it between rows, and the crowd operators stop
+	// posting new HIT groups and unwind their crowd waits when it fires
+	// (nil = never cancelled). Queued submissions are withdrawn; groups
+	// already live on the platform are left to settle.
+	Context context.Context
+	// Progress, when set, receives a stats snapshot from the executing
+	// goroutine each time a crowd operator commits to paid work (probe,
+	// solicitation, or comparison batches) — the jobs API reports "cents
+	// spent so far" from it without racing on Stats.
+	Progress func(Stats)
+	Stats    Stats
 
 	subqMemo map[*parser.InExpr][]sqltypes.Value
+}
+
+// context returns the statement context (Background when unset).
+func (c *Ctx) context() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
+}
+
+// Canceled reports the statement's cancellation error, if any.
+func (c *Ctx) Canceled() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
+// noteProgress publishes a stats snapshot to the Progress observer.
+func (c *Ctx) noteProgress() {
+	if c.Progress != nil {
+		c.Progress(c.Stats)
+	}
 }
 
 // subqueryValues resolves an IN-subquery once per query (uncorrelated
@@ -102,13 +151,16 @@ func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
 		// A follower whose leader abandons retries and, at the latest on
 		// the second pass, leads (or budget-denies) itself.
 		for attempt := 0; attempt < 3; attempt++ {
+			if err := ctx.Canceled(); err != nil {
+				return sqltypes.Value{}, err
+			}
 			claim := ctx.Cache.ClaimEqual(question, l, r)
 			if claim.Hit {
 				ctx.Stats.CacheHits++
 				return sqltypes.NewBool(claim.Value == "yes"), nil
 			}
 			if !claim.Leader {
-				if v, ok := claim.Wait(); ok {
+				if v, ok := claim.WaitCtx(ctx.context()); ok {
 					ctx.Stats.SharedFlights++
 					return sqltypes.NewBool(v == "yes"), nil
 				}
@@ -121,12 +173,23 @@ func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
 				}
 				return sqltypes.Null(), nil
 			}
-			ds, err := ctx.Tasks.CompareEqual(question, []taskmgr.ComparePair{{Left: l, Right: r}})
+			call, err := ctx.Tasks.CompareEqualAsync(question, []taskmgr.ComparePair{{Left: l, Right: r}})
 			if err != nil {
 				claim.Abandon()
 				return sqltypes.Value{}, err
 			}
 			ctx.Stats.Comparisons++
+			ctx.noteProgress()
+			ds, err := call.WaitCtx(ctx.context())
+			if err != nil {
+				if call.Abort() {
+					// Withdrawn before it reached the platform: nothing
+					// was committed, so nothing is charged.
+					ctx.Stats.Comparisons--
+				}
+				claim.Abandon()
+				return sqltypes.Value{}, err
+			}
 			d := ds[0]
 			if d.Total == 0 {
 				claim.Abandon()
@@ -263,31 +326,52 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 	drainFrom := func(k int) {
 		// An error abandons the remaining calls' results, but their groups
 		// are already live: wait them out so they don't keep occupying the
-		// scheduler's window after this query unwinds.
+		// scheduler's window after this query unwinds. A cancelled query
+		// must not block on crowd waits: queued submissions are withdrawn
+		// (and their charge refunded — they never reached the platform)
+		// and posted groups left for the next driver to settle.
 		for _, c := range dispatched[k:] {
+			if ctx.Canceled() != nil {
+				if c.call.Abort() {
+					ctx.Stats.Comparisons -= len(c.batch)
+				}
+				continue
+			}
 			c.call.Wait() //nolint:errcheck // draining after a prior error
 		}
 	}
+	// Pairs charged at claim time but never submitted (cancellation or a
+	// dispatch error before their batch went out) are refunded on every
+	// early return: only work that reached the scheduler is committed.
+	undispatched := len(todo)
+	ctx.noteProgress()
 	for _, q := range qOrder {
 		// Each question's batch is split into up to one window of groups;
 		// the scheduler queues whatever exceeds the global in-flight cap.
 		for _, batch := range chunkSlice(byQ[q], asyncWindow(ctx)) {
+			if err := ctx.Canceled(); err != nil {
+				ctx.Stats.Comparisons -= undispatched
+				drainFrom(0)
+				return err
+			}
 			pairs := make([]taskmgr.ComparePair, len(batch))
 			for i, p := range batch {
 				pairs[i] = taskmgr.ComparePair{Left: p.l, Right: p.r}
 			}
 			call, err := ctx.Tasks.CompareEqualAsync(q, pairs)
 			if err != nil {
+				ctx.Stats.Comparisons -= undispatched
 				drainFrom(0)
 				return err
 			}
+			undispatched -= len(batch)
 			dispatched = append(dispatched, eqCall{question: q, batch: batch, call: call})
 		}
 	}
 	for k, c := range dispatched {
-		ds, err := c.call.Wait()
+		ds, err := c.call.WaitCtx(ctx.context())
 		if err != nil {
-			drainFrom(k + 1)
+			drainFrom(k)
 			return err
 		}
 		for i, d := range ds {
@@ -307,11 +391,15 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 	// every own claim resolved: two sessions following each other's pairs
 	// before fulfilling their own would deadlock.
 	for _, cl := range followers {
-		if _, ok := cl.Wait(); ok {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
+		if _, ok := cl.WaitCtx(ctx.context()); ok {
 			ctx.Stats.SharedFlights++
 		}
-		// ok=false: the leader abandoned (error or no quorum); the pair
-		// resolves — or stays unknown — at eval time.
+		// ok=false: the leader abandoned (error or no quorum) or this
+		// query was cancelled; the pair resolves — or stays unknown — at
+		// eval time.
 	}
 	return nil
 }
@@ -432,9 +520,17 @@ func (s *crowdSorter) sort(idx []int) error {
 		}
 		drainFrom := func(k int) {
 			for _, sc := range round[k:] {
-				if sc.call != nil {
-					sc.call.Wait() //nolint:errcheck // draining after a prior error
+				if sc.call == nil {
+					continue
 				}
+				if s.ctx.Canceled() != nil {
+					if sc.call.Abort() {
+						// Withdrawn before reaching the platform: refund.
+						s.ctx.Stats.Comparisons -= len(sc.pairs)
+					}
+					continue
+				}
+				sc.call.Wait() //nolint:errcheck // draining after a prior error
 			}
 		}
 		// roundSeen dedups label pairs across sibling segments: with
@@ -445,14 +541,25 @@ func (s *crowdSorter) sort(idx []int) error {
 			if len(seg) <= 1 {
 				continue
 			}
+			// Cancellation stops the sort before another group is posted:
+			// claims this round already took are released so follower
+			// sessions never hang on a cancelled leader.
+			if err := s.ctx.Canceled(); err != nil {
+				drainFrom(0)
+				releaseRound()
+				return err
+			}
 			pivot := seg[len(seg)/2]
 			pairs, segLeaders, segFollowers := s.pivotPairs(seg, pivot, roundSeen)
 			leaderClaims = append(leaderClaims, segLeaders...)
 			followers = append(followers, segFollowers...)
 			sc := segCall{seg: seg, pivot: pivot, pairs: pairs}
 			if len(sc.pairs) > 0 {
+				s.ctx.noteProgress()
 				call, err := s.ctx.Tasks.CompareOrderAsync(s.question, sc.pairs)
 				if err != nil {
+					// This segment's pairs never went out: refund them.
+					s.ctx.Stats.Comparisons -= len(sc.pairs)
 					drainFrom(0)
 					releaseRound()
 					return err
@@ -467,9 +574,9 @@ func (s *crowdSorter) sort(idx []int) error {
 			if sc.call == nil {
 				continue
 			}
-			ds, err := sc.call.Wait()
+			ds, err := sc.call.WaitCtx(s.ctx.context())
 			if err != nil {
-				drainFrom(k + 1)
+				drainFrom(k)
 				releaseRound()
 				return err
 			}
@@ -485,7 +592,10 @@ func (s *crowdSorter) sort(idx []int) error {
 		// all own groups are memoized avoids deadlocking with a session
 		// symmetric to this one.
 		for _, cl := range followers {
-			if _, ok := cl.Wait(); ok {
+			if err := s.ctx.Canceled(); err != nil {
+				return err
+			}
+			if _, ok := cl.WaitCtx(s.ctx.context()); ok {
 				s.ctx.Stats.SharedFlights++
 			}
 			// ok=false: the leader abandoned; prefers falls back to the
@@ -754,32 +864,49 @@ func probeCNullsOnce(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.Row
 		return nil
 	}
 	ctx.Stats.ProbeRequests += len(reqs)
+	ctx.noteProgress()
 
 	// Pipelined dispatch: post every chunk, then collect in order.
 	type probeChunk struct {
 		lo   int // offset of the chunk's first request in reqs
+		n    int
 		call *taskmgr.ProbeCall
 	}
 	var chunks []probeChunk
 	drainFrom := func(k int) {
 		for _, c := range chunks[k:] {
+			if ctx.Canceled() != nil {
+				if c.call.Abort() {
+					// Withdrawn before reaching the platform: refund.
+					ctx.Stats.ProbeRequests -= c.n
+				}
+				continue
+			}
 			c.call.Wait() //nolint:errcheck // draining after a prior error
 		}
 	}
+	undispatched := len(reqs)
 	lo := 0
 	for _, chunk := range chunkSlice(reqs, asyncWindow(ctx)) {
-		call, err := ctx.Tasks.ProbeValuesAsync(t.Name, chunk)
-		if err != nil {
+		if err := ctx.Canceled(); err != nil {
+			ctx.Stats.ProbeRequests -= undispatched
 			drainFrom(0)
 			return err
 		}
-		chunks = append(chunks, probeChunk{lo: lo, call: call})
+		call, err := ctx.Tasks.ProbeValuesAsync(t.Name, chunk)
+		if err != nil {
+			ctx.Stats.ProbeRequests -= undispatched
+			drainFrom(0)
+			return err
+		}
+		undispatched -= len(chunk)
+		chunks = append(chunks, probeChunk{lo: lo, n: len(chunk), call: call})
 		lo += len(chunk)
 	}
 	for k, c := range chunks {
-		results, err := c.call.Wait()
+		results, err := c.call.WaitCtx(ctx.context())
 		if err != nil {
-			drainFrom(k + 1)
+			drainFrom(k)
 			return err
 		}
 		for ri, res := range results {
@@ -842,9 +969,23 @@ func solicitTuples(ctx *Ctx, node *plan.Scan, existing []Row) ([]Row, error) {
 		prefill[col] = v
 	}
 	ctx.Stats.NewTupleRequests += want
-	candidates, err := ctx.Tasks.NewTuples(t.Name, prefill, want)
+	ctx.noteProgress()
+	call, err := ctx.Tasks.NewTuplesBatchAsync(t.Name, []taskmgr.TupleRequest{{Prefill: prefill, Want: want}})
 	if err != nil {
+		ctx.Stats.NewTupleRequests -= want
 		return nil, err
+	}
+	batches, err := call.WaitCtx(ctx.context())
+	if err != nil {
+		if call.Abort() {
+			// Withdrawn before reaching the platform: refund.
+			ctx.Stats.NewTupleRequests -= want
+		}
+		return nil, err
+	}
+	var candidates []map[string]string
+	if len(batches) > 0 {
+		candidates = batches[0]
 	}
 	accepted, err := insertCandidates(ctx, t, candidates)
 	if err == nil && len(node.ProbeKeys) > 0 {
@@ -1028,25 +1169,52 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 			// MaxInFlight groups and post them all before collecting, so the
 			// next batch's HITs are already live while the previous batch's
 			// candidates are being inserted.
-			var calls []*taskmgr.TupleCall
+			type tupleChunk struct {
+				want int // summed Want of the chunk's requests
+				call *taskmgr.TupleCall
+			}
+			wantOf := func(rs []taskmgr.TupleRequest) int {
+				n := 0
+				for _, r := range rs {
+					n += r.Want
+				}
+				return n
+			}
+			var calls []tupleChunk
 			drainFrom := func(k int) {
 				for _, c := range calls[k:] {
-					c.Wait() //nolint:errcheck // draining after a prior error
+					if ctx.Canceled() != nil {
+						if c.call.Abort() {
+							// Withdrawn before reaching the platform: refund.
+							ctx.Stats.NewTupleRequests -= c.want
+						}
+						continue
+					}
+					c.call.Wait() //nolint:errcheck // draining after a prior error
 				}
 			}
+			undispatched := wantOf(reqs)
+			ctx.noteProgress()
 			for _, chunk := range chunkSlice(reqs, asyncWindow(ctx)) {
-				call, err := ctx.Tasks.NewTuplesBatchAsync(t.Name, chunk)
-				if err != nil {
+				if err := ctx.Canceled(); err != nil {
+					ctx.Stats.NewTupleRequests -= undispatched
 					drainFrom(0)
 					return err
 				}
-				calls = append(calls, call)
+				call, err := ctx.Tasks.NewTuplesBatchAsync(t.Name, chunk)
+				if err != nil {
+					ctx.Stats.NewTupleRequests -= undispatched
+					drainFrom(0)
+					return err
+				}
+				undispatched -= wantOf(chunk)
+				calls = append(calls, tupleChunk{want: wantOf(chunk), call: call})
 			}
 			totalAccepted := int64(0)
-			for k, call := range calls {
-				batches, err := call.Wait()
+			for k, c := range calls {
+				batches, err := c.call.WaitCtx(ctx.context())
 				if err != nil {
-					drainFrom(k + 1)
+					drainFrom(k)
 					return err
 				}
 				for _, cands := range batches {

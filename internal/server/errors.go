@@ -27,6 +27,19 @@ const (
 	// CodeInternal: execution failed after admission (storage, platform,
 	// or engine errors).
 	CodeInternal Code = "internal"
+	// CodeUnknownJob: the request named a job id that does not exist (or
+	// was evicted by the finished-job retention cap).
+	CodeUnknownJob Code = "unknown_job"
+	// CodeCancelled: the job was cancelled by a client DELETE before it
+	// completed.
+	CodeCancelled Code = "cancelled"
+	// CodeSessionClosed: the job's session was closed while the query was
+	// in flight; the job fails with this code (its crowd work already
+	// paid for settles, nothing new is posted).
+	CodeSessionClosed Code = "session_closed"
+	// CodeUnsupportedVersion: the wire client requested a protocol
+	// version this server does not speak.
+	CodeUnsupportedVersion Code = "unsupported_version"
 )
 
 // Error is a coded query-service error.
@@ -42,12 +55,16 @@ func (e *Error) HTTPStatus() int {
 	switch e.Code {
 	case CodeParse, CodeUnknownSession:
 		return http.StatusBadRequest
+	case CodeUnknownJob:
+		return http.StatusNotFound
 	case CodeBudgetExhausted:
 		return http.StatusTooManyRequests
 	case CodeBusy, CodeShuttingDown:
 		return http.StatusServiceUnavailable
 	case CodeTooManySessions:
 		return http.StatusTooManyRequests
+	case CodeCancelled, CodeSessionClosed:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}

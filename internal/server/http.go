@@ -2,18 +2,36 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
-	"crowddb/internal/core"
 	"crowddb/internal/exec"
 )
 
 // HTTP/JSON API.
 //
-//	POST /query            {"sql": "...", "session": "s000001"?, }
+// v1 — the asynchronous jobs surface (docs/openapi.yaml is generated
+// from this contract):
+//
+//	POST   /v1/queries          {"sql": "...", "session": "s000001"?}
+//	                            -> 202 job resource (id, state, ...)
+//	GET    /v1/queries          -> retained job resources, newest first
+//	GET    /v1/queries/{id}     -> job resource (poll)
+//	GET    /v1/queries/{id}/rows[?from=N]
+//	                            -> partial-result stream: NDJSON rows
+//	                               (one JSON array per line, then a
+//	                               {"state": ...} trailer), or SSE with
+//	                               Accept: text/event-stream
+//	DELETE /v1/queries/{id}     -> request cancellation (idempotent)
+//
+// Legacy — kept byte-compatible, now thin shims over jobs (see the
+// README deprecation policy):
+//
+//	POST /query            {"sql": "...", "session": "s000001"?}
 //	POST /session          {"budget": 25}?          -> session info
-//	DELETE /session/{id}                            -> close session
+//	GET/DELETE /session/{id}                        -> info / close
 //	GET  /stats                                     -> StatsReport
 //	GET  /healthz                                   -> liveness (503 when draining)
 //
@@ -57,12 +75,139 @@ type errorResponse struct {
 // HTTPHandler returns the service's HTTP API.
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/queries", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/queries", s.handleJobList)
+	mux.HandleFunc("GET /v1/queries/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/queries/{id}/rows", s.handleJobRows)
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleJobCancel)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/session/", s.handleSessionID)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleJobSubmit creates a query job: POST /v1/queries.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, errf(CodeParse, "bad request body: %v", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, errf(CodeParse, "empty sql"))
+		return
+	}
+	job, serr := s.StartJob(req.Session, req.SQL)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+// handleJobList reports every retained job: GET /v1/queries.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+// handleJobGet polls one job: GET /v1/queries/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, serr := s.Job(r.PathValue("id"))
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobCancel requests cancellation: DELETE /v1/queries/{id}. The
+// response is the job's current snapshot — poll for the terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, serr := s.CancelJob(r.PathValue("id"))
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobRows streams a job's result rows: GET /v1/queries/{id}/rows.
+// Rows stream as they are produced; the connection stays open until the
+// job reaches a terminal state (or the client goes away). With
+// Accept: text/event-stream the response is SSE ("row" events followed
+// by one "end" event); otherwise NDJSON — one JSON array per row, then a
+// {"state": ..., "error": ...} trailer object.
+func (s *Server) handleJobRows(w http.ResponseWriter, r *http.Request) {
+	job, serr := s.Job(r.PathValue("id"))
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	from := 0
+	if f := r.URL.Query().Get("from"); f != "" {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			writeError(w, errf(CodeParse, "bad from offset %q", f))
+			return
+		}
+		from = n
+	}
+	flusher, _ := w.(http.Flusher)
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	enc := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return []byte("null")
+		}
+		return b
+	}
+	next := from
+	for {
+		batch, state, notify := job.rowsFrom(next)
+		for _, row := range batch {
+			if sse {
+				fmt.Fprintf(w, "event: row\ndata: %s\n\n", enc(row))
+			} else {
+				w.Write(enc(row))     //nolint:errcheck // client gone surfaces on flush
+				w.Write([]byte("\n")) //nolint:errcheck
+			}
+			next++
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if state.Terminal() {
+			trailer := map[string]any{"state": state}
+			if err := job.Err(); err != nil {
+				trailer["error"] = err
+			}
+			if sse {
+				fmt.Fprintf(w, "event: end\ndata: %s\n\n", enc(trailer))
+			} else {
+				w.Write(enc(trailer)) //nolint:errcheck
+				w.Write([]byte("\n")) //nolint:errcheck
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -77,6 +222,9 @@ func writeError(w http.ResponseWriter, err *Error) {
 	writeJSON(w, err.HTTPStatus(), errorResponse{Error: err})
 }
 
+// handleQuery is the legacy synchronous endpoint, kept byte-compatible
+// as a thin shim over jobs: it submits a job, waits for the terminal
+// state, and renders the final statement's result in the v0 shape.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -92,38 +240,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(CodeParse, "empty sql"))
 		return
 	}
-	res, qerr := s.Query(req.Session, req.SQL)
-	if qerr != nil {
-		writeError(w, qerr)
+	job, serr := s.StartJob(req.Session, req.SQL)
+	if serr != nil {
+		writeError(w, serr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resultJSON(res, req.Session))
+	state, err := job.waitTerminal(r.Context())
+	if err != nil {
+		return // client gone; the job keeps running (v0 parity)
+	}
+	if state != JobDone {
+		writeError(w, job.terminalError())
+		return
+	}
+	writeJSON(w, http.StatusOK, legacyResponse(job, req.Session))
 }
 
-func resultJSON(res *core.Result, session string) queryResponse {
+// legacyResponse renders a finished job's last statement in the v0
+// POST /query shape — byte-compatible with the pre-jobs server.
+func legacyResponse(job *Job, session string) queryResponse {
+	cols, rows, affected, planText, warnings, st, predicted, actual := job.lastResult()
 	out := queryResponse{
 		Session:  session,
-		Columns:  res.Columns,
-		Affected: res.Affected,
-		Plan:     res.Plan,
-		Warnings: res.Warnings,
-		Stats:    res.Stats,
+		Columns:  cols,
+		Affected: affected,
+		Plan:     planText,
+		Warnings: warnings,
+		Stats:    st,
 	}
-	if !res.Predicted.IsUnbounded() {
-		out.PredictedCents = res.Predicted.Cents
-		out.PredictedSeconds = res.Predicted.Seconds
+	if !predicted.IsUnbounded() {
+		out.PredictedCents = predicted.Cents
+		out.PredictedSeconds = predicted.Seconds
 	}
-	out.ActualCents = res.ActualCents
-	for _, row := range res.Rows {
-		cells := make([]*string, len(row))
-		for i, v := range row {
-			if v.IsUnknown() {
-				continue // JSON null
-			}
-			rendered := v.String()
-			cells[i] = &rendered
-		}
-		out.Rows = append(out.Rows, cells)
+	out.ActualCents = actual
+	if len(rows) > 0 {
+		out.Rows = rows
 	}
 	return out
 }

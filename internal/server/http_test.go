@@ -159,7 +159,7 @@ func TestWireProtocol(t *testing.T) {
 	r := bufio.NewReader(conn)
 
 	greeting, err := r.ReadString('\n')
-	if err != nil || !strings.HasPrefix(greeting, "# crowddb wire/1 session=") {
+	if err != nil || !strings.HasPrefix(greeting, "# crowddb wire/2 session=") {
 		t.Fatalf("greeting = %q, %v", greeting, err)
 	}
 

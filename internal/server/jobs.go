@@ -1,0 +1,507 @@
+package server
+
+// The query-job subsystem: the v1 API's resource model. A job is one
+// submitted CrowdSQL script moving through the lifecycle
+//
+//	queued -> running -> done | failed | cancelled
+//
+// Rows stream out of the engine's RowSink seam into the job's buffer as
+// operators produce them, so clients can consume partial results while
+// the crowd is still working; cancellation propagates through the
+// statement context into the crowd operators (no new HIT groups are
+// posted, queued submissions are withdrawn, paid work settles against
+// the session budget). Both legacy surfaces — POST /query and the TCP
+// wire protocol — execute as thin shims over jobs.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"crowddb/internal/core"
+	"crowddb/internal/exec"
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// The job lifecycle: queued (admission pending), running, and the three
+// terminal states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one asynchronous query execution. All exported access goes
+// through methods; the zero value is not usable (Server.StartJob builds
+// them).
+type Job struct {
+	id        string
+	sql       string
+	sess      *Session
+	sessionID string // "" = anonymous one-shot session
+	price     func(exec.Stats) float64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every visible change
+	state  JobState
+	err    *Error
+	// cancelCode/cancelMsg record why cancellation was requested, so the
+	// runner can distinguish a client DELETE (-> cancelled) from a closed
+	// session (-> failed with session_closed).
+	cancelCode Code
+	cancelMsg  string
+
+	// Result accumulation. rows holds every streamed row (rendered once,
+	// shared by the SSE/NDJSON streamers and the legacy shims);
+	// lastStmtStart marks where the most recent statement's result set
+	// begins (the legacy shims return only the last statement's rows).
+	columns       []string
+	rows          [][]*string
+	lastStmtStart int
+	lastColumns   []string
+	lastStats     exec.Stats
+	lastPredicted plan.Cost
+	lastActual    float64
+	affected      int
+	plan          string
+	warnings      []string
+
+	stmtsDone     int
+	settledStats  exec.Stats
+	settledCents  float64
+	progressStats exec.Stats // live snapshot of the running statement
+}
+
+// JobInfo is a job's reportable state (the v1 job resource).
+type JobInfo struct {
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	Session string   `json:"session,omitempty"`
+	// Columns names the (latest) result set's columns once known.
+	Columns []string `json:"columns,omitempty"`
+	// RowsEmitted counts rows streamed so far across the whole script.
+	RowsEmitted int      `json:"rows_emitted"`
+	Affected    int      `json:"affected,omitempty"`
+	Plan        string   `json:"plan,omitempty"`
+	Warnings    []string `json:"warnings,omitempty"`
+	// StatementsDone counts completed statements of the script.
+	StatementsDone int `json:"statements_done"`
+	// Stats aggregates crowd activity over completed statements plus the
+	// running statement's latest progress snapshot.
+	Stats exec.Stats `json:"stats"`
+	// PredictedCents/PredictedSeconds carry the cost model's forecast for
+	// the last compiled statement; SpentCents is the crowd spend committed
+	// so far (settled statements + the running statement's progress).
+	PredictedCents   float64 `json:"predicted_cents,omitempty"`
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	SpentCents       float64 `json:"spent_cents"`
+	ActualCents      float64 `json:"actual_cents,omitempty"`
+	Error            *Error  `json:"error,omitempty"`
+}
+
+// newJobID formats the n-th job's identifier.
+func newJobID(n int64) string { return fmt.Sprintf("j%06d", n) }
+
+// broadcastLocked wakes every waiter; callers hold j.mu.
+func (j *Job) broadcastLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// ID returns the job identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Info snapshots the job resource.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:             j.id,
+		State:          j.state,
+		Session:        j.sessionID,
+		Columns:        j.columns,
+		RowsEmitted:    len(j.rows),
+		Affected:       j.affected,
+		Plan:           j.plan,
+		Warnings:       j.warnings,
+		StatementsDone: j.stmtsDone,
+		Stats:          j.settledStats.Add(j.progressStats),
+		SpentCents:     j.settledCents + j.price(j.progressStats),
+		Error:          j.err,
+	}
+	if !j.lastPredicted.IsUnbounded() {
+		info.PredictedCents = j.lastPredicted.Cents
+		info.PredictedSeconds = j.lastPredicted.Seconds
+	}
+	if j.state == JobDone {
+		info.ActualCents = j.lastActual
+	}
+	return info
+}
+
+// pushRow is the engine sink: it renders and buffers one streamed row.
+func (j *Job) pushRow(row exec.Row) error {
+	cells := make([]*string, len(row))
+	for i, v := range row {
+		if v.IsUnknown() {
+			continue // JSON null / wire \N
+		}
+		rendered := v.String()
+		cells[i] = &rendered
+	}
+	j.mu.Lock()
+	j.rows = append(j.rows, cells)
+	j.broadcastLocked()
+	j.mu.Unlock()
+	return nil
+}
+
+// startResultSet begins a SELECT's result set (engine OnSchema hook).
+func (j *Job) startResultSet(cols []string) {
+	j.mu.Lock()
+	j.columns = cols
+	j.lastStmtStart = len(j.rows)
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// noteProgress stores the running statement's latest stats snapshot
+// (engine Progress hook; runs on the executing goroutine).
+func (j *Job) noteProgress(st exec.Stats) {
+	j.mu.Lock()
+	j.progressStats = st
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// completeStmt folds one finished statement into the job.
+func (j *Job) completeStmt(res *core.Result, st exec.Stats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stmtsDone++
+	j.settledStats = j.settledStats.Add(st)
+	j.settledCents += res.ActualCents
+	j.progressStats = exec.Stats{}
+	j.lastStats = st
+	j.lastPredicted = res.Predicted
+	j.lastActual = res.ActualCents
+	j.affected = res.Affected
+	j.plan = res.Plan
+	j.warnings = res.Warnings
+	j.lastColumns = res.Columns
+	if res.Columns == nil {
+		// Non-SELECT: the "last result set" is empty from here.
+		j.lastStmtStart = len(j.rows)
+	}
+	j.broadcastLocked()
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, err *Error) {
+	j.cancel() // release the context regardless of how we got here
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.err = err
+	// The running statement's progress is settled (or lost) by now.
+	j.settledStats = j.settledStats.Add(j.progressStats)
+	j.settledCents += j.price(j.progressStats)
+	j.progressStats = exec.Stats{}
+	j.broadcastLocked()
+}
+
+// finishInterrupted resolves a job whose statement context fired: a
+// client cancellation yields the cancelled state, a closed session the
+// coded session_closed failure.
+func (j *Job) finishInterrupted() {
+	j.mu.Lock()
+	code, msg := j.cancelCode, j.cancelMsg
+	j.mu.Unlock()
+	switch code {
+	case CodeSessionClosed:
+		j.finish(JobFailed, errf(CodeSessionClosed, "%s", msg))
+	default:
+		j.finish(JobCancelled, nil)
+	}
+}
+
+// requestCancel asks a non-terminal job to stop. The statement context
+// fires immediately; the runner settles paid work and records the
+// terminal state.
+func (j *Job) requestCancel(code Code, msg string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelCode == "" {
+		j.cancelCode = code
+		j.cancelMsg = msg
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// waitTerminal blocks until the job reaches a terminal state or ctx
+// fires, and returns the final state.
+func (j *Job) waitTerminal(ctx context.Context) (JobState, error) {
+	for {
+		j.mu.Lock()
+		state, notify := j.state, j.notify
+		j.mu.Unlock()
+		if state.Terminal() {
+			return state, nil
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return state, ctx.Err()
+		}
+	}
+}
+
+// rowsFrom snapshots the rows buffered from index n on, plus the state
+// and a channel that signals the next change — the streaming endpoints'
+// poll step.
+func (j *Job) rowsFrom(n int) (batch [][]*string, state JobState, notify <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < len(j.rows) {
+		batch = j.rows[n:len(j.rows):len(j.rows)]
+	}
+	return batch, j.state, j.notify
+}
+
+// lastResult snapshots the fields the legacy shims render: the final
+// statement's columns, rendered rows, and summary numbers.
+func (j *Job) lastResult() (cols []string, rows [][]*string, affected int, planText string,
+	warnings []string, st exec.Stats, predicted plan.Cost, actual float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastColumns, j.rows[j.lastStmtStart:len(j.rows):len(j.rows)], j.affected,
+		j.plan, j.warnings, j.lastStats, j.lastPredicted, j.lastActual
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() *Error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// terminalError maps a non-done terminal state to the coded error the
+// legacy synchronous shims (POST /query, wire statements) return.
+func (j *Job) terminalError() *Error {
+	if err := j.Err(); err != nil {
+		return err
+	}
+	return errf(CodeCancelled, "job %s was cancelled", j.ID())
+}
+
+// ---------------------------------------------------------------------------
+// Server-side job management
+
+// StartJob submits a CrowdSQL script as an asynchronous job on behalf of
+// a session (sessionID empty = anonymous one-shot session). Parse errors
+// are rejected synchronously; everything later — admission, budget,
+// execution — is reported through the job resource.
+func (s *Server) StartJob(sessionID, sql string) (*Job, *Error) {
+	sess, serr := s.resolveSession(sessionID)
+	if serr != nil {
+		s.countRejected(serr)
+		return nil, serr
+	}
+	return s.startJobForSession(sess, sessionID, sql)
+}
+
+// startJobForSession is StartJob for an already-resolved session. The
+// wire shim calls it directly with its connection session.
+func (s *Server) startJobForSession(sess *Session, sessionID, sql string) (*Job, *Error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		s.countError()
+		return nil, errf(CodeParse, "%v", err)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		serr := errf(CodeShuttingDown, "server is shutting down")
+		s.countRejected(serr)
+		return nil, serr
+	}
+	s.jobSeq++
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		id:        newJobID(s.jobSeq),
+		sql:       sql,
+		sess:      sess,
+		sessionID: sessionID,
+		price:     s.eng.PriceStats,
+		ctx:       ctx,
+		cancel:    cancel,
+		notify:    make(chan struct{}),
+		state:     JobQueued,
+	}
+	if s.jobs == nil {
+		s.jobs = make(map[string]*Job)
+	}
+	s.jobs[job.id] = job
+	s.mu.Unlock()
+	sess.addJob(job)
+	go s.runJob(job, stmts)
+	return job, nil
+}
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (*Job, *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, errf(CodeUnknownJob, "unknown job %q", id)
+	}
+	return job, nil
+}
+
+// Jobs snapshots every retained job, newest first.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	infos := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = j.Info()
+	}
+	// Job ids are zero-padded sequentials, so string order is submission
+	// order; report newest first.
+	sort.Slice(infos, func(a, b int) bool { return infos[a].ID > infos[b].ID })
+	return infos
+}
+
+// CancelJob requests cancellation of a job and returns its (possibly
+// not yet terminal) resource snapshot. Cancelling a finished job is a
+// no-op, not an error — DELETE is idempotent.
+func (s *Server) CancelJob(id string) (*Job, *Error) {
+	job, serr := s.Job(id)
+	if serr != nil {
+		return nil, serr
+	}
+	job.requestCancel(CodeCancelled, "cancelled by client")
+	return job, nil
+}
+
+// runJob executes a job's statements under the server's admission
+// control, settling the session budget per statement — including for
+// work a cancelled statement already paid for.
+func (s *Server) runJob(job *Job, stmts []parser.Statement) {
+	if aerr := s.admit(job.ctx); aerr != nil {
+		s.countRejected(aerr)
+		if job.ctx.Err() != nil {
+			job.finishInterrupted()
+		} else {
+			job.finish(JobFailed, aerr)
+		}
+		s.retireJob(job)
+		return
+	}
+	defer s.release()
+	job.mu.Lock()
+	if !job.state.Terminal() {
+		job.state = JobRunning
+		job.broadcastLocked()
+	}
+	job.mu.Unlock()
+
+	for _, stmt := range stmts {
+		if job.ctx.Err() != nil {
+			job.finishInterrupted()
+			s.retireJob(job)
+			return
+		}
+		reserved, berr := job.sess.reserveBudget()
+		if berr != nil {
+			s.countError()
+			job.finish(JobFailed, berr)
+			s.retireJob(job)
+			return
+		}
+		var stmtStats exec.Stats
+		opts := core.DefaultExecOpts()
+		if reserved > 0 {
+			opts.CompareBudget = reserved
+		}
+		opts.Sink = job.pushRow
+		opts.OnSchema = job.startResultSet
+		opts.OnStats = func(st exec.Stats) { stmtStats = st }
+		opts.Progress = job.noteProgress
+		res, err := s.eng.ExecStmtCtx(job.ctx, stmt, opts)
+		// Settle precisely: the stats observer reports crowd work already
+		// paid even when the statement failed or was cancelled, so the
+		// session budget refunds exactly the unused reservation.
+		job.sess.settle(stmtStats, reserved)
+		if err != nil {
+			// The stats observer's final numbers supersede the last
+			// mid-statement progress snapshot before the job settles.
+			job.noteProgress(stmtStats)
+			if job.ctx.Err() != nil {
+				job.finishInterrupted()
+			} else {
+				s.countError()
+				job.finish(JobFailed, errf(CodeInternal, "%v", err))
+			}
+			s.retireJob(job)
+			return
+		}
+		job.completeStmt(res, stmtStats)
+	}
+	s.mu.Lock()
+	s.stats.Queries++
+	s.mu.Unlock()
+	job.finish(JobDone, nil)
+	s.retireJob(job)
+}
+
+// retireJob moves a terminal job out of its session's active set and
+// enforces the finished-job retention cap.
+func (s *Server) retireJob(job *Job) {
+	job.sess.removeJob(job.id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, job.id)
+	maxJobs := s.cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 256
+	}
+	for len(s.finished) > maxJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crowddb/internal/workload"
+)
+
+// waitState polls a job to a terminal state with a test deadline.
+func waitState(t *testing.T, job *Job) JobState {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	state, err := job.waitTerminal(ctx)
+	if err != nil {
+		t.Fatalf("job %s stuck in %s: %v", job.ID(), state, err)
+	}
+	return state
+}
+
+// TestJobLifecycle walks the happy path: queued/running -> done, rows
+// streamed, stats and spend reported on the resource.
+func TestJobLifecycle(t *testing.T) {
+	eng := pairEngine(t, 51, 4)
+	srv := New(eng, Config{})
+	sess, serr := srv.CreateSession(-1)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+
+	job, serr := srv.StartJob(sess.ID(), "SELECT id FROM Pair WHERE a ~= b")
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if st := waitState(t, job); st != JobDone {
+		t.Fatalf("state = %s, err = %v", st, job.Err())
+	}
+	info := job.Info()
+	if info.RowsEmitted != 4 || len(info.Columns) != 1 || info.Columns[0] != "id" {
+		t.Errorf("job info = %+v", info)
+	}
+	if info.Stats.Comparisons != 4 || info.SpentCents <= 0 || info.ActualCents != info.SpentCents {
+		t.Errorf("spend accounting: %+v", info)
+	}
+	if info.StatementsDone != 1 || info.Error != nil {
+		t.Errorf("job info = %+v", info)
+	}
+
+	// The finished resource stays pollable.
+	again, serr := srv.Job(job.ID())
+	if serr != nil || again.State() != JobDone {
+		t.Fatalf("retained job: %v %v", again, serr)
+	}
+
+	// Parse errors are rejected synchronously, never becoming jobs.
+	if _, serr := srv.StartJob(sess.ID(), "SELEC nope"); serr == nil || serr.Code != CodeParse {
+		t.Fatalf("parse: got %v, want %s", serr, CodeParse)
+	}
+}
+
+// TestJobRowsStreamNDJSON exercises GET /v1/queries/{id}/rows end to
+// end: rows arrive as JSON arrays, the stream ends with a state trailer.
+func TestJobRowsStreamNDJSON(t *testing.T) {
+	eng := pairEngine(t, 53, 3)
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/queries", map[string]string{"sql": "SELECT id FROM Pair WHERE a ~= b"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/queries: %d %s", resp.StatusCode, body)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.State.Terminal() {
+		t.Fatalf("submit response: %+v", info)
+	}
+
+	rowsResp, err := http.Get(ts.URL + "/v1/queries/" + info.ID + "/rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rowsResp.Body.Close()
+	if ct := rowsResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(rowsResp.Body)
+	var rows [][]*string
+	var trailer struct {
+		State JobState `json:"state"`
+		Error *Error   `json:"error"`
+	}
+	sawTrailer := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '[' {
+			var row []*string
+			if err := json.Unmarshal(line, &row); err != nil {
+				t.Fatalf("row line %q: %v", line, err)
+			}
+			rows = append(rows, row)
+			continue
+		}
+		if err := json.Unmarshal(line, &trailer); err != nil {
+			t.Fatalf("trailer %q: %v", line, err)
+		}
+		sawTrailer = true
+	}
+	if !sawTrailer || trailer.State != JobDone || trailer.Error != nil {
+		t.Fatalf("trailer = %+v (saw %v)", trailer, sawTrailer)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("streamed %d rows, want 3", len(rows))
+	}
+}
+
+// TestJobRowsStreamSSE checks the SSE framing of the same stream.
+func TestJobRowsStreamSSE(t *testing.T) {
+	eng := pairEngine(t, 59, 2)
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	_, body := postJSON(t, ts.URL+"/v1/queries", map[string]string{"sql": "SELECT id FROM Pair"})
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/queries/"+info.ID+"/rows", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck // test buffer
+	out := buf.String()
+	if strings.Count(out, "event: row") != 2 || !strings.Contains(out, "event: end") {
+		t.Fatalf("SSE stream:\n%s", out)
+	}
+	if !strings.Contains(out, `"state":"done"`) {
+		t.Fatalf("SSE end event missing state:\n%s", out)
+	}
+}
+
+// pairStrings returns the pairEngine's i-th (here: only) comparison
+// pair, so tests can pose as a foreign session's in-flight leader.
+func pairStrings(t *testing.T, seed int64, n int) (l, r string) {
+	t.Helper()
+	cs := workload.NewCompanies(n, seed)
+	c := cs.List[0]
+	return c.Canonical, c.Variants[len(c.Variants)-1]
+}
+
+// TestCancelUnblocksCrowdWait: DELETE on a job parked behind a foreign
+// in-flight comparison must move it to cancelled promptly and leave the
+// singleflight table claim-free (only the foreign leader remains until
+// it abandons).
+func TestCancelUnblocksCrowdWait(t *testing.T) {
+	eng := pairEngine(t, 61, 1)
+	srv := New(eng, Config{})
+	sess, serr := srv.CreateSession(-1)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	l, r := pairStrings(t, 61, 1)
+	leader := eng.Cache().ClaimEqual("", l, r)
+	if !leader.Leader {
+		t.Fatal("test setup: expected to lead the claim")
+	}
+
+	job, jerr := srv.StartJob(sess.ID(), "SELECT id FROM Pair WHERE a ~= b")
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if st := job.State(); st.Terminal() {
+		t.Fatalf("job finished (%s) while its comparison was foreign-owned", st)
+	}
+
+	if _, cerr := srv.CancelJob(job.ID()); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if st := waitState(t, job); st != JobCancelled {
+		t.Fatalf("state = %s, err = %v", st, job.Err())
+	}
+	// Only the foreign leader's flight remains; abandoning it leaves the
+	// table claim-free.
+	if n := eng.Cache().InFlight(); n != 1 {
+		t.Errorf("in-flight claims after cancel = %d, want 1 (the foreign leader)", n)
+	}
+	leader.Abandon()
+	if n := eng.Cache().InFlight(); n != 0 {
+		t.Errorf("in-flight claims after abandon = %d, want 0", n)
+	}
+	// No crowd work was posted by the cancelled follower.
+	if st := eng.Tasks().Stats(); st.GroupsPosted != 0 {
+		t.Errorf("cancelled job posted %d groups", st.GroupsPosted)
+	}
+}
+
+// TestCloseSessionFailsJobsSessionClosed: DELETE /session with a query
+// in flight cancels its job with the coded session_closed failure.
+func TestCloseSessionFailsJobsSessionClosed(t *testing.T) {
+	eng := pairEngine(t, 67, 1)
+	srv := New(eng, Config{})
+	sess, serr := srv.CreateSession(-1)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	l, r := pairStrings(t, 67, 1)
+	leader := eng.Cache().ClaimEqual("", l, r)
+	if !leader.Leader {
+		t.Fatal("test setup: expected to lead the claim")
+	}
+	defer leader.Abandon()
+
+	job, jerr := srv.StartJob(sess.ID(), "SELECT id FROM Pair WHERE a ~= b")
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if cerr := srv.CloseSession(sess.ID()); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if st := waitState(t, job); st != JobFailed {
+		t.Fatalf("state = %s", st)
+	}
+	if err := job.Err(); err == nil || err.Code != CodeSessionClosed {
+		t.Fatalf("error = %v, want %s", err, CodeSessionClosed)
+	}
+}
+
+// TestLegacyQueryShimMatchesDirect: the POST /query shim must return the
+// same JSON a direct engine render would — same rows, nulls, stats.
+func TestLegacyQueryShimMatchesDirect(t *testing.T) {
+	eng := pairEngine(t, 71, 3)
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.HTTPHandler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query", map[string]string{"sql": "SELECT id, a FROM Pair WHERE a ~= b"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	// Row content is crowd-answered (seed-dependent); the shape and the
+	// paid-comparison accounting are the contract.
+	if len(qr.Rows) == 0 || len(qr.Columns) != 2 || qr.Stats.Comparisons != 3 {
+		t.Fatalf("shim response: %s", body)
+	}
+	// Multi-statement script: only the last statement's result renders.
+	resp, body = postJSON(t, ts.URL+"/query",
+		map[string]string{"sql": "SELECT id FROM Pair; SELECT a FROM Pair WHERE id = 0;"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("script: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Columns) != 1 || qr.Columns[0] != "a" || len(qr.Rows) != 1 {
+		t.Fatalf("script shim must render the last statement only: %s", body)
+	}
+}
+
+// TestWireProtocolV2Jobs covers the version handshake and the jobs shim
+// commands over TCP.
+func TestWireProtocolV2Jobs(t *testing.T) {
+	eng := pairEngine(t, 73, 2)
+	srv := New(eng, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeWire(ln) //nolint:errcheck // closed by test end
+	defer ln.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	greeting, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(greeting, "# crowddb wire/2 session=") {
+		t.Fatalf("greeting = %q, %v", greeting, err)
+	}
+	send := func(line string) {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readBlock := func() []string {
+		var lines []string
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read: %v (so far %v)", err, lines)
+			}
+			line = strings.TrimRight(line, "\n")
+			if line == "." {
+				return lines
+			}
+			lines = append(lines, line)
+			if strings.HasPrefix(line, "ERR ") {
+				return lines
+			}
+		}
+	}
+
+	// Unknown protocol version -> coded refusal.
+	send("\\proto 99")
+	if block := readBlock(); !strings.HasPrefix(block[0], "ERR unsupported_version ") {
+		t.Fatalf("proto 99: %v", block)
+	}
+	// Downgrade to wire/1: job commands are refused.
+	send("\\proto 1")
+	if block := readBlock(); block[0] != "OK 0" {
+		t.Fatalf("proto 1: %v", block)
+	}
+	send("\\job SELECT id FROM Pair;")
+	if block := readBlock(); !strings.HasPrefix(block[0], "ERR unsupported_version ") {
+		t.Fatalf("job on wire/1: %v", block)
+	}
+	// Back to wire/2: submit, poll to done, cancel is idempotent.
+	send("\\proto 2")
+	if block := readBlock(); block[0] != "OK 0" {
+		t.Fatalf("proto 2: %v", block)
+	}
+	send("\\job SELECT id FROM Pair WHERE a ~= b;")
+	block := readBlock()
+	if block[0] != "OK 1" || !strings.HasPrefix(block[1], "# job\t") {
+		t.Fatalf("\\job: %v", block)
+	}
+	jobID := strings.SplitN(block[2], "\t", 2)[0]
+	if !strings.HasPrefix(jobID, "j") {
+		t.Fatalf("job id %q", jobID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		send("\\poll " + jobID)
+		block = readBlock()
+		if block[0] != "OK 1" {
+			t.Fatalf("\\poll: %v", block)
+		}
+		state := strings.SplitN(block[2], "\t", 3)[1]
+		if state == "done" {
+			break
+		}
+		if state == "failed" || state == "cancelled" {
+			t.Fatalf("job ended %s: %v", state, block)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %v", block)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	send("\\cancel " + jobID)
+	block = readBlock()
+	if block[0] != "OK 1" || !strings.Contains(block[2], "done") {
+		t.Fatalf("\\cancel after done must be a no-op: %v", block)
+	}
+	// Unknown job id -> coded error.
+	send("\\poll j999999")
+	if block = readBlock(); !strings.HasPrefix(block[0], "ERR unknown_job ") {
+		t.Fatalf("unknown job: %v", block)
+	}
+	// Synchronous statements still work on wire/2 (the jobs shim).
+	send("SELECT id FROM Pair;")
+	if block = readBlock(); block[0] != "OK 2" {
+		t.Fatalf("sync statement: %v", block)
+	}
+}

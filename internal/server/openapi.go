@@ -1,0 +1,378 @@
+package server
+
+// The OpenAPI contract for the HTTP API. The YAML document is assembled
+// here — next to the handlers it describes — so the spec, the routes,
+// and the error codes cannot drift silently: openapi_test.go fails when
+// a mux route, job state, or error code is missing from the document,
+// and cmd/crowdopenapi -check fails CI when the committed
+// docs/openapi.yaml is stale. (The container has no third-party YAML
+// loader; the load check validates structure and coverage instead of a
+// full kin-openapi parse.)
+
+import "fmt"
+
+// openAPIVersion is the spec's document version; bump on breaking
+// contract changes.
+const openAPIVersion = "1.0.0"
+
+// httpRoutes lists every mux pattern HTTPHandler registers, in
+// documentation order. The OpenAPI coverage test walks it.
+func httpRoutes() []string {
+	return []string{
+		"POST /v1/queries",
+		"GET /v1/queries",
+		"GET /v1/queries/{id}",
+		"GET /v1/queries/{id}/rows",
+		"DELETE /v1/queries/{id}",
+		"POST /query",
+		"POST /session",
+		"GET /session/{id}",
+		"DELETE /session/{id}",
+		"GET /stats",
+		"GET /healthz",
+	}
+}
+
+// errorCodes lists every stable coded error the API can return.
+func errorCodes() []Code {
+	return []Code{
+		CodeParse, CodeBudgetExhausted, CodeBusy, CodeShuttingDown,
+		CodeUnknownSession, CodeTooManySessions, CodeInternal,
+		CodeUnknownJob, CodeCancelled, CodeSessionClosed,
+		CodeUnsupportedVersion,
+	}
+}
+
+// jobStates lists the job lifecycle states the spec enumerates.
+func jobStates() []JobState {
+	return []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
+}
+
+// OpenAPISpec renders the OpenAPI 3.0 document for the HTTP API as YAML.
+func OpenAPISpec() []byte {
+	states := ""
+	for _, s := range jobStates() {
+		states += fmt.Sprintf("          - %s\n", s)
+	}
+	codes := ""
+	for _, c := range errorCodes() {
+		codes += fmt.Sprintf("              - %s\n", c)
+	}
+	return []byte(fmt.Sprintf(`openapi: 3.0.3
+info:
+  title: CrowdDB Jobs API
+  description: >-
+    Asynchronous, streaming, cancellable query lifecycle for crowddbd.
+    Queries run as jobs: submit, poll or stream partial rows while the
+    crowd works, cancel, and settle the session budget for work already
+    paid. Legacy endpoints (POST /query, the session resource) are thin
+    shims over jobs and remain byte-compatible; see the README
+    deprecation policy.
+  version: %q
+paths:
+  /v1/queries:
+    post:
+      summary: Submit a CrowdSQL script as an asynchronous query job
+      requestBody:
+        required: true
+        content:
+          application/json:
+            schema:
+              $ref: '#/components/schemas/QueryRequest'
+      responses:
+        '202':
+          description: Job accepted (state queued or running)
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Job'
+        default:
+          $ref: '#/components/responses/Error'
+    get:
+      summary: List retained jobs, newest first
+      responses:
+        '200':
+          description: Retained job resources
+          content:
+            application/json:
+              schema:
+                type: object
+                properties:
+                  jobs:
+                    type: array
+                    items:
+                      $ref: '#/components/schemas/Job'
+  /v1/queries/{id}:
+    parameters:
+      - $ref: '#/components/parameters/JobID'
+    get:
+      summary: Poll one job resource
+      responses:
+        '200':
+          description: Job resource
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Job'
+        default:
+          $ref: '#/components/responses/Error'
+    delete:
+      summary: Request cancellation (idempotent)
+      description: >-
+        The running statement stops posting new HIT groups within one
+        scheduler tick; queued submissions are withdrawn, singleflight
+        claims released, and the session budget settles for work already
+        paid. Poll for the terminal state (cancelled, or failed with
+        session_closed when the session was closed instead).
+      responses:
+        '200':
+          description: Current job snapshot (poll for the terminal state)
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Job'
+        default:
+          $ref: '#/components/responses/Error'
+  /v1/queries/{id}/rows:
+    parameters:
+      - $ref: '#/components/parameters/JobID'
+      - name: from
+        in: query
+        required: false
+        schema:
+          type: integer
+          minimum: 0
+        description: Row index to resume the stream from
+    get:
+      summary: Stream the job's result rows as they are produced
+      description: >-
+        Rows stream while the job runs; the response ends when the job
+        reaches a terminal state. Default framing is NDJSON (one JSON
+        array of nullable strings per row, then one trailer object with
+        the terminal state and error); with "Accept: text/event-stream"
+        the same data arrives as SSE "row" events followed by one "end"
+        event.
+      responses:
+        '200':
+          description: NDJSON or SSE partial-result stream
+          content:
+            application/x-ndjson:
+              schema:
+                type: string
+            text/event-stream:
+              schema:
+                type: string
+        default:
+          $ref: '#/components/responses/Error'
+  /query:
+    post:
+      summary: Legacy synchronous query (shim over jobs)
+      deprecated: true
+      requestBody:
+        required: true
+        content:
+          application/json:
+            schema:
+              $ref: '#/components/schemas/QueryRequest'
+      responses:
+        '200':
+          description: Final result of the script's last statement
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/QueryResult'
+        default:
+          $ref: '#/components/responses/Error'
+  /session:
+    post:
+      summary: Create a session with a crowd-comparison budget
+      requestBody:
+        required: false
+        content:
+          application/json:
+            schema:
+              type: object
+              properties:
+                budget:
+                  type: integer
+                  description: >-
+                    0 = server default, negative = unlimited
+      responses:
+        '200':
+          description: Session resource
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Session'
+        default:
+          $ref: '#/components/responses/Error'
+  /session/{id}:
+    parameters:
+      - name: id
+        in: path
+        required: true
+        schema:
+          type: string
+    get:
+      summary: Fetch a session resource
+      responses:
+        '200':
+          description: Session resource
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Session'
+        default:
+          $ref: '#/components/responses/Error'
+    delete:
+      summary: Close a session, cancelling its in-flight jobs
+      description: >-
+        In-flight jobs of the session fail with the coded session_closed
+        state instead of running orphaned.
+      responses:
+        '200':
+          description: Closed
+        default:
+          $ref: '#/components/responses/Error'
+  /stats:
+    get:
+      summary: Server, session, cache, scheduler, and cost-model counters
+      responses:
+        '200':
+          description: Stats report
+          content:
+            application/json:
+              schema:
+                type: object
+  /healthz:
+    get:
+      summary: Liveness (503 while draining)
+      responses:
+        '200':
+          description: Serving
+        '503':
+          description: Draining
+components:
+  parameters:
+    JobID:
+      name: id
+      in: path
+      required: true
+      schema:
+        type: string
+        pattern: '^j[0-9]{6,}$'
+  responses:
+    Error:
+      description: Coded error
+      content:
+        application/json:
+          schema:
+            type: object
+            properties:
+              error:
+                $ref: '#/components/schemas/Error'
+  schemas:
+    QueryRequest:
+      type: object
+      required: [sql]
+      properties:
+        sql:
+          type: string
+          description: CrowdSQL script (one or more ;-separated statements)
+        session:
+          type: string
+          description: Registered session id; empty = anonymous one-shot
+    Job:
+      type: object
+      required: [id, state]
+      properties:
+        id:
+          type: string
+        state:
+          type: string
+          enum:
+%s        session:
+          type: string
+        columns:
+          type: array
+          items:
+            type: string
+        rows_emitted:
+          type: integer
+        affected:
+          type: integer
+        plan:
+          type: string
+        warnings:
+          type: array
+          items:
+            type: string
+        statements_done:
+          type: integer
+        stats:
+          type: object
+        predicted_cents:
+          type: number
+        predicted_seconds:
+          type: number
+        spent_cents:
+          type: number
+          description: Crowd spend committed so far (live while running)
+        actual_cents:
+          type: number
+        error:
+          $ref: '#/components/schemas/Error'
+    QueryResult:
+      type: object
+      properties:
+        session:
+          type: string
+        columns:
+          type: array
+          items:
+            type: string
+        rows:
+          type: array
+          items:
+            type: array
+            items:
+              type: string
+              nullable: true
+        affected:
+          type: integer
+        plan:
+          type: string
+        warnings:
+          type: array
+          items:
+            type: string
+        stats:
+          type: object
+        predicted_cents:
+          type: number
+        predicted_seconds:
+          type: number
+        actual_cents:
+          type: number
+    Session:
+      type: object
+      properties:
+        id:
+          type: string
+        queries:
+          type: integer
+        budget_left:
+          type: integer
+        stats:
+          type: object
+    Error:
+      type: object
+      required: [code, message]
+      properties:
+        code:
+          type: string
+          enum:
+%s        message:
+          type: string
+`, openAPIVersion, states, codes))
+}

@@ -18,6 +18,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -39,6 +40,10 @@ type Config struct {
 	// SessionBudget is the default per-session crowd-comparison budget
 	// (0 = unlimited). Sessions may be created with an explicit budget.
 	SessionBudget int
+	// MaxJobs caps retained finished jobs (0 = 256): terminal job
+	// resources stay pollable until the cap evicts the oldest. Active
+	// jobs are never evicted.
+	MaxJobs int
 }
 
 // Stats counts the service's activity.
@@ -50,7 +55,11 @@ type Stats struct {
 	SessionsClosed  int64 `json:"sessions_closed"`
 	ActiveSessions  int   `json:"active_sessions"`
 	InFlightQueries int   `json:"in_flight_queries"`
-	Draining        bool  `json:"draining"`
+	// ActiveJobs counts v1 jobs not yet terminal; RetainedJobs counts
+	// every job resource still pollable (active + finished retention).
+	ActiveJobs   int  `json:"active_jobs"`
+	RetainedJobs int  `json:"retained_jobs"`
+	Draining     bool `json:"draining"`
 }
 
 // StatsReport is the full /stats payload: service counters plus the
@@ -77,6 +86,9 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
 	seq      int64
+	jobs     map[string]*Job
+	jobSeq   int64
+	finished []string // terminal job ids, oldest first (retention FIFO)
 	draining bool
 	inflight int
 	stats    Stats
@@ -109,6 +121,7 @@ func New(eng *core.Engine, cfg Config) *Server {
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
 		drainCh:  make(chan struct{}),
 		sessions: make(map[string]*Session),
+		jobs:     make(map[string]*Job),
 	}
 }
 
@@ -158,19 +171,29 @@ func (s *Server) Session(id string) (*Session, *Error) {
 }
 
 // CloseSession unregisters a session. Its paid answers stay in the shared
-// cache — that is the point.
+// cache — that is the point. In-flight jobs of the session are cancelled
+// and fail with the coded session_closed state: a closed session must not
+// leave an orphaned statement running (and paying) on the engine.
 func (s *Server) CloseSession(id string) *Error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
 	if !ok {
+		s.mu.Unlock()
 		return errf(CodeUnknownSession, "unknown session %q", id)
 	}
 	sess.mu.Lock()
 	sess.closed = true
+	jobs := make([]*Job, 0, len(sess.jobs))
+	for _, j := range sess.jobs {
+		jobs = append(jobs, j)
+	}
 	sess.mu.Unlock()
 	delete(s.sessions, id)
 	s.stats.SessionsClosed++
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel(CodeSessionClosed, fmt.Sprintf("session %s closed with the query in flight", id))
+	}
 	return nil
 }
 
@@ -197,7 +220,7 @@ func (s *Server) resolveSession(sessionID string) (*Session, *Error) {
 
 // querySession is Query for an already-resolved session.
 func (s *Server) querySession(sess *Session, sql string) (*core.Result, *Error) {
-	if err := s.admit(); err != nil {
+	if err := s.admit(context.Background()); err != nil {
 		s.countRejected(err)
 		return nil, err
 	}
@@ -239,8 +262,10 @@ func (s *Server) querySession(sess *Session, sql string) (*core.Result, *Error) 
 
 // admit runs admission control: refuse while draining, shed load while
 // the task manager's submission queue is deep, then take an execution
-// slot (blocking briefly is fine — slots turn over at engine speed).
-func (s *Server) admit() *Error {
+// slot (blocking briefly is fine — slots turn over at engine speed). A
+// queued job whose context fires while parked behind full slots leaves
+// the line instead of starting dead.
+func (s *Server) admit(ctx context.Context) *Error {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -266,6 +291,9 @@ func (s *Server) admit() *Error {
 	case <-s.drainCh:
 		s.exitActive()
 		return errf(CodeShuttingDown, "server is shutting down")
+	case <-ctx.Done():
+		s.exitActive()
+		return errf(CodeCancelled, "cancelled while queued for an execution slot")
 	}
 }
 
@@ -304,12 +332,22 @@ func (s *Server) Stats() StatsReport {
 	st := s.stats
 	st.ActiveSessions = len(s.sessions)
 	st.InFlightQueries = s.inflight
+	st.RetainedJobs = len(s.jobs)
 	st.Draining = s.draining
 	sessions := make([]*Session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		sessions = append(sessions, sess)
 	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
 	s.mu.Unlock()
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			st.ActiveJobs++
+		}
+	}
 
 	report := StatsReport{Server: st, Cache: s.eng.CacheStats(), CostModel: s.eng.CostModel()}
 	for _, sess := range sessions {

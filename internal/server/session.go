@@ -21,6 +21,27 @@ type Session struct {
 	queries int
 	agg     exec.Stats
 	closed  bool
+	// jobs tracks the session's non-terminal v1 jobs: closing the session
+	// cancels them (coded session_closed) instead of orphaning a running
+	// statement on the shared engine.
+	jobs map[string]*Job
+}
+
+// addJob registers an active job with its session.
+func (s *Session) addJob(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jobs == nil {
+		s.jobs = make(map[string]*Job)
+	}
+	s.jobs[j.id] = j
+}
+
+// removeJob drops a terminal job from the active set.
+func (s *Session) removeJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
 }
 
 // ID returns the session identifier.
@@ -73,13 +94,7 @@ func (s *Session) settle(st exec.Stats, reserved int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queries++
-	s.agg.RowsScanned += st.RowsScanned
-	s.agg.ProbeRequests += st.ProbeRequests
-	s.agg.NewTupleRequests += st.NewTupleRequests
-	s.agg.Comparisons += st.Comparisons
-	s.agg.CacheHits += st.CacheHits
-	s.agg.SharedFlights += st.SharedFlights
-	s.agg.BudgetDenied += st.BudgetDenied
+	s.agg = s.agg.Add(st)
 	if reserved > 0 && s.budget >= 0 {
 		if unused := reserved - st.Comparisons; unused > 0 {
 			s.budget += unused

@@ -2,18 +2,19 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
-
-	"crowddb/internal/core"
 )
 
 // The line-oriented TCP wire protocol. One connection is one session:
 //
-//	S: # crowddb wire/1 session=s000001
+//	S: # crowddb wire/2 session=s000001
+//	C: \proto 2                           (optional version negotiation)
 //	C: SELECT title FROM Talk;            (statements end with ';',
 //	C: \stats                              may span lines; \-commands
 //	C: \quit                               are single lines)
@@ -26,8 +27,26 @@ import (
 //	.                                      terminator
 //	ERR <code> <message>                   single-line coded error
 //
-// The session closes when the connection does; its paid answers remain
-// in the shared cache.
+// The greeting advertises the highest protocol version the server
+// speaks; `\proto <n>` pins the connection to version n (unknown
+// versions get ERR unsupported_version). Version 2 adds the jobs shim:
+//
+//	\job <sql;>        submit asynchronously -> job id + state row
+//	\poll <id>         job resource snapshot (state, rows, cents, error)
+//	\cancel <id>       request cancellation, then a \poll-style row
+//
+// Synchronous statements execute as jobs internally on every version —
+// the wire surface is a thin shim over the same lifecycle the HTTP v1
+// API exposes. The session closes when the connection does; its paid
+// answers remain in the shared cache, and its in-flight jobs are
+// cancelled (session_closed).
+
+// wireProtoMax is the highest protocol version served; wireProtoMin the
+// lowest still accepted from \proto negotiation.
+const (
+	wireProtoMax = 2
+	wireProtoMin = 1
+)
 
 // wireConns tracks open connections for forced close on Shutdown.
 type wireConns struct {
@@ -89,6 +108,12 @@ type closerFunc func() error
 
 func (f closerFunc) Close() error { return f() }
 
+// wireConnState carries one connection's negotiated protocol state.
+type wireConnState struct {
+	sess  *Session
+	proto int
+}
+
 func (s *Server) serveWireConn(conn net.Conn) {
 	sess, serr := s.CreateSession(0)
 	w := bufio.NewWriter(conn)
@@ -98,9 +123,10 @@ func (s *Server) serveWireConn(conn net.Conn) {
 		return
 	}
 	defer s.CloseSession(sess.ID()) //nolint:errcheck // session may be gone on shutdown
-	fmt.Fprintf(w, "# crowddb wire/1 session=%s\n", sess.ID())
+	fmt.Fprintf(w, "# crowddb wire/%d session=%s\n", wireProtoMax, sess.ID())
 	w.Flush() //nolint:errcheck // greeting best-effort
 
+	st := &wireConnState{sess: sess, proto: wireProtoMax}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -108,7 +134,7 @@ func (s *Server) serveWireConn(conn net.Conn) {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if s.wireCommand(w, sess, trimmed) {
+			if s.wireCommand(w, st, trimmed) {
 				return
 			}
 			w.Flush() //nolint:errcheck // checked via next read
@@ -121,12 +147,7 @@ func (s *Server) serveWireConn(conn net.Conn) {
 		}
 		sql := buf.String()
 		buf.Reset()
-		res, qerr := s.querySession(sess, sql)
-		if qerr != nil {
-			writeWireError(w, qerr)
-		} else {
-			writeWireResult(w, res)
-		}
+		s.wireExec(w, sess, sql)
 		if w.Flush() != nil {
 			return
 		}
@@ -139,15 +160,52 @@ func (s *Server) serveWireConn(conn net.Conn) {
 	}
 }
 
+// wireExec runs one synchronous statement as a job (the wire shim) and
+// renders the result in the v1-compatible line format.
+func (s *Server) wireExec(w *bufio.Writer, sess *Session, sql string) {
+	job, serr := s.startJobForSession(sess, sess.ID(), sql)
+	if serr != nil {
+		writeWireError(w, serr)
+		return
+	}
+	state, _ := job.waitTerminal(context.Background())
+	if state != JobDone {
+		writeWireError(w, job.terminalError())
+		return
+	}
+	writeWireJobResult(w, job)
+}
+
 // wireCommand handles a \-command; reports whether the connection should
 // close.
-func (s *Server) wireCommand(w *bufio.Writer, sess *Session, cmd string) bool {
-	switch strings.Fields(cmd)[0] {
+func (s *Server) wireCommand(w *bufio.Writer, st *wireConnState, cmd string) bool {
+	sess := st.sess
+	fields := strings.Fields(cmd)
+	switch fields[0] {
 	case "\\quit", "\\q":
 		fmt.Fprintln(w, "OK 0")
 		fmt.Fprintln(w, ".")
 		w.Flush() //nolint:errcheck // closing anyway
 		return true
+	case "\\proto":
+		// Version negotiation: pin the connection to a protocol the server
+		// speaks; unknown versions get the coded refusal the jobs shim
+		// clients key off.
+		if len(fields) != 2 {
+			writeWireError(w, errf(CodeParse, "usage: \\proto <version>"))
+			return false
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < wireProtoMin || v > wireProtoMax {
+			writeWireError(w, errf(CodeUnsupportedVersion,
+				"protocol wire/%s not supported (serving wire/%d..wire/%d)",
+				fields[1], wireProtoMin, wireProtoMax))
+			return false
+		}
+		st.proto = v
+		fmt.Fprintln(w, "OK 0")
+		fmt.Fprintf(w, "# crowddb wire/%d session=%s\n", v, sess.ID())
+		fmt.Fprintln(w, ".")
 	case "\\stats":
 		info := sess.Info()
 		cache := s.eng.CacheStats()
@@ -157,10 +215,69 @@ func (s *Server) wireCommand(w *bufio.Writer, sess *Session, cmd string) bool {
 			info.ID, info.Queries, info.BudgetLeft,
 			info.Stats.Comparisons, info.Stats.CacheHits, info.Stats.SharedFlights, cache.Size)
 		fmt.Fprintln(w, ".")
+	case "\\job":
+		if st.proto < 2 {
+			writeWireError(w, errf(CodeUnsupportedVersion, "\\job requires wire/2 (connection pinned to wire/%d)", st.proto))
+			return false
+		}
+		sql := strings.TrimSpace(strings.TrimPrefix(cmd, fields[0]))
+		if sql == "" {
+			writeWireError(w, errf(CodeParse, "usage: \\job <sql;>"))
+			return false
+		}
+		job, serr := s.startJobForSession(sess, sess.ID(), sql)
+		if serr != nil {
+			writeWireError(w, serr)
+			return false
+		}
+		writeWireJobInfo(w, job.Info())
+	case "\\poll":
+		if st.proto < 2 {
+			writeWireError(w, errf(CodeUnsupportedVersion, "\\poll requires wire/2 (connection pinned to wire/%d)", st.proto))
+			return false
+		}
+		if len(fields) != 2 {
+			writeWireError(w, errf(CodeParse, "usage: \\poll <job-id>"))
+			return false
+		}
+		job, serr := s.Job(fields[1])
+		if serr != nil {
+			writeWireError(w, serr)
+			return false
+		}
+		writeWireJobInfo(w, job.Info())
+	case "\\cancel":
+		if st.proto < 2 {
+			writeWireError(w, errf(CodeUnsupportedVersion, "\\cancel requires wire/2 (connection pinned to wire/%d)", st.proto))
+			return false
+		}
+		if len(fields) != 2 {
+			writeWireError(w, errf(CodeParse, "usage: \\cancel <job-id>"))
+			return false
+		}
+		job, serr := s.CancelJob(fields[1])
+		if serr != nil {
+			writeWireError(w, serr)
+			return false
+		}
+		writeWireJobInfo(w, job.Info())
 	default:
 		writeWireError(w, errf(CodeParse, "unknown command %s", cmd))
 	}
 	return false
+}
+
+// writeWireJobInfo renders a job resource as one tabular row.
+func writeWireJobInfo(w *bufio.Writer, info JobInfo) {
+	fmt.Fprintln(w, "OK 1")
+	fmt.Fprintf(w, "# job\tstate\trows\tstatements\tspent_cents\terror\n")
+	errCell := `\N`
+	if info.Error != nil {
+		errCell = string(info.Error.Code)
+	}
+	fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%s\n",
+		info.ID, info.State, info.RowsEmitted, info.StatementsDone, info.SpentCents, errCell)
+	fmt.Fprintln(w, ".")
 }
 
 func writeWireError(w *bufio.Writer, err *Error) {
@@ -168,9 +285,12 @@ func writeWireError(w *bufio.Writer, err *Error) {
 	fmt.Fprintf(w, "ERR %s %s\n", err.Code, msg)
 }
 
-func writeWireResult(w *bufio.Writer, res *core.Result) {
-	if res.Plan != "" {
-		lines := strings.Split(strings.TrimRight(res.Plan, "\n"), "\n")
+// writeWireJobResult renders a finished job's last statement in the
+// line format (byte-compatible with the pre-jobs wire responses).
+func writeWireJobResult(w *bufio.Writer, job *Job) {
+	cols, rows, affected, planText, _, _, _, _ := job.lastResult()
+	if planText != "" {
+		lines := strings.Split(strings.TrimRight(planText, "\n"), "\n")
 		fmt.Fprintf(w, "OK %d\n", len(lines))
 		for _, l := range lines {
 			fmt.Fprintln(w, l)
@@ -178,20 +298,20 @@ func writeWireResult(w *bufio.Writer, res *core.Result) {
 		fmt.Fprintln(w, ".")
 		return
 	}
-	if len(res.Columns) == 0 {
-		fmt.Fprintf(w, "OK %d\n", res.Affected)
+	if len(cols) == 0 {
+		fmt.Fprintf(w, "OK %d\n", affected)
 		fmt.Fprintln(w, ".")
 		return
 	}
-	fmt.Fprintf(w, "OK %d\n", len(res.Rows))
-	fmt.Fprintf(w, "# %s\n", strings.Join(res.Columns, "\t"))
-	for _, row := range res.Rows {
+	fmt.Fprintf(w, "OK %d\n", len(rows))
+	fmt.Fprintf(w, "# %s\n", strings.Join(cols, "\t"))
+	for _, row := range rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
-			if v.IsUnknown() {
+			if v == nil {
 				cells[i] = `\N`
 			} else {
-				cells[i] = strings.ReplaceAll(v.String(), "\t", " ")
+				cells[i] = strings.ReplaceAll(*v, "\t", " ")
 			}
 		}
 		fmt.Fprintln(w, strings.Join(cells, "\t"))

@@ -16,6 +16,8 @@ package taskmgr
 // goroutines are waiting — the property the determinism tests pin down.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -24,6 +26,10 @@ import (
 	"crowddb/internal/quality"
 	"crowddb/internal/ui"
 )
+
+// ErrCancelled resolves a Pending whose submission was withdrawn before it
+// was posted to the platform (see Pending.Cancel).
+var ErrCancelled = errors.New("taskmgr: submission cancelled")
 
 // Pending is a handle to an asynchronously submitted HIT group.
 type Pending struct {
@@ -56,12 +62,25 @@ func (p *Pending) Done() bool {
 // its assignments indexed by HIT ID. Concurrent waiters are safe; Wait may
 // be called more than once and returns the same result each time.
 func (p *Pending) Wait() (map[string][]*crowd.Assignment, error) {
+	return p.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with cancellation: it returns ctx.Err() as soon as the
+// context is done, leaving the group live on the platform. An abandoned
+// group keeps its window slot until the next driver (any later waiter)
+// polls it to resolution — the scheduler self-heals, no goroutine stays
+// behind. A cancelled WaitCtx may be retried; the group's result is
+// unchanged by the abandonment.
+func (p *Pending) WaitCtx(ctx context.Context) (map[string][]*crowd.Assignment, error) {
 	m := p.m
 	for {
 		select {
 		case <-p.done:
 			return p.byHIT, p.err
 		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		m.sched.mu.Lock()
 		if m.sched.driving {
@@ -73,13 +92,15 @@ func (p *Pending) Wait() (map[string][]*crowd.Assignment, error) {
 			case <-p.done:
 				return p.byHIT, p.err
 			case <-handoff:
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
 			continue
 		}
 		m.sched.driving = true
 		m.sched.mu.Unlock()
 
-		m.drive(p)
+		m.drive(p, ctx)
 
 		m.sched.mu.Lock()
 		m.sched.driving = false
@@ -87,6 +108,25 @@ func (p *Pending) Wait() (map[string][]*crowd.Assignment, error) {
 		m.sched.handoff = make(chan struct{})
 		m.sched.mu.Unlock()
 	}
+}
+
+// Cancel withdraws a submission that is still queued behind the in-flight
+// window, resolving it with ErrCancelled, and reports whether it did.
+// A group already posted to the platform is not recalled (the crowd may
+// already be working it); cancelling a query therefore stops new HITs
+// from ever reaching the platform while letting paid work settle.
+func (p *Pending) Cancel() bool {
+	m := p.m
+	m.sched.mu.Lock()
+	defer m.sched.mu.Unlock()
+	for i, q := range m.sched.queued {
+		if q == p {
+			m.sched.queued = append(m.sched.queued[:i], m.sched.queued[i+1:]...)
+			m.resolveLocked(p, nil, ErrCancelled)
+			return true
+		}
+	}
+	return false
 }
 
 // scheduler holds the in-flight window and the clock-driver token. Its
@@ -181,8 +221,13 @@ func (m *Manager) resolveLocked(p *Pending, byHIT map[string][]*crowd.Assignment
 // flight yields the exact union of the in-flight intervals — overlapping
 // groups count once, and for serial use it matches the old synchronous
 // post-to-collect turnaround.
-func (m *Manager) drive(target *Pending) {
+func (m *Manager) drive(target *Pending, ctx context.Context) {
 	for {
+		// A cancelled driver releases the clock without stepping further;
+		// the next waiter (if any) takes over exactly where it left off.
+		if ctx.Err() != nil {
+			return
+		}
 		m.pollInflight()
 		select {
 		case <-target.done:
@@ -295,15 +340,20 @@ type ProbeCall struct {
 // Wait blocks for the probe answers; results align with the request slice.
 // Wait is idempotent: repeated calls return the same result.
 func (c *ProbeCall) Wait() ([]ProbeResult, error) {
+	return c.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with cancellation. A cancelled WaitCtx returns ctx's
+// error without consuming the result — a later Wait still collects it.
+func (c *ProbeCall) WaitCtx(ctx context.Context) ([]ProbeResult, error) {
 	if c == nil || c.pending == nil {
 		return nil, nil
 	}
+	byHIT, err := c.pending.WaitCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	c.once.Do(func() {
-		byHIT, err := c.pending.Wait()
-		if err != nil {
-			c.err = err
-			return
-		}
 		out := make([]ProbeResult, len(c.reqs))
 		for i, r := range c.reqs {
 			hitID := c.group.HITs[i].ID
@@ -316,6 +366,14 @@ func (c *ProbeCall) Wait() ([]ProbeResult, error) {
 		c.res = out
 	})
 	return c.res, c.err
+}
+
+// Abort withdraws the batch if it is still queued behind the in-flight
+// window (see Pending.Cancel) and reports whether it did; posted groups
+// are left to resolve. Callers refund work counted for a withdrawn
+// batch — it never reached the platform, so it was never committed.
+func (c *ProbeCall) Abort() bool {
+	return c != nil && c.pending != nil && c.pending.Cancel()
 }
 
 // TupleCall is an in-flight NewTuplesBatch solicitation.
@@ -334,18 +392,27 @@ type TupleCall struct {
 // Wait blocks for the candidate tuples; results align with the requests.
 // Wait is idempotent: repeated calls return the same result.
 func (c *TupleCall) Wait() ([][]map[string]string, error) {
+	return c.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with cancellation; see ProbeCall.WaitCtx.
+func (c *TupleCall) WaitCtx(ctx context.Context) ([][]map[string]string, error) {
 	if c == nil || c.pending == nil {
 		return nil, nil
 	}
+	byHIT, err := c.pending.WaitCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	c.once.Do(func() {
-		byHIT, err := c.pending.Wait()
-		if err != nil {
-			c.err = err
-			return
-		}
 		c.res = c.m.collectTuples(c.reqs, c.group, c.hitReq, byHIT)
 	})
 	return c.res, c.err
+}
+
+// Abort withdraws the batch if it is still queued; see ProbeCall.Abort.
+func (c *TupleCall) Abort() bool {
+	return c != nil && c.pending != nil && c.pending.Cancel()
 }
 
 // CompareCall is an in-flight comparison batch (CROWDEQUAL or CROWDORDER).
@@ -363,15 +430,19 @@ type CompareCall struct {
 // Wait blocks for the majority-vote decisions; results align with pairs.
 // Wait is idempotent: repeated calls return the same result.
 func (c *CompareCall) Wait() ([]quality.Decision, error) {
+	return c.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with cancellation; see ProbeCall.WaitCtx.
+func (c *CompareCall) WaitCtx(ctx context.Context) ([]quality.Decision, error) {
 	if c == nil || c.pending == nil {
 		return nil, nil
 	}
+	byHIT, err := c.pending.WaitCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	c.once.Do(func() {
-		byHIT, err := c.pending.Wait()
-		if err != nil {
-			c.err = err
-			return
-		}
 		out := make([]quality.Decision, len(c.pairs))
 		for i := range c.pairs {
 			out[i] = c.m.decide(byHIT[c.group.HITs[i].ID], ui.AnswerField)
@@ -379,4 +450,9 @@ func (c *CompareCall) Wait() ([]quality.Decision, error) {
 		c.res = out
 	})
 	return c.res, c.err
+}
+
+// Abort withdraws the batch if it is still queued; see ProbeCall.Abort.
+func (c *CompareCall) Abort() bool {
+	return c != nil && c.pending != nil && c.pending.Cancel()
 }

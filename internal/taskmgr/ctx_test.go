@@ -1,0 +1,97 @@
+package taskmgr
+
+// Tests for the context-aware scheduler surface: WaitCtx release, driver
+// handoff on cancellation, and queued-submission withdrawal.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWaitCtxCancelReleasesWaiter: a cancelled WaitCtx returns promptly
+// with the context error, leaves the group live, and a later Wait still
+// collects the full result.
+func TestWaitCtxCancelReleasesWaiter(t *testing.T) {
+	m, _ := asyncManager(7, 8)
+	p := m.Submit(truthGroup("ctx-a", 4))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.WaitCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled WaitCtx returned %v", err)
+	}
+	if p.Done() {
+		t.Fatal("abandoned group resolved by a cancelled waiter")
+	}
+
+	// The next (uncancelled) waiter drives the clock and collects.
+	byHIT, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byHIT) != 4 {
+		t.Fatalf("got %d HITs, want 4", len(byHIT))
+	}
+}
+
+// TestWaitCtxCancelMidDrive: cancellation while this waiter owns the
+// clock releases the driver role instead of spinning.
+func TestWaitCtxCancelMidDrive(t *testing.T) {
+	m, _ := asyncManager(11, 8)
+	p := m.Submit(truthGroup("ctx-b", 6))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.WaitCtx(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter take the driver role
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) && err != nil {
+			t.Fatalf("WaitCtx returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled driver never released")
+	}
+	// The scheduler is not wedged: a fresh waiter finishes the group.
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelQueuedSubmission: a group still queued behind the in-flight
+// window is withdrawn by Cancel — it never reaches the platform.
+func TestCancelQueuedSubmission(t *testing.T) {
+	m, _ := asyncManager(13, 1)
+
+	first := m.Submit(truthGroup("ctx-c", 2))
+	second := m.Submit(truthGroup("ctx-d", 2))
+	if _, queued := m.Load(); queued != 1 {
+		t.Fatalf("queued = %d, want 1", queued)
+	}
+	if !second.Cancel() {
+		t.Fatal("Cancel did not find the queued submission")
+	}
+	if _, queued := m.Load(); queued != 0 {
+		t.Fatalf("queued after cancel = %d, want 0", queued)
+	}
+	if _, err := second.Wait(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled submission resolved with %v", err)
+	}
+	// A posted group cannot be withdrawn.
+	if first.Cancel() {
+		t.Fatal("Cancel withdrew a posted group")
+	}
+	if _, err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the first group's HITs ever reached the platform.
+	if st := m.Stats(); st.GroupsPosted != 1 || st.HITsPosted != 2 {
+		t.Errorf("posted %d groups / %d HITs, want 1 / 2", st.GroupsPosted, st.HITsPosted)
+	}
+}

@@ -1,0 +1,461 @@
+// Package client is the public Go SDK for the crowddbd Jobs API (v1).
+//
+// Queries run as asynchronous jobs: Submit returns a typed Job handle
+// whose Rows iterator streams partial results while the crowd is still
+// working, Wait polls to the terminal state, and Cancel stops the query
+// mid-crowd-wait (the server stops posting new HITs and settles the
+// budget for work already paid).
+//
+// Quickstart:
+//
+//	c := client.New("http://localhost:8090")
+//	job, _ := c.Submit(ctx, "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'better?');")
+//	it, _ := job.Rows(ctx)
+//	for it.Next() {
+//	    fmt.Println(it.Row())
+//	}
+//	st, _ := job.Wait(ctx)
+//	fmt.Println(st.State, st.SpentCents)
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to one crowddbd server. It is safe for concurrent use
+// once configured; CreateSession mutates the bound session and is not.
+type Client struct {
+	base    string
+	hc      *http.Client
+	session string
+	// pollInterval paces Wait's job polling.
+	pollInterval time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, tests).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithSession binds an existing server session id to the client.
+func WithSession(id string) Option { return func(c *Client) { c.session = id } }
+
+// WithPollInterval tunes Wait's poll pacing (default 50ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.pollInterval = d
+		}
+	}
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8090").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:         strings.TrimRight(baseURL, "/"),
+		hc:           &http.Client{},
+		pollInterval: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Error is a coded server error (the wire contract's stable part).
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Stats mirrors the server's per-statement crowd counters.
+type Stats struct {
+	RowsScanned      int `json:"RowsScanned"`
+	ProbeRequests    int `json:"ProbeRequests"`
+	NewTupleRequests int `json:"NewTupleRequests"`
+	Comparisons      int `json:"Comparisons"`
+	CacheHits        int `json:"CacheHits"`
+	SharedFlights    int `json:"SharedFlights"`
+	BudgetDenied     int `json:"BudgetDenied"`
+}
+
+// JobStatus is the v1 job resource.
+type JobStatus struct {
+	ID               string   `json:"id"`
+	State            string   `json:"state"`
+	Session          string   `json:"session"`
+	Columns          []string `json:"columns"`
+	RowsEmitted      int      `json:"rows_emitted"`
+	Affected         int      `json:"affected"`
+	Plan             string   `json:"plan"`
+	Warnings         []string `json:"warnings"`
+	StatementsDone   int      `json:"statements_done"`
+	Stats            Stats    `json:"stats"`
+	PredictedCents   float64  `json:"predicted_cents"`
+	PredictedSeconds float64  `json:"predicted_seconds"`
+	SpentCents       float64  `json:"spent_cents"`
+	ActualCents      float64  `json:"actual_cents"`
+	Error            *Error   `json:"error"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (s *JobStatus) Terminal() bool {
+	switch s.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// Err returns the job's failure as an error (nil while running, done, or
+// cancelled without a coded reason).
+func (s *JobStatus) Err() error {
+	if s.Error != nil {
+		return s.Error
+	}
+	return nil
+}
+
+// SessionInfo mirrors the server's session resource.
+type SessionInfo struct {
+	ID         string `json:"id"`
+	Queries    int    `json:"queries"`
+	BudgetLeft int    `json:"budget_left"`
+	Stats      Stats  `json:"stats"`
+}
+
+// do issues one JSON request; a coded server error body comes back as
+// *Error, transport failures as plain errors.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var er struct {
+			Error *Error `json:"error"`
+		}
+		if json.Unmarshal(data, &er) == nil && er.Error != nil {
+			return er.Error
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// CreateSession opens a server session with the given crowd-comparison
+// budget (0 = server default, negative = unlimited) and binds it to the
+// client: subsequent Submit calls run on it.
+func (c *Client) CreateSession(ctx context.Context, budget int) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodPost, "/session", map[string]int{"budget": budget}, &info); err != nil {
+		return nil, err
+	}
+	c.session = info.ID
+	return &info, nil
+}
+
+// Session returns the bound session id ("" = anonymous).
+func (c *Client) Session() string { return c.session }
+
+// SessionStatus fetches the bound session's resource.
+func (c *Client) SessionStatus(ctx context.Context) (*SessionInfo, error) {
+	if c.session == "" {
+		return nil, fmt.Errorf("client: no session bound")
+	}
+	var info SessionInfo
+	if err := c.do(ctx, http.MethodGet, "/session/"+url.PathEscape(c.session), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// CloseSession closes the bound session. The server cancels the
+// session's in-flight jobs (they fail with session_closed).
+func (c *Client) CloseSession(ctx context.Context) error {
+	if c.session == "" {
+		return nil
+	}
+	err := c.do(ctx, http.MethodDelete, "/session/"+url.PathEscape(c.session), nil, nil)
+	if err == nil {
+		c.session = ""
+	}
+	return err
+}
+
+// Healthy reports whether the server answers /healthz affirmatively.
+func (c *Client) Healthy(ctx context.Context) bool {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil) == nil
+}
+
+// Stats fetches the server's full /stats report as raw JSON (its shape
+// grows; callers pick what they need).
+func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+
+// Job is a typed handle on one submitted query job.
+type Job struct {
+	c  *Client
+	id string
+}
+
+// Submit starts a CrowdSQL script as an asynchronous job on the bound
+// session and returns immediately with its handle.
+func (c *Client) Submit(ctx context.Context, sql string) (*Job, error) {
+	var st JobStatus
+	req := map[string]string{"sql": sql}
+	if c.session != "" {
+		req["session"] = c.session
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/queries", req, &st); err != nil {
+		return nil, err
+	}
+	return &Job{c: c, id: st.ID}, nil
+}
+
+// ID returns the server-side job id.
+func (j *Job) ID() string { return j.id }
+
+// Status polls the job resource once.
+func (j *Job) Status(ctx context.Context) (*JobStatus, error) {
+	var st JobStatus
+	if err := j.c.do(ctx, http.MethodGet, "/v1/queries/"+url.PathEscape(j.id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls until the job reaches a terminal state (or ctx fires) and
+// returns the final status. A failed job is not an error at the
+// transport level — check status.State / status.Err().
+func (j *Job) Wait(ctx context.Context) (*JobStatus, error) {
+	for {
+		st, err := j.Status(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(j.c.pollInterval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Cancel requests cancellation and returns the job's current snapshot;
+// poll (or Wait) for the terminal state. Cancel is idempotent.
+func (j *Job) Cancel(ctx context.Context) (*JobStatus, error) {
+	var st JobStatus
+	if err := j.c.do(ctx, http.MethodDelete, "/v1/queries/"+url.PathEscape(j.id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Row is one streamed result row; nil cells are SQL NULL / CNULL.
+type Row []*string
+
+// Cell renders the i-th cell ("NULL" for nil).
+func (r Row) Cell(i int) string {
+	if i >= len(r) || r[i] == nil {
+		return "NULL"
+	}
+	return *r[i]
+}
+
+// RowIter streams a job's result rows as the server produces them
+// (NDJSON over a chunked response). Always Close it; Err reports
+// transport errors, FinalState/FinalError the job's outcome trailer.
+type RowIter struct {
+	body   io.ReadCloser
+	sc     *bufio.Scanner
+	cur    Row
+	err    error
+	state  string
+	jobErr *Error
+	done   bool
+}
+
+// Rows opens the job's partial-result stream from the given offset
+// (usually 0). The iterator ends when the job reaches a terminal state.
+func (j *Job) Rows(ctx context.Context) (*RowIter, error) { return j.RowsFrom(ctx, 0) }
+
+// RowsFrom is Rows starting at row index n (resuming a dropped stream).
+func (j *Job) RowsFrom(ctx context.Context, n int) (*RowIter, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/queries/%s/rows?from=%d", j.c.base, url.PathEscape(j.id), n), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := j.c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var er struct {
+			Error *Error `json:"error"`
+		}
+		if json.Unmarshal(data, &er) == nil && er.Error != nil {
+			return nil, er.Error
+		}
+		return nil, fmt.Errorf("client: rows: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return &RowIter{body: resp.Body, sc: sc}, nil
+}
+
+// Next advances to the next row, blocking until the server streams one
+// (or the job ends). It returns false at the end of the stream.
+func (it *RowIter) Next() bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	for it.sc.Scan() {
+		line := bytes.TrimSpace(it.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '[' {
+			var row Row
+			if err := json.Unmarshal(line, &row); err != nil {
+				it.err = err
+				return false
+			}
+			it.cur = row
+			return true
+		}
+		// Trailer object: the job's terminal state.
+		var trailer struct {
+			State string `json:"state"`
+			Error *Error `json:"error"`
+		}
+		if err := json.Unmarshal(line, &trailer); err != nil {
+			it.err = err
+			return false
+		}
+		it.state, it.jobErr, it.done = trailer.State, trailer.Error, true
+		return false
+	}
+	it.err = it.sc.Err()
+	it.done = true
+	return false
+}
+
+// Row returns the current row (valid after a true Next).
+func (it *RowIter) Row() Row { return it.cur }
+
+// Err reports a stream/transport error (nil on a clean end).
+func (it *RowIter) Err() error { return it.err }
+
+// FinalState returns the job's terminal state from the stream trailer
+// ("" when the stream ended without one).
+func (it *RowIter) FinalState() string { return it.state }
+
+// FinalError returns the job's coded error from the trailer, if any.
+func (it *RowIter) FinalError() *Error { return it.jobErr }
+
+// Close releases the stream.
+func (it *RowIter) Close() error { return it.body.Close() }
+
+// ---------------------------------------------------------------------------
+// Convenience
+
+// Result is a fully collected query outcome.
+type Result struct {
+	Columns  []string
+	Rows     []Row
+	Affected int
+	Plan     string
+	Warnings []string
+	Status   *JobStatus
+}
+
+// Query submits sql, streams every row, waits for the terminal state,
+// and returns the collected result. A failed (or session_closed) job
+// comes back as its coded *Error.
+func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
+	job, err := c.Submit(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	it, err := job.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows []Row
+	for it.Next() {
+		rows = append(rows, it.Row())
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	st, err := job.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != "done" {
+		if st.Error != nil {
+			return nil, st.Error
+		}
+		return nil, fmt.Errorf("client: job %s ended %s", job.ID(), st.State)
+	}
+	return &Result{
+		Columns:  st.Columns,
+		Rows:     rows,
+		Affected: st.Affected,
+		Plan:     st.Plan,
+		Warnings: st.Warnings,
+		Status:   st,
+	}, nil
+}
