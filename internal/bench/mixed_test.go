@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// E20: the writer workload must complete while a crowd SELECT is parked
+// in flight (the pre-MVCC statement lock made phase B hang), the reader
+// must return exactly its snapshot, and the deterministic row counts
+// must hold at any seed.
+func TestE20Shape(t *testing.T) {
+	tab := E20MixedReadWrite(42)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v (notes: %v)", tab.Rows, tab.Notes)
+	}
+	if got := tab.Metrics["reader_rows_out"]; got != e20Pairs {
+		t.Errorf("reader_rows_out = %v, want %d (the snapshot's matches)", got, e20Pairs)
+	}
+	wantAfter := float64(e20Pairs + e20WriterStmts/2)
+	if got := tab.Metrics["table_rows_out"]; got != wantAfter {
+		t.Errorf("table_rows_out = %v, want %v", got, wantAfter)
+	}
+	if got := tab.Metrics["snapshot_mismatch_err"]; got != 0 {
+		t.Errorf("snapshot_mismatch_err = %v, want 0: the reader saw writer rows", got)
+	}
+	// Both phases measured a full writer run.
+	for _, k := range []string{"writer_p50_micros_alone", "writer_p50_micros_with_reader"} {
+		if tab.Metrics[k] <= 0 {
+			t.Errorf("%s = %v, want > 0", k, tab.Metrics[k])
+		}
+	}
+}

@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"E17", "cost-based optimizer vs flat heuristic (extension)", E17CostBasedOptimizer},
 		{"E18", "sharded storage throughput (extension)", E18StorageThroughput},
 		{"E19", "streaming vs materialized time-to-first-row (extension)", E19Streaming},
+		{"E20", "mixed read/write under MVCC snapshot isolation (extension)", E20MixedReadWrite},
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -32,6 +33,11 @@ import (
 
 // compareTable is the hidden system table memorizing CrowdCompare answers.
 const compareTable = "__crowd_compare"
+
+// compareKey identifies one comparison answer (the system table's PK).
+type compareKey struct {
+	kind, question, left, right string
+}
 
 // Config assembles an engine.
 type Config struct {
@@ -88,13 +94,19 @@ type Result struct {
 	// the cost model's units (rewards × replication for every paid probe,
 	// solicitation, and comparison).
 	ActualCents float64
+	// SnapshotTS is the MVCC snapshot the statement read at (SELECT and
+	// EXPLAIN): every stored row it saw was committed at or before this
+	// timestamp, regardless of what committed while it ran.
+	SnapshotTS int64
 }
 
 // Engine is a CrowdDB instance. It is safe for concurrent use: SELECT,
-// EXPLAIN, and SHOW statements run concurrently (the storage and catalog
-// layers serialize internally, and crowd answers memoize through the
-// thread-safe comparison cache), while DDL and DML serialize against
-// everything else.
+// EXPLAIN, and SHOW statements take no engine-level lock at all — each
+// SELECT pins an MVCC snapshot and reads a stable cut of the data for its
+// whole (possibly minutes-long, crowd-waiting) lifetime, while DML
+// commits freely around it. Writers never wait on readers and readers
+// never wait on writers; DDL and DML serialize only against each other
+// (one writer at a time, preserving statement-granular write semantics).
 type Engine struct {
 	cfg     Config
 	cat     *catalog.Catalog
@@ -105,15 +117,19 @@ type Engine struct {
 	tasks   *taskmgr.Manager
 	cache   *exec.CompareCache
 
-	// mu is the statement lock: read side for queries, write side for
-	// DDL/DML (which mutate catalog structure and UI templates in ways
-	// the readers do not tolerate mid-statement).
-	mu sync.RWMutex
+	// writeMu serializes DDL and DML statements (plus Close/Checkpoint)
+	// against each other. Queries never touch it: snapshot isolation —
+	// not a statement lock — is what keeps their reads consistent.
+	writeMu sync.Mutex
 
 	// persistMu serializes compare-cache persistence; pendingPersist
-	// holds entries whose system-table write failed, for retry.
+	// holds entries whose system-table write failed, keyed for O(1)
+	// read-through, until a later pass retries them.
 	persistMu      sync.Mutex
-	pendingPersist []exec.Entry
+	pendingPersist map[compareKey]exec.Entry
+	// persistHook, when non-nil, is consulted before each system-table
+	// write (test seam: injecting per-entry persist failures).
+	persistHook func(exec.Entry) error
 
 	// costMu guards the predicted-vs-actual cost-model accounting.
 	costMu    sync.Mutex
@@ -161,10 +177,11 @@ func (e *Engine) observeCostError(predicted, actual float64) {
 // Open builds an engine, replaying any persisted schema and data.
 func Open(cfg Config) (*Engine, error) {
 	e := &Engine{
-		cfg:     cfg,
-		cat:     catalog.New(),
-		tracker: quality.NewTracker(),
-		cache:   exec.NewCompareCacheSize(cfg.CompareCacheCap),
+		cfg:            cfg,
+		cat:            catalog.New(),
+		tracker:        quality.NewTracker(),
+		cache:          exec.NewCompareCacheSize(cfg.CompareCacheCap),
+		pendingPersist: make(map[compareKey]exec.Entry),
 	}
 	// Evicted answers stay readable: a resident miss falls back to the
 	// system table before the crowd is paid again.
@@ -202,18 +219,20 @@ func Open(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases resources (the WAL handle) after in-flight statements
-// finish.
+// Close releases resources (the WAL handles) after in-flight write
+// statements finish. Queries hold no engine lock, so the caller is
+// responsible for draining them first (the server's job registry does);
+// an in-flight read-only statement keeps working against memory.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	return e.store.Close()
 }
 
 // Checkpoint snapshots the store and truncates the WAL.
 func (e *Engine) Checkpoint() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	return e.store.Checkpoint()
 }
 
@@ -356,6 +375,11 @@ type ExecOpts struct {
 	// Progress, when set, receives stats snapshots whenever a crowd
 	// operator commits to paid work mid-statement (live spend reporting).
 	Progress func(exec.Stats)
+	// OnSnapshot, when set, receives a SELECT's pinned MVCC snapshot
+	// timestamp after the statement compiles and before its first read —
+	// the jobs API surfaces it so clients know which database state a
+	// long-running query reflects.
+	OnSnapshot func(ts int64)
 }
 
 // DefaultExecOpts defers every knob to the engine configuration.
@@ -397,25 +421,20 @@ func (e *Engine) Execute(ctx context.Context, sql string, opts ExecOpts) (*Resul
 }
 
 // ExecStmtCtx runs one parsed statement under ctx. Read-only statements
-// (SELECT, EXPLAIN, SHOW) run concurrently with each other; DDL and DML
-// serialize against everything.
+// (SELECT, EXPLAIN, SHOW) take no lock and run concurrently with
+// everything — each SELECT pins an MVCC snapshot instead; DDL and DML
+// serialize against each other only, each committing as one transaction.
 func (e *Engine) ExecStmtCtx(ctx context.Context, stmt parser.Statement, opts ExecOpts) (*Result, error) {
 	switch s := stmt.(type) {
 	case *parser.Select:
-		e.mu.RLock()
-		defer e.mu.RUnlock()
 		return e.execSelect(ctx, s, opts)
 	case *parser.Explain:
-		e.mu.RLock()
-		defer e.mu.RUnlock()
 		return e.execExplain(s)
 	case *parser.ShowTables:
-		e.mu.RLock()
-		defer e.mu.RUnlock()
 		return e.execShowTables()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	switch s := stmt.(type) {
 	case *parser.CreateTable, *parser.CreateIndex, *parser.DropTable:
 		if err := e.applyDDL(stmt, true); err != nil {
@@ -546,6 +565,12 @@ func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
 		}
 		colIdx[i] = ci
 	}
+	// One transaction per statement: every row of a multi-row INSERT
+	// becomes visible to new snapshots together. Commit always runs —
+	// rows applied before a mid-statement error stay applied (the
+	// engine's established partial-application semantics).
+	tx := e.store.Begin()
+	defer tx.Commit()
 	inserted := 0
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(cols) {
@@ -572,7 +597,7 @@ func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
 			}
 			row[colIdx[i]] = cv
 		}
-		if _, err := e.store.Insert(t.Name, row); err != nil {
+		if _, err := tx.Insert(t.Name, row); err != nil {
 			return nil, err
 		}
 		t.AddRowCount(1)
@@ -602,6 +627,10 @@ func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One transaction per statement: all matched rows flip to the new
+	// version together from any new snapshot's point of view.
+	tx := e.store.Begin()
+	defer tx.Commit()
 	affected := 0
 	for i, row := range rows {
 		id := ids[i]
@@ -630,7 +659,7 @@ func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
 			}
 			updated[ci] = cv
 		}
-		if err := e.store.Update(t.Name, id, updated); err != nil {
+		if err := tx.Update(t.Name, id, updated); err != nil {
 			return nil, err
 		}
 		affected++
@@ -649,6 +678,10 @@ func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One transaction per statement: all matched rows disappear together
+	// from any new snapshot's point of view.
+	tx := e.store.Begin()
+	defer tx.Commit()
 	affected := 0
 	for i, row := range rows {
 		id := ids[i]
@@ -664,7 +697,7 @@ func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
 				t.AdjustCNull(c.Name, -1)
 			}
 		}
-		if err := e.store.Delete(t.Name, id); err != nil {
+		if err := tx.Delete(t.Name, id); err != nil {
 			return nil, err
 		}
 		t.AddRowCount(-1)
@@ -735,12 +768,22 @@ func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts
 	if opts.CompareBudget >= 0 {
 		budget = opts.CompareBudget
 	}
+	// Pin the statement's snapshot: every stored-data read — across
+	// crowd waits that may last minutes — sees exactly the rows
+	// committed at this timestamp. Released when the statement finishes
+	// so version GC can reclaim what only this snapshot could see.
+	snap := e.store.AcquireSnapshot()
+	defer snap.Release()
+	if opts.OnSnapshot != nil {
+		opts.OnSnapshot(snap.TS())
+	}
 	ectx := &exec.Ctx{
 		Store:         e.store,
 		Cat:           e.cat,
 		Tasks:         e.tasks,
 		Cache:         e.cache,
 		CompareBudget: budget,
+		SnapshotTS:    snap.TS(),
 		Context:       ctx,
 		Progress:      opts.Progress,
 	}
@@ -776,7 +819,7 @@ func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Rows: rows, Warnings: opt.Warnings, Stats: ectx.Stats}
+	res := &Result{Rows: rows, Warnings: opt.Warnings, Stats: ectx.Stats, SnapshotTS: snap.TS()}
 	res.Predicted = opt.Predicted
 	res.ActualCents = e.actualCents(ectx.Stats)
 	if e.tasks != nil && !opt.Predicted.IsUnbounded() &&
@@ -823,6 +866,7 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 			Tasks:         ctx.Tasks,
 			Cache:         ctx.Cache,
 			CompareBudget: budget,
+			SnapshotTS:    ctx.SnapshotTS, // one snapshot for the whole statement
 			Context:       ctx.Context,
 		}
 		// Live-progress observers see the outer statement's totals plus
@@ -876,22 +920,25 @@ func (e *Engine) execExplain(s *parser.Explain) (*Result, error) {
 	}))
 	fmt.Fprintf(&sb, "bounded: %v\n", opt.Bounded)
 	fmt.Fprintf(&sb, "predicted: %s\n", opt.Predicted)
-	return &Result{Plan: sb.String(), Warnings: opt.Warnings, Predicted: opt.Predicted}, nil
+	// EXPLAIN reads no rows; it reports the watermark a SELECT compiled
+	// right now would pin.
+	return &Result{Plan: sb.String(), Warnings: opt.Warnings, Predicted: opt.Predicted, SnapshotTS: e.store.VisibleTS()}, nil
 }
 
 // lookupPersistedCompare reads one comparison answer from the system
 // table (the cache's ReadThrough: resident misses check durable storage
 // before paying the crowd again). left/right arrive normalized. Entries
 // drained from the cache but not yet written (persist in progress or
-// retrying after an error) are covered by the pending list.
+// retrying after an error) are covered by the keyed pending map — an
+// O(1) probe, so a large retry backlog cannot serialize read-through.
+// The storage probe deliberately reads the LATEST committed state, not
+// any statement snapshot: answer reuse must see answers as soon as any
+// session persists them.
 func (e *Engine) lookupPersistedCompare(kind, question, left, right string) (string, bool) {
 	e.persistMu.Lock()
-	for _, en := range e.pendingPersist {
-		if en.Kind == kind && en.Question == question && en.Left == left && en.Right == right {
-			answer := en.Answer
-			e.persistMu.Unlock()
-			return answer, true
-		}
+	if en, ok := e.pendingPersist[compareKey{kind, question, left, right}]; ok {
+		e.persistMu.Unlock()
+		return en.Answer, true
 	}
 	e.persistMu.Unlock()
 	_, row, ok := e.store.LookupPKRow(compareTable,
@@ -905,24 +952,58 @@ func (e *Engine) lookupPersistedCompare(kind, question, left, right string) (str
 
 // persistCompareCache writes the comparison answers memoized since the
 // last pass to the system table. Only the deltas are walked — the
-// resident cache is cross-session and can be large. Entries whose write
-// fails are retried on the next pass.
+// resident cache is cross-session and can be large. An entry whose write
+// fails is skipped and retained for the next pass; the rest of the batch
+// still persists (no head-of-line blocking: one poisoned entry must not
+// keep every later healthy answer out of the system table). The first
+// error is reported after the full sweep.
 func (e *Engine) persistCompareCache() error {
 	e.persistMu.Lock()
 	defer e.persistMu.Unlock()
-	e.pendingPersist = append(e.pendingPersist, e.cache.TakeDirty()...)
-	for len(e.pendingPersist) > 0 {
-		if err := e.persistEntryLocked(e.pendingPersist[0]); err != nil {
-			return err
-		}
-		e.pendingPersist = e.pendingPersist[1:]
+	for _, en := range e.cache.TakeDirty() {
+		e.pendingPersist[compareKey{en.Kind, en.Question, en.Left, en.Right}] = en
 	}
-	return nil
+	if len(e.pendingPersist) == 0 {
+		return nil
+	}
+	keys := make([]compareKey, 0, len(e.pendingPersist))
+	for k := range e.pendingPersist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.question != b.question {
+			return a.question < b.question
+		}
+		if a.left != b.left {
+			return a.left < b.left
+		}
+		return a.right < b.right
+	})
+	var firstErr error
+	for _, k := range keys {
+		if err := e.persistEntryLocked(e.pendingPersist[k]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		delete(e.pendingPersist, k)
+	}
+	return firstErr
 }
 
 // persistEntryLocked writes one cache entry; an entry already in the
 // system table (duplicate key) is a no-op. Caller holds persistMu.
 func (e *Engine) persistEntryLocked(entry exec.Entry) error {
+	if e.persistHook != nil {
+		if err := e.persistHook(entry); err != nil {
+			return err
+		}
+	}
 	row := storage.Row{
 		sqltypes.NewString(entry.Kind),
 		sqltypes.NewString(entry.Question),

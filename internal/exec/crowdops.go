@@ -69,6 +69,14 @@ type Ctx struct {
 	// fanning a sequential scan out across shards (0 = the default,
 	// DefaultParallelScanMinRows; negative = never parallelize).
 	ParallelScanMinRows int
+	// SnapshotTS pins every stored-data read (scans, index probes, point
+	// gets) of this statement to one MVCC snapshot: the statement sees
+	// exactly the rows committed at that timestamp, however long it runs
+	// and whatever commits meanwhile. 0 means unpinned — each read sees
+	// the latest committed data (legacy behavior for hand-built
+	// contexts). Crowd write-backs during the statement commit at later
+	// timestamps and are therefore invisible to the statement itself.
+	SnapshotTS int64
 	// Context carries the statement's cancellation signal end-to-end:
 	// operators check it between rows, and the crowd operators stop
 	// posting new HIT groups and unwind their crowd waits when it fires
@@ -83,6 +91,15 @@ type Ctx struct {
 	Stats    Stats
 
 	subqMemo map[*parser.InExpr][]sqltypes.Value
+}
+
+// snapTS is the MVCC read timestamp for stored-data access: the pinned
+// snapshot when set, the store's current watermark otherwise.
+func (c *Ctx) snapTS() int64 {
+	if c.SnapshotTS != 0 {
+		return c.SnapshotTS
+	}
+	return c.Store.VisibleTS()
 }
 
 // context returns the statement context (Background when unset).
@@ -702,7 +719,7 @@ func (s *crowdProbeScan) Schema() []plan.Col { return s.node.Schema() }
 func (s *crowdProbeScan) Open(ctx *Ctx) error {
 	s.rows, s.pos = nil, 0
 	name := s.node.Table.Name
-	ids, stored, err := ctx.Store.ScanRows(name)
+	ids, stored, err := ctx.Store.ScanRowsAt(name, ctx.snapTS())
 	if err != nil {
 		return err
 	}
@@ -1111,7 +1128,7 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 	rightColIdx := t.ColumnIndex(j.rightCol)
 
 	// Index the stored inner rows by join key (and probe their CNULLs).
-	ids, stored, err := ctx.Store.ScanRows(t.Name)
+	ids, stored, err := ctx.Store.ScanRowsAt(t.Name, ctx.snapTS())
 	if err != nil {
 		return err
 	}

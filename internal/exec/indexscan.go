@@ -61,11 +61,11 @@ func (s *indexScan) Open(ctx *Ctx) error {
 	// under one lock acquisition per shard — no per-row Get round-trips.
 	var candidates []Row
 	if s.pk {
-		if _, row, ok := ctx.Store.LookupPKRow(s.node.Table.Name, key); ok {
+		if _, row, ok := ctx.Store.LookupPKRowAt(s.node.Table.Name, ctx.snapTS(), key); ok {
 			candidates = []Row{row}
 		}
 	} else {
-		_, rows, err := ctx.Store.LookupIndexRows(s.node.Table.Name, s.indexName, key)
+		_, rows, err := ctx.Store.LookupIndexRowsAt(s.node.Table.Name, s.indexName, ctx.snapTS(), key)
 		if err != nil {
 			return err
 		}

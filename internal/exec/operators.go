@@ -59,14 +59,14 @@ func (s *seqScan) Open(ctx *Ctx) error {
 		// The scan may stop far short of the table: fetch IDs only and
 		// materialize rows lazily so a filled quota costs O(quota), not
 		// O(table) clones.
-		ids, err := ctx.Store.Scan(s.node.Table.Name)
+		ids, err := ctx.Store.ScanAt(s.node.Table.Name, ctx.snapTS())
 		if err != nil {
 			return err
 		}
 		s.ids = ids
 		return nil
 	}
-	_, rows, err := ctx.Store.ScanRows(s.node.Table.Name)
+	_, rows, err := ctx.Store.ScanRowsAt(s.node.Table.Name, ctx.snapTS())
 	if err != nil {
 		return err
 	}
@@ -93,6 +93,7 @@ func (s *seqScan) openParallel(ctx *Ctx) error {
 	sch := s.node.Schema() // resolved once; workers share it read-only
 	name := s.node.Table.Name
 	n := ctx.Store.NumShards()
+	at := ctx.snapTS() // one timestamp for every shard: a consistent cut
 	type part struct {
 		ids     []storage.RowID
 		rows    []Row
@@ -106,7 +107,7 @@ func (s *seqScan) openParallel(ctx *Ctx) error {
 		go func(shard int) {
 			defer wg.Done()
 			p := &parts[shard]
-			ids, rows, err := ctx.Store.ScanShardRows(name, shard)
+			ids, rows, err := ctx.Store.ScanShardRowsAt(name, shard, at)
 			if err != nil {
 				p.err = err
 				return
@@ -177,7 +178,7 @@ func (s *seqScan) Next(ctx *Ctx) (Row, error) {
 			if s.pos >= len(s.ids) {
 				return nil, nil
 			}
-			got, ok := ctx.Store.Get(s.node.Table.Name, s.ids[s.pos])
+			got, ok := ctx.Store.GetAt(s.node.Table.Name, s.ids[s.pos], ctx.snapTS())
 			s.pos++
 			if !ok {
 				continue

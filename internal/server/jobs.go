@@ -85,6 +85,10 @@ type Job struct {
 	settledStats  exec.Stats
 	settledCents  float64
 	progressStats exec.Stats // live snapshot of the running statement
+	// snapshotTS is the MVCC snapshot timestamp the most recent SELECT
+	// pinned: every row that statement streams is the database as of this
+	// commit timestamp, regardless of writes landing while the crowd works.
+	snapshotTS int64
 }
 
 // JobInfo is a job's reportable state (the v1 job resource).
@@ -111,7 +115,10 @@ type JobInfo struct {
 	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
 	SpentCents       float64 `json:"spent_cents"`
 	ActualCents      float64 `json:"actual_cents,omitempty"`
-	Error            *Error  `json:"error,omitempty"`
+	// SnapshotTS is the commit timestamp the latest SELECT's MVCC snapshot
+	// pinned; its streamed rows are the database as of that instant.
+	SnapshotTS int64  `json:"snapshot_ts,omitempty"`
+	Error      *Error `json:"error,omitempty"`
 }
 
 // newJobID formats the n-th job's identifier.
@@ -149,6 +156,7 @@ func (j *Job) Info() JobInfo {
 		StatementsDone: j.stmtsDone,
 		Stats:          j.settledStats.Add(j.progressStats),
 		SpentCents:     j.settledCents + j.price(j.progressStats),
+		SnapshotTS:     j.snapshotTS,
 		Error:          j.err,
 	}
 	if !j.lastPredicted.IsUnbounded() {
@@ -183,6 +191,15 @@ func (j *Job) startResultSet(cols []string) {
 	j.mu.Lock()
 	j.columns = cols
 	j.lastStmtStart = len(j.rows)
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// noteSnapshot records the MVCC snapshot timestamp the running SELECT
+// pinned (engine OnSnapshot hook; runs on the executing goroutine).
+func (j *Job) noteSnapshot(ts int64) {
+	j.mu.Lock()
+	j.snapshotTS = ts
 	j.broadcastLocked()
 	j.mu.Unlock()
 }
@@ -462,6 +479,7 @@ func (s *Server) runJob(job *Job, stmts []parser.Statement) {
 		opts.OnSchema = job.startResultSet
 		opts.OnStats = func(st exec.Stats) { stmtStats = st }
 		opts.Progress = job.noteProgress
+		opts.OnSnapshot = job.noteSnapshot
 		res, err := s.eng.ExecStmtCtx(job.ctx, stmt, opts)
 		// Settle precisely: the stats observer reports crowd work already
 		// paid even when the statement failed or was cancelled, so the

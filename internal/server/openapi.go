@@ -162,6 +162,20 @@ paths:
             text/event-stream:
               schema:
                 type: string
+        '404':
+          description: >-
+            Unknown or evicted job: ids the server never issued and jobs
+            already retired by the finished-job retention cap (MaxJobs)
+            both return the coded unknown_job error. Resuming a stream
+            with ?from=N after eviction is NOT silently empty — clients
+            must treat this as "re-submit the query".
+          content:
+            application/json:
+              schema:
+                type: object
+                properties:
+                  error:
+                    $ref: '#/components/schemas/Error'
         default:
           $ref: '#/components/responses/Error'
   /query:
@@ -320,6 +334,12 @@ components:
           description: Crowd spend committed so far (live while running)
         actual_cents:
           type: number
+        snapshot_ts:
+          type: integer
+          description: >-
+            MVCC commit timestamp the latest SELECT's snapshot pinned;
+            every streamed row is the database as of that instant, even
+            while concurrent writers commit mid-crowd-wait
         error:
           $ref: '#/components/schemas/Error'
     QueryResult:

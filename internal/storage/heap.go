@@ -1,61 +1,212 @@
 package storage
 
 import (
-	"fmt"
+	"math"
 	"sort"
 )
 
-// heap is the row store for one shard of a table: rows addressed by
-// stable RowIDs. Deleted slots are tombstoned; IDs are never reused so
-// the WAL can refer to rows by ID across the table's lifetime. ID
-// allocation lives at the table level (tableStore.nextID) so IDs stay
-// globally monotonic across shards; nextID here only tracks the high
-// water mark for recovery.
-type heap struct {
-	rows   map[RowID]Row
-	nextID RowID
+// tsInfinity marks a row version that has not been superseded or deleted:
+// it is visible to every snapshot at or above its begin timestamp.
+const tsInfinity = int64(math.MaxInt64)
+
+// rowVersion is one entry of a row's version chain: the row image and the
+// half-open commit-timestamp window [begin, end) during which it is the
+// visible version. end == tsInfinity while the version is live.
+type rowVersion struct {
+	row   Row
+	begin int64
+	end   int64
 }
 
-func newHeap() *heap { return &heap{rows: make(map[RowID]Row), nextID: 1} }
+// visibleAt reports whether the version is the one a snapshot at ts sees.
+func (v *rowVersion) visibleAt(ts int64) bool {
+	return v.begin <= ts && ts < v.end
+}
 
-// insertAt stores a row under a caller-allocated (or replayed) ID.
-func (h *heap) insertAt(id RowID, r Row) {
-	h.rows[id] = r
+// versionChain is a row's history, ordered by ascending begin timestamp.
+// Writers only ever append (or stamp the last element's end); readers walk
+// from the back, so the common case — reading the live version — is O(1).
+type versionChain struct {
+	versions []rowVersion
+}
+
+func (c *versionChain) latest() *rowVersion {
+	if len(c.versions) == 0 {
+		return nil
+	}
+	return &c.versions[len(c.versions)-1]
+}
+
+// live returns the current (not superseded, not deleted) row image.
+func (c *versionChain) live() (Row, bool) {
+	if v := c.latest(); v != nil && v.end == tsInfinity {
+		return v.row, true
+	}
+	return nil, false
+}
+
+// at returns the row image a snapshot at ts sees, if any.
+func (c *versionChain) at(ts int64) (Row, bool) {
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].visibleAt(ts) {
+			return c.versions[i].row, true
+		}
+		if c.versions[i].end <= ts {
+			// Versions are ordered by begin; everything earlier ended
+			// even sooner, so nothing below can be visible.
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// heap is the versioned row store for one shard of a table: rows addressed
+// by stable RowIDs, each holding a chain of committed versions so snapshot
+// reads see the image as of their pinned timestamp while writers install
+// new versions. Deleted rows keep their chain (with a finite end stamp)
+// until garbage collection proves no live snapshot can still see it. IDs
+// are never reused, so the WAL can refer to rows by ID across the table's
+// lifetime; nextID here only tracks the high water mark for recovery.
+type heap struct {
+	rows   map[RowID]*versionChain
+	nextID RowID
+	live   int // chains whose latest version is live
+}
+
+func newHeap() *heap { return &heap{rows: make(map[RowID]*versionChain), nextID: 1} }
+
+// insertVersion appends a live version beginning at ts under a
+// caller-allocated (or replayed) ID. The chain may already exist with a
+// dead tail when a primary-key change moved the row away and back.
+func (h *heap) insertVersion(id RowID, r Row, ts int64) {
+	c, ok := h.rows[id]
+	if !ok {
+		c = &versionChain{}
+		h.rows[id] = c
+	}
+	if _, wasLive := c.live(); !wasLive {
+		h.live++
+	}
+	c.versions = append(c.versions, rowVersion{row: r, begin: ts, end: tsInfinity})
 	if id >= h.nextID {
 		h.nextID = id + 1
 	}
 }
 
+// get returns the live (latest committed) row image.
 func (h *heap) get(id RowID) (Row, bool) {
-	r, ok := h.rows[id]
-	return r, ok
-}
-
-func (h *heap) update(id RowID, r Row) error {
-	if _, ok := h.rows[id]; !ok {
-		return fmt.Errorf("storage: row %d not found", id)
+	c, ok := h.rows[id]
+	if !ok {
+		return nil, false
 	}
-	h.rows[id] = r
-	return nil
+	return c.live()
 }
 
-func (h *heap) delete(id RowID) bool {
-	if _, ok := h.rows[id]; !ok {
+// getAt returns the row image visible to a snapshot at ts.
+func (h *heap) getAt(id RowID, ts int64) (Row, bool) {
+	c, ok := h.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return c.at(ts)
+}
+
+// supersede stamps the live version's end with ts (an update installing a
+// replacement, or a delete). The superseded image stays readable to
+// snapshots below ts until gc reclaims it. Returns the superseded row.
+func (h *heap) supersede(id RowID, ts int64) (Row, bool) {
+	c, ok := h.rows[id]
+	if !ok {
+		return nil, false
+	}
+	v := c.latest()
+	if v == nil || v.end != tsInfinity {
+		return nil, false
+	}
+	v.end = ts
+	h.live--
+	return v.row, true
+}
+
+// replaceAt wipes a row's history and installs a single version — the
+// recovery path, where no snapshot can predate the process.
+func (h *heap) replaceAt(id RowID, r Row, ts int64) {
+	if c, ok := h.rows[id]; ok {
+		if _, wasLive := c.live(); wasLive {
+			h.live--
+		}
+	}
+	h.rows[id] = &versionChain{versions: []rowVersion{{row: r, begin: ts, end: tsInfinity}}}
+	h.live++
+	if id >= h.nextID {
+		h.nextID = id + 1
+	}
+}
+
+// hardDelete removes a row and its whole history (recovery replay only).
+func (h *heap) hardDelete(id RowID) bool {
+	c, ok := h.rows[id]
+	if !ok {
 		return false
+	}
+	if _, wasLive := c.live(); wasLive {
+		h.live--
 	}
 	delete(h.rows, id)
 	return true
 }
 
-func (h *heap) count() int { return len(h.rows) }
+func (h *heap) count() int { return h.live }
 
-// scanIDs returns all live row IDs in ascending order, giving scans a
-// deterministic physical order (insertion order).
+// retainedCount reports superseded versions still held for old snapshots.
+func (h *heap) retainedCount() int {
+	n := 0
+	for _, c := range h.rows {
+		n += len(c.versions)
+		if _, ok := c.live(); ok {
+			n--
+		}
+	}
+	return n
+}
+
+// scanIDs returns the IDs of all live rows in ascending order, giving
+// scans a deterministic physical order (insertion order).
 func (h *heap) scanIDs() []RowID {
-	ids := make([]RowID, 0, len(h.rows))
-	for id := range h.rows {
-		ids = append(ids, id)
+	ids := make([]RowID, 0, h.live)
+	for id, c := range h.rows {
+		if _, ok := c.live(); ok {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// scanIDsAt returns the IDs visible to a snapshot at ts, ascending.
+func (h *heap) scanIDsAt(ts int64) []RowID {
+	ids := make([]RowID, 0, len(h.rows))
+	for id, c := range h.rows {
+		if _, ok := c.at(ts); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// gcChain prunes one chain's versions whose end is at or below horizon —
+// invisible to every live and future snapshot. Returns the versions
+// reclaimed and whether the whole chain (row) is gone.
+func (c *versionChain) gcChain(horizon int64) (pruned int, dead bool) {
+	keep := c.versions[:0]
+	for _, v := range c.versions {
+		if v.end <= horizon {
+			pruned++
+			continue
+		}
+		keep = append(keep, v)
+	}
+	c.versions = keep
+	return pruned, len(keep) == 0
 }

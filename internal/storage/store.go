@@ -102,6 +102,12 @@ type indexDef struct {
 // tableShard is one hash partition of a table: its own heap, primary
 // B-tree, and secondary trees, all behind one lock. Writers on different
 // shards never contend.
+//
+// Under MVCC the trees hold one entry per DISTINCT key any retained
+// version of a row carries: updates and deletes leave the old-key entries
+// in place (snapshot readers still probe them) and GC removes an entry
+// only once every version carrying its key is reclaimed. Probes therefore
+// re-verify each hit against the row version visible at their snapshot.
 type tableShard struct {
 	mu      sync.RWMutex
 	heap    *heap
@@ -119,8 +125,6 @@ type tableStore struct {
 	// across all shards, so ascending-ID merges reproduce insertion order
 	// exactly as the unsharded engine did.
 	nextID atomic.Int64
-	// lsn orders mutations across shards (stamped into WAL records).
-	lsn    atomic.Int64
 	shards []*tableShard
 
 	// defMu guards the index-definition list; the per-shard trees
@@ -142,16 +146,6 @@ func newTableStore(name string, pkCols []int, nshards int) *tableStore {
 	return ts
 }
 
-// shardOf routes a row to its home shard: hash of the encoded primary key
-// for PK tables (so uniqueness is a single-shard question and LookupPK
-// touches one lock), row ID modulo fan-out otherwise.
-func (ts *tableStore) shardOf(row Row, id RowID) int {
-	if len(ts.pkCols) > 0 {
-		return ts.shardOfKey(ts.pkKey(row))
-	}
-	return int(id) % len(ts.shards)
-}
-
 func (ts *tableStore) shardOfKey(key string) int {
 	if len(ts.shards) == 1 {
 		return 0
@@ -161,9 +155,10 @@ func (ts *tableStore) shardOfKey(key string) int {
 	return int(h.Sum32() % uint32(len(ts.shards)))
 }
 
-// findShard locates the shard currently holding id (read-locking each
-// candidate in turn). PK-routed rows can live on any shard, so the probe
-// walks them; ID-routed rows resolve directly.
+// findShard locates the shard currently holding the LIVE version of id
+// (read-locking each candidate in turn) — the write-path probe. PK-routed
+// rows can live on any shard, so the probe walks them; ID-routed rows
+// resolve directly.
 func (ts *tableStore) findShard(id RowID) (int, Row, bool) {
 	if len(ts.pkCols) == 0 {
 		i := int(id) % len(ts.shards)
@@ -220,8 +215,9 @@ func (ts *tableStore) allShardIdx() []int {
 
 // Store is the storage engine: every table hash-partitioned across N
 // shards (per-shard heap + B-trees + WAL file, each behind its own lock),
-// with optional write-ahead logging for durability. Row IDs are allocated
-// from one per-table counter, so merging shards by ascending ID
+// with optional write-ahead logging for durability, and multi-version
+// rows so snapshot readers never block writers (see mvcc.go). Row IDs are
+// allocated from one per-table counter, so merging shards by ascending ID
 // reconstructs global insertion order deterministically. All methods are
 // safe for concurrent use; operations on different shards do not contend.
 type Store struct {
@@ -235,6 +231,14 @@ type Store struct {
 	// and then synchronize per shard.
 	mu     sync.Mutex
 	tables atomic.Value // map[string]*tableStore
+
+	// clock issues commit timestamps (stamped into WAL records as the
+	// LSN); visible is the watermark snapshots read at; retained counts
+	// superseded versions awaiting GC.
+	clock    atomic.Int64
+	visible  atomic.Int64
+	retained atomic.Int64
+	mvccState
 }
 
 // NewStore creates a store with default options (automatic shard count,
@@ -258,7 +262,7 @@ func NewStoreOptions(dir string, opts Options) (*Store, error) {
 	if nshards > MaxShards {
 		return nil, fmt.Errorf("storage: %d shards exceeds the maximum %d", nshards, MaxShards)
 	}
-	s := &Store{dir: dir, mode: mode}
+	s := &Store{dir: dir, mode: mode, mvccState: newMVCCState()}
 	s.tables.Store(map[string]*tableStore{})
 	if dir == "" {
 		if nshards <= 0 {
@@ -368,7 +372,10 @@ func (s *Store) DropTable(name string) error {
 }
 
 // CreateIndex builds a secondary index over the given column ordinals
-// (one tree per shard), indexing existing rows immediately.
+// (one tree per shard), indexing existing rows immediately. Every
+// retained version's key is indexed — not just the live one — so
+// snapshot readers that planned through the new index still see the rows
+// their snapshot pins; uniqueness is judged on live rows only.
 func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -387,20 +394,32 @@ func (s *Store) CreateIndex(table, name string, cols []int, unique bool) error {
 	unlock := ts.lockShards(ts.allShardIdx()...)
 	defer unlock()
 	// Uniqueness is a cross-shard property for secondary keys: collect all
-	// keys first, then commit the trees only if no duplicate exists.
+	// live keys first, then commit the trees only if no duplicate exists.
 	def := indexDef{name: name, cols: append([]int(nil), cols...), unique: unique}
 	seen := make(map[string]bool)
 	trees := make([]*BTree, len(ts.shards))
 	for i, sh := range ts.shards {
 		trees[i] = NewBTree()
-		for _, id := range sh.heap.scanIDs() {
-			row, _ := sh.heap.get(id)
-			k := indexKeyFor(row, def.cols)
-			if unique && seen[k] {
-				return fmt.Errorf("storage: unique index %s violated by existing data", name)
+		ids := make([]RowID, 0, len(sh.heap.rows))
+		for id := range sh.heap.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			added := make(map[string]bool, 1)
+			for _, v := range sh.heap.rows[id].versions {
+				k := indexKeyFor(v.row, def.cols)
+				if unique && v.end == tsInfinity {
+					if seen[k] {
+						return fmt.Errorf("storage: unique index %s violated by existing data", name)
+					}
+					seen[k] = true
+				}
+				if !added[k] {
+					trees[i].Insert(k, id)
+					added[k] = true
+				}
 			}
-			seen[k] = true
-			trees[i].Insert(k, id)
 		}
 	}
 	for i, sh := range ts.shards {
@@ -441,9 +460,29 @@ func pkString(row Row, cols []int) string {
 	return strings.Join(parts, ",")
 }
 
+// treeInsertUnique inserts (key, id) unless the pair is already present —
+// version chains can revisit a key (A→B→A) whose entry was retained.
+func treeInsertUnique(tree *BTree, key string, id RowID) {
+	for _, rid := range tree.Search(key) {
+		if rid == id {
+			return
+		}
+	}
+	tree.Insert(key, id)
+}
+
+// liveKeyMatch reports whether id's LIVE version on this shard currently
+// carries the given key — index entries may be stale (retained for old
+// snapshots), so every write-path hit must be re-verified. Caller holds
+// the shard lock.
+func (sh *tableShard) liveKeyMatch(id RowID, cols []int, key string) bool {
+	r, ok := sh.heap.get(id)
+	return ok && indexKeyFor(r, cols) == key
+}
+
 // uniqueViolated reports whether a unique secondary index already holds
-// the row's key on some shard (other than owner id, for updates). Caller
-// holds every shard lock.
+// the row's key LIVE on some shard (other than owner id, for updates).
+// Caller holds every shard lock.
 func (ts *tableStore) uniqueViolated(row Row, self RowID) (string, bool) {
 	for _, d := range ts.idxDefs {
 		if !d.unique {
@@ -452,7 +491,7 @@ func (ts *tableStore) uniqueViolated(row Row, self RowID) (string, bool) {
 		k := indexKeyFor(row, d.cols)
 		for _, sh := range ts.shards {
 			for _, rid := range sh.indexes[strings.ToLower(d.name)].tree.Search(k) {
-				if rid != self {
+				if rid != self && sh.liveKeyMatch(rid, d.cols, k) {
 					return d.name, true
 				}
 			}
@@ -461,10 +500,31 @@ func (ts *tableStore) uniqueViolated(row Row, self RowID) (string, bool) {
 	return "", false
 }
 
-// Insert adds a row, enforcing primary-key uniqueness, and returns its ID.
-// The fast path locks only the row's home shard; tables with unique
-// secondary indexes lock every shard (the key may collide anywhere).
+// pkTaken reports whether any LIVE row on the shard holds the primary
+// key. Stale tree entries (rows that moved or changed key, retained for
+// snapshots) do not count. Caller holds the shard lock.
+func (ts *tableStore) pkTaken(sh *tableShard, key string, self RowID) bool {
+	for _, rid := range sh.primary.Search(key) {
+		if rid != self && sh.liveKeyMatch(rid, ts.pkCols, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds a row in its own single-statement transaction.
 func (s *Store) Insert(table string, row Row) (RowID, error) {
+	tx := s.Begin()
+	defer tx.Commit()
+	return tx.Insert(table, row)
+}
+
+// Insert adds a row under the transaction's timestamp, enforcing
+// primary-key uniqueness, and returns its ID. The fast path locks only
+// the row's home shard; tables with unique secondary indexes lock every
+// shard (the key may collide anywhere).
+func (t *Txn) Insert(table string, row Row) (RowID, error) {
+	s := t.s
 	ts, err := s.table(table)
 	if err != nil {
 		return 0, err
@@ -496,7 +556,7 @@ func (s *Store) Insert(table string, row Row) (RowID, error) {
 		}
 		break
 	}
-	if pkRouted && len(ts.shards[home].primary.Search(ts.pkKey(row))) > 0 {
+	if pkRouted && ts.pkTaken(ts.shards[home], ts.pkKey(row), 0) {
 		unlock()
 		return 0, &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
 	}
@@ -511,15 +571,14 @@ func (s *Store) Insert(table string, row Row) (RowID, error) {
 		// IDs and single-threaded replays keep the unsharded sequence.
 		id = RowID(ts.nextID.Add(1))
 	}
-	return s.finishInsert(ts, home, id, row, unlock)
+	return s.finishInsert(ts, home, id, row, t.ts, unlock)
 }
 
 // finishInsert logs and applies an insert into shard `home` with the
 // caller holding (at least) that shard's lock; unlock releases it.
 // Group-commit acknowledgement happens after the locks are released so
 // concurrent writers on the shard coalesce into one fsync.
-func (s *Store) finishInsert(ts *tableStore, home int, id RowID, row Row, unlock func()) (RowID, error) {
-	lsn := ts.lsn.Add(1)
+func (s *Store) finishInsert(ts *tableStore, home int, id RowID, row Row, commitTS int64, unlock func()) (RowID, error) {
 	var seq int64
 	if s.logs != nil {
 		data, err := EncodeRow(row)
@@ -527,20 +586,20 @@ func (s *Store) finishInsert(ts *tableStore, home int, id RowID, row Row, unlock
 			unlock()
 			return 0, err
 		}
-		seq, err = s.logs[home].append(walRecord{Op: "insert", Table: ts.name, Row: id, LSN: lsn, Data: data})
+		seq, err = s.logs[home].append(walRecord{Op: "insert", Table: ts.name, Row: id, LSN: commitTS, Data: data})
 		if err != nil {
 			unlock()
 			return 0, err
 		}
 	}
 	sh := ts.shards[home]
-	sh.heap.insertAt(id, row.Clone())
-	sh.rowLSN[id] = lsn
+	sh.heap.insertVersion(id, row.Clone(), commitTS)
+	sh.rowLSN[id] = commitTS
 	if sh.primary != nil {
-		sh.primary.Insert(ts.pkKey(row), id)
+		treeInsertUnique(sh.primary, ts.pkKey(row), id)
 	}
 	for _, idx := range sh.indexes {
-		idx.tree.Insert(indexKeyFor(row, idx.cols), id)
+		treeInsertUnique(idx.tree, indexKeyFor(row, idx.cols), id)
 	}
 	unlock()
 	if s.logs != nil {
@@ -551,11 +610,21 @@ func (s *Store) finishInsert(ts *tableStore, home int, id RowID, row Row, unlock
 	return id, nil
 }
 
-// Update replaces the row at id, maintaining all indexes. A primary-key
-// change can re-home the row onto a different shard; both shards are
-// locked in ascending order and the move is logged as a delete on the old
-// shard's WAL plus an upsert on the new one's.
+// Update replaces a row in its own single-statement transaction.
 func (s *Store) Update(table string, id RowID, row Row) error {
+	tx := s.Begin()
+	defer tx.Commit()
+	return tx.Update(table, id, row)
+}
+
+// Update installs a new version of the row at id under the transaction's
+// timestamp, maintaining all indexes. The superseded version is retained
+// for live snapshots: old index entries stay in place until GC. A
+// primary-key change can re-home the row onto a different shard; both
+// shards are locked in ascending order and the move is logged as a delete
+// on the old shard's WAL plus an upsert on the new one's.
+func (t *Txn) Update(table string, id RowID, row Row) error {
+	s := t.s
 	ts, err := s.table(table)
 	if err != nil {
 		return err
@@ -590,13 +659,9 @@ func (s *Store) Update(table string, id RowID, row Row) error {
 		}
 		if src.primary != nil {
 			newKey := ts.pkKey(row)
-			if newKey != ts.pkKey(old) {
-				for _, other := range ts.shards[newShard].primary.Search(newKey) {
-					if other != id {
-						unlock()
-						return &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
-					}
-				}
+			if newKey != ts.pkKey(old) && ts.pkTaken(ts.shards[newShard], newKey, id) {
+				unlock()
+				return &DuplicateKeyError{Table: table, Key: pkString(row, ts.pkCols)}
 			}
 		}
 		if ts.hasUnique.Load() {
@@ -605,7 +670,6 @@ func (s *Store) Update(table string, id RowID, row Row) error {
 				return &DuplicateKeyError{Table: table, Key: idx}
 			}
 		}
-		lsn := ts.lsn.Add(1)
 		var seqs [2]int64
 		var logged [2]int
 		nlogged := 0
@@ -619,7 +683,7 @@ func (s *Store) Update(table string, id RowID, row Row) error {
 			// below, fsynced) BEFORE the old shard's delete. A crash
 			// between the two can leave both copies live — never zero —
 			// and recovery keeps the higher-LSN copy (reconcileMoves).
-			seq, err := s.logs[newShard].append(walRecord{Op: "update", Table: ts.name, Row: id, LSN: lsn, Data: data})
+			seq, err := s.logs[newShard].append(walRecord{Op: "update", Table: ts.name, Row: id, LSN: t.ts, Data: data})
 			if err != nil {
 				unlock()
 				return err
@@ -627,7 +691,7 @@ func (s *Store) Update(table string, id RowID, row Row) error {
 			seqs[nlogged], logged[nlogged] = seq, newShard
 			nlogged++
 			if newShard != oldShard {
-				seq, err := s.logs[oldShard].append(walRecord{Op: "delete", Table: ts.name, Row: id, LSN: lsn})
+				seq, err := s.logs[oldShard].append(walRecord{Op: "delete", Table: ts.name, Row: id, LSN: t.ts})
 				if err != nil {
 					unlock()
 					return err
@@ -637,20 +701,21 @@ func (s *Store) Update(table string, id RowID, row Row) error {
 			}
 		}
 		dst := ts.shards[newShard]
-		if src.primary != nil {
-			src.primary.Delete(ts.pkKey(old), id)
-			dst.primary.Insert(ts.pkKey(row), id)
-		}
-		for name, idx := range src.indexes {
-			idx.tree.Delete(indexKeyFor(old, idx.cols), id)
-			dst.indexes[name].tree.Insert(indexKeyFor(row, idx.cols), id)
-		}
+		// Supersede the old version in place (snapshots keep reading it;
+		// its index entries stay until GC) and install the new one.
+		src.heap.supersede(id, t.ts)
+		s.retained.Add(1)
 		if newShard != oldShard {
-			src.heap.delete(id)
 			delete(src.rowLSN, id)
 		}
-		dst.heap.insertAt(id, row.Clone())
-		dst.rowLSN[id] = lsn
+		dst.heap.insertVersion(id, row.Clone(), t.ts)
+		dst.rowLSN[id] = t.ts
+		if dst.primary != nil {
+			treeInsertUnique(dst.primary, ts.pkKey(row), id)
+		}
+		for _, idx := range dst.indexes {
+			treeInsertUnique(idx.tree, indexKeyFor(row, idx.cols), id)
+		}
 		unlock()
 		for i := 0; i < nlogged; i++ {
 			if err := s.logs[logged[i]].commit(seqs[i]); err != nil {
@@ -661,8 +726,18 @@ func (s *Store) Update(table string, id RowID, row Row) error {
 	}
 }
 
-// Delete removes the row at id.
+// Delete removes a row in its own single-statement transaction.
 func (s *Store) Delete(table string, id RowID) error {
+	tx := s.Begin()
+	defer tx.Commit()
+	return tx.Delete(table, id)
+}
+
+// Delete ends the row's live version at the transaction's timestamp. The
+// final version (and its index entries) is retained for live snapshots
+// until GC reclaims it.
+func (t *Txn) Delete(table string, id RowID) error {
+	s := t.s
 	ts, err := s.table(table)
 	if err != nil {
 		return err
@@ -674,26 +749,20 @@ func (s *Store) Delete(table string, id RowID) error {
 		}
 		unlock := ts.lockShards(shard)
 		sh := ts.shards[shard]
-		old, ok := sh.heap.get(id)
-		if !ok {
+		if _, ok := sh.heap.get(id); !ok {
 			unlock()
 			continue
 		}
 		var seq int64
 		if s.logs != nil {
-			seq, err = s.logs[shard].append(walRecord{Op: "delete", Table: ts.name, Row: id, LSN: ts.lsn.Add(1)})
+			seq, err = s.logs[shard].append(walRecord{Op: "delete", Table: ts.name, Row: id, LSN: t.ts})
 			if err != nil {
 				unlock()
 				return err
 			}
 		}
-		if sh.primary != nil {
-			sh.primary.Delete(ts.pkKey(old), id)
-		}
-		for _, idx := range sh.indexes {
-			idx.tree.Delete(indexKeyFor(old, idx.cols), id)
-		}
-		sh.heap.delete(id)
+		sh.heap.supersede(id, t.ts)
+		s.retained.Add(1)
 		delete(sh.rowLSN, id)
 		unlock()
 		if s.logs != nil {
@@ -703,23 +772,48 @@ func (s *Store) Delete(table string, id RowID) error {
 	}
 }
 
-// Get returns a copy of the row at id (probing shards for PK-routed
-// tables; resolving directly for ID-routed ones).
+// Get returns a copy of the row at id as of the current watermark.
 func (s *Store) Get(table string, id RowID) (Row, bool) {
-	ts, err := s.table(table)
+	return s.GetAt(table, id, s.visible.Load())
+}
+
+// GetAt returns a copy of the row version at id visible to a snapshot at
+// ts (probing shards for PK-routed tables — a moved row's versions live
+// on different shards, but at most one is visible at any timestamp).
+func (s *Store) GetAt(table string, id RowID, ts int64) (Row, bool) {
+	t, err := s.table(table)
 	if err != nil {
 		return nil, false
 	}
-	_, r, ok := ts.findShard(id)
-	if !ok {
-		return nil, false
+	if len(t.pkCols) == 0 {
+		sh := t.shards[int(id)%len(t.shards)]
+		sh.mu.RLock()
+		r, ok := sh.heap.getAt(id, ts)
+		sh.mu.RUnlock()
+		if !ok {
+			return nil, false
+		}
+		return r.Clone(), true
 	}
-	return r.Clone(), true
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		r, ok := sh.heap.getAt(id, ts)
+		sh.mu.RUnlock()
+		if ok {
+			return r.Clone(), true
+		}
+	}
+	return nil, false
 }
 
-// Scan returns all live row IDs of a table in insertion order (ascending
-// ID across shards).
+// Scan returns all row IDs visible at the current watermark in insertion
+// order (ascending ID across shards).
 func (s *Store) Scan(table string) ([]RowID, error) {
+	return s.ScanAt(table, s.visible.Load())
+}
+
+// ScanAt returns the row IDs visible to a snapshot at ts, ascending.
+func (s *Store) ScanAt(table string, at int64) ([]RowID, error) {
 	ts, err := s.table(table)
 	if err != nil {
 		return nil, err
@@ -728,7 +822,7 @@ func (s *Store) Scan(table string) ([]RowID, error) {
 	total := 0
 	for i, sh := range ts.shards {
 		sh.mu.RLock()
-		perShard[i] = sh.heap.scanIDs()
+		perShard[i] = sh.heap.scanIDsAt(at)
 		sh.mu.RUnlock()
 		total += len(perShard[i])
 	}
@@ -756,10 +850,17 @@ func mergeIDs(perShard [][]RowID, total int) []RowID {
 	return out
 }
 
-// ScanRows snapshots a table's live rows in insertion order with one lock
-// acquisition per shard, returning parallel ID and row slices. This is
-// the bulk read path: no per-row lock churn, no per-row Get.
+// ScanRows snapshots a table's rows at the current watermark in insertion
+// order with one lock acquisition per shard, returning parallel ID and
+// row slices. This is the bulk read path: no per-row lock churn.
 func (s *Store) ScanRows(table string) ([]RowID, []Row, error) {
+	return s.ScanRowsAt(table, s.visible.Load())
+}
+
+// ScanRowsAt is ScanRows pinned to a snapshot timestamp: it returns
+// exactly the rows visible at ts, however long ago that watermark was
+// pinned and however many writes have committed since.
+func (s *Store) ScanRowsAt(table string, at int64) ([]RowID, []Row, error) {
 	ts, err := s.table(table)
 	if err != nil {
 		return nil, nil, err
@@ -768,15 +869,20 @@ func (s *Store) ScanRows(table string) ([]RowID, []Row, error) {
 	rows := make([][]Row, len(ts.shards))
 	total := 0
 	for i := range ts.shards {
-		ids[i], rows[i] = ts.snapshotShard(i)
+		ids[i], rows[i] = ts.snapshotShard(i, at)
 		total += len(ids[i])
 	}
 	return mergeRows(ids, rows, total)
 }
 
-// ScanShardRows snapshots one shard's live rows (ascending ID) under one
-// lock acquisition — the unit of work of a parallel scan.
+// ScanShardRows snapshots one shard's rows at the current watermark.
 func (s *Store) ScanShardRows(table string, shard int) ([]RowID, []Row, error) {
+	return s.ScanShardRowsAt(table, shard, s.visible.Load())
+}
+
+// ScanShardRowsAt snapshots one shard's rows visible at ts (ascending ID)
+// under one lock acquisition — the unit of work of a parallel scan.
+func (s *Store) ScanShardRowsAt(table string, shard int, at int64) ([]RowID, []Row, error) {
 	ts, err := s.table(table)
 	if err != nil {
 		return nil, nil, err
@@ -784,18 +890,18 @@ func (s *Store) ScanShardRows(table string, shard int) ([]RowID, []Row, error) {
 	if shard < 0 || shard >= len(ts.shards) {
 		return nil, nil, fmt.Errorf("storage: shard %d out of range for %s (%d shards)", shard, table, len(ts.shards))
 	}
-	ids, rows := ts.snapshotShard(shard)
+	ids, rows := ts.snapshotShard(shard, at)
 	return ids, rows, nil
 }
 
-func (ts *tableStore) snapshotShard(i int) ([]RowID, []Row) {
+func (ts *tableStore) snapshotShard(i int, at int64) ([]RowID, []Row) {
 	sh := ts.shards[i]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	ids := sh.heap.scanIDs()
+	ids := sh.heap.scanIDsAt(at)
 	rows := make([]Row, len(ids))
 	for j, id := range ids {
-		r, _ := sh.heap.get(id)
+		r, _ := sh.heap.getAt(id, at)
 		rows[j] = r.Clone()
 	}
 	return ids, rows
@@ -837,20 +943,27 @@ func (s *Store) RowCount(table string) (int, error) {
 	return n, nil
 }
 
-// LookupPK finds the row whose primary key equals the given values (a
-// single-shard probe: the key hashes to its home shard).
+// LookupPK finds the row whose primary key equals the given values at the
+// current watermark (a single-shard probe: the key hashes to its home).
 func (s *Store) LookupPK(table string, pk ...sqltypes.Value) (RowID, bool) {
-	id, _, ok := s.lookupPK(table, false, pk)
+	id, _, ok := s.lookupPK(table, false, pk, s.visible.Load())
 	return id, ok
 }
 
 // LookupPKRow is LookupPK that also returns a copy of the row under the
 // same lock acquisition (no separate Get round-trip).
 func (s *Store) LookupPKRow(table string, pk ...sqltypes.Value) (RowID, Row, bool) {
-	return s.lookupPK(table, true, pk)
+	return s.lookupPK(table, true, pk, s.visible.Load())
 }
 
-func (s *Store) lookupPK(table string, withRow bool, pk []sqltypes.Value) (RowID, Row, bool) {
+// LookupPKRowAt probes the primary key as a snapshot at ts sees it: the
+// version visible at ts whose key matches, even if the row has since been
+// updated, moved, or deleted.
+func (s *Store) LookupPKRowAt(table string, at int64, pk ...sqltypes.Value) (RowID, Row, bool) {
+	return s.lookupPK(table, true, pk, at)
+}
+
+func (s *Store) lookupPK(table string, withRow bool, pk []sqltypes.Value, at int64) (RowID, Row, bool) {
 	ts, err := s.table(table)
 	if err != nil || len(ts.pkCols) == 0 {
 		return 0, nil, false
@@ -859,34 +972,41 @@ func (s *Store) lookupPK(table string, withRow bool, pk []sqltypes.Value) (RowID
 	sh := ts.shards[ts.shardOfKey(key)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	rids := sh.primary.Search(key)
-	if len(rids) == 0 {
-		return 0, nil, false
+	// Entries may be stale (retained for old snapshots): verify each hit
+	// against the version visible at the read timestamp. Any version
+	// carrying this key was routed here, so one shard suffices.
+	for _, rid := range sh.primary.Search(key) {
+		r, ok := sh.heap.getAt(rid, at)
+		if !ok || ts.pkKey(r) != key {
+			continue
+		}
+		if !withRow {
+			return rid, nil, true
+		}
+		return rid, r.Clone(), true
 	}
-	if !withRow {
-		return rids[0], nil, true
-	}
-	r, ok := sh.heap.get(rids[0])
-	if !ok {
-		return 0, nil, false
-	}
-	return rids[0], r.Clone(), true
+	return 0, nil, false
 }
 
-// LookupIndex returns the row IDs matching key values on a named index,
-// in insertion order (ascending ID across shards).
+// LookupIndex returns the row IDs matching key values on a named index at
+// the current watermark, in insertion order (ascending ID across shards).
 func (s *Store) LookupIndex(table, index string, vals ...sqltypes.Value) ([]RowID, error) {
-	ids, _, err := s.lookupIndex(table, index, false, vals)
+	ids, _, err := s.lookupIndex(table, index, false, vals, s.visible.Load())
 	return ids, err
 }
 
 // LookupIndexRows returns matching rows (with their IDs) in insertion
 // order, cloned under one lock acquisition per shard.
 func (s *Store) LookupIndexRows(table, index string, vals ...sqltypes.Value) ([]RowID, []Row, error) {
-	return s.lookupIndex(table, index, true, vals)
+	return s.lookupIndex(table, index, true, vals, s.visible.Load())
 }
 
-func (s *Store) lookupIndex(table, index string, withRows bool, vals []sqltypes.Value) ([]RowID, []Row, error) {
+// LookupIndexRowsAt probes a secondary index as a snapshot at ts sees it.
+func (s *Store) LookupIndexRowsAt(table, index string, at int64, vals ...sqltypes.Value) ([]RowID, []Row, error) {
+	return s.lookupIndex(table, index, true, vals, at)
+}
+
+func (s *Store) lookupIndex(table, index string, withRows bool, vals []sqltypes.Value, at int64) ([]RowID, []Row, error) {
 	ts, err := s.table(table)
 	if err != nil {
 		return nil, nil, err
@@ -906,11 +1026,15 @@ func (s *Store) lookupIndex(table, index string, withRows bool, vals []sqltypes.
 			return nil, nil, fmt.Errorf("storage: index %s not found on %s", index, table)
 		}
 		for _, rid := range idx.tree.Search(key) {
+			// Stale-entry filter: the version visible at the read
+			// timestamp must actually carry this key.
+			r, ok := sh.heap.getAt(rid, at)
+			if !ok || indexKeyFor(r, idx.cols) != key {
+				continue
+			}
 			h := hit{id: rid}
 			if withRows {
-				if r, ok := sh.heap.get(rid); ok {
-					h.row = r.Clone()
-				}
+				h.row = r.Clone()
 			}
 			hits = append(hits, h)
 		}
@@ -936,7 +1060,10 @@ func (s *Store) lookupIndex(table, index string, withRows bool, vals []sqltypes.
 
 // Recover replays the per-shard snapshots (if any) and WALs into the
 // already-created tables, one goroutine per shard. Call exactly once,
-// after the schema has been re-created.
+// after the schema has been re-created. Version history does not survive
+// a restart: recovery rebuilds single-version chains (no snapshot can
+// predate the process) and resumes the commit clock above every
+// recovered timestamp.
 func (s *Store) Recover() error {
 	if s.dir == "" {
 		return nil
@@ -962,26 +1089,28 @@ func (s *Store) Recover() error {
 		}
 	}
 	s.reconcileMoves()
-	// Row-ID and LSN allocation resume above every recovered value.
+	// Row-ID allocation and the commit clock resume above every
+	// recovered value.
+	var maxTS int64
 	for _, ts := range s.tableMap() {
 		var max RowID
-		var maxLSN int64
 		for _, sh := range ts.shards {
 			if m := sh.heap.nextID - 1; m > max {
 				max = m
 			}
 			for _, l := range sh.rowLSN {
-				if l > maxLSN {
-					maxLSN = l
+				if l > maxTS {
+					maxTS = l
 				}
 			}
 		}
 		if int64(max) > ts.nextID.Load() {
 			ts.nextID.Store(int64(max))
 		}
-		if maxLSN > ts.lsn.Load() {
-			ts.lsn.Store(maxLSN)
-		}
+	}
+	if maxTS > s.clock.Load() {
+		s.clock.Store(maxTS)
+		s.visible.Store(maxTS)
 	}
 	return nil
 }
@@ -1037,7 +1166,7 @@ func (ts *tableStore) purgeRow(shard int, id RowID) {
 	for _, idx := range sh.indexes {
 		idx.tree.Delete(indexKeyFor(row, idx.cols), id)
 	}
-	sh.heap.delete(id)
+	sh.heap.hardDelete(id)
 	delete(sh.rowLSN, id)
 }
 
@@ -1048,7 +1177,9 @@ func fileExists(path string) bool {
 
 // recoverShard loads one shard's snapshot then replays its WAL. Shards
 // are disjoint, so recovery parallelizes with no locking beyond the
-// shard's own mutex (taken for symmetry; no concurrent use yet).
+// shard's own mutex (taken for symmetry; no concurrent use yet). Replay
+// applies destructively (replace/hard-delete, eager index maintenance):
+// there is no history to retain at recovery time.
 func (s *Store) recoverShard(shard int) error {
 	if err := s.loadSnapshotShard(shard); err != nil {
 		return err
@@ -1075,7 +1206,7 @@ func (s *Store) recoverShard(shard int) error {
 					idx.tree.Delete(indexKeyFor(old, idx.cols), rec.Row)
 				}
 			}
-			sh.heap.insertAt(rec.Row, row)
+			sh.heap.replaceAt(rec.Row, row, rec.LSN)
 			sh.rowLSN[rec.Row] = rec.LSN
 			if sh.primary != nil {
 				sh.primary.Insert(ts.pkKey(row), rec.Row)
@@ -1091,7 +1222,7 @@ func (s *Store) recoverShard(shard int) error {
 				for _, idx := range sh.indexes {
 					idx.tree.Delete(indexKeyFor(old, idx.cols), rec.Row)
 				}
-				sh.heap.delete(rec.Row)
+				sh.heap.hardDelete(rec.Row)
 				delete(sh.rowLSN, rec.Row)
 			}
 		default:
@@ -1104,6 +1235,8 @@ func (s *Store) recoverShard(shard int) error {
 // snapshotFile is the per-shard JSON checkpoint format: rows per table
 // keyed by ID (the rows of exactly one shard of each table), each with
 // the LSN of its last mutation (for post-crash move reconciliation).
+// Only live rows are checkpointed: version history never survives a
+// restart, so superseded versions have nothing to offer recovery.
 type snapshotFile struct {
 	Tables map[string]map[RowID]snapRow `json:"tables"`
 }
@@ -1143,7 +1276,7 @@ func (s *Store) loadSnapshotShard(shard int) error {
 				sh.mu.Unlock()
 				return err
 			}
-			sh.heap.insertAt(id, row)
+			sh.heap.replaceAt(id, row, rows[id].LSN)
 			sh.rowLSN[id] = rows[id].LSN
 			if sh.primary != nil {
 				sh.primary.Insert(ts.pkKey(row), id)
