@@ -19,7 +19,9 @@
 //	curl -sN localhost:8090/v1/queries/j000001/rows     # stream partial rows
 //	curl -s -X DELETE localhost:8090/v1/queries/j000001 # cancel
 //	curl -s localhost:8090/query -d '{"sql":"SHOW TABLES;"}'
+//	curl -s localhost:8090/v1/queries/j000001/trace    # span tree
 //	curl -s localhost:8090/stats
+//	curl -s localhost:8090/metrics                     # Prometheus text
 //	curl -s localhost:8090/healthz
 //
 // SIGINT/SIGTERM drain gracefully: running queries finish, new ones are
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints for the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +63,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
 	shards := flag.Int("shards", 0, "storage shards per table (0 = one per CPU, capped; durable stores adopt their on-disk count)")
 	walSync := flag.String("wal-sync", "group", "WAL durability: always, group, or off")
+	slowQueryMs := flag.Int("slow-query-ms", 0, "dump span trees of statements/jobs slower than this to stderr (0 = disabled)")
+	pprofAddr := flag.String("pprof", "", "pprof listen address, e.g. localhost:6060 (empty = disabled)")
 	flag.Parse()
 
 	if *httpAddr == "" && *tcpAddr == "" {
@@ -69,12 +74,13 @@ func main() {
 
 	conf := workload.NewConference(20, *seed)
 	cfg := crowddb.Config{
-		DataDir:         *data,
-		Shards:          *shards,
-		WALSync:         storage.SyncMode(*walSync),
-		Oracle:          conf.Oracle(),
-		Payment:         wrm.DefaultPolicy(),
-		CompareCacheCap: *cacheCap,
+		DataDir:            *data,
+		Shards:             *shards,
+		WALSync:            storage.SyncMode(*walSync),
+		Oracle:             conf.Oracle(),
+		Payment:            wrm.DefaultPolicy(),
+		CompareCacheCap:    *cacheCap,
+		SlowQueryThreshold: time.Duration(*slowQueryMs) * time.Millisecond,
 	}
 	switch *platform {
 	case "amt":
@@ -109,6 +115,16 @@ func main() {
 	})
 
 	errc := make(chan error, 2)
+	if *pprofAddr != "" {
+		// net/http/pprof registers on the DefaultServeMux; the API server
+		// below uses its own mux, so profiling stays on its own listener.
+		go func() {
+			fmt.Printf("crowddbd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "crowddbd: pprof:", err)
+			}
+		}()
+	}
 	if *httpAddr != "" {
 		hs := &http.Server{Addr: *httpAddr, Handler: srv.HTTPHandler()}
 		go func() {

@@ -1,0 +1,135 @@
+package bench
+
+// E21: observability overhead. PR 7 threads trace spans, per-operator
+// instrumentation, and metrics counters through the whole stack; the
+// instrumented wrapper is only installed when a statement runs with a
+// trace or an ANALYZE stats map, so the untraced hot path must stay
+// byte-identical. This experiment runs the same fixed workload — one
+// crowd-paid entity-resolution SELECT plus a train of cache-served
+// repeats — under both arms: observability on (the default; every
+// statement records an engine-owned trace) and Config.
+// DisableObservability (the control: no tracer, no spans).
+//
+// Determinism note for the benchdiff gate: crowd work, HIT groups, and
+// row counts must be IDENTICAL across arms — tracing must never change
+// what the engine does, only record it — and those metrics are gated.
+// Wall-clock times and the overhead ratio are informational (their keys
+// avoid the gate's directional classifiers).
+
+import (
+	"fmt"
+	"time"
+
+	"crowddb/internal/core"
+	"crowddb/internal/crowd/amt"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+const (
+	e21Pairs   = 8  // company pairs in the fixture
+	e21Repeats = 24 // cache-served repeat SELECTs after the paid one
+)
+
+// e21Arm runs the fixed workload once and reports its deterministic
+// counters and wall time. disable selects the control arm.
+func e21Arm(seed int64, disable bool) (comparisons, groups, rows, spans int, wall time.Duration, err error) {
+	conf := workload.NewConference(8, seed)
+	eng, err := core.Open(core.Config{
+		Platform:             amt.NewDefault(seed),
+		Oracle:               conf.Oracle(),
+		Payment:              wrm.DefaultPolicy(),
+		Tasks:                fastTasks(),
+		DisableObservability: disable,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer eng.Close()
+	if _, err := eng.Exec(`CREATE TABLE Pair (id INTEGER PRIMARY KEY, a STRING, b STRING)`); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	cs := workload.NewCompanies(e21Pairs, seed)
+	for i, c := range cs.List {
+		variant := c.Variants[len(c.Variants)-1] // true match under the oracle
+		if _, err := eng.Exec(fmt.Sprintf("INSERT INTO Pair VALUES (%d, %s, %s)",
+			i, sqltypes.NewString(c.Canonical).SQLLiteral(), sqltypes.NewString(variant).SQLLiteral())); err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+	}
+
+	const q = "SELECT id FROM Pair WHERE a ~= b"
+	start := time.Now()
+	for i := 0; i <= e21Repeats; i++ { // first iteration pays the crowd
+		res, err := eng.Exec(q)
+		if err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+		comparisons += res.Stats.Comparisons
+		rows += len(res.Rows)
+	}
+	wall = time.Since(start)
+	groups = eng.Tasks().Stats().GroupsPosted
+	if tracer := eng.Tracer(); tracer != nil {
+		// The paid statement's trace is the first SELECT after the
+		// fixture's 1 CREATE + e21Pairs INSERTs.
+		if tr := tracer.Lookup(fmt.Sprintf("q%06d", e21Pairs+2)); tr != nil {
+			spans = tr.SpanCount()
+		}
+	}
+	return comparisons, groups, rows, spans, wall, nil
+}
+
+// E21ObservabilityOverhead is the tracing-overhead harness.
+func E21ObservabilityOverhead(seed int64) *Table {
+	tab := &Table{
+		ID:      "E21",
+		Title:   "observability overhead: traced vs DisableObservability on a crowd workload (extension)",
+		Exhibit: "per-query trace spans and metrics with an untouched untraced hot path (post-paper extension)",
+		Headers: []string{"arm", "paid comparisons", "HIT groups", "rows out", "trace spans", "wall"},
+		Metrics: map[string]float64{},
+	}
+	onCmp, onGroups, onRows, onSpans, onWall, err := e21Arm(seed, false)
+	if err != nil {
+		tab.Notes = append(tab.Notes, err.Error())
+		return tab
+	}
+	offCmp, offGroups, offRows, offSpans, offWall, err := e21Arm(seed, true)
+	if err != nil {
+		tab.Notes = append(tab.Notes, err.Error())
+		return tab
+	}
+	tab.AddRow("observability on", fmt.Sprintf("%d", onCmp), fmt.Sprintf("%d", onGroups),
+		fmt.Sprintf("%d", onRows), fmt.Sprintf("%d", onSpans), onWall.String())
+	tab.AddRow("observability off", fmt.Sprintf("%d", offCmp), fmt.Sprintf("%d", offGroups),
+		fmt.Sprintf("%d", offRows), fmt.Sprintf("%d", offSpans), offWall.String())
+
+	// Deterministic, gated: the two arms must do identical crowd work.
+	tab.Metrics["on_comparisons"] = float64(onCmp)
+	tab.Metrics["off_comparisons"] = float64(offCmp)
+	tab.Metrics["on_groups"] = float64(onGroups)
+	tab.Metrics["off_groups"] = float64(offGroups)
+	tab.Metrics["on_rows_out"] = float64(onRows)
+	tab.Metrics["off_rows_out"] = float64(offRows)
+	tab.Metrics["arm_divergence_err"] = float64(abs(onCmp-offCmp) + abs(onGroups-offGroups) + abs(onRows-offRows))
+	// Informational: span volume and wall clock (keys avoid the gate's
+	// directional classifiers — wall time is machine noise).
+	tab.Metrics["trace_span_volume"] = float64(onSpans)
+	tab.Metrics["on_wall_micros"] = float64(onWall.Microseconds())
+	tab.Metrics["off_wall_micros"] = float64(offWall.Microseconds())
+	if offWall > 0 {
+		tab.Metrics["overhead_wall_ratio"] = float64(onWall) / float64(offWall)
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("both arms run 1 paid + %d cache-served SELECTs; gated metrics assert identical crowd work", e21Repeats),
+		"wall-clock keys are informational; the arm_divergence_err gate pins tracing as observation-only")
+	return tab
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// E21: tracing is observation-only — both arms must do bit-identical
+// crowd work at any seed, and the traced arm must actually have recorded
+// a span tree for the paid statement.
+func TestE21Shape(t *testing.T) {
+	tab := E21ObservabilityOverhead(42)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v (notes: %v)", tab.Rows, tab.Notes)
+	}
+	if got := tab.Metrics["arm_divergence_err"]; got != 0 {
+		t.Errorf("arm_divergence_err = %v, want 0: tracing changed the engine's crowd work", got)
+	}
+	if got := tab.Metrics["on_comparisons"]; got < float64(e21Pairs) {
+		t.Errorf("on_comparisons = %v, want >= %d (every pair compared once)", got, e21Pairs)
+	}
+	if got := tab.Metrics["on_rows_out"]; got != float64(e21Pairs*(e21Repeats+1)) {
+		t.Errorf("on_rows_out = %v, want %d (all true matches, every run)", got, e21Pairs*(e21Repeats+1))
+	}
+	if got := tab.Metrics["trace_span_volume"]; got <= 0 {
+		t.Errorf("trace_span_volume = %v, want > 0: the paid SELECT's trace was not retained", got)
+	}
+	if got := tab.Metrics["overhead_wall_ratio"]; got <= 0 {
+		t.Errorf("overhead_wall_ratio = %v, want > 0", got)
+	}
+}

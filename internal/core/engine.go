@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -16,10 +17,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"crowddb/internal/catalog"
 	"crowddb/internal/crowd"
 	"crowddb/internal/exec"
+	"crowddb/internal/obs"
 	"crowddb/internal/optimizer"
 	"crowddb/internal/parser"
 	"crowddb/internal/plan"
@@ -71,6 +75,15 @@ type Config struct {
 	CompareCacheCap int
 	// Optimizer exposes the rule switches (ablation benchmarks).
 	Optimizer optimizer.Options
+	// SlowQueryThreshold, when positive, dumps the full span tree of any
+	// statement or job whose wall time reaches it to SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query span dumps (nil = os.Stderr).
+	SlowQueryLog io.Writer
+	// DisableObservability turns per-statement tracing off (the metrics
+	// registry stays registered but statements record no spans). The
+	// overhead benchmark's control arm.
+	DisableObservability bool
 }
 
 // Result is the outcome of one statement.
@@ -134,6 +147,14 @@ type Engine struct {
 	// costMu guards the predicted-vs-actual cost-model accounting.
 	costMu    sync.Mutex
 	costModel CostModelStats
+
+	// Observability: the metrics registry every subsystem exports into,
+	// the trace recorder (nil when Config.DisableObservability), a
+	// sequence for engine-owned trace ids, and the hot-path counters.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	traceSeq atomic.Int64
+	obsm     engineMetrics
 }
 
 // CostModelStats aggregates the cost model's predicted-vs-actual error
@@ -216,6 +237,7 @@ func Open(cfg Config) (*Engine, error) {
 		e.refreshStats()
 	}
 	e.uim.GenerateAll()
+	e.initObservability()
 	return e, nil
 }
 
@@ -380,6 +402,11 @@ type ExecOpts struct {
 	// the jobs API surfaces it so clients know which database state a
 	// long-running query reflects.
 	OnSnapshot func(ts int64)
+	// Trace, when set, records the statement's span tree into the given
+	// trace instead of an engine-owned one (the jobs API threads one
+	// trace through every statement of a job). Nil with tracing enabled
+	// means the engine starts and finishes its own trace per statement.
+	Trace *obs.Trace
 }
 
 // DefaultExecOpts defers every knob to the engine configuration.
@@ -402,9 +429,14 @@ func (e *Engine) ExecStmtOpts(stmt parser.Statement, opts ExecOpts) (*Result, er
 // opts.OnStats still reports the work already paid for. This is the
 // context-aware entry point the jobs API and the client SDK build on.
 func (e *Engine) Execute(ctx context.Context, sql string, opts ExecOpts) (*Result, error) {
+	parseStart := time.Now()
 	stmts, err := parser.ParseAll(sql)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Trace != nil {
+		psp := opts.Trace.SpanAt(nil, "parse", parseStart, time.Now())
+		psp.SetInt("statements", int64(len(stmts)))
 	}
 	var last *Result
 	for _, s := range stmts {
@@ -420,16 +452,52 @@ func (e *Engine) Execute(ctx context.Context, sql string, opts ExecOpts) (*Resul
 	return last, nil
 }
 
+// stmtAttrMax bounds the statement text recorded on a span.
+const stmtAttrMax = 200
+
 // ExecStmtCtx runs one parsed statement under ctx. Read-only statements
 // (SELECT, EXPLAIN, SHOW) take no lock and run concurrently with
 // everything — each SELECT pins an MVCC snapshot instead; DDL and DML
 // serialize against each other only, each committing as one transaction.
+//
+// Every statement records a span tree: into opts.Trace when the caller
+// threads one (the jobs API), otherwise into an engine-owned trace that
+// is finished — and slow-query-logged past the threshold — when the
+// statement returns.
 func (e *Engine) ExecStmtCtx(ctx context.Context, stmt parser.Statement, opts ExecOpts) (*Result, error) {
+	kind := stmtKind(stmt)
+	e.obsm.statements[kind].Inc()
+	tr := opts.Trace
+	owned := false
+	if tr == nil && e.tracer != nil {
+		tr = e.tracer.Start(fmt.Sprintf("q%06d", e.traceSeq.Add(1)))
+		owned = true
+	}
+	sp := tr.Span(nil, "statement")
+	sp.SetAttr("kind", kind)
+	if s := stmt.String(); len(s) <= stmtAttrMax {
+		sp.SetAttr("stmt", s)
+	} else {
+		sp.SetAttr("stmt", s[:stmtAttrMax]+"…")
+	}
+	res, err := e.execStmt(ctx, stmt, opts, tr, sp)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	if owned {
+		e.tracer.Finish(tr)
+	}
+	return res, err
+}
+
+// execStmt dispatches one statement with its trace context threaded.
+func (e *Engine) execStmt(ctx context.Context, stmt parser.Statement, opts ExecOpts, tr *obs.Trace, sp *obs.Span) (*Result, error) {
 	switch s := stmt.(type) {
 	case *parser.Select:
-		return e.execSelect(ctx, s, opts)
+		return e.execSelect(ctx, s, opts, tr, sp)
 	case *parser.Explain:
-		return e.execExplain(s)
+		return e.execExplain(ctx, s, opts, tr, sp)
 	case *parser.ShowTables:
 		return e.execShowTables()
 	}
@@ -442,11 +510,11 @@ func (e *Engine) ExecStmtCtx(ctx context.Context, stmt parser.Statement, opts Ex
 		}
 		return &Result{}, nil
 	case *parser.Insert:
-		return e.execInsert(s)
+		return e.execInsert(s, tr, sp)
 	case *parser.Update:
-		return e.execUpdate(s)
+		return e.execUpdate(s, tr, sp)
 	case *parser.Delete:
-		return e.execDelete(s)
+		return e.execDelete(s, tr, sp)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }
@@ -546,7 +614,16 @@ func constEval(ex parser.Expr) (sqltypes.Value, error) {
 	return exec.EvalConst(ex)
 }
 
-func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
+// commitTraced commits a DML statement's transaction under a "commit"
+// span (the span covers watermark advancement; WAL fsync latency is
+// measured separately, per shard, by the storage histograms).
+func (e *Engine) commitTraced(tx *storage.Txn, tr *obs.Trace, sp *obs.Span) {
+	csp := tr.Span(sp, "commit")
+	tx.Commit()
+	csp.End()
+}
+
+func (e *Engine) execInsert(s *parser.Insert, tr *obs.Trace, sp *obs.Span) (*Result, error) {
 	t, ok := e.cat.Table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("core: table %s not found", s.Table)
@@ -570,7 +647,7 @@ func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
 	// rows applied before a mid-statement error stay applied (the
 	// engine's established partial-application semantics).
 	tx := e.store.Begin()
-	defer tx.Commit()
+	defer e.commitTraced(tx, tr, sp)
 	inserted := 0
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(cols) {
@@ -611,7 +688,7 @@ func (e *Engine) execInsert(s *parser.Insert) (*Result, error) {
 	return &Result{Affected: inserted}, nil
 }
 
-func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
+func (e *Engine) execUpdate(s *parser.Update, tr *obs.Trace, sp *obs.Span) (*Result, error) {
 	t, ok := e.cat.Table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("core: table %s not found", s.Table)
@@ -630,7 +707,7 @@ func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
 	// One transaction per statement: all matched rows flip to the new
 	// version together from any new snapshot's point of view.
 	tx := e.store.Begin()
-	defer tx.Commit()
+	defer e.commitTraced(tx, tr, sp)
 	affected := 0
 	for i, row := range rows {
 		id := ids[i]
@@ -667,7 +744,7 @@ func (e *Engine) execUpdate(s *parser.Update) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
+func (e *Engine) execDelete(s *parser.Delete, tr *obs.Trace, sp *obs.Span) (*Result, error) {
 	t, ok := e.cat.Table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("core: table %s not found", s.Table)
@@ -681,7 +758,7 @@ func (e *Engine) execDelete(s *parser.Delete) (*Result, error) {
 	// One transaction per statement: all matched rows disappear together
 	// from any new snapshot's point of view.
 	tx := e.store.Begin()
-	defer tx.Commit()
+	defer e.commitTraced(tx, tr, sp)
 	affected := 0
 	for i, row := range rows {
 		id := ids[i]
@@ -759,11 +836,34 @@ func (e *Engine) actualCents(st exec.Stats) float64 {
 		float64(st.NewTupleRequests)*float64(cfg.Reward)*float64(cfg.NewTupleAssignments)
 }
 
-func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts) (*Result, error) {
-	opt, err := e.compile(s)
+func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts, tr *obs.Trace, sp *obs.Span) (*Result, error) {
+	opt, err := e.compileTraced(s, tr, sp)
 	if err != nil {
 		return nil, err
 	}
+	return e.runSelect(ctx, opt, opts, tr, sp, nil)
+}
+
+// compileTraced compiles a SELECT under an "optimize" span carrying the
+// chosen plan's cost snapshot.
+func (e *Engine) compileTraced(s *parser.Select, tr *obs.Trace, sp *obs.Span) (*optimizer.Result, error) {
+	osp := tr.Span(sp, "optimize")
+	opt, err := e.compile(s)
+	if err != nil {
+		osp.SetAttr("error", err.Error())
+		osp.End()
+		return nil, err
+	}
+	osp.SetAttr("predicted", opt.Predicted.String())
+	osp.SetAttr("bounded", fmt.Sprintf("%v", opt.Bounded))
+	osp.End()
+	return opt, nil
+}
+
+// runSelect executes a compiled SELECT. opStats, when non-nil, collects
+// per-plan-node actuals (EXPLAIN ANALYZE); passing it also forces the
+// instrumented operator shells on even when tracing is off.
+func (e *Engine) runSelect(ctx context.Context, opt *optimizer.Result, opts ExecOpts, tr *obs.Trace, sp *obs.Span, opStats map[plan.Node]*exec.OpStats) (*Result, error) {
 	budget := e.cfg.CompareBudget
 	if opts.CompareBudget >= 0 {
 		budget = opts.CompareBudget
@@ -773,7 +873,12 @@ func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts
 	// committed at this timestamp. Released when the statement finishes
 	// so version GC can reclaim what only this snapshot could see.
 	snap := e.store.AcquireSnapshot()
-	defer snap.Release()
+	snapSpan := tr.Span(sp, "snapshot")
+	snapSpan.SetInt("ts", snap.TS())
+	defer func() {
+		snap.Release()
+		snapSpan.End()
+	}()
 	if opts.OnSnapshot != nil {
 		opts.OnSnapshot(snap.TS())
 	}
@@ -786,7 +891,13 @@ func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts
 		SnapshotTS:    snap.TS(),
 		Context:       ctx,
 		Progress:      opts.Progress,
+		Trace:         tr,
+		OpStats:       opStats,
 	}
+	// Crowd counters fold in even when the statement errors or is
+	// cancelled midway — like the stats observer below, they account for
+	// work already paid.
+	defer func() { e.noteCrowdStats(ectx.Stats) }()
 	// The stats observer fires even when the statement errors or is
 	// cancelled midway: the crowd work already committed must reach the
 	// caller's budget settlement, and the Result cannot carry it then.
@@ -800,6 +911,9 @@ func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts
 	if opts.OnSchema != nil {
 		opts.OnSchema(cols)
 	}
+	execSpan := tr.Span(sp, "execute")
+	ectx.Span = execSpan
+	defer execSpan.End()
 	e.installSubqueryRunner(ectx, 0)
 	op, err := exec.Build(opt.Root, ectx)
 	if err != nil {
@@ -868,6 +982,10 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 			CompareBudget: budget,
 			SnapshotTS:    ctx.SnapshotTS, // one snapshot for the whole statement
 			Context:       ctx.Context,
+			// The subquery's spans nest under the operator evaluating the
+			// IN predicate at call time.
+			Trace: ctx.Trace,
+			Span:  ctx.Span,
 		}
 		// Live-progress observers see the outer statement's totals plus
 		// the subquery's running snapshot — never the subquery's counts
@@ -898,14 +1016,33 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 	}
 }
 
-func (e *Engine) execExplain(s *parser.Explain) (*Result, error) {
+func (e *Engine) execExplain(ctx context.Context, s *parser.Explain, opts ExecOpts, tr *obs.Trace, sp *obs.Span) (*Result, error) {
 	sel, ok := s.Stmt.(*parser.Select)
 	if !ok {
 		return nil, fmt.Errorf("core: EXPLAIN supports SELECT only")
 	}
-	opt, err := e.compile(sel)
+	opt, err := e.compileTraced(sel, tr, sp)
 	if err != nil {
 		return nil, err
+	}
+	// EXPLAIN ANALYZE runs the statement for real — crowd work, spend,
+	// budget, and all — discarding the rows; the per-operator actuals it
+	// measures annotate the plan next to the optimizer's predictions.
+	var opStats map[plan.Node]*exec.OpStats
+	var analyzed *Result
+	if s.Analyze {
+		run := opts
+		run.Sink = nil
+		run.OnSchema = nil
+		opStats = make(map[plan.Node]*exec.OpStats)
+		analyzed, err = e.runSelect(ctx, opt, run, tr, sp, opStats)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var cfg taskmgr.Config
+	if e.tasks != nil {
+		cfg = e.tasks.Config()
 	}
 	var sb strings.Builder
 	sb.WriteString(plan.ExplainTreeAnnotated(opt.Root, func(n plan.Node) string {
@@ -916,13 +1053,26 @@ func (e *Engine) execExplain(s *parser.Explain) (*Result, error) {
 		if cost, ok := opt.Costs[n]; ok {
 			parts = append(parts, cost.String())
 		}
+		if st, ok := opStats[n]; ok {
+			parts = append(parts, fmt.Sprintf("(actual: %d rows, %s, ¢%.1f)",
+				st.RowsOut, time.Duration(st.WallNanos).Round(time.Microsecond), st.Cents(cfg)))
+		}
 		return strings.Join(parts, "  ")
 	}))
 	fmt.Fprintf(&sb, "bounded: %v\n", opt.Bounded)
 	fmt.Fprintf(&sb, "predicted: %s\n", opt.Predicted)
 	// EXPLAIN reads no rows; it reports the watermark a SELECT compiled
-	// right now would pin.
-	return &Result{Plan: sb.String(), Warnings: opt.Warnings, Predicted: opt.Predicted, SnapshotTS: e.store.VisibleTS()}, nil
+	// right now would pin. ANALYZE reports the snapshot it executed at.
+	res := &Result{Plan: sb.String(), Warnings: opt.Warnings, Predicted: opt.Predicted, SnapshotTS: e.store.VisibleTS()}
+	if analyzed != nil {
+		fmt.Fprintf(&sb, "actual: ¢%.1f, %d comparisons, %d rows\n",
+			analyzed.ActualCents, analyzed.Stats.Comparisons, len(analyzed.Rows))
+		res.Plan = sb.String()
+		res.Stats = analyzed.Stats
+		res.ActualCents = analyzed.ActualCents
+		res.SnapshotTS = analyzed.SnapshotTS
+	}
+	return res, nil
 }
 
 // lookupPersistedCompare reads one comparison answer from the system

@@ -1,0 +1,169 @@
+package core
+
+// Engine observability: EXPLAIN ANALYZE actuals, per-statement traces,
+// the slow-query log, and the DisableObservability control arm.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"crowddb/internal/crowd/amt"
+	"crowddb/internal/obs"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+func TestExplainAnalyze(t *testing.T) {
+	eng, conf := newConferenceEngine(t, 31, "")
+	defer eng.Close()
+	title := sqltypes.NewString(conf.Talks[0].Title).SQLLiteral()
+	q := "SELECT abstract FROM Talk WHERE title = " + title
+
+	// Plain EXPLAIN predicts but never executes: no actuals, no probes.
+	res := mustExec(t, eng, "EXPLAIN "+q)
+	if strings.Contains(res.Plan, "(actual:") {
+		t.Fatalf("EXPLAIN must not report actuals:\n%s", res.Plan)
+	}
+	if res.Stats.ProbeRequests != 0 {
+		t.Fatalf("EXPLAIN must not run the query: %+v", res.Stats)
+	}
+
+	// EXPLAIN ANALYZE executes for real and annotates each operator with
+	// measured rows, wall time, and cents next to the predictions.
+	res = mustExec(t, eng, "EXPLAIN ANALYZE "+q)
+	for _, want := range []string{"ProbeScan(Talk)", "(actual:", "rows", "predicted:", "actual: ¢"} {
+		if !strings.Contains(res.Plan, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, res.Plan)
+		}
+	}
+	if res.Stats.ProbeRequests != 1 {
+		t.Errorf("ANALYZE must pay for the probe: %+v", res.Stats)
+	}
+	if res.ActualCents <= 0 {
+		t.Errorf("ANALYZE must report measured spend, got ¢%v", res.ActualCents)
+	}
+
+	// The crowd work ANALYZE paid for is durable: the same SELECT now
+	// answers from storage without a second probe.
+	res = mustExec(t, eng, q)
+	if res.Stats.ProbeRequests != 0 {
+		t.Errorf("probe answer not reused after ANALYZE: %+v", res.Stats)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].IsNull() {
+		t.Errorf("rows after ANALYZE: %v", res.Rows)
+	}
+
+	if _, err := eng.Exec("EXPLAIN ANALYZE INSERT INTO Talk (title) VALUES ('x')"); err == nil {
+		t.Error("EXPLAIN ANALYZE DML must fail")
+	}
+}
+
+// TestStatementTrace drives a crowd SELECT under a caller-owned trace and
+// checks the span taxonomy end to end.
+func TestStatementTrace(t *testing.T) {
+	eng, conf := newConferenceEngine(t, 32, "")
+	defer eng.Close()
+	tr := eng.Tracer().Start("t-test")
+	q := "SELECT abstract FROM Talk WHERE title = " +
+		sqltypes.NewString(conf.Talks[1].Title).SQLLiteral()
+	if _, err := eng.Execute(context.Background(), q, ExecOpts{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Tracer().Finish(tr)
+
+	got := eng.Tracer().Lookup("t-test")
+	if got == nil {
+		t.Fatal("finished trace not retained")
+	}
+	tj := got.JSON()
+	for _, prefix := range []string{"parse", "statement", "optimize", "snapshot", "execute", "op:scan", "crowd:probe"} {
+		if len(tj.FindSpans(prefix)) == 0 {
+			t.Errorf("no %q span in trace %s (%d spans)", prefix, tj.TraceID, tj.Spans)
+		}
+	}
+	probe := tj.FindSpans("crowd:probe")[0]
+	if probe.Attrs["answers"] == "" || probe.Attrs["posted_at"] == "" {
+		t.Errorf("probe span lacks lifecycle attrs: %v", probe.Attrs)
+	}
+}
+
+// TestEngineOwnedTraces checks that statements run without a caller trace
+// still record one in the tracer's ring under a q-sequence id.
+func TestEngineOwnedTraces(t *testing.T) {
+	eng, _ := newConferenceEngine(t, 33, "")
+	defer eng.Close()
+	// newConferenceEngine already ran statements; q000001 is its CREATE.
+	tr := eng.Tracer().Lookup("q000001")
+	if tr == nil {
+		t.Fatal("engine-owned trace q000001 not retained")
+	}
+	if spans := tr.JSON().FindSpans("statement"); len(spans) == 0 || spans[0].Attrs["kind"] != "ddl" {
+		t.Errorf("first trace should be the DDL statement: %+v", spans)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	conf := workload.NewConference(20, 34)
+	eng, err := Open(Config{
+		Platform:           amt.NewDefault(34),
+		Oracle:             conf.Oracle(),
+		Payment:            wrm.DefaultPolicy(),
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLog:       &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	mustExec(t, eng, "CREATE TABLE t (id INTEGER PRIMARY KEY)")
+	mustExec(t, eng, "SELECT id FROM t")
+	out := buf.String()
+	if !strings.Contains(out, "[slow query]") || !strings.Contains(out, "statement") {
+		t.Errorf("slow-query log did not fire:\n%s", out)
+	}
+}
+
+// TestDisableObservability is the benchmark control arm: no tracer, no
+// spans, yet queries — including EXPLAIN ANALYZE, whose actuals come
+// from the opStats map, not the tracer — behave identically.
+func TestDisableObservability(t *testing.T) {
+	conf := workload.NewConference(20, 35)
+	eng, err := Open(Config{
+		Platform:             amt.NewDefault(35),
+		Oracle:               conf.Oracle(),
+		Payment:              wrm.DefaultPolicy(),
+		DisableObservability: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Tracer() != nil {
+		t.Fatal("DisableObservability must drop the tracer")
+	}
+	if eng.Metrics() == nil {
+		t.Fatal("metrics registry must survive DisableObservability")
+	}
+	mustExec(t, eng, `CREATE TABLE Talk (
+		title STRING PRIMARY KEY,
+		abstract CROWD STRING,
+		nb_attendees CROWD INTEGER )`)
+	mustExec(t, eng, "INSERT INTO Talk (title) VALUES ("+
+		sqltypes.NewString(conf.Talks[0].Title).SQLLiteral()+")")
+	res := mustExec(t, eng, "EXPLAIN ANALYZE SELECT abstract FROM Talk WHERE title = "+
+		sqltypes.NewString(conf.Talks[0].Title).SQLLiteral())
+	if !strings.Contains(res.Plan, "(actual:") {
+		t.Errorf("EXPLAIN ANALYZE must still measure actuals without a tracer:\n%s", res.Plan)
+	}
+	// Passing an obs.Trace is harmless too: the nil tracer just never
+	// retains it.
+	var tr *obs.Trace
+	if _, err := eng.Execute(context.Background(), "SELECT title FROM Talk", ExecOpts{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+}

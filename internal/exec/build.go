@@ -10,8 +10,19 @@ import (
 // Build instantiates the physical operator tree for a logical plan
 // (paper §3.2.2 step 3: "the logical plan is translated into a physical
 // plan... Crowd operators and traditional operators of the relational
-// algebra are instantiated").
+// algebra are instantiated"). When the context carries a trace or an
+// EXPLAIN ANALYZE stats map, every operator (recursively, since child
+// construction also goes through Build) is wrapped in an instrumented
+// shell.
 func Build(n plan.Node, ctx *Ctx) (Operator, error) {
+	op, err := build(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return instrument(op, n, ctx), nil
+}
+
+func build(n plan.Node, ctx *Ctx) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		if ctx.Tasks != nil && (x.Table.Crowd || len(x.AskColumns) > 0) {

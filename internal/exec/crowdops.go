@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"crowddb/internal/catalog"
+	"crowddb/internal/obs"
 	"crowddb/internal/parser"
 	"crowddb/internal/plan"
 	"crowddb/internal/quality"
@@ -89,6 +90,21 @@ type Ctx struct {
 	// spent so far" from it without racing on Stats.
 	Progress func(Stats)
 	Stats    Stats
+
+	// Trace, when set, records this statement's execution as a span
+	// tree: Build wraps every operator in an instrumented shell, and the
+	// crowd operators open a span per HIT-group interaction. Nil leaves
+	// the raw operators in place — a traced run and an untraced run make
+	// bit-identical crowd decisions.
+	Trace *obs.Trace
+	// Span is the parent new spans attach under; the instrumented
+	// operator shells push/pop it around delegated calls so crowd spans
+	// nest under the operator that caused them.
+	Span *obs.Span
+	// OpStats, when non-nil, collects per-plan-node actuals (rows out,
+	// wall time, crowd work) for EXPLAIN ANALYZE. Counts are inclusive
+	// of child operators.
+	OpStats map[plan.Node]*OpStats
 
 	subqMemo map[*parser.InExpr][]sqltypes.Value
 }
@@ -177,10 +193,16 @@ func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
 				return sqltypes.NewBool(claim.Value == "yes"), nil
 			}
 			if !claim.Leader {
+				fsp := ctx.startCrowdSpan("crowd:compare_equal")
+				fsp.SetAttr("role", "follower")
 				if v, ok := claim.WaitCtx(ctx.context()); ok {
 					ctx.Stats.SharedFlights++
+					fsp.SetAttr("adopted", "true")
+					fsp.End()
 					return sqltypes.NewBool(v == "yes"), nil
 				}
+				fsp.SetAttr("adopted", "false")
+				fsp.End()
 				continue
 			}
 			if ctx.Tasks == nil || !ctx.budgetOK() {
@@ -190,8 +212,13 @@ func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
 				}
 				return sqltypes.Null(), nil
 			}
+			sp := ctx.startCrowdSpan("crowd:compare_equal")
+			sp.SetAttr("role", "leader")
+			sp.SetInt("pairs", 1)
 			call, err := ctx.Tasks.CompareEqualAsync(question, []taskmgr.ComparePair{{Left: l, Right: r}})
 			if err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.End()
 				claim.Abandon()
 				return sqltypes.Value{}, err
 			}
@@ -204,10 +231,13 @@ func cachedEqualResolver(ctx *Ctx) crowdEqualFn {
 					// was committed, so nothing is charged.
 					ctx.Stats.Comparisons--
 				}
+				sp.SetAttr("error", err.Error())
+				sp.End()
 				claim.Abandon()
 				return sqltypes.Value{}, err
 			}
 			d := ds[0]
+			finishGroupSpan(sp, call.Telemetry(), d.Total, quorumCount(ds))
 			if d.Total == 0 {
 				claim.Abandon()
 				return sqltypes.Null(), nil
@@ -338,6 +368,7 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 		question string
 		batch    []pending
 		call     *taskmgr.CompareCall
+		span     *obs.Span
 	}
 	var dispatched []eqCall
 	drainFrom := func(k int) {
@@ -348,6 +379,8 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 		// (and their charge refunded — they never reached the platform)
 		// and posted groups left for the next driver to settle.
 		for _, c := range dispatched[k:] {
+			c.span.SetAttr("drained", "true")
+			c.span.End()
 			if ctx.Canceled() != nil {
 				if c.call.Abort() {
 					ctx.Stats.Comparisons -= len(c.batch)
@@ -375,22 +408,29 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 			for i, p := range batch {
 				pairs[i] = taskmgr.ComparePair{Left: p.l, Right: p.r}
 			}
+			sp := ctx.startCrowdSpan("crowd:compare_equal")
+			sp.SetAttr("role", "leader")
+			sp.SetInt("pairs", int64(len(batch)))
 			call, err := ctx.Tasks.CompareEqualAsync(q, pairs)
 			if err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.End()
 				ctx.Stats.Comparisons -= undispatched
 				drainFrom(0)
 				return err
 			}
 			undispatched -= len(batch)
-			dispatched = append(dispatched, eqCall{question: q, batch: batch, call: call})
+			dispatched = append(dispatched, eqCall{question: q, batch: batch, call: call, span: sp})
 		}
 	}
 	for k, c := range dispatched {
 		ds, err := c.call.WaitCtx(ctx.context())
 		if err != nil {
+			c.span.SetAttr("error", err.Error())
 			drainFrom(k)
 			return err
 		}
+		finishGroupSpan(c.span, c.call.Telemetry(), answersTotal(ds), quorumCount(ds))
 		for i, d := range ds {
 			if d.Total == 0 {
 				continue
@@ -407,12 +447,22 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 	// Adopt the answers other sessions are sourcing. This must come after
 	// every own claim resolved: two sessions following each other's pairs
 	// before fulfilling their own would deadlock.
+	adopted := 0
+	if len(followers) > 0 {
+		asp := ctx.startCrowdSpan("crowd:adopt_followers")
+		asp.SetInt("flights", int64(len(followers)))
+		defer func() {
+			asp.SetInt("adopted", int64(adopted))
+			asp.End()
+		}()
+	}
 	for _, cl := range followers {
 		if err := ctx.Canceled(); err != nil {
 			return err
 		}
 		if _, ok := cl.WaitCtx(ctx.context()); ok {
 			ctx.Stats.SharedFlights++
+			adopted++
 		}
 		// ok=false: the leader abandoned (error or no quorum) or this
 		// query was cancelled; the pair resolves — or stays unknown — at
@@ -524,6 +574,7 @@ func (s *crowdSorter) sort(idx []int) error {
 			pivot int
 			pairs []taskmgr.ComparePair
 			call  *taskmgr.CompareCall
+			span  *obs.Span
 		}
 		var round []segCall
 		var leaderClaims, followers []Claim
@@ -540,6 +591,8 @@ func (s *crowdSorter) sort(idx []int) error {
 				if sc.call == nil {
 					continue
 				}
+				sc.span.SetAttr("drained", "true")
+				sc.span.End()
 				if s.ctx.Canceled() != nil {
 					if sc.call.Abort() {
 						// Withdrawn before reaching the platform: refund.
@@ -573,8 +626,13 @@ func (s *crowdSorter) sort(idx []int) error {
 			sc := segCall{seg: seg, pivot: pivot, pairs: pairs}
 			if len(sc.pairs) > 0 {
 				s.ctx.noteProgress()
+				sp := s.ctx.startCrowdSpan("crowd:compare_order")
+				sp.SetAttr("role", "leader")
+				sp.SetInt("pairs", int64(len(sc.pairs)))
 				call, err := s.ctx.Tasks.CompareOrderAsync(s.question, sc.pairs)
 				if err != nil {
+					sp.SetAttr("error", err.Error())
+					sp.End()
 					// This segment's pairs never went out: refund them.
 					s.ctx.Stats.Comparisons -= len(sc.pairs)
 					drainFrom(0)
@@ -582,6 +640,7 @@ func (s *crowdSorter) sort(idx []int) error {
 					return err
 				}
 				sc.call = call
+				sc.span = sp
 			}
 			round = append(round, sc)
 		}
@@ -593,10 +652,12 @@ func (s *crowdSorter) sort(idx []int) error {
 			}
 			ds, err := sc.call.WaitCtx(s.ctx.context())
 			if err != nil {
+				sc.span.SetAttr("error", err.Error())
 				drainFrom(k)
 				releaseRound()
 				return err
 			}
+			finishGroupSpan(sc.span, sc.call.Telemetry(), answersTotal(ds), quorumCount(ds))
 			for i, d := range ds {
 				if d.Total == 0 {
 					continue
@@ -888,10 +949,13 @@ func probeCNullsOnce(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.Row
 		lo   int // offset of the chunk's first request in reqs
 		n    int
 		call *taskmgr.ProbeCall
+		span *obs.Span
 	}
 	var chunks []probeChunk
 	drainFrom := func(k int) {
 		for _, c := range chunks[k:] {
+			c.span.SetAttr("drained", "true")
+			c.span.End()
 			if ctx.Canceled() != nil {
 				if c.call.Abort() {
 					// Withdrawn before reaching the platform: refund.
@@ -910,22 +974,38 @@ func probeCNullsOnce(ctx *Ctx, node *plan.Scan, rows []Row, rowIDs []storage.Row
 			drainFrom(0)
 			return err
 		}
+		sp := ctx.startCrowdSpan("crowd:probe")
+		sp.SetAttr("table", t.Name)
+		sp.SetInt("requests", int64(len(chunk)))
 		call, err := ctx.Tasks.ProbeValuesAsync(t.Name, chunk)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			ctx.Stats.ProbeRequests -= undispatched
 			drainFrom(0)
 			return err
 		}
 		undispatched -= len(chunk)
-		chunks = append(chunks, probeChunk{lo: lo, n: len(chunk), call: call})
+		chunks = append(chunks, probeChunk{lo: lo, n: len(chunk), call: call, span: sp})
 		lo += len(chunk)
 	}
 	for k, c := range chunks {
 		results, err := c.call.WaitCtx(ctx.context())
 		if err != nil {
+			c.span.SetAttr("error", err.Error())
 			drainFrom(k)
 			return err
 		}
+		answers, quorums := 0, 0
+		for _, res := range results {
+			for _, d := range res.Decisions {
+				answers += d.Total
+				if d.Quorum {
+					quorums++
+				}
+			}
+		}
+		finishGroupSpan(c.span, c.call.Telemetry(), answers, quorums)
 		for ri, res := range results {
 			i := reqRow[c.lo+ri]
 			changed := false
@@ -987,8 +1067,13 @@ func solicitTuples(ctx *Ctx, node *plan.Scan, existing []Row) ([]Row, error) {
 	}
 	ctx.Stats.NewTupleRequests += want
 	ctx.noteProgress()
+	sp := ctx.startCrowdSpan("crowd:new_tuples")
+	sp.SetAttr("table", t.Name)
+	sp.SetInt("want", int64(want))
 	call, err := ctx.Tasks.NewTuplesBatchAsync(t.Name, []taskmgr.TupleRequest{{Prefill: prefill, Want: want}})
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		ctx.Stats.NewTupleRequests -= want
 		return nil, err
 	}
@@ -998,12 +1083,15 @@ func solicitTuples(ctx *Ctx, node *plan.Scan, existing []Row) ([]Row, error) {
 			// Withdrawn before reaching the platform: refund.
 			ctx.Stats.NewTupleRequests -= want
 		}
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return nil, err
 	}
 	var candidates []map[string]string
 	if len(batches) > 0 {
 		candidates = batches[0]
 	}
+	finishGroupSpan(sp, call.Telemetry(), len(candidates), 0)
 	accepted, err := insertCandidates(ctx, t, candidates)
 	if err == nil && len(node.ProbeKeys) > 0 {
 		// Cost-model feedback: accepted crowd tuples per solicited key.
@@ -1189,6 +1277,7 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 			type tupleChunk struct {
 				want int // summed Want of the chunk's requests
 				call *taskmgr.TupleCall
+				span *obs.Span
 			}
 			wantOf := func(rs []taskmgr.TupleRequest) int {
 				n := 0
@@ -1200,6 +1289,8 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 			var calls []tupleChunk
 			drainFrom := func(k int) {
 				for _, c := range calls[k:] {
+					c.span.SetAttr("drained", "true")
+					c.span.End()
 					if ctx.Canceled() != nil {
 						if c.call.Abort() {
 							// Withdrawn before reaching the platform: refund.
@@ -1218,22 +1309,33 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 					drainFrom(0)
 					return err
 				}
+				sp := ctx.startCrowdSpan("crowd:join_tuples")
+				sp.SetAttr("table", t.Name)
+				sp.SetInt("want", int64(wantOf(chunk)))
 				call, err := ctx.Tasks.NewTuplesBatchAsync(t.Name, chunk)
 				if err != nil {
+					sp.SetAttr("error", err.Error())
+					sp.End()
 					ctx.Stats.NewTupleRequests -= undispatched
 					drainFrom(0)
 					return err
 				}
 				undispatched -= wantOf(chunk)
-				calls = append(calls, tupleChunk{want: wantOf(chunk), call: call})
+				calls = append(calls, tupleChunk{want: wantOf(chunk), call: call, span: sp})
 			}
 			totalAccepted := int64(0)
 			for k, c := range calls {
 				batches, err := c.call.WaitCtx(ctx.context())
 				if err != nil {
+					c.span.SetAttr("error", err.Error())
 					drainFrom(k)
 					return err
 				}
+				got := 0
+				for _, cands := range batches {
+					got += len(cands)
+				}
+				finishGroupSpan(c.span, c.call.Telemetry(), got, 0)
 				for _, cands := range batches {
 					accepted, err := insertCandidates(ctx, t, cands)
 					if err != nil {

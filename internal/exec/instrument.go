@@ -1,0 +1,188 @@
+package exec
+
+// Per-operator instrumentation: when a statement runs with a trace or an
+// EXPLAIN ANALYZE stats map, Build wraps every operator in an
+// instrumented shell that times open/next/close, counts rows out, and
+// attributes crowd work (comparisons, probes, solicited tuples) to the
+// operator that caused it by diffing the shared Stats before and after.
+// When neither is requested the raw operator is returned, so traced and
+// untraced executions follow byte-identical code on the row hot path.
+
+import (
+	"fmt"
+	"time"
+
+	"crowddb/internal/obs"
+	"crowddb/internal/plan"
+	"crowddb/internal/quality"
+	"crowddb/internal/taskmgr"
+)
+
+// OpStats is one operator's measured actuals, inclusive of its children
+// (a child's rows and crowd work happen inside the parent's Next calls).
+type OpStats struct {
+	RowsOut          int64
+	WallNanos        int64
+	Comparisons      int
+	ProbeRequests    int
+	NewTupleRequests int
+	CacheHits        int
+}
+
+// Cents prices the operator's crowd work under a task configuration.
+func (st *OpStats) Cents(cfg taskmgr.Config) float64 {
+	return float64(st.Comparisons+st.ProbeRequests)*float64(cfg.Reward)*float64(cfg.Assignments) +
+		float64(st.NewTupleRequests)*float64(cfg.Reward)*float64(cfg.NewTupleAssignments)
+}
+
+// instrument wraps op when the context asks for tracing or per-operator
+// stats; otherwise it returns op untouched.
+func instrument(op Operator, n plan.Node, ctx *Ctx) Operator {
+	if ctx.Trace == nil && ctx.OpStats == nil {
+		return op
+	}
+	return &instrumentedOp{op: op, node: n}
+}
+
+type instrumentedOp struct {
+	op      Operator
+	node    plan.Node
+	span    *obs.Span
+	opening Stats // ctx.Stats snapshot at Open
+	st      OpStats
+}
+
+func (o *instrumentedOp) Schema() []plan.Col { return o.op.Schema() }
+
+func (o *instrumentedOp) Open(ctx *Ctx) error {
+	if ctx.Trace != nil {
+		o.span = ctx.Trace.Span(ctx.Span, "op:"+opName(o.node))
+	}
+	o.opening = ctx.Stats
+	parent := ctx.Span
+	ctx.Span = o.span
+	t0 := time.Now()
+	err := o.op.Open(ctx)
+	o.st.WallNanos += time.Since(t0).Nanoseconds()
+	ctx.Span = parent
+	return err
+}
+
+func (o *instrumentedOp) Next(ctx *Ctx) (Row, error) {
+	parent := ctx.Span
+	ctx.Span = o.span
+	t0 := time.Now()
+	r, err := o.op.Next(ctx)
+	o.st.WallNanos += time.Since(t0).Nanoseconds()
+	ctx.Span = parent
+	if r != nil && err == nil {
+		o.st.RowsOut++
+	}
+	return r, err
+}
+
+func (o *instrumentedOp) Close(ctx *Ctx) error {
+	parent := ctx.Span
+	ctx.Span = o.span
+	t0 := time.Now()
+	err := o.op.Close(ctx)
+	o.st.WallNanos += time.Since(t0).Nanoseconds()
+	ctx.Span = parent
+	o.st.Comparisons = ctx.Stats.Comparisons - o.opening.Comparisons
+	o.st.ProbeRequests = ctx.Stats.ProbeRequests - o.opening.ProbeRequests
+	o.st.NewTupleRequests = ctx.Stats.NewTupleRequests - o.opening.NewTupleRequests
+	o.st.CacheHits = ctx.Stats.CacheHits - o.opening.CacheHits
+	if ctx.OpStats != nil {
+		snap := o.st
+		ctx.OpStats[o.node] = &snap
+	}
+	if o.span != nil {
+		o.span.SetInt("rows_out", o.st.RowsOut)
+		o.span.SetAttr("wall", time.Duration(o.st.WallNanos).Round(time.Microsecond).String())
+		if o.st.Comparisons > 0 {
+			o.span.SetInt("comparisons", int64(o.st.Comparisons))
+		}
+		if o.st.ProbeRequests > 0 {
+			o.span.SetInt("probe_requests", int64(o.st.ProbeRequests))
+		}
+		if o.st.NewTupleRequests > 0 {
+			o.span.SetInt("new_tuple_requests", int64(o.st.NewTupleRequests))
+		}
+		if o.st.CacheHits > 0 {
+			o.span.SetInt("cache_hits", int64(o.st.CacheHits))
+		}
+		o.span.End()
+	}
+	return err
+}
+
+// opName labels a plan node for span names and ANALYZE output.
+func opName(n plan.Node) string {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return "scan:" + x.Table.Name
+	case *plan.Filter:
+		return "filter"
+	case *plan.Join:
+		return "join"
+	case *plan.Project:
+		return "project"
+	case *plan.Aggregate:
+		return "aggregate"
+	case *plan.Sort:
+		return "sort"
+	case *plan.Limit:
+		return "limit"
+	case *plan.Distinct:
+		return "distinct"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// answersTotal sums the usable votes across a group's decisions.
+func answersTotal(ds []quality.Decision) int {
+	n := 0
+	for _, d := range ds {
+		n += d.Total
+	}
+	return n
+}
+
+// quorumCount counts how many of a group's decisions reached quorum.
+func quorumCount(ds []quality.Decision) int {
+	n := 0
+	for _, d := range ds {
+		if d.Quorum {
+			n++
+		}
+	}
+	return n
+}
+
+// startCrowdSpan opens a span for one crowd interaction under the
+// currently executing operator. Nil-safe when tracing is off.
+func (c *Ctx) startCrowdSpan(name string) *obs.Span {
+	if c.Trace == nil {
+		return nil
+	}
+	return c.Trace.Span(c.Span, name)
+}
+
+// finishGroupSpan stamps a resolved HIT group's scheduler lifecycle —
+// queued behind the in-flight window, virtual post/resolve instants, and
+// the quorum outcome — onto its span and ends it.
+func finishGroupSpan(sp *obs.Span, tel taskmgr.GroupTelemetry, answers, quorum int) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("queued", fmt.Sprintf("%v", tel.Queued))
+	if tel.Posted {
+		sp.SetAttr("posted_at", tel.PostedAt.String())
+		sp.SetAttr("resolved_at", tel.ResolvedAt.String())
+		sp.SetAttr("roundtrip", (tel.ResolvedAt - tel.PostedAt).String())
+	}
+	sp.SetInt("answers", int64(answers))
+	sp.SetInt("quorum", int64(quorum))
+	sp.End()
+}

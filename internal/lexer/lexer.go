@@ -67,7 +67,8 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
 	"SET": true, "DELETE": true, "JOIN": true, "INNER": true, "LEFT": true,
 	"OUTER": true, "CROSS": true, "DISTINCT": true, "ALL": true,
-	"ANNOTATION": true, "EXPLAIN": true, "SHOW": true, "TABLES": true,
+	"ANNOTATION": true, "EXPLAIN": true, "ANALYZE": true,
+	"SHOW": true, "TABLES": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"CROWDEQUAL": true, "CROWDORDER": true,
 }

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace caps a single trace's span tree so a runaway scan
+// cannot hold the whole heap; past the cap new spans are dropped (nil).
+const maxSpansPerTrace = 4096
+
+// defaultTraceRing is how many finished traces the tracer retains for
+// GET /v1/queries/{id}/trace when no capacity is given.
+const defaultTraceRing = 256
+
+// Tracer hands out traces and retains finished ones in a bounded FIFO
+// ring. It optionally mirrors traces slower than a threshold to a
+// slow-query log. All methods are nil-receiver safe, so callers thread a
+// possibly-nil *Tracer without guards.
+type Tracer struct {
+	mu        sync.Mutex
+	capacity  int
+	traces    map[string]*Trace
+	order     []string
+	threshold time.Duration
+	slow      io.Writer
+}
+
+// NewTracer builds a tracer retaining up to capacity traces (<=0 means
+// the default of 256).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = defaultTraceRing
+	}
+	return &Tracer{capacity: capacity, traces: make(map[string]*Trace)}
+}
+
+// SetSlowQueryLog arms the slow-query log: any trace finishing with wall
+// time >= threshold is rendered to w.
+func (t *Tracer) SetSlowQueryLog(threshold time.Duration, w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threshold = threshold
+	t.slow = w
+	t.mu.Unlock()
+}
+
+// Start opens a new trace under id and retains it in the ring (evicting
+// the oldest when full). Nil-safe: a nil tracer yields a nil trace, and
+// every downstream span operation on it is a no-op.
+func (t *Tracer) Start(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	tr := &Trace{id: id, start: now, root: &Span{name: "root", start: now}}
+	tr.root.tr = tr
+	tr.nspans = 1
+	t.mu.Lock()
+	if _, ok := t.traces[id]; !ok {
+		t.order = append(t.order, id)
+	}
+	t.traces[id] = tr
+	for len(t.order) > t.capacity {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+	t.mu.Unlock()
+	return tr
+}
+
+// Lookup returns the retained trace for id, or nil.
+func (t *Tracer) Lookup(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traces[id]
+}
+
+// Finish seals a trace: the root span and any spans left dangling by
+// error paths are ended at the current instant, and the slow-query log
+// fires if the trace crossed the threshold. Idempotent and nil-safe.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.end.IsZero() {
+		tr.end = time.Now()
+		closeDangling(tr.root, tr.end)
+	}
+	dur := tr.end.Sub(tr.start)
+	tr.mu.Unlock()
+	t.mu.Lock()
+	threshold, slow := t.threshold, t.slow
+	t.mu.Unlock()
+	if slow != nil && threshold > 0 && dur >= threshold {
+		var b strings.Builder
+		fmt.Fprintf(&b, "[slow query] trace=%s duration=%s spans=%d\n", tr.ID(), dur.Round(time.Microsecond), tr.SpanCount())
+		tr.renderText(&b)
+		io.WriteString(slow, b.String())
+	}
+}
+
+func closeDangling(sp *Span, at time.Time) {
+	if sp.end.IsZero() {
+		sp.end = at
+	}
+	for _, c := range sp.children {
+		closeDangling(c, at)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace and Span.
+
+// Trace is one statement or job's span tree. A single mutex guards the
+// whole tree: spans are created on the query's hot path but far less
+// often than rows flow, so contention is negligible.
+type Trace struct {
+	id     string
+	mu     sync.Mutex
+	start  time.Time
+	end    time.Time
+	root   *Span
+	nspans int
+}
+
+// ID names the trace (the job or query id). Nil-safe.
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// SpanCount reports how many spans the trace holds.
+func (tr *Trace) SpanCount() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.nspans
+}
+
+// Duration is the trace's wall time (up to now while unfinished).
+func (tr *Trace) Duration() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.end.IsZero() {
+		return time.Since(tr.start)
+	}
+	return tr.end.Sub(tr.start)
+}
+
+// Span opens a child span under parent (nil parent = under the root),
+// started now. Returns nil past the per-trace span cap.
+func (tr *Trace) Span(parent *Span, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.spanAt(parent, name, time.Now(), time.Time{})
+}
+
+// SpanAt records a span with explicit bounds — used to stamp work that
+// happened before the trace object existed (e.g. parsing a job's script
+// before the job id was allocated). A zero end leaves the span open.
+func (tr *Trace) SpanAt(parent *Span, name string, start, end time.Time) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.spanAt(parent, name, start, end)
+}
+
+func (tr *Trace) spanAt(parent *Span, name string, start, end time.Time) *Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.nspans >= maxSpansPerTrace {
+		return nil
+	}
+	if parent == nil || parent.tr != tr {
+		parent = tr.root
+	}
+	sp := &Span{tr: tr, name: name, start: start, end: end}
+	parent.children = append(parent.children, sp)
+	tr.nspans++
+	return sp
+}
+
+// Attr is one ordered key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a trace. All methods are nil-safe so
+// instrumented code paths need no tracing-enabled guards.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	events   []string
+	children []*Span
+}
+
+// End closes the span at the current instant (idempotent).
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	if sp.end.IsZero() {
+		sp.end = time.Now()
+	}
+	sp.tr.mu.Unlock()
+}
+
+// SetAttr annotates the span with a string attribute.
+func (sp *Span) SetAttr(k, v string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{k, v})
+	sp.tr.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer attribute.
+func (sp *Span) SetInt(k string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr(k, strconv.FormatInt(v, 10))
+}
+
+// Event appends a point-in-time annotation, stamped relative to the
+// span's start.
+func (sp *Span) Event(msg string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.events = append(sp.events, fmt.Sprintf("+%s %s", time.Since(sp.start).Round(time.Microsecond), msg))
+	sp.tr.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+// SpanJSON is the wire form of one span, times in microseconds relative
+// to the trace start.
+type SpanJSON struct {
+	Name           string            `json:"name"`
+	StartMicros    int64             `json:"start_micros"`
+	DurationMicros int64             `json:"duration_micros"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
+	Events         []string          `json:"events,omitempty"`
+	Children       []*SpanJSON       `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of a whole trace (GET /v1/queries/{id}/trace).
+type TraceJSON struct {
+	TraceID        string    `json:"trace_id"`
+	DurationMicros int64     `json:"duration_micros"`
+	Spans          int       `json:"spans"`
+	Root           *SpanJSON `json:"root"`
+}
+
+// JSON snapshots the trace for the HTTP trace endpoint. Safe to call on
+// a live (unfinished) trace.
+func (tr *Trace) JSON() TraceJSON {
+	if tr == nil {
+		return TraceJSON{}
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	end := tr.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return TraceJSON{
+		TraceID:        tr.id,
+		DurationMicros: end.Sub(tr.start).Microseconds(),
+		Spans:          tr.nspans,
+		Root:           spanJSON(tr.root, tr.start, end),
+	}
+}
+
+func spanJSON(sp *Span, origin, fallbackEnd time.Time) *SpanJSON {
+	end := sp.end
+	if end.IsZero() {
+		end = fallbackEnd
+	}
+	out := &SpanJSON{
+		Name:           sp.name,
+		StartMicros:    sp.start.Sub(origin).Microseconds(),
+		DurationMicros: end.Sub(sp.start).Microseconds(),
+		Events:         append([]string(nil), sp.events...),
+	}
+	if len(sp.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(sp.attrs))
+		for _, a := range sp.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range sp.children {
+		out.Children = append(out.Children, spanJSON(c, origin, fallbackEnd))
+	}
+	return out
+}
+
+// renderText writes the indented tree used by the slow-query log.
+// Caller holds no locks; renderText takes the trace lock itself.
+func (tr *Trace) renderText(w io.Writer) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	end := tr.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	renderSpanText(w, tr.root, end, 1)
+}
+
+func renderSpanText(w io.Writer, sp *Span, fallbackEnd time.Time, depth int) {
+	end := sp.end
+	if end.IsZero() {
+		end = fallbackEnd
+	}
+	attrs := ""
+	if len(sp.attrs) > 0 {
+		parts := make([]string, len(sp.attrs))
+		for i, a := range sp.attrs {
+			parts[i] = a.Key + "=" + strconv.Quote(a.Value)
+		}
+		attrs = " {" + strings.Join(parts, ", ") + "}"
+	}
+	fmt.Fprintf(w, "%s%s %s%s\n", strings.Repeat("  ", depth), sp.name,
+		end.Sub(sp.start).Round(time.Microsecond), attrs)
+	for _, e := range sp.events {
+		fmt.Fprintf(w, "%s! %s\n", strings.Repeat("  ", depth+1), e)
+	}
+	for _, c := range sp.children {
+		renderSpanText(w, c, fallbackEnd, depth+1)
+	}
+}
+
+// FindSpans walks the tree depth-first and returns every span whose name
+// has the given prefix — a test convenience.
+func (tj TraceJSON) FindSpans(prefix string) []*SpanJSON {
+	var out []*SpanJSON
+	var walk func(sp *SpanJSON)
+	walk = func(sp *SpanJSON) {
+		if sp == nil {
+			return
+		}
+		if strings.HasPrefix(sp.Name, prefix) {
+			out = append(out, sp)
+		}
+		// Children sorted by start for deterministic test assertions.
+		kids := append([]*SpanJSON(nil), sp.Children...)
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartMicros < kids[j].StartMicros })
+		for _, c := range kids {
+			walk(c)
+		}
+	}
+	walk(tj.Root)
+	return out
+}

@@ -335,12 +335,22 @@ func (s *Select) String() string {
 	return sb.String()
 }
 
-// Explain wraps another statement for EXPLAIN output.
-type Explain struct{ Stmt Statement }
+// Explain wraps another statement for EXPLAIN output. Analyze requests
+// EXPLAIN ANALYZE: execute the statement and annotate the plan with
+// per-operator actuals next to the optimizer's predictions.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*Explain) stmt() {}
 
-func (s *Explain) String() string { return "EXPLAIN " + s.Stmt.String() }
+func (s *Explain) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Stmt.String()
+	}
+	return "EXPLAIN " + s.Stmt.String()
+}
 
 // ShowTables is the REPL convenience statement SHOW TABLES.
 type ShowTables struct{}

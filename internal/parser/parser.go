@@ -181,11 +181,12 @@ func (p *parser) statement() (Statement, error) {
 		return p.deleteStmt()
 	case "EXPLAIN":
 		p.pos++
+		analyze := p.acceptKeyword("ANALYZE")
 		inner, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	case "SHOW":
 		p.pos++
 		if err := p.expectKeyword("TABLES"); err != nil {

@@ -266,8 +266,18 @@ func TestParseMultiRowInsert(t *testing.T) {
 
 func TestParseExplainShow(t *testing.T) {
 	s := mustParse(t, `EXPLAIN SELECT * FROM Talk`)
-	if _, ok := s.(*Explain); !ok {
+	if e, ok := s.(*Explain); !ok || e.Analyze {
 		t.Error("explain")
+	}
+	s = mustParse(t, `EXPLAIN ANALYZE SELECT * FROM Talk`)
+	e, ok := s.(*Explain)
+	if !ok || !e.Analyze {
+		t.Error("explain analyze")
+	}
+	// String() round-trips through the parser with the flag intact.
+	s = mustParse(t, e.String())
+	if e2, ok := s.(*Explain); !ok || !e2.Analyze {
+		t.Errorf("EXPLAIN ANALYZE does not round-trip: %q", e.String())
 	}
 	s = mustParse(t, `SHOW TABLES`)
 	if _, ok := s.(*ShowTables); !ok {

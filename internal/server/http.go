@@ -24,7 +24,10 @@ import (
 //	                               (one JSON array per line, then a
 //	                               {"state": ...} trailer), or SSE with
 //	                               Accept: text/event-stream
+//	GET    /v1/queries/{id}/trace
+//	                            -> the job's span tree (trace JSON)
 //	DELETE /v1/queries/{id}     -> request cancellation (idempotent)
+//	GET    /metrics             -> Prometheus text exposition (0.0.4)
 //
 // Legacy — kept byte-compatible, now thin shims over jobs (see the
 // README deprecation policy):
@@ -33,7 +36,7 @@ import (
 //	POST /session          {"budget": 25}?          -> session info
 //	GET/DELETE /session/{id}                        -> info / close
 //	GET  /stats                                     -> StatsReport
-//	GET  /healthz                                   -> liveness (503 when draining)
+//	GET  /healthz                                   -> liveness JSON (503 when draining)
 //
 // Every error body is {"error": {"code": "...", "message": "..."}} with
 // the code drawn from the Code constants.
@@ -79,7 +82,9 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /v1/queries", s.handleJobList)
 	mux.HandleFunc("GET /v1/queries/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/queries/{id}/rows", s.handleJobRows)
+	mux.HandleFunc("GET /v1/queries/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/session/", s.handleSessionID)
@@ -324,12 +329,4 @@ func (s *Server) handleSessionID(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !s.Healthy() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"crowddb/internal/core"
 	"crowddb/internal/exec"
+	"crowddb/internal/obs"
 	"crowddb/internal/parser"
 	"crowddb/internal/plan"
 )
@@ -52,6 +54,11 @@ type Job struct {
 	sess      *Session
 	sessionID string // "" = anonymous one-shot session
 	price     func(exec.Stats) float64
+	// trace is the job's span tree: one trace for the whole script,
+	// threaded through every statement, finished at retirement. Nil when
+	// the engine runs with observability disabled.
+	trace      *obs.Trace
+	rowsMetric *obs.Counter
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -117,8 +124,11 @@ type JobInfo struct {
 	ActualCents      float64 `json:"actual_cents,omitempty"`
 	// SnapshotTS is the commit timestamp the latest SELECT's MVCC snapshot
 	// pinned; its streamed rows are the database as of that instant.
-	SnapshotTS int64  `json:"snapshot_ts,omitempty"`
-	Error      *Error `json:"error,omitempty"`
+	SnapshotTS int64 `json:"snapshot_ts,omitempty"`
+	// TraceID names the job's span tree at GET /v1/queries/{id}/trace
+	// (empty when the engine traces nothing).
+	TraceID string `json:"trace_id,omitempty"`
+	Error   *Error `json:"error,omitempty"`
 }
 
 // newJobID formats the n-th job's identifier.
@@ -157,6 +167,7 @@ func (j *Job) Info() JobInfo {
 		Stats:          j.settledStats.Add(j.progressStats),
 		SpentCents:     j.settledCents + j.price(j.progressStats),
 		SnapshotTS:     j.snapshotTS,
+		TraceID:        j.trace.ID(),
 		Error:          j.err,
 	}
 	if !j.lastPredicted.IsUnbounded() {
@@ -171,6 +182,7 @@ func (j *Job) Info() JobInfo {
 
 // pushRow is the engine sink: it renders and buffers one streamed row.
 func (j *Job) pushRow(row exec.Row) error {
+	j.rowsMetric.Inc()
 	cells := make([]*string, len(row))
 	for i, v := range row {
 		if v.IsUnknown() {
@@ -359,11 +371,13 @@ func (s *Server) StartJob(sessionID, sql string) (*Job, *Error) {
 // startJobForSession is StartJob for an already-resolved session. The
 // wire shim calls it directly with its connection session.
 func (s *Server) startJobForSession(sess *Session, sessionID, sql string) (*Job, *Error) {
+	parseStart := time.Now()
 	stmts, err := parser.ParseAll(sql)
 	if err != nil {
 		s.countError()
 		return nil, errf(CodeParse, "%v", err)
 	}
+	parseEnd := time.Now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -389,6 +403,12 @@ func (s *Server) startJobForSession(sess *Session, sessionID, sql string) (*Job,
 	}
 	s.jobs[job.id] = job
 	s.mu.Unlock()
+	job.rowsMetric = s.mRowsStreamed
+	// One trace per job, named by the job id: parsing happened before the
+	// id was allocated, so it is stamped with explicit bounds.
+	job.trace = s.eng.Tracer().Start(job.id)
+	psp := job.trace.SpanAt(nil, "parse", parseStart, parseEnd)
+	psp.SetInt("statements", int64(len(stmts)))
 	sess.addJob(job)
 	go s.runJob(job, stmts)
 	return job, nil
@@ -480,6 +500,7 @@ func (s *Server) runJob(job *Job, stmts []parser.Statement) {
 		opts.OnStats = func(st exec.Stats) { stmtStats = st }
 		opts.Progress = job.noteProgress
 		opts.OnSnapshot = job.noteSnapshot
+		opts.Trace = job.trace
 		res, err := s.eng.ExecStmtCtx(job.ctx, stmt, opts)
 		// Settle precisely: the stats observer reports crowd work already
 		// paid even when the statement failed or was cancelled, so the
@@ -508,8 +529,11 @@ func (s *Server) runJob(job *Job, stmts []parser.Statement) {
 }
 
 // retireJob moves a terminal job out of its session's active set and
-// enforces the finished-job retention cap.
+// enforces the finished-job retention cap. The job's trace is sealed
+// here — dangling spans close, the slow-query log fires past threshold.
 func (s *Server) retireJob(job *Job) {
+	s.eng.Tracer().Finish(job.trace)
+	s.mJobsByState[job.State()].Inc()
 	job.sess.removeJob(job.id)
 	s.mu.Lock()
 	defer s.mu.Unlock()

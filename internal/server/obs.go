@@ -1,0 +1,141 @@
+package server
+
+// Server-side observability: the /metrics endpoint scrapes the shared
+// engine registry (plus the server's own job/session families registered
+// here), and /v1/queries/{id}/trace serves a job's retained span tree.
+
+import (
+	"net/http"
+	"time"
+
+	"crowddb/internal/obs"
+)
+
+// Version identifies the crowddbd build; healthz reports it.
+const Version = "0.7.0"
+
+// registerMetrics exports the server's families into the engine's
+// registry. Func-backed series read the server's counters under s.mu at
+// scrape time (the registry evaluates them outside its own lock);
+// terminal-job and streamed-row counters are real instruments updated on
+// the job path. Registration is idempotent, so two servers over one
+// engine simply share the families (the func-backed ones stay bound to
+// the first server).
+func (s *Server) registerMetrics() {
+	reg := s.eng.Metrics()
+	if reg == nil {
+		return
+	}
+	s.mRowsStreamed = reg.Counter("crowddb_jobs_streamed_rows_total",
+		"result rows streamed into job buffers")
+	s.mJobsByState = make(map[JobState]*obs.Counter)
+	for _, st := range []JobState{JobDone, JobFailed, JobCancelled} {
+		s.mJobsByState[st] = reg.Counter("crowddb_jobs_total",
+			"jobs retired by terminal state", "state", string(st))
+	}
+	counter := func(name, help string, f func(Stats) int64) {
+		reg.CounterFunc(name, help, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(f(s.stats))
+		})
+	}
+	counter("crowddb_server_queries_total", "scripts completed successfully",
+		func(st Stats) int64 { return st.Queries })
+	counter("crowddb_server_rejected_total", "queries refused by admission control",
+		func(st Stats) int64 { return st.Rejected })
+	counter("crowddb_server_errors_total", "queries failed after admission",
+		func(st Stats) int64 { return st.Errors })
+	reg.GaugeFunc("crowddb_server_active_sessions", "registered client sessions",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+	reg.GaugeFunc("crowddb_server_inflight_queries", "statements executing right now",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.inflight)
+		})
+	reg.GaugeFunc("crowddb_server_retained_jobs", "job resources still pollable",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+	reg.GaugeFunc("crowddb_server_uptime_seconds", "seconds since the server was assembled",
+		func() float64 { return time.Since(s.started).Seconds() })
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format:
+// GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.eng.Metrics()
+	if reg == nil {
+		writeError(w, errf(CodeInternal, "metrics registry unavailable"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	reg.WritePrometheus(w)
+}
+
+// handleJobTrace serves a job's span tree: GET /v1/queries/{id}/trace.
+// Unknown and retention-evicted job ids return the coded unknown_job 404;
+// so does a known job whose trace is gone (tracing disabled, or the
+// tracer's ring evicted it).
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, serr := s.Job(id); serr != nil {
+		writeError(w, serr)
+		return
+	}
+	tr := s.eng.Tracer().Lookup(id)
+	if tr == nil {
+		writeError(w, errf(CodeUnknownJob, "no trace retained for job %q (tracing disabled or evicted)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.JSON())
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status         string  `json:"status"`
+	Version        string  `json:"version"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Shards         int     `json:"shards"`
+	ActiveSessions int     `json:"active_sessions"`
+	ActiveJobs     int     `json:"active_jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	sessions := len(s.sessions)
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	active := 0
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			active++
+		}
+	}
+	resp := healthzResponse{
+		Status:         "ok",
+		Version:        Version,
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Shards:         s.eng.NumShards(),
+		ActiveSessions: sessions,
+		ActiveJobs:     active,
+	}
+	status := http.StatusOK
+	if draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

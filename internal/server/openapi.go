@@ -13,7 +13,7 @@ import "fmt"
 
 // openAPIVersion is the spec's document version; bump on breaking
 // contract changes.
-const openAPIVersion = "1.0.0"
+const openAPIVersion = "1.1.0"
 
 // httpRoutes lists every mux pattern HTTPHandler registers, in
 // documentation order. The OpenAPI coverage test walks it.
@@ -23,7 +23,9 @@ func httpRoutes() []string {
 		"GET /v1/queries",
 		"GET /v1/queries/{id}",
 		"GET /v1/queries/{id}/rows",
+		"GET /v1/queries/{id}/trace",
 		"DELETE /v1/queries/{id}",
+		"GET /metrics",
 		"POST /query",
 		"POST /session",
 		"GET /session/{id}",
@@ -178,6 +180,53 @@ paths:
                     $ref: '#/components/schemas/Error'
         default:
           $ref: '#/components/responses/Error'
+  /v1/queries/{id}/trace:
+    parameters:
+      - $ref: '#/components/parameters/JobID'
+    get:
+      summary: Fetch the job's trace span tree
+      description: >-
+        One span tree per job: parsing, then per statement the optimizer
+        (with the chosen plan's cost snapshot), the pinned MVCC snapshot,
+        every executor operator's rows and wall time, and each crowd HIT
+        group's post-to-quorum lifecycle. Live jobs return the tree so
+        far. Unknown and retention-evicted jobs — and known jobs whose
+        trace was evicted from the tracer's ring or recorded with tracing
+        disabled — return the coded unknown_job 404.
+      responses:
+        '200':
+          description: Trace span tree
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Trace'
+        '404':
+          description: Unknown job, evicted job, or no retained trace
+          content:
+            application/json:
+              schema:
+                type: object
+                properties:
+                  error:
+                    $ref: '#/components/schemas/Error'
+        default:
+          $ref: '#/components/responses/Error'
+  /metrics:
+    get:
+      summary: Prometheus text exposition (format 0.0.4)
+      description: >-
+        Counters, gauges, and histograms for the whole stack: statements
+        and crowd spend, comparison-cache hits and evictions, task-manager
+        in-flight groups and round-trip latency, per-shard WAL fsync
+        latency and batch size, MVCC retained versions and GC reclaims,
+        and job/session service counters.
+      responses:
+        '200':
+          description: Metric families
+          content:
+            text/plain:
+              schema:
+                type: string
   /query:
     post:
       summary: Legacy synchronous query (shim over jobs)
@@ -260,12 +309,20 @@ paths:
                 type: object
   /healthz:
     get:
-      summary: Liveness (503 while draining)
+      summary: Liveness and build info (503 while draining)
       responses:
         '200':
           description: Serving
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Healthz'
         '503':
           description: Draining
+          content:
+            application/json:
+              schema:
+                $ref: '#/components/schemas/Healthz'
 components:
   parameters:
     JobID:
@@ -340,6 +397,11 @@ components:
             MVCC commit timestamp the latest SELECT's snapshot pinned;
             every streamed row is the database as of that instant, even
             while concurrent writers commit mid-crowd-wait
+        trace_id:
+          type: string
+          description: >-
+            Name of the job's span tree at GET /v1/queries/{id}/trace
+            (absent when the engine runs with tracing disabled)
         error:
           $ref: '#/components/schemas/Error'
     QueryResult:
@@ -385,6 +447,60 @@ components:
           type: integer
         stats:
           type: object
+    Trace:
+      type: object
+      required: [trace_id, root]
+      properties:
+        trace_id:
+          type: string
+        duration_micros:
+          type: integer
+        spans:
+          type: integer
+        root:
+          $ref: '#/components/schemas/Span'
+    Span:
+      type: object
+      required: [name]
+      properties:
+        name:
+          type: string
+        start_micros:
+          type: integer
+          description: Offset from the trace start
+        duration_micros:
+          type: integer
+        attrs:
+          type: object
+          additionalProperties:
+            type: string
+        events:
+          type: array
+          items:
+            type: string
+        children:
+          type: array
+          items:
+            $ref: '#/components/schemas/Span'
+    Healthz:
+      type: object
+      required: [status]
+      properties:
+        status:
+          type: string
+          enum:
+            - ok
+            - draining
+        version:
+          type: string
+        uptime_seconds:
+          type: number
+        shards:
+          type: integer
+        active_sessions:
+          type: integer
+        active_jobs:
+          type: integer
     Error:
       type: object
       required: [code, message]

@@ -47,8 +47,9 @@ func TestOpenAPISpecCoversSurface(t *testing.T) {
 }
 
 // TestOpenAPIRoutesServed verifies httpRoutes() names real mux routes:
-// every listed pattern must be handled by our handlers (which always
-// answer JSON or a stream), never by the mux's plain-text 404.
+// every listed pattern must be handled by our handlers (which answer
+// JSON, a stream, or the Prometheus text exposition), never by the mux's
+// plain-text 404.
 func TestOpenAPIRoutesServed(t *testing.T) {
 	eng := pairEngine(t, 43, 1)
 	srv := New(eng, Config{})
@@ -75,7 +76,8 @@ func TestOpenAPIRoutesServed(t *testing.T) {
 		}
 		ct := resp.Header.Get("Content-Type")
 		resp.Body.Close()
-		if !strings.Contains(ct, "json") && !strings.Contains(ct, "stream") {
+		if !strings.Contains(ct, "json") && !strings.Contains(ct, "stream") &&
+			!strings.Contains(ct, "version=0.0.4") {
 			t.Errorf("%s: served %d with Content-Type %q — mux fallthrough? (route not registered)",
 				route, resp.StatusCode, ct)
 		}

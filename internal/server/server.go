@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"crowddb/internal/core"
 	"crowddb/internal/exec"
+	"crowddb/internal/obs"
 	"crowddb/internal/parser"
 	"crowddb/internal/taskmgr"
 )
@@ -82,6 +84,11 @@ type Server struct {
 	eng     *core.Engine
 	slots   chan struct{}
 	drainCh chan struct{} // closed when Shutdown begins
+	started time.Time
+
+	// Job-path instruments (shared engine registry; nil-safe unset).
+	mRowsStreamed *obs.Counter
+	mJobsByState  map[JobState]*obs.Counter
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -115,14 +122,17 @@ func New(eng *core.Engine, cfg Config) *Server {
 		}
 		cfg.MaxQueueDepth = 4 * window
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		eng:      eng,
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
 		drainCh:  make(chan struct{}),
+		started:  time.Now(),
 		sessions: make(map[string]*Session),
 		jobs:     make(map[string]*Job),
 	}
+	s.registerMetrics()
+	return s
 }
 
 // Engine exposes the shared engine (experiments, tests).

@@ -153,8 +153,16 @@ func (s *Store) GC() int {
 	}
 	if reclaimed > 0 {
 		s.retained.Add(int64(-reclaimed))
+		s.gcReclaimed.Add(int64(reclaimed))
 	}
+	s.gcRuns.Add(1)
 	return reclaimed
+}
+
+// GCStats reports lifetime GC activity: sweep runs and superseded
+// versions reclaimed.
+func (s *Store) GCStats() (runs, reclaimed int64) {
+	return s.gcRuns.Load(), s.gcReclaimed.Load()
 }
 
 func (ts *tableStore) gc(horizon int64) int {

@@ -238,6 +238,9 @@ type Store struct {
 	clock    atomic.Int64
 	visible  atomic.Int64
 	retained atomic.Int64
+	// GC observability: sweep runs and versions reclaimed, lifetime.
+	gcRuns      atomic.Int64
+	gcReclaimed atomic.Int64
 	mvccState
 }
 

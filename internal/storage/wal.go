@@ -8,6 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"crowddb/internal/obs"
 )
 
 // SyncMode is the WAL durability policy.
@@ -65,6 +68,19 @@ type wal struct {
 	synced  int64 // records durably committed
 	syncing bool  // a leader is mid-flush
 	err     error // sticky I/O error: the log is poisoned once a write fails
+
+	// Optional observability (nil-safe): fsync latency and records per
+	// group-commit batch. Set once via setMetrics before writes flow.
+	fsyncHist *obs.Histogram
+	batchHist *obs.Histogram
+}
+
+// setMetrics wires the fsync latency / batch size histograms.
+func (l *wal) setMetrics(fsync, batch *obs.Histogram) {
+	l.mu.Lock()
+	l.fsyncHist = fsync
+	l.batchHist = batch
+	l.mu.Unlock()
 }
 
 func openWAL(path string, mode SyncMode) (*wal, error) {
@@ -101,6 +117,7 @@ func (l *wal) append(rec walRecord) (int64, error) {
 	l.seq++
 	switch l.mode {
 	case SyncAlways:
+		start := time.Now()
 		err := l.w.Flush()
 		if err == nil {
 			err = l.f.Sync()
@@ -109,6 +126,8 @@ func (l *wal) append(rec walRecord) (int64, error) {
 			l.err = err
 			return 0, err
 		}
+		l.fsyncHist.Observe(time.Since(start).Seconds())
+		l.batchHist.Observe(1)
 		l.synced = l.seq
 	case SyncOff:
 		// Flush per record (crowd answers survive process crashes) but
@@ -139,6 +158,8 @@ func (l *wal) commit(seq int64) error {
 		}
 		l.syncing = true
 		target := l.seq
+		batch := target - l.synced
+		start := time.Now()
 		err := l.w.Flush()
 		l.mu.Unlock()
 		if err == nil {
@@ -150,6 +171,8 @@ func (l *wal) commit(seq int64) error {
 			l.err = err
 		} else if target > l.synced {
 			l.synced = target
+			l.fsyncHist.Observe(time.Since(start).Seconds())
+			l.batchHist.Observe(float64(batch))
 		}
 		l.cond.Broadcast()
 	}

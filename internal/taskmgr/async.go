@@ -37,10 +37,12 @@ type Pending struct {
 	group *crowd.HITGroup
 
 	// Scheduler-owned fields, guarded by m.sched.mu until resolution.
-	id       crowd.GroupID
-	posted   bool
-	postedAt time.Duration
-	deadline time.Duration
+	id         crowd.GroupID
+	posted     bool
+	wasQueued  bool
+	postedAt   time.Duration
+	resolvedAt time.Duration
+	deadline   time.Duration
 
 	// Result fields, written exactly once before done is closed.
 	byHIT map[string][]*crowd.Assignment
@@ -151,6 +153,7 @@ func (m *Manager) Submit(group *crowd.HITGroup) *Pending {
 	if len(m.sched.inflight) < m.cfg.MaxInFlight {
 		m.admitLocked(p)
 	} else {
+		p.wasQueued = true
 		m.sched.queued = append(m.sched.queued, p)
 		m.noteQueueDepthLocked()
 	}
@@ -199,8 +202,9 @@ func (m *Manager) resolveLocked(p *Pending, byHIT map[string][]*crowd.Assignment
 		}
 	}
 	if p.posted && err == nil {
+		p.resolvedAt = m.platform.Now()
 		// Observed round-trip: the cost model's latency feedback.
-		m.recordLatency(m.platform.Now() - p.postedAt)
+		m.recordLatency(p.resolvedAt - p.postedAt)
 	}
 	for len(m.sched.queued) > 0 && len(m.sched.inflight) < m.cfg.MaxInFlight {
 		next := m.sched.queued[0]

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"crowddb/internal/crowd"
+	"crowddb/internal/obs"
 	"crowddb/internal/quality"
 	"crowddb/internal/sqltypes"
 	"crowddb/internal/ui"
@@ -111,6 +112,9 @@ type Manager struct {
 	// counts total observations (ring writes wrap at latencyWindow).
 	latSamples []time.Duration
 	latPos     int64
+	// roundtrip mirrors recordLatency observations into the metrics
+	// registry when RegisterMetrics has run (nil-safe otherwise).
+	roundtrip *obs.Histogram
 
 	sched scheduler
 }
@@ -165,6 +169,7 @@ func (m *Manager) recordLatency(d time.Duration) {
 		m.latSamples[m.latPos%latencyWindow] = d
 	}
 	m.latPos++
+	m.roundtrip.Observe(d.Seconds())
 }
 
 // LatencyStats returns observed group round-trip percentiles (virtual
