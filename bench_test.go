@@ -47,6 +47,9 @@ func BenchmarkE16ConcurrentSessions(b *testing.B) {
 func BenchmarkE18StorageThroughput(b *testing.B) {
 	benchExperiment(b, bench.E18StorageThroughput)
 }
+func BenchmarkE22QuorumStreaming(b *testing.B) {
+	benchExperiment(b, bench.E22QuorumStreaming)
+}
 
 // --- engine micro-benchmarks (no crowd: the relational substrate) ---
 
@@ -98,6 +101,19 @@ func BenchmarkEngineAggregate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Query("SELECT room, COUNT(*), AVG(nb_attendees) FROM Talk GROUP BY room"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchPipeline(b *testing.B) {
+	// The vectorized executor's bread-and-butter shape: scan → filter →
+	// project → sort → limit, rows flowing between operators in batches.
+	db := benchDB(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT title, nb_attendees FROM Talk WHERE nb_attendees > 50 ORDER BY nb_attendees DESC LIMIT 10"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -78,7 +78,58 @@ func main() {
 	}
 	fmt.Printf("crowdsmoke: job %s done, %d rows streamed, ¢%.1f spent\n", job.ID(), streamed, st.SpentCents)
 
-	// 2. Submit a long crowd sort and cancel it mid-flight: the job must
+	// 2. Quorum streaming: a CROWDORDER job delivers every row through
+	// the partial-result stream BEFORE the stream's completion trailer —
+	// the protocol-level face of the settled-prefix executor. (The
+	// stronger deterministic property — the first row leaves the
+	// operator while later comparisons are still uncollected — is
+	// pinned in-process by E22 and the exec tests; against -demo the
+	// virtual-time crowd settles a whole sort faster than one HTTP
+	// round-trip, so a wall-clock status poll can't reliably observe
+	// it. When the poll does catch the window, report it.)
+	jo, err := c.Submit(ctx, "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'Which talk ranks higher?');")
+	if err != nil {
+		fail("submit crowdorder: %v", err)
+	}
+	ito, err := jo.Rows(ctx)
+	if err != nil {
+		fail("crowdorder rows: %v", err)
+	}
+	firstCmp := -1
+	ordered := 0
+	for ito.Next() {
+		if ordered == 0 {
+			if stm, err := jo.Status(ctx); err == nil {
+				firstCmp = stm.Stats.Comparisons
+			}
+		}
+		ordered++
+	}
+	if err := ito.Err(); err != nil {
+		fail("crowdorder stream: %v", err)
+	}
+	if ordered == 0 || ito.FinalState() != "done" {
+		fail("crowdorder stream: %d rows before trailer, trailer state %q (err %v)",
+			ordered, ito.FinalState(), ito.FinalError())
+	}
+	ito.Close()
+	sto, err := jo.Wait(ctx)
+	if err != nil {
+		fail("crowdorder wait: %v", err)
+	}
+	if sto.State != "done" || sto.Stats.Comparisons == 0 || sto.RowsEmitted != ordered {
+		fail("crowdorder job: state=%s cmp=%d streamed=%d emitted=%d (err %v)",
+			sto.State, sto.Stats.Comparisons, ordered, sto.RowsEmitted, sto.Error)
+	}
+	if firstCmp >= 0 && firstCmp < sto.Stats.Comparisons {
+		fmt.Printf("crowdsmoke: crowdorder job %s streamed row 1 at %d of %d comparisons\n",
+			jo.ID(), firstCmp, sto.Stats.Comparisons)
+	} else {
+		fmt.Printf("crowdsmoke: crowdorder job %s streamed %d rows ahead of the done trailer (¢%.1f, %d comparisons)\n",
+			jo.ID(), ordered, sto.SpentCents, sto.Stats.Comparisons)
+	}
+
+	// 3. Submit a long crowd sort and cancel it mid-flight: the job must
 	// reach the cancelled state (not hang on the crowd wait).
 	job2, err := c.Submit(ctx, "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'Which talk sounds more interesting?');")
 	if err != nil {
@@ -98,7 +149,7 @@ func main() {
 	}
 	fmt.Printf("crowdsmoke: job %s %s after cancel, ¢%.1f spent\n", job2.ID(), st2.State, st2.SpentCents)
 
-	// 3. The session settled: budget accounting never goes negative and
+	// 4. The session settled: budget accounting never goes negative and
 	// the session resource is still reachable.
 	info, err := c.SessionStatus(ctx)
 	if err != nil {

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestE22Shape pins the quorum-streaming experiment's claims per crowd
+// workload: identical answers and crowd work across delivery modes, a
+// single buffered row at first delivery when streamed versus the whole
+// result when materialized, and a first row that arrives with part of
+// the crowd round still uncollected.
+func TestE22Shape(t *testing.T) {
+	tab := E22QuorumStreaming(42)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %v (notes %v)", tab.Rows, tab.Notes)
+	}
+	for _, wl := range []string{"crowdorder", "crowdequal"} {
+		if tab.Metrics[wl+"_streamed_rows_out"] != tab.Metrics[wl+"_materialized_rows_out"] {
+			t.Errorf("%s: answers differ across modes: %v vs %v", wl,
+				tab.Metrics[wl+"_streamed_rows_out"], tab.Metrics[wl+"_materialized_rows_out"])
+		}
+		if tab.Metrics[wl+"_streamed_rows_out"] == 0 {
+			t.Errorf("%s: no rows", wl)
+		}
+		if tab.Metrics[wl+"_mode_divergence_err"] != 0 {
+			t.Errorf("%s: batching changed crowd work: divergence %v", wl,
+				tab.Metrics[wl+"_mode_divergence_err"])
+		}
+		if tab.Metrics[wl+"_streamed_first_row_buffered"] != 1 {
+			t.Errorf("%s: streamed first row buffered %v, want 1", wl,
+				tab.Metrics[wl+"_streamed_first_row_buffered"])
+		}
+		if tab.Metrics[wl+"_materialized_first_row_buffered"] != tab.Metrics[wl+"_materialized_rows_out"] {
+			t.Errorf("%s: materialization must buffer the whole result, got %v of %v", wl,
+				tab.Metrics[wl+"_materialized_first_row_buffered"], tab.Metrics[wl+"_materialized_rows_out"])
+		}
+		if tab.Metrics[wl+"_unstreamed_err"] != 0 {
+			t.Errorf("%s: first row waited for the full crowd round (%v of %v decisions)", wl,
+				tab.Metrics[wl+"_first_row_decisions"], tab.Metrics[wl+"_final_decisions"])
+		}
+	}
+}

@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"E19", "streaming vs materialized time-to-first-row (extension)", E19Streaming},
 		{"E20", "mixed read/write under MVCC snapshot isolation (extension)", E20MixedReadWrite},
 		{"E21", "observability overhead: traced vs untraced (extension)", E21ObservabilityOverhead},
+		{"E22", "quorum-streaming crowd operators (extension)", E22QuorumStreaming},
 	}
 }
 

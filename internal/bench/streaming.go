@@ -9,10 +9,9 @@ package bench
 // meaningful (1 for the streaming seam, the full result for
 // materialization); wall-clock first-row/total latencies are reported
 // as informational metrics whose keys avoid the gate's directional
-// classifiers, because CI runners vary. Crowd-blocking operators
-// (CROWDORDER, CrowdFilter) still materialize inside Open, so streaming
-// improves time-to-first-row for scan/filter/project pipelines — the
-// note below records that honestly.
+// classifiers, because CI runners vary. This experiment covers the
+// machine-only pipeline; E22 measures the crowd operators, which stream
+// per settled prefix / per quorum under the vectorized executor.
 
 import (
 	"context"
@@ -121,7 +120,7 @@ func E19Streaming(seed int64) *Table {
 
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("identical %d-row answer both ways; streaming hands row 1 over before %d rows are buffered", streamed, matRows),
-		"crowd-blocking operators (CROWDORDER, CrowdFilter) batch inside Open, so their first row still waits for the crowd round; scans, filters, and projections stream")
+		"machine-only pipeline; the crowd operators stream per settled prefix / per quorum — E22 measures those")
 	_ = seed // data generation is formulaic; the seed pins the JSON header
 	return t
 }

@@ -84,6 +84,9 @@ type Config struct {
 	// registry stays registered but statements record no spans). The
 	// overhead benchmark's control arm.
 	DisableObservability bool
+	// BatchSize overrides the executor's rows-per-batch
+	// (0 = exec.DefaultBatchSize; 1 degenerates to row-at-a-time).
+	BatchSize int
 }
 
 // Result is the outcome of one statement.
@@ -155,6 +158,7 @@ type Engine struct {
 	tracer   *obs.Tracer
 	traceSeq atomic.Int64
 	obsm     engineMetrics
+	opm      *opMetrics
 }
 
 // CostModelStats aggregates the cost model's predicted-vs-actual error
@@ -888,11 +892,15 @@ func (e *Engine) runSelect(ctx context.Context, opt *optimizer.Result, opts Exec
 		Tasks:         e.tasks,
 		Cache:         e.cache,
 		CompareBudget: budget,
+		BatchSize:     e.cfg.BatchSize,
 		SnapshotTS:    snap.TS(),
 		Context:       ctx,
 		Progress:      opts.Progress,
 		Trace:         tr,
 		OpStats:       opStats,
+	}
+	if e.opm != nil {
+		ectx.OpMetrics = e.opm
 	}
 	// Crowd counters fold in even when the statement errors or is
 	// cancelled midway — like the stats observer below, they account for
@@ -980,6 +988,7 @@ func (e *Engine) installSubqueryRunner(ctx *exec.Ctx, depth int) {
 			Tasks:         ctx.Tasks,
 			Cache:         ctx.Cache,
 			CompareBudget: budget,
+			BatchSize:     ctx.BatchSize,
 			SnapshotTS:    ctx.SnapshotTS, // one snapshot for the whole statement
 			Context:       ctx.Context,
 			// The subquery's spans nest under the operator evaluating the
@@ -1054,8 +1063,12 @@ func (e *Engine) execExplain(ctx context.Context, s *parser.Explain, opts ExecOp
 			parts = append(parts, cost.String())
 		}
 		if st, ok := opStats[n]; ok {
-			parts = append(parts, fmt.Sprintf("(actual: %d rows, %s, ¢%.1f)",
-				st.RowsOut, time.Duration(st.WallNanos).Round(time.Microsecond), st.Cents(cfg)))
+			actual := fmt.Sprintf("(actual: %d rows, %s, ¢%.1f",
+				st.RowsOut, time.Duration(st.WallNanos).Round(time.Microsecond), st.Cents(cfg))
+			if st.PeakBufferedRows > 0 {
+				actual += fmt.Sprintf(", peak %d buffered", st.PeakBufferedRows)
+			}
+			parts = append(parts, actual+")")
 		}
 		return strings.Join(parts, "  ")
 	}))

@@ -8,6 +8,8 @@ package core
 
 import (
 	"os"
+	"sync"
+	"time"
 
 	"crowddb/internal/exec"
 	"crowddb/internal/obs"
@@ -90,6 +92,62 @@ func (e *Engine) initObservability() {
 	e.store.RegisterMetrics(e.reg)
 	if e.tasks != nil {
 		e.tasks.RegisterMetrics(e.reg)
+	}
+	if !e.cfg.DisableObservability {
+		e.opm = newOpMetrics(e.reg)
+	}
+}
+
+// opMetrics funnels each instrumented operator's final accounting into
+// the registry, keyed by operator name — the engine's exec.OpMetricsSink.
+// Series are created lazily the first time an operator label is seen, so
+// /metrics only carries families for operators that actually ran. Nil
+// when observability is disabled: the executor then skips the
+// instrumented shells entirely and the row hot path stays unwrapped.
+type opMetrics struct {
+	reg    *obs.Registry
+	mu     sync.Mutex
+	series map[string]*opSeries
+}
+
+type opSeries struct {
+	rows    *obs.Counter
+	batches *obs.Counter
+	wall    *obs.Counter
+	peak    *obs.Gauge
+}
+
+func newOpMetrics(reg *obs.Registry) *opMetrics {
+	return &opMetrics{reg: reg, series: make(map[string]*opSeries)}
+}
+
+// ObserveOp implements exec.OpMetricsSink; the instrumented shell calls
+// it once per operator at Close. The peak gauge is a high watermark
+// across statements, not a sum: it answers "how large does this
+// operator's materialization get", the vectorized pipeline's
+// per-operator memory figure.
+func (m *opMetrics) ObserveOp(op string, st exec.OpStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.series[op]
+	if s == nil {
+		s = &opSeries{
+			rows: m.reg.Counter("crowddb_exec_op_rows_total",
+				"rows produced by each physical operator", "op", op),
+			batches: m.reg.Counter("crowddb_exec_op_batches_total",
+				"non-empty batches produced by each physical operator", "op", op),
+			wall: m.reg.Counter("crowddb_exec_op_wall_seconds_total",
+				"inclusive wall time inside each physical operator and its children", "op", op),
+			peak: m.reg.Gauge("crowddb_exec_op_peak_buffered_rows",
+				"high watermark of rows an operator materialized at once", "op", op),
+		}
+		m.series[op] = s
+	}
+	s.rows.Add(float64(st.RowsOut))
+	s.batches.Add(float64(st.Batches))
+	s.wall.Add(float64(st.WallNanos) / float64(time.Second))
+	if p := float64(st.PeakBufferedRows); p > s.peak.Value() {
+		s.peak.Set(p)
 	}
 }
 

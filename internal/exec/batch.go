@@ -1,0 +1,146 @@
+package exec
+
+// Batch plumbing for the vectorized streaming executor: the Batch unit,
+// the configurable batch size, the legacy row-at-a-time adapter, and the
+// small helpers operators share to emit batches without re-allocating.
+// The Operator contract itself (ownership, reuse, EOF semantics) is
+// documented in the package comment in operators.go.
+
+import "crowddb/internal/plan"
+
+// DefaultBatchSize is the number of rows an operator aims to hand over
+// per NextBatch call when Ctx.BatchSize is unset. Large enough to
+// amortize per-call overhead across the pipeline, small enough that a
+// first batch never resembles materialization.
+const DefaultBatchSize = 256
+
+// Batch is one unit of row flow between operators. The Rows slice (the
+// header) is owned by the producing operator and reused across NextBatch
+// calls; the Row values inside are owned by the consumer once returned
+// and stay valid after the next call.
+type Batch struct {
+	Rows []Row
+}
+
+// Len reports the number of rows in the batch (nil-safe).
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Rows)
+}
+
+// reset empties the batch for refilling, keeping the backing capacity.
+func (b *Batch) reset() { b.Rows = b.Rows[:0] }
+
+// batchSize resolves the effective rows-per-batch for this statement.
+func (c *Ctx) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// EarlyStopper is implemented by operators that can cut row production
+// short once a downstream consumer (e.g. LIMIT) has all the rows it
+// needs. StopEarly must be safe to call at any point between Open and
+// Close, from the query goroutine; after it, NextBatch may keep
+// returning already-produced rows but should stop doing new work.
+type EarlyStopper interface {
+	StopEarly()
+}
+
+// stopEarly propagates an early-stop signal to op if it supports one.
+func stopEarly(op Operator) {
+	if s, ok := op.(EarlyStopper); ok {
+		s.StopEarly()
+	}
+}
+
+// RowOperator is the legacy row-at-a-time iterator contract the batch
+// redesign replaced. AdaptRowOperator bridges an unconverted
+// implementation into the batch pipeline during migrations; every
+// in-tree operator is batch-native.
+type RowOperator interface {
+	Schema() []plan.Col
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Row, error)
+	Close(ctx *Ctx) error
+}
+
+// AdaptRowOperator wraps a row-at-a-time operator into the batch
+// Operator contract: NextBatch accumulates up to one batch of rows from
+// successive Next calls. EOF ((nil, nil) from Next) maps to batch EOF.
+func AdaptRowOperator(op RowOperator) Operator { return &rowAdapter{op: op} }
+
+type rowAdapter struct {
+	op  RowOperator
+	buf Batch
+}
+
+func (a *rowAdapter) Schema() []plan.Col { return a.op.Schema() }
+
+func (a *rowAdapter) Open(ctx *Ctx) error { return a.op.Open(ctx) }
+
+func (a *rowAdapter) NextBatch(ctx *Ctx) (*Batch, error) {
+	a.buf.reset()
+	limit := ctx.batchSize()
+	for len(a.buf.Rows) < limit {
+		r, err := a.op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		a.buf.Rows = append(a.buf.Rows, r)
+	}
+	if len(a.buf.Rows) == 0 {
+		return nil, nil
+	}
+	return &a.buf, nil
+}
+
+func (a *rowAdapter) Close(ctx *Ctx) error { return a.op.Close(ctx) }
+
+// StopEarly forwards to the wrapped operator when it supports it.
+func (a *rowAdapter) StopEarly() {
+	if s, ok := a.op.(EarlyStopper); ok {
+		s.StopEarly()
+	}
+}
+
+// batchEmitter serves batches out of a materialized row slice as
+// zero-copy views; the helper blocking operators (sort, aggregate, crowd
+// scans) use to stream their buffered output.
+type batchEmitter struct {
+	rows []Row
+	pos  int
+	buf  Batch
+}
+
+func (e *batchEmitter) next(ctx *Ctx) *Batch {
+	if e.pos >= len(e.rows) {
+		return nil
+	}
+	n := min(ctx.batchSize(), len(e.rows)-e.pos)
+	e.buf.Rows = e.rows[e.pos : e.pos+n]
+	e.pos += n
+	return &e.buf
+}
+
+// drainInput pulls the input operator to EOF, appending every row to
+// dst — the shared materialization step of blocking operators. The batch
+// headers are copied (the producer reuses them); the Row values are not.
+func drainInput(ctx *Ctx, in Operator, dst []Row) ([]Row, error) {
+	for {
+		b, err := in.NextBatch(ctx)
+		if err != nil {
+			return dst, err
+		}
+		if b.Len() == 0 {
+			return dst, nil
+		}
+		dst = append(dst, b.Rows...)
+	}
+}

@@ -1,0 +1,350 @@
+package exec
+
+// Tests for the vectorized batch pipeline: the batch-size invariance
+// property (BatchSize=1 IS the old row-at-a-time execution, so equality
+// across sizes proves the redesign changed the unit of flow, not the
+// results), early-stop propagation into parallel scan workers, the
+// legacy-operator adapter, and a -race stress of the quorum-streaming
+// CROWDEQUAL path under concurrent statements.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"crowddb/internal/catalog"
+	"crowddb/internal/optimizer"
+	"crowddb/internal/parser"
+	"crowddb/internal/plan"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
+)
+
+// setupNums builds a table large enough that every batch size under test
+// crosses batch boundaries (600 rows vs DefaultBatchSize=256), plus a
+// small lookup table for join coverage.
+func setupNums(t *testing.T) *harness {
+	t.Helper()
+	h := newHarness(t)
+	h.createTable(t, &catalog.Table{
+		Name: "nums",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqltypes.TypeInt, PrimaryKey: true},
+			{Name: "grp", Type: sqltypes.TypeString},
+			{Name: "val", Type: sqltypes.TypeInt},
+		},
+	})
+	h.createTable(t, &catalog.Table{
+		Name: "lk",
+		Columns: []catalog.Column{
+			{Name: "grp", Type: sqltypes.TypeString, PrimaryKey: true},
+			{Name: "label", Type: sqltypes.TypeString},
+		},
+	})
+	groups := []string{"red", "green", "blue"}
+	for i := 0; i < 600; i++ {
+		h.insert(t, "nums", Row{
+			num(int64(i)),
+			str(groups[i%len(groups)]),
+			num(int64((i * 37) % 101)),
+		})
+	}
+	for _, g := range groups {
+		h.insert(t, "lk", Row{str(g), str("label-" + g)})
+	}
+	return h
+}
+
+// randomQuery draws one SELECT from a grammar covering every converted
+// operator: scans, filters, projects, hash and nested-loop joins,
+// aggregates, distinct, sort, limit/offset.
+func randomQuery(rng *rand.Rand) string {
+	where := ""
+	switch rng.Intn(4) {
+	case 0:
+		where = fmt.Sprintf(" WHERE nums.val > %d", rng.Intn(100))
+	case 1:
+		where = fmt.Sprintf(" WHERE nums.grp = '%s'", []string{"red", "green", "blue"}[rng.Intn(3)])
+	case 2:
+		where = fmt.Sprintf(" WHERE nums.val > %d AND nums.id < %d", rng.Intn(80), 50+rng.Intn(550))
+	}
+	tail := ""
+	if rng.Intn(2) == 0 {
+		dir := ""
+		if rng.Intn(2) == 0 {
+			dir = " DESC"
+		}
+		tail = " ORDER BY nums.val" + dir + ", nums.id"
+		if rng.Intn(2) == 0 {
+			tail += fmt.Sprintf(" LIMIT %d", 1+rng.Intn(40))
+			if rng.Intn(2) == 0 {
+				tail += fmt.Sprintf(" OFFSET %d", rng.Intn(20))
+			}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return "SELECT id, grp, val FROM nums" + where + tail
+	case 1:
+		return "SELECT DISTINCT grp FROM nums" + where
+	case 2:
+		agg := []string{"COUNT(*)", "SUM(nums.val)", "MIN(nums.val)", "MAX(nums.val)", "AVG(nums.val)"}[rng.Intn(5)]
+		return "SELECT grp, " + agg + " FROM nums" + where + " GROUP BY grp"
+	case 3:
+		return "SELECT nums.id, lk.label FROM nums JOIN lk ON lk.grp = nums.grp" + where + tail
+	default:
+		return "SELECT nums.id, lk.label FROM nums, lk" + where + tail
+	}
+}
+
+func rowsKey(rows []Row) string {
+	var sb []byte
+	for _, r := range rows {
+		for _, v := range r {
+			sb = append(sb, v.String()...)
+			sb = append(sb, '|')
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+// runSized executes sql with an explicit batch size.
+func (h *harness) runSized(t *testing.T, sql string, size int) []Row {
+	t.Helper()
+	ctx := &Ctx{Store: h.store, Cat: h.cat, Cache: NewCompareCache(), BatchSize: size}
+	return h.runCtxOpts(t, ctx, sql, optimizer.Options{})
+}
+
+// TestBatchSizeInvariance is the redesign's core property: 100 random
+// plans produce row-for-row identical output at BatchSize 1 (degenerate
+// row-at-a-time), 7 (never divides anything evenly), and the default.
+func TestBatchSizeInvariance(t *testing.T) {
+	h := setupNums(t)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		sql := randomQuery(rng)
+		want := h.runSized(t, sql, 1)
+		for _, size := range []int{7, 0} { // 0 = DefaultBatchSize
+			got := h.runSized(t, sql, size)
+			if rowsKey(got) != rowsKey(want) {
+				t.Fatalf("plan %d %q: batch size %d diverged from row-at-a-time\nwant %d rows\ngot  %d rows",
+					i, sql, size, len(want), len(got))
+			}
+		}
+	}
+}
+
+// TestLimitStopsParallelScanWorkers pins the early-stop satellite: a
+// filled LIMIT quota above a parallel scan must halt the shard workers
+// mid-shard instead of filtering the whole table. StopAfter push-down is
+// disabled so the bound reaches the scan only through StopEarly.
+func TestLimitStopsParallelScanWorkers(t *testing.T) {
+	st, err := storage.NewStoreOptions("", storage.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{cat: catalog.New(), store: st}
+	h.createTable(t, &catalog.Table{
+		Name: "big",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqltypes.TypeInt, PrimaryKey: true},
+			{Name: "val", Type: sqltypes.TypeInt},
+		},
+	})
+	const total = 20000
+	for i := 0; i < total; i++ {
+		h.insert(t, "big", Row{num(int64(i)), num(int64(i % 7))})
+	}
+	ctx := &Ctx{Store: h.store, Cat: h.cat, Cache: NewCompareCache(), ParallelScanMinRows: 1}
+	rows := h.runCtxOpts(t, ctx, "SELECT id FROM big WHERE val >= 0 LIMIT 5",
+		optimizer.Options{DisableStopAfter: true})
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if ctx.Stats.RowsScanned == 0 {
+		t.Fatal("scan stats missing")
+	}
+	// Workers run at most a few chunks ahead of the merge (bounded
+	// channels), so a stopped scan must come in far below the table.
+	if ctx.Stats.RowsScanned >= total/2 {
+		t.Errorf("early stop ineffective: scanned %d of %d rows", ctx.Stats.RowsScanned, total)
+	}
+}
+
+// TestAdaptRowOperator checks the migration shim: batches fill to the
+// context's size, the tail batch is short, EOF is (nil, nil), and
+// StopEarly forwards through the adapter.
+func TestAdaptRowOperator(t *testing.T) {
+	inner := &rowOpImpl{n: 10}
+	op := AdaptRowOperator(inner)
+	ctx := &Ctx{BatchSize: 4}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	var got []int64
+	for {
+		b, err := op.NextBatch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			break
+		}
+		sizes = append(sizes, b.Len())
+		for _, r := range b.Rows {
+			got = append(got, r[0].Int())
+		}
+	}
+	if fmt.Sprint(sizes) != "[4 4 2]" {
+		t.Errorf("batch fill: %v", sizes)
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("row %d: %d", i, v)
+		}
+	}
+	stopEarly(op)
+	if !inner.stopped {
+		t.Error("StopEarly did not forward through the adapter")
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rowOpImpl is the real legacy-shaped operator for the adapter test.
+type rowOpImpl struct {
+	n, pos  int
+	stopped bool
+}
+
+func (f *rowOpImpl) Schema() []plan.Col { return nil }
+
+func (f *rowOpImpl) Open(*Ctx) error { f.pos = 0; return nil }
+func (f *rowOpImpl) Next(*Ctx) (Row, error) {
+	if f.pos >= f.n || f.stopped {
+		return nil, nil
+	}
+	f.pos++
+	return Row{sqltypes.NewInt(int64(f.pos))}, nil
+}
+func (f *rowOpImpl) Close(*Ctx) error { return nil }
+func (f *rowOpImpl) StopEarly()       { f.stopped = true }
+
+// TestCrowdEqualConcurrentStreams stresses the quorum-streaming
+// CROWDEQUAL path under -race: several statements run the same crowd
+// filter concurrently over a shared task manager and comparison cache,
+// so leaders, followers, and cache adoption interleave across
+// goroutines while each stream emits rows. Every statement must agree:
+// each pair reaches quorum exactly once globally (one leader; everyone
+// else adopts), so the verdicts — and therefore the row sets — are
+// shared.
+func TestCrowdEqualConcurrentStreams(t *testing.T) {
+	h, base := crowdFilterFixture(t, 99)
+	for i := 5; i <= 24; i++ {
+		h.insert(t, "v", Row{num(int64(i)), str(fmt.Sprintf("l%02d", i)), str(fmt.Sprintf("r%02d", i))})
+	}
+	const workers = 4
+	results := make([]string, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := &Ctx{Store: h.store, Cat: h.cat, Tasks: base.Tasks, Cache: base.Cache, BatchSize: 3}
+			rows, err := h.collectStreamed(ctx, `SELECT id FROM v WHERE a ~= b`)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			var ids []string
+			for _, r := range rows {
+				ids = append(ids, r[0].String())
+			}
+			sort.Strings(ids)
+			results[w] = fmt.Sprint(ids)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Errorf("worker %d disagreed:\n%s\nvs\n%s", w, results[w], results[0])
+		}
+	}
+}
+
+// TestCrowdOrderStreamsSettledPrefix pins the headline streaming
+// behavior: an ascending CROWDORDER emits its settled prefix while later
+// segments are still being compared, so the comparison count observed at
+// the first sink row is strictly below the statement's final count.
+func TestCrowdOrderStreamsSettledPrefix(t *testing.T) {
+	h, ctx := crowdHarness(t, 7)
+	for i := 0; i < 16; i++ {
+		h.insert(t, "item", Row{str(fmt.Sprintf("i%02d", (i*7)%16))})
+	}
+	firstRowComparisons := -1
+	rows := 0
+	op, err := h.compile(ctx, `SELECT label FROM item ORDER BY CROWDORDER(label, 'rank')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RunSink(op, ctx, func(Row) error {
+		if firstRowComparisons < 0 {
+			firstRowComparisons = ctx.Stats.Comparisons
+		}
+		rows++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 16 {
+		t.Fatalf("rows: %d", rows)
+	}
+	if firstRowComparisons < 0 || firstRowComparisons >= ctx.Stats.Comparisons {
+		t.Errorf("no streaming: %d comparisons at first row, %d total",
+			firstRowComparisons, ctx.Stats.Comparisons)
+	}
+}
+
+// collectStreamed runs sql through RunSink (the streaming seam) rather
+// than Run, so the test exercises the per-batch emission path.
+func (h *harness) collectStreamed(ctx *Ctx, sql string) ([]Row, error) {
+	op, err := h.compile(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	err = RunSink(op, ctx, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	return rows, err
+}
+
+// compile parses, plans, optimizes, and builds sql into an operator.
+func (h *harness) compile(ctx *Ctx, sql string) (Operator, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	root, err := plan.Build(stmt.(*parser.Select), h.cat)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := optimizer.Optimize(root, h.cat, optimizer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return Build(opt.Root, ctx)
+}

@@ -187,9 +187,13 @@ func coveredBySchema(e parser.Expr, schema []plan.Col) bool {
 type RowSink func(Row) error
 
 // RunSink executes an operator tree, handing each row to sink the moment
-// the root operator produces it — the streaming seam the jobs API and the
-// wire shims consume. Cancellation (Ctx.Context) is checked between rows,
-// so a cancelled statement stops without draining its input.
+// the root operator's batch carrying it lands — the streaming seam the
+// jobs API and the wire shims consume. With the vectorized crowd
+// operators, that is first-quorum time: a CROWDORDER's settled prefix
+// and a CROWDEQUAL's ready rows reach the sink while later groups are
+// still open on the platform. Cancellation (Ctx.Context) is checked
+// between batches, so a cancelled statement stops without draining its
+// input.
 func RunSink(op Operator, ctx *Ctx, sink RowSink) error {
 	if err := op.Open(ctx); err != nil {
 		return err
@@ -199,24 +203,28 @@ func RunSink(op Operator, ctx *Ctx, sink RowSink) error {
 			op.Close(ctx)
 			return err
 		}
-		r, err := op.Next(ctx)
+		b, err := op.NextBatch(ctx)
 		if err != nil {
 			op.Close(ctx)
 			return err
 		}
-		if r == nil {
+		if b.Len() == 0 {
 			break
 		}
-		if err := sink(r); err != nil {
-			op.Close(ctx)
-			return err
+		for _, r := range b.Rows {
+			if err := sink(r); err != nil {
+				op.Close(ctx)
+				return err
+			}
 		}
 	}
 	return op.Close(ctx)
 }
 
 // Run executes an operator tree to completion and returns all rows
-// (RunSink materialized).
+// (RunSink materialized). Safe without copying: batch headers are
+// producer-owned but the Row values are consumer-owned (see the package
+// contract), so accumulating them outlives the pipeline.
 func Run(op Operator, ctx *Ctx) ([]Row, error) {
 	var rows []Row
 	if err := RunSink(op, ctx, func(r Row) error {

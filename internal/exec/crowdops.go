@@ -106,6 +106,15 @@ type Ctx struct {
 	// of child operators.
 	OpStats map[plan.Node]*OpStats
 
+	// BatchSize is the rows-per-batch target of the vectorized pipeline
+	// (0 = DefaultBatchSize). Batch size changes emission granularity
+	// only, never results or crowd scheduling.
+	BatchSize int
+	// OpMetrics, when non-nil, receives each instrumented operator's
+	// final accounting at Close (rows/sec, peak buffered rows) — the
+	// engine aggregates it into /metrics per operator type.
+	OpMetrics OpMetricsSink
+
 	subqMemo map[*parser.InExpr][]sqltypes.Value
 }
 
@@ -277,45 +286,86 @@ func collectCrowdEqualCalls(e parser.Expr) []crowdEqualCall {
 	return calls
 }
 
-// prefetchCrowdEqual resolves, in one HIT group, every CROWDEQUAL pair the
-// condition needs across the buffered rows — the CrowdCompare batching the
-// paper's operators do. Pairs another session is already asking the crowd
-// about are not re-posted: their flights are adopted after this query's
-// own groups resolve (singleflight).
-func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Col) error {
+// pendingPair is one deduplicated CROWDEQUAL comparison this query leads.
+type pendingPair struct {
+	question string
+	l, r     string
+	key      string
+}
+
+// eqDispatch is one posted CROWDEQUAL HIT group awaiting collection.
+type eqDispatch struct {
+	question string
+	batch    []pendingPair
+	call     *taskmgr.CompareCall
+	span     *obs.Span
+}
+
+// equalStream is the CrowdFilter's quorum-streaming state machine. It
+// batch-resolves every CROWDEQUAL pair the condition needs across the
+// buffered rows — the CrowdCompare batching the paper's operators do —
+// but instead of blocking until all groups settle, it tracks which pairs
+// each row depends on and emits the maximal ready prefix of rows after
+// each group's quorum lands. Pairs another session is already asking are
+// not re-posted: their flights are adopted after this query's own groups
+// resolve (singleflight), in a final phase before the stalled tail rows
+// evaluate.
+//
+// The crowd-facing call sequence (claims in row-major order, all groups
+// submitted before any is collected, collections in submission order,
+// leader claims abandoned before follower adoption) is EXACTLY the
+// blocking prefetch's — only row emission timing differs, which keeps
+// seeded replays bit-identical. Rows are evaluated strictly in input
+// order; evaluating a resolved row touches only the in-memory cache, so
+// interleaving evaluations between collections is scheduling-invisible.
+type equalStream struct {
+	cond   parser.Expr
+	schema []plan.Col
+	rows   []Row
+	// rowKeys[i] lists the pair keys row i needs that were unresolved at
+	// claim time; the row is ready once all are in resolved (or after
+	// finalization, when eval-time retries handle the leftovers).
+	rowKeys    [][]string
+	resolved   map[string]bool
+	dispatched []eqDispatch
+	collected  int
+	leaders    []Claim
+	followers  []Claim
+	released   bool
+	finalized  bool
+	nextRow    int
+	buf        Batch
+}
+
+// newEqualStream claims and dispatches every needed comparison (the
+// submit-all-before-collect half of the CrowdCompare batching); quorum
+// collection happens lazily in nextBatch.
+func newEqualStream(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Col) (*equalStream, error) {
+	es := &equalStream{cond: cond, schema: schema, rows: rows, resolved: map[string]bool{}}
 	if ctx.Tasks == nil || ctx.Cache == nil {
-		return nil
+		es.finalized = true
+		return es, nil
 	}
 	calls := collectCrowdEqualCalls(cond)
 	if len(calls) == 0 {
-		return nil
+		es.finalized = true
+		return es, nil
 	}
-	type pending struct {
-		question string
-		l, r     string
-	}
+	es.rowKeys = make([][]string, len(rows))
 	seen := map[string]bool{}
-	var todo []pending
-	var leaderClaims []Claim
-	var followers []Claim
-	// Every leader claim must resolve, or followers in other sessions hang.
-	// Memoizing an answer resolves it; this abandons the rest (errors, no
-	// quorum) as a no-op for the already-memoized ones.
-	defer func() {
-		for _, cl := range leaderClaims {
-			cl.Abandon()
-		}
-	}()
-	for _, row := range rows {
+	var todo []pendingPair
+	for i, row := range rows {
 		ectx := &evalCtx{schema: schema, row: row}
 		for _, call := range calls {
 			lv, err := eval(call.l, ectx)
 			if err != nil {
-				return err
+				es.abandonLeaders()
+				return nil, err
 			}
 			rv, err := eval(call.r, ectx)
 			if err != nil {
-				return err
+				es.abandonLeaders()
+				return nil, err
 			}
 			if lv.IsUnknown() || rv.IsUnknown() || sqltypes.Equal(lv, rv) {
 				continue
@@ -324,71 +374,56 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 			if call.question != nil {
 				qv, err := eval(call.question, ectx)
 				if err != nil {
-					return err
+					es.abandonLeaders()
+					return nil, err
 				}
 				question = qv.String()
 			}
 			l, r := lv.String(), rv.String()
 			k := pairKey(question, l, r)
 			if seen[k] {
+				if !es.resolved[k] {
+					es.rowKeys[i] = append(es.rowKeys[i], k)
+				}
 				continue
 			}
 			seen[k] = true
 			claim := ctx.Cache.ClaimEqual(question, l, r)
 			if claim.Hit {
 				ctx.Stats.CacheHits++
+				es.resolved[k] = true
 				continue
 			}
 			if !claim.Leader {
-				followers = append(followers, claim)
+				// Another session's flight: adopted in the final phase.
+				es.followers = append(es.followers, claim)
+				es.rowKeys[i] = append(es.rowKeys[i], k)
 				continue
 			}
 			if !ctx.budgetOK() {
 				claim.Abandon()
 				ctx.Stats.BudgetDenied++
+				// Denied pairs evaluate deterministically (CNULL) with no
+				// crowd interaction: the row need not wait for them.
+				es.resolved[k] = true
 				continue
 			}
-			leaderClaims = append(leaderClaims, claim)
-			todo = append(todo, pending{question: question, l: l, r: r})
+			es.leaders = append(es.leaders, claim)
+			todo = append(todo, pendingPair{question: question, l: l, r: r, key: k})
 			ctx.Stats.Comparisons++
+			es.rowKeys[i] = append(es.rowKeys[i], k)
 		}
 	}
 	// Group by question (HIT groups share one question text), then submit
 	// every group before collecting any: big single-question batches are
 	// split so several groups overlap on the platform (async pipelining).
-	byQ := map[string][]pending{}
+	byQ := map[string][]pendingPair{}
 	var qOrder []string
 	for _, p := range todo {
 		if _, ok := byQ[p.question]; !ok {
 			qOrder = append(qOrder, p.question)
 		}
 		byQ[p.question] = append(byQ[p.question], p)
-	}
-	type eqCall struct {
-		question string
-		batch    []pending
-		call     *taskmgr.CompareCall
-		span     *obs.Span
-	}
-	var dispatched []eqCall
-	drainFrom := func(k int) {
-		// An error abandons the remaining calls' results, but their groups
-		// are already live: wait them out so they don't keep occupying the
-		// scheduler's window after this query unwinds. A cancelled query
-		// must not block on crowd waits: queued submissions are withdrawn
-		// (and their charge refunded — they never reached the platform)
-		// and posted groups left for the next driver to settle.
-		for _, c := range dispatched[k:] {
-			c.span.SetAttr("drained", "true")
-			c.span.End()
-			if ctx.Canceled() != nil {
-				if c.call.Abort() {
-					ctx.Stats.Comparisons -= len(c.batch)
-				}
-				continue
-			}
-			c.call.Wait() //nolint:errcheck // draining after a prior error
-		}
 	}
 	// Pairs charged at claim time but never submitted (cancellation or a
 	// dispatch error before their batch went out) are refunded on every
@@ -401,8 +436,10 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 		for _, batch := range chunkSlice(byQ[q], asyncWindow(ctx)) {
 			if err := ctx.Canceled(); err != nil {
 				ctx.Stats.Comparisons -= undispatched
-				drainFrom(0)
-				return err
+				es.drainFrom(ctx, 0)
+				es.collected = len(es.dispatched)
+				es.abandonLeaders()
+				return nil, err
 			}
 			pairs := make([]taskmgr.ComparePair, len(batch))
 			for i, p := range batch {
@@ -416,48 +453,122 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 				sp.SetAttr("error", err.Error())
 				sp.End()
 				ctx.Stats.Comparisons -= undispatched
-				drainFrom(0)
-				return err
+				es.drainFrom(ctx, 0)
+				es.collected = len(es.dispatched)
+				es.abandonLeaders()
+				return nil, err
 			}
 			undispatched -= len(batch)
-			dispatched = append(dispatched, eqCall{question: q, batch: batch, call: call, span: sp})
+			es.dispatched = append(es.dispatched, eqDispatch{question: q, batch: batch, call: call, span: sp})
 		}
 	}
-	for k, c := range dispatched {
-		ds, err := c.call.WaitCtx(ctx.context())
-		if err != nil {
-			c.span.SetAttr("error", err.Error())
-			drainFrom(k)
-			return err
-		}
-		finishGroupSpan(c.span, c.call.Telemetry(), answersTotal(ds), quorumCount(ds))
-		for i, d := range ds {
-			if d.Total == 0 {
-				continue
+	return es, nil
+}
+
+// nextBatch emits the next batch of passing rows, settling just enough
+// crowd work to unblock the row at the front: rows whose pairs all have
+// verdicts evaluate and stream out while later groups are still open on
+// the platform. Evaluation is strictly in input order (the streamed
+// output is a prefix-stable reordering of nothing).
+func (es *equalStream) nextBatch(ctx *Ctx) (*Batch, error) {
+	limit := ctx.batchSize()
+	for {
+		es.buf.reset()
+		for es.nextRow < len(es.rows) && len(es.buf.Rows) < limit && es.rowReady(es.nextRow) {
+			row := es.rows[es.nextRow]
+			es.nextRow++
+			v, err := eval(es.cond, &evalCtx{schema: es.schema, row: row, crowdEqual: cachedEqualResolver(ctx), exec: ctx})
+			if err != nil {
+				return nil, err
 			}
-			ctx.Cache.PutEqual(c.question, c.batch[i].l, c.batch[i].r, quality.Normalize(d.Value) == "yes")
+			if b, unknown := boolOf(v); !unknown && b {
+				es.buf.Rows = append(es.buf.Rows, row)
+			}
+		}
+		if len(es.buf.Rows) > 0 {
+			return &es.buf, nil
+		}
+		if es.nextRow >= len(es.rows) {
+			return nil, nil
+		}
+		// The front row is stalled on an open pair: settle more crowd work.
+		if es.collected < len(es.dispatched) {
+			if err := es.collectNext(ctx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := es.finish(ctx); err != nil {
+			return nil, err
 		}
 	}
+}
+
+// rowReady reports whether every pair row i depends on has settled.
+func (es *equalStream) rowReady(i int) bool {
+	if es.finalized {
+		return true
+	}
+	for _, k := range es.rowKeys[i] {
+		if !es.resolved[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectNext waits out the oldest open HIT group and memoizes its
+// quorum verdicts (which resolves this session's claims for follower
+// sessions and marks the pairs' dependent rows ready).
+func (es *equalStream) collectNext(ctx *Ctx) error {
+	c := es.dispatched[es.collected]
+	ds, err := c.call.WaitCtx(ctx.context())
+	if err != nil {
+		c.span.SetAttr("error", err.Error())
+		es.drainFrom(ctx, es.collected)
+		es.collected = len(es.dispatched)
+		es.abandonLeaders()
+		es.finalized = true
+		return err
+	}
+	es.collected++
+	finishGroupSpan(c.span, c.call.Telemetry(), answersTotal(ds), quorumCount(ds))
+	for i, d := range ds {
+		if d.Total == 0 {
+			// No quorum: the pair stays open and its rows stall to the
+			// final phase, where eval retries it (a fresh single-pair
+			// group) exactly as the blocking executor did.
+			continue
+		}
+		ctx.Cache.PutEqual(c.question, c.batch[i].l, c.batch[i].r, quality.Normalize(d.Value) == "yes")
+		es.resolved[c.batch[i].key] = true
+	}
+	return nil
+}
+
+// finish releases unresolved leader claims and adopts follower flights,
+// after which every row is ready: the tail evaluates with eval-time
+// retries for pairs that never got a verdict.
+func (es *equalStream) finish(ctx *Ctx) error {
 	// Release leader claims whose groups yielded no quorum (their answers
 	// were never memoized) BEFORE waiting on foreign flights: a session
 	// symmetric to this one may be blocked on exactly those claims.
-	for _, cl := range leaderClaims {
-		cl.Abandon()
-	}
+	es.abandonLeaders()
 	// Adopt the answers other sessions are sourcing. This must come after
 	// every own claim resolved: two sessions following each other's pairs
 	// before fulfilling their own would deadlock.
 	adopted := 0
-	if len(followers) > 0 {
+	if len(es.followers) > 0 {
 		asp := ctx.startCrowdSpan("crowd:adopt_followers")
-		asp.SetInt("flights", int64(len(followers)))
+		asp.SetInt("flights", int64(len(es.followers)))
 		defer func() {
 			asp.SetInt("adopted", int64(adopted))
 			asp.End()
 		}()
 	}
-	for _, cl := range followers {
+	for _, cl := range es.followers {
 		if err := ctx.Canceled(); err != nil {
+			es.finalized = true
 			return err
 		}
 		if _, ok := cl.WaitCtx(ctx.context()); ok {
@@ -468,7 +579,53 @@ func prefetchCrowdEqual(ctx *Ctx, cond parser.Expr, rows []Row, schema []plan.Co
 		// query was cancelled; the pair resolves — or stays unknown — at
 		// eval time.
 	}
+	es.followers = nil
+	es.finalized = true
 	return nil
+}
+
+// abandonLeaders releases every leader claim this stream still holds.
+// Memoizing an answer resolved a claim already; abandoning is a no-op
+// for those and unblocks follower sessions for the rest (errors, no
+// quorum). Idempotent.
+func (es *equalStream) abandonLeaders() {
+	if es.released {
+		return
+	}
+	es.released = true
+	for _, cl := range es.leaders {
+		cl.Abandon()
+	}
+}
+
+// drainFrom waits out the open groups from index k on. An error abandons
+// their results, but the groups are already live: wait them out so they
+// don't keep occupying the scheduler's window after this query unwinds.
+// A cancelled query must not block on crowd waits: queued submissions
+// are withdrawn (and their charge refunded — they never reached the
+// platform) and posted groups left for the next driver to settle.
+func (es *equalStream) drainFrom(ctx *Ctx, k int) {
+	for _, c := range es.dispatched[k:] {
+		c.span.SetAttr("drained", "true")
+		c.span.End()
+		if ctx.Canceled() != nil {
+			if c.call.Abort() {
+				ctx.Stats.Comparisons -= len(c.batch)
+			}
+			continue
+		}
+		c.call.Wait() //nolint:errcheck // draining after a prior error
+	}
+}
+
+// close settles the stream's outstanding crowd state when the query ends
+// before the stream drained (error, cancellation, early stop).
+func (es *equalStream) close(ctx *Ctx) {
+	if es.collected < len(es.dispatched) {
+		es.drainFrom(ctx, es.collected)
+		es.collected = len(es.dispatched)
+	}
+	es.abandonLeaders()
 }
 
 // asyncWindow is the Task Manager's in-flight window: how many HIT groups
@@ -502,20 +659,21 @@ func chunkSlice[T any](items []T, n int) [][]T {
 // ---------------------------------------------------------------------------
 // CrowdCompare: CROWDORDER sorting
 
-// crowdOrderSort orders rows by crowd preference using a quicksort whose
-// partition step batches all comparisons against the pivot into one HIT
-// group (log n crowd round-trips instead of n log n). Most-preferred first;
-// DESC reverses. Results are memoized in the compare cache.
-func crowdOrderSort(ctx *Ctx, rows []Row, schema []plan.Col, key parser.OrderItem) error {
+// newCrowdSorter builds the incremental CROWDORDER quicksort over rows:
+// most-preferred first, one pivot-comparison HIT group per open segment
+// per round, results memoized in the compare cache. The caller drives it
+// with step() (one breadth-first round) and reads the settled prefix
+// between rounds, or run()s it to completion.
+func newCrowdSorter(ctx *Ctx, rows []Row, schema []plan.Col, key parser.OrderItem) (*crowdSorter, error) {
 	fc, ok := key.Expr.(*parser.FuncCall)
 	if !ok || fc.Name != "CROWDORDER" {
-		return fmt.Errorf("exec: unsupported crowd sort key %s", key.Expr)
+		return nil, fmt.Errorf("exec: unsupported crowd sort key %s", key.Expr)
 	}
 	question := "Which of the two items ranks higher?"
 	if len(fc.Args) == 2 {
 		q, ok := fc.Args[1].(*parser.Literal)
 		if !ok {
-			return fmt.Errorf("exec: CROWDORDER question must be a string literal")
+			return nil, fmt.Errorf("exec: CROWDORDER question must be a string literal")
 		}
 		question = q.Val.Str()
 	}
@@ -535,176 +693,204 @@ func crowdOrderSort(ctx *Ctx, rows []Row, schema []plan.Col, key parser.OrderIte
 	for i := range idx {
 		idx[i] = i
 	}
-	s := &crowdSorter{ctx: ctx, question: question, labels: labels}
-	if err := s.sort(idx); err != nil {
-		return err
+	s := &crowdSorter{ctx: ctx, question: question, labels: labels, rows: rows, idx: idx}
+	if len(idx) > 1 {
+		s.frontier = []segRange{{0, len(idx)}}
 	}
-	sorted := make([]Row, len(rows))
-	for i, j := range idx {
-		sorted[i] = rows[j]
-	}
-	if key.Desc {
-		for i, j := 0, len(sorted)-1; i < j; i, j = i+1, j-1 {
-			sorted[i], sorted[j] = sorted[j], sorted[i]
-		}
-	}
-	copy(rows, sorted)
-	return nil
+	return s, nil
 }
+
+// segRange is one open quicksort segment: idx[lo:hi] still needs
+// partitioning. The frontier holds open segments in ascending position
+// order; everything before frontier[0].lo is in final sorted position.
+type segRange struct{ lo, hi int }
 
 type crowdSorter struct {
 	ctx      *Ctx
 	question string
 	labels   []string
+	rows     []Row
+	idx      []int // permutation under construction: idx[i] = source row of sorted position i
+	frontier []segRange
 }
 
-// sort quicksorts the index slice by crowd preference (winner first),
-// breadth-first: each round batches one pivot-comparison HIT group per
-// open segment and submits them all before collecting any, so sibling
-// partitions' crowd waits overlap (log n rounds, each a window of
-// concurrent groups on the platform). Pairs another session is already
-// asking are adopted from its flight instead of re-posted (singleflight);
-// their verdicts are awaited after this round's own groups resolve and
-// before any segment partitions.
-func (s *crowdSorter) sort(idx []int) error {
-	frontier := [][]int{idx}
-	for len(frontier) > 0 {
-		type segCall struct {
-			seg   []int
-			pivot int
-			pairs []taskmgr.ComparePair
-			call  *taskmgr.CompareCall
-			span  *obs.Span
+// done reports whether the permutation is fully sorted.
+func (s *crowdSorter) done() bool { return len(s.frontier) == 0 }
+
+// settled is the length of the finalized prefix of idx: positions before
+// the first open segment can never change again (partitioning only
+// permutes within a segment), so their rows are safe to emit while the
+// rest of the sort is still waiting on the crowd.
+func (s *crowdSorter) settled() int {
+	if len(s.frontier) == 0 {
+		return len(s.idx)
+	}
+	return s.frontier[0].lo
+}
+
+// run drives the sort to completion (the blocking DESC path).
+func (s *crowdSorter) run() error {
+	for !s.done() {
+		if err := s.step(); err != nil {
+			return err
 		}
-		var round []segCall
-		var leaderClaims, followers []Claim
-		// Abandon any leader claim whose answer was not memoized (post
-		// error or no quorum) so follower sessions never hang; memoized
-		// pairs make this a no-op.
-		releaseRound := func() {
-			for _, cl := range leaderClaims {
-				cl.Abandon()
-			}
+	}
+	return nil
+}
+
+// permuted returns the rows in sorted order (valid once done).
+func (s *crowdSorter) permuted() []Row {
+	sorted := make([]Row, len(s.rows))
+	for i, j := range s.idx {
+		sorted[i] = s.rows[j]
+	}
+	return sorted
+}
+
+// step runs one breadth-first quicksort round: it batches one
+// pivot-comparison HIT group per open segment and submits them all
+// before collecting any, so sibling partitions' crowd waits overlap
+// (log n rounds, each a window of concurrent groups on the platform).
+// Pairs another session is already asking are adopted from its flight
+// instead of re-posted (singleflight); their verdicts are awaited after
+// this round's own groups resolve and before any segment partitions.
+func (s *crowdSorter) step() error {
+	type segCall struct {
+		seg   segRange
+		pivot int
+		pairs []taskmgr.ComparePair
+		call  *taskmgr.CompareCall
+		span  *obs.Span
+	}
+	var round []segCall
+	var leaderClaims, followers []Claim
+	// Abandon any leader claim whose answer was not memoized (post
+	// error or no quorum) so follower sessions never hang; memoized
+	// pairs make this a no-op.
+	releaseRound := func() {
+		for _, cl := range leaderClaims {
+			cl.Abandon()
 		}
-		drainFrom := func(k int) {
-			for _, sc := range round[k:] {
-				if sc.call == nil {
-					continue
-				}
-				sc.span.SetAttr("drained", "true")
-				sc.span.End()
-				if s.ctx.Canceled() != nil {
-					if sc.call.Abort() {
-						// Withdrawn before reaching the platform: refund.
-						s.ctx.Stats.Comparisons -= len(sc.pairs)
-					}
-					continue
-				}
-				sc.call.Wait() //nolint:errcheck // draining after a prior error
-			}
-		}
-		// roundSeen dedups label pairs across sibling segments: with
-		// repeated labels two segments can need the same comparison in one
-		// round, and the cache is only written back at collection time.
-		roundSeen := map[string]bool{}
-		for _, seg := range frontier {
-			if len(seg) <= 1 {
+	}
+	drainFrom := func(k int) {
+		for _, sc := range round[k:] {
+			if sc.call == nil {
 				continue
 			}
-			// Cancellation stops the sort before another group is posted:
-			// claims this round already took are released so follower
-			// sessions never hang on a cancelled leader.
-			if err := s.ctx.Canceled(); err != nil {
+			sc.span.SetAttr("drained", "true")
+			sc.span.End()
+			if s.ctx.Canceled() != nil {
+				if sc.call.Abort() {
+					// Withdrawn before reaching the platform: refund.
+					s.ctx.Stats.Comparisons -= len(sc.pairs)
+				}
+				continue
+			}
+			sc.call.Wait() //nolint:errcheck // draining after a prior error
+		}
+	}
+	// roundSeen dedups label pairs across sibling segments: with
+	// repeated labels two segments can need the same comparison in one
+	// round, and the cache is only written back at collection time.
+	roundSeen := map[string]bool{}
+	for _, sr := range s.frontier {
+		seg := s.idx[sr.lo:sr.hi]
+		// Cancellation stops the sort before another group is posted:
+		// claims this round already took are released so follower
+		// sessions never hang on a cancelled leader.
+		if err := s.ctx.Canceled(); err != nil {
+			drainFrom(0)
+			releaseRound()
+			return err
+		}
+		pivot := seg[len(seg)/2]
+		pairs, segLeaders, segFollowers := s.pivotPairs(seg, pivot, roundSeen)
+		leaderClaims = append(leaderClaims, segLeaders...)
+		followers = append(followers, segFollowers...)
+		sc := segCall{seg: sr, pivot: pivot, pairs: pairs}
+		if len(sc.pairs) > 0 {
+			s.ctx.noteProgress()
+			sp := s.ctx.startCrowdSpan("crowd:compare_order")
+			sp.SetAttr("role", "leader")
+			sp.SetInt("pairs", int64(len(sc.pairs)))
+			call, err := s.ctx.Tasks.CompareOrderAsync(s.question, sc.pairs)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.End()
+				// This segment's pairs never went out: refund them.
+				s.ctx.Stats.Comparisons -= len(sc.pairs)
 				drainFrom(0)
 				releaseRound()
 				return err
 			}
-			pivot := seg[len(seg)/2]
-			pairs, segLeaders, segFollowers := s.pivotPairs(seg, pivot, roundSeen)
-			leaderClaims = append(leaderClaims, segLeaders...)
-			followers = append(followers, segFollowers...)
-			sc := segCall{seg: seg, pivot: pivot, pairs: pairs}
-			if len(sc.pairs) > 0 {
-				s.ctx.noteProgress()
-				sp := s.ctx.startCrowdSpan("crowd:compare_order")
-				sp.SetAttr("role", "leader")
-				sp.SetInt("pairs", int64(len(sc.pairs)))
-				call, err := s.ctx.Tasks.CompareOrderAsync(s.question, sc.pairs)
-				if err != nil {
-					sp.SetAttr("error", err.Error())
-					sp.End()
-					// This segment's pairs never went out: refund them.
-					s.ctx.Stats.Comparisons -= len(sc.pairs)
-					drainFrom(0)
-					releaseRound()
-					return err
-				}
-				sc.call = call
-				sc.span = sp
-			}
-			round = append(round, sc)
+			sc.call = call
+			sc.span = sp
 		}
-		// Collect every own group, memoizing verdicts (which resolves this
-		// session's claims for follower sessions).
-		for k, sc := range round {
-			if sc.call == nil {
+		round = append(round, sc)
+	}
+	// Collect every own group, memoizing verdicts (which resolves this
+	// session's claims for follower sessions).
+	for k, sc := range round {
+		if sc.call == nil {
+			continue
+		}
+		ds, err := sc.call.WaitCtx(s.ctx.context())
+		if err != nil {
+			sc.span.SetAttr("error", err.Error())
+			drainFrom(k)
+			releaseRound()
+			return err
+		}
+		finishGroupSpan(sc.span, sc.call.Telemetry(), answersTotal(ds), quorumCount(ds))
+		for i, d := range ds {
+			if d.Total == 0 {
 				continue
 			}
-			ds, err := sc.call.WaitCtx(s.ctx.context())
-			if err != nil {
-				sc.span.SetAttr("error", err.Error())
-				drainFrom(k)
-				releaseRound()
-				return err
-			}
-			finishGroupSpan(sc.span, sc.call.Telemetry(), answersTotal(ds), quorumCount(ds))
-			for i, d := range ds {
-				if d.Total == 0 {
-					continue
-				}
-				s.ctx.Cache.PutOrder(s.question, sc.pairs[i].Left, sc.pairs[i].Right, d.Value)
-			}
+			s.ctx.Cache.PutOrder(s.question, sc.pairs[i].Left, sc.pairs[i].Right, d.Value)
 		}
-		releaseRound()
-		// Adopt verdicts other sessions are sourcing. Waiting only after
-		// all own groups are memoized avoids deadlocking with a session
-		// symmetric to this one.
-		for _, cl := range followers {
-			if err := s.ctx.Canceled(); err != nil {
-				return err
-			}
-			if _, ok := cl.WaitCtx(s.ctx.context()); ok {
-				s.ctx.Stats.SharedFlights++
-			}
-			// ok=false: the leader abandoned; prefers falls back to the
-			// deterministic label order for this pair.
-		}
-		// Partition every segment in place around its pivot.
-		var next [][]int
-		for _, sc := range round {
-			var before, after []int
-			for _, i := range sc.seg {
-				if i == sc.pivot {
-					continue
-				}
-				if s.prefers(i, sc.pivot) {
-					before = append(before, i)
-				} else {
-					after = append(after, i)
-				}
-			}
-			n := copy(sc.seg, before)
-			sc.seg[n] = sc.pivot
-			copy(sc.seg[n+1:], after)
-			if n > 1 {
-				next = append(next, sc.seg[:n])
-			}
-			if rest := sc.seg[n+1:]; len(rest) > 1 {
-				next = append(next, rest)
-			}
-		}
-		frontier = next
 	}
+	releaseRound()
+	// Adopt verdicts other sessions are sourcing. Waiting only after
+	// all own groups are memoized avoids deadlocking with a session
+	// symmetric to this one.
+	for _, cl := range followers {
+		if err := s.ctx.Canceled(); err != nil {
+			return err
+		}
+		if _, ok := cl.WaitCtx(s.ctx.context()); ok {
+			s.ctx.Stats.SharedFlights++
+		}
+		// ok=false: the leader abandoned; prefers falls back to the
+		// deterministic label order for this pair.
+	}
+	// Partition every segment in place around its pivot. Children are
+	// appended in position order, keeping the frontier sorted so
+	// settled() is exactly the finalized prefix.
+	var next []segRange
+	for _, sc := range round {
+		seg := s.idx[sc.seg.lo:sc.seg.hi]
+		var before, after []int
+		for _, i := range seg {
+			if i == sc.pivot {
+				continue
+			}
+			if s.prefers(i, sc.pivot) {
+				before = append(before, i)
+			} else {
+				after = append(after, i)
+			}
+		}
+		n := copy(seg, before)
+		seg[n] = sc.pivot
+		copy(seg[n+1:], after)
+		if n > 1 {
+			next = append(next, segRange{sc.seg.lo, sc.seg.lo + n})
+		}
+		if sc.seg.lo+n+1 < sc.seg.hi-1 {
+			next = append(next, segRange{sc.seg.lo + n + 1, sc.seg.hi})
+		}
+	}
+	s.frontier = next
 	return nil
 }
 
@@ -771,14 +957,13 @@ func (s *crowdSorter) prefers(i, j int) bool {
 
 type crowdProbeScan struct {
 	node *plan.Scan
-	rows []Row
-	pos  int
+	out  batchEmitter
 }
 
 func (s *crowdProbeScan) Schema() []plan.Col { return s.node.Schema() }
 
 func (s *crowdProbeScan) Open(ctx *Ctx) error {
-	s.rows, s.pos = nil, 0
+	s.out = batchEmitter{}
 	name := s.node.Table.Name
 	ids, stored, err := ctx.Store.ScanRowsAt(name, ctx.snapTS())
 	if err != nil {
@@ -849,7 +1034,7 @@ func (s *crowdProbeScan) Open(ctx *Ctx) error {
 			}
 		}
 	}
-	s.rows = out
+	s.out.rows = out
 	return nil
 }
 
@@ -1157,16 +1342,13 @@ func isPKColumn(t *catalog.Table, col string) bool {
 	return false
 }
 
-func (s *crowdProbeScan) Next(*Ctx) (Row, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
-	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, nil
+func (s *crowdProbeScan) NextBatch(ctx *Ctx) (*Batch, error) {
+	return s.out.next(ctx), nil
 }
 
 func (s *crowdProbeScan) Close(*Ctx) error { return nil }
+
+func (s *crowdProbeScan) bufferedRows() int64 { return int64(len(s.out.rows)) }
 
 // ---------------------------------------------------------------------------
 // CrowdJoin: index nested-loop join soliciting matching inner tuples
@@ -1183,33 +1365,27 @@ type crowdJoin struct {
 	rightCol string
 	residual parser.Expr
 
-	out []Row
-	pos int
+	out batchEmitter
 }
 
 func (j *crowdJoin) Schema() []plan.Col { return j.node.Schema() }
 
 func (j *crowdJoin) Open(ctx *Ctx) error {
-	j.out, j.pos = nil, 0
+	j.out = batchEmitter{}
 	if err := j.left.Open(ctx); err != nil {
 		return err
 	}
-	var leftRows []Row
-	var keys []sqltypes.Value
-	for {
-		r, err := j.left.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
+	leftRows, err := drainInput(ctx, j.left, nil)
+	if err != nil {
+		return err
+	}
+	keys := make([]sqltypes.Value, len(leftRows))
+	for i, r := range leftRows {
 		v, err := eval(j.leftKey, &evalCtx{schema: j.left.Schema(), row: r})
 		if err != nil {
 			return err
 		}
-		leftRows = append(leftRows, r)
-		keys = append(keys, v)
+		keys[i] = v
 	}
 
 	t := j.scan.Table
@@ -1373,20 +1549,17 @@ func (j *crowdJoin) Open(ctx *Ctx) error {
 				return err
 			}
 			if ok {
-				j.out = append(j.out, combined)
+				j.out.rows = append(j.out.rows, combined)
 			}
 		}
 	}
 	return nil
 }
 
-func (j *crowdJoin) Next(*Ctx) (Row, error) {
-	if j.pos >= len(j.out) {
-		return nil, nil
-	}
-	r := j.out[j.pos]
-	j.pos++
-	return r, nil
+func (j *crowdJoin) NextBatch(ctx *Ctx) (*Batch, error) {
+	return j.out.next(ctx), nil
 }
 
 func (j *crowdJoin) Close(ctx *Ctx) error { return j.left.Close(ctx) }
+
+func (j *crowdJoin) bufferedRows() int64 { return int64(len(j.out.rows)) }

@@ -19,8 +19,7 @@ type indexScan struct {
 	keyCol    string
 
 	rows []Row
-	pos  int
-	out  int64
+	out  batchEmitter
 }
 
 // accessPath inspects a scan's probe keys for an indexable equality.
@@ -48,7 +47,7 @@ func accessPath(ctx *Ctx, node *plan.Scan) *indexScan {
 func (s *indexScan) Schema() []plan.Col { return s.node.Schema() }
 
 func (s *indexScan) Open(ctx *Ctx) error {
-	s.rows, s.pos, s.out = nil, 0, 0
+	s.rows, s.out = nil, batchEmitter{}
 	key := s.node.ProbeKeys[strings.ToLower(s.keyCol)]
 	// Coerce the literal to the column type so the encoded key matches
 	// stored values (e.g. WHERE id = 3 against an INTEGER column).
@@ -87,16 +86,14 @@ func (s *indexScan) Open(ctx *Ctx) error {
 			}
 		}
 	}
+	s.out.rows = s.rows
 	return nil
 }
 
-func (s *indexScan) Next(*Ctx) (Row, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
-	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, nil
+func (s *indexScan) NextBatch(ctx *Ctx) (*Batch, error) {
+	return s.out.next(ctx), nil
 }
 
 func (s *indexScan) Close(*Ctx) error { return nil }
+
+func (s *indexScan) bufferedRows() int64 { return int64(len(s.rows)) }

@@ -19,7 +19,8 @@ import (
 )
 
 // OpStats is one operator's measured actuals, inclusive of its children
-// (a child's rows and crowd work happen inside the parent's Next calls).
+// (a child's rows and crowd work happen inside the parent's NextBatch
+// calls).
 type OpStats struct {
 	RowsOut          int64
 	WallNanos        int64
@@ -27,6 +28,14 @@ type OpStats struct {
 	ProbeRequests    int
 	NewTupleRequests int
 	CacheHits        int
+	// PeakBufferedRows is the operator's own peak materialization (rows
+	// held at once: a sort's input, a hash join's build table, a scan's
+	// snapshot) — the vectorized pipeline's per-operator memory figure. 0
+	// for fully streaming operators.
+	PeakBufferedRows int64
+	// Batches counts NextBatch calls that returned rows; with RowsOut it
+	// gives the realized batch fill.
+	Batches int64
 }
 
 // Cents prices the operator's crowd work under a task configuration.
@@ -35,10 +44,32 @@ func (st *OpStats) Cents(cfg taskmgr.Config) float64 {
 		float64(st.NewTupleRequests)*float64(cfg.Reward)*float64(cfg.NewTupleAssignments)
 }
 
-// instrument wraps op when the context asks for tracing or per-operator
-// stats; otherwise it returns op untouched.
+// RowsPerSec is the operator's inclusive throughput (rows out over wall
+// time inside the operator and its children).
+func (st *OpStats) RowsPerSec() float64 {
+	if st.WallNanos <= 0 {
+		return 0
+	}
+	return float64(st.RowsOut) / (float64(st.WallNanos) / float64(time.Second))
+}
+
+// OpMetricsSink receives each instrumented operator's final accounting
+// at Close; the engine funnels it into the /metrics registry keyed by
+// operator name.
+type OpMetricsSink interface {
+	ObserveOp(op string, st OpStats)
+}
+
+// bufferedReporter is implemented by operators that materialize rows;
+// the instrumented shell reads it at Close for PeakBufferedRows.
+type bufferedReporter interface {
+	bufferedRows() int64
+}
+
+// instrument wraps op when the context asks for tracing, per-operator
+// stats, or operator metrics; otherwise it returns op untouched.
 func instrument(op Operator, n plan.Node, ctx *Ctx) Operator {
-	if ctx.Trace == nil && ctx.OpStats == nil {
+	if ctx.Trace == nil && ctx.OpStats == nil && ctx.OpMetrics == nil {
 		return op
 	}
 	return &instrumentedOp{op: op, node: n}
@@ -68,18 +99,23 @@ func (o *instrumentedOp) Open(ctx *Ctx) error {
 	return err
 }
 
-func (o *instrumentedOp) Next(ctx *Ctx) (Row, error) {
+func (o *instrumentedOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	parent := ctx.Span
 	ctx.Span = o.span
 	t0 := time.Now()
-	r, err := o.op.Next(ctx)
+	b, err := o.op.NextBatch(ctx)
 	o.st.WallNanos += time.Since(t0).Nanoseconds()
 	ctx.Span = parent
-	if r != nil && err == nil {
-		o.st.RowsOut++
+	if err == nil && b.Len() > 0 {
+		o.st.RowsOut += int64(b.Len())
+		o.st.Batches++
 	}
-	return r, err
+	return b, err
 }
+
+// StopEarly forwards the early-stop signal through the shell so a LIMIT
+// above an instrumented pipeline still stops scan workers.
+func (o *instrumentedOp) StopEarly() { stopEarly(o.op) }
 
 func (o *instrumentedOp) Close(ctx *Ctx) error {
 	parent := ctx.Span
@@ -92,9 +128,15 @@ func (o *instrumentedOp) Close(ctx *Ctx) error {
 	o.st.ProbeRequests = ctx.Stats.ProbeRequests - o.opening.ProbeRequests
 	o.st.NewTupleRequests = ctx.Stats.NewTupleRequests - o.opening.NewTupleRequests
 	o.st.CacheHits = ctx.Stats.CacheHits - o.opening.CacheHits
+	if br, ok := o.op.(bufferedReporter); ok {
+		o.st.PeakBufferedRows = br.bufferedRows()
+	}
 	if ctx.OpStats != nil {
 		snap := o.st
 		ctx.OpStats[o.node] = &snap
+	}
+	if ctx.OpMetrics != nil {
+		ctx.OpMetrics.ObserveOp(opName(o.node), o.st)
 	}
 	if o.span != nil {
 		o.span.SetInt("rows_out", o.st.RowsOut)
@@ -110,6 +152,12 @@ func (o *instrumentedOp) Close(ctx *Ctx) error {
 		}
 		if o.st.CacheHits > 0 {
 			o.span.SetInt("cache_hits", int64(o.st.CacheHits))
+		}
+		if o.st.PeakBufferedRows > 0 {
+			o.span.SetInt("peak_buffered_rows", o.st.PeakBufferedRows)
+		}
+		if o.st.Batches > 0 {
+			o.span.SetInt("batches", o.st.Batches)
 		}
 		o.span.End()
 	}

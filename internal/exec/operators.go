@@ -1,9 +1,56 @@
+// Package exec implements CrowdDB's vectorized streaming executor.
+//
+// # Operator contract
+//
+// Operators compose into a pull-based pipeline that moves rows in
+// batches (row vectors) instead of one row per virtual call:
+//
+//	Open(ctx)      acquires resources and (for blocking operators)
+//	               consumes the input; it must leave the operator ready
+//	               to produce.
+//	NextBatch(ctx) returns the next batch of result rows. End of stream
+//	               is (nil, nil); a non-nil batch holds at least one row.
+//	               The *Batch and its Rows slice header are OWNED BY THE
+//	               PRODUCER and are only valid until the next call to
+//	               NextBatch or Close on that operator — consumers that
+//	               need the set of rows must copy the headers out (see
+//	               drainInput). The Row values inside are immutable once
+//	               handed over and MAY be retained by the consumer.
+//	Close(ctx)     releases resources, stops any background workers, and
+//	               reports feedback (observed selectivities) to the
+//	               catalog. Close must be called even after an error.
+//
+// Batch sizing is per-statement (Ctx.BatchSize, DefaultBatchSize when
+// unset). Operators reuse one batch buffer across NextBatch calls, so a
+// steady-state pipeline allocates no per-batch memory.
+//
+// Streaming semantics: scans, filters, projections, joins (probe side),
+// and limits produce rows incrementally. Blocking operators (sort,
+// aggregate) consume their input in Open but stream their output.  The
+// crowd operators stream as human work settles: CROWDORDER emits the
+// settled prefix of the breadth-first quicksort after each comparison
+// round (most-preferred rows appear before the full order is resolved),
+// and a CROWDEQUAL filter emits each buffered row as soon as every
+// comparison it depends on has a quorum — without waiting for the other
+// rows' groups. The crowd *scheduling* order (claims, HIT-group posts,
+// collections) is independent of batch size and emission timing, which
+// keeps seeded replays bit-identical to the row-at-a-time executor.
+//
+// Early stop: operators that can cut upstream work short once a
+// downstream quota is filled implement EarlyStopper; limitOp signals it
+// the moment its Nth row is produced, which stops parallel scan workers
+// instead of letting them fan out full shard scans whose rows would be
+// discarded.
+//
+// Legacy row-at-a-time operators can ride in the pipeline through
+// AdaptRowOperator during migrations.
 package exec
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crowddb/internal/parser"
 	"crowddb/internal/plan"
@@ -14,22 +61,24 @@ import (
 // Row is an executor tuple.
 type Row = storage.Row
 
-// Operator is a Volcano-style iterator. Next returns (nil, nil) at end of
-// stream.
+// Operator is a batch-at-a-time streaming iterator. See the package
+// comment for the full contract (ownership, reuse, EOF, early stop).
 type Operator interface {
 	Schema() []plan.Col
 	Open(ctx *Ctx) error
-	Next(ctx *Ctx) (Row, error)
+	NextBatch(ctx *Ctx) (*Batch, error)
 	Close(ctx *Ctx) error
 }
 
 // ---------------------------------------------------------------------------
 // SeqScan: stored-table scan with pushed filter and stop-after. Small
 // tables snapshot in bulk (one lock acquisition per shard, no per-row
-// store round-trips); large tables on a sharded store fan out one worker
-// per shard and merge by ascending row ID, which IS global insertion
-// order (IDs are allocated from one per-table counter), so the parallel
-// scan emits byte-identical output to the sequential one.
+// store round-trips) and filter lazily per batch; large tables on a
+// sharded store fan out one streaming worker per shard and merge by
+// ascending row ID, which IS global insertion order (IDs are allocated
+// from one per-table counter), so the parallel scan emits byte-identical
+// output to the sequential one. Workers observe the early-stop signal:
+// a filled LIMIT quota stops them mid-shard.
 
 // DefaultParallelScanMinRows is the table size (catalog estimate) below
 // which a scan stays sequential: fan-out overhead beats the win on small
@@ -43,17 +92,22 @@ type seqScan struct {
 	pos     int
 	out     int64
 	scanned int64
-	// prefiltered marks the parallel path: workers already applied the
-	// pushed filter, Next only drains the merged rows.
-	prefiltered bool
+	stopped bool
+	buf     Batch
+	par     *parallelScanRun
+	peakBuf int64
 }
 
 func (s *seqScan) Schema() []plan.Col { return s.node.Schema() }
 
 func (s *seqScan) Open(ctx *Ctx) error {
-	s.rows, s.ids, s.pos, s.out, s.scanned, s.prefiltered = nil, nil, 0, 0, 0, false
+	s.rows, s.ids, s.pos, s.out, s.scanned, s.stopped, s.par = nil, nil, 0, 0, 0, false, nil
 	if parallelEligible(ctx, s.node) {
-		return s.openParallel(ctx)
+		// Lazy fan-out: workers start at the first NextBatch, so an
+		// early stop that lands before any demand skips the scan work
+		// entirely.
+		s.par = newParallelScanRun(ctx, s.node)
+		return nil
 	}
 	if s.node.StopAfter >= 0 {
 		// The scan may stop far short of the table: fetch IDs only and
@@ -64,6 +118,7 @@ func (s *seqScan) Open(ctx *Ctx) error {
 			return err
 		}
 		s.ids = ids
+		s.peakBuf = int64(len(ids))
 		return nil
 	}
 	_, rows, err := ctx.Store.ScanRowsAt(s.node.Table.Name, ctx.snapTS())
@@ -71,6 +126,7 @@ func (s *seqScan) Open(ctx *Ctx) error {
 		return err
 	}
 	s.rows = rows
+	s.peakBuf = int64(len(rows))
 	return nil
 }
 
@@ -89,94 +145,34 @@ func parallelEligible(ctx *Ctx, node *plan.Scan) bool {
 	return min > 0 && node.Table.RowCount() >= int64(min)
 }
 
-func (s *seqScan) openParallel(ctx *Ctx) error {
-	sch := s.node.Schema() // resolved once; workers share it read-only
-	name := s.node.Table.Name
-	n := ctx.Store.NumShards()
-	at := ctx.snapTS() // one timestamp for every shard: a consistent cut
-	type part struct {
-		ids     []storage.RowID
-		rows    []Row
-		scanned int64
-		err     error
+// StopEarly implements EarlyStopper: the sequential path simply stops
+// producing (it is already lazy per batch); the parallel path signals
+// the shard workers so in-flight filtering halts mid-shard.
+func (s *seqScan) StopEarly() {
+	s.stopped = true
+	if s.par != nil {
+		s.par.stop()
 	}
-	parts := make([]part, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			p := &parts[shard]
-			ids, rows, err := ctx.Store.ScanShardRowsAt(name, shard, at)
-			if err != nil {
-				p.err = err
-				return
-			}
-			for j, row := range rows {
-				p.scanned++
-				keep, err := rowMatches(s.node.Filter, row, sch)
-				if err != nil {
-					p.err = err
-					return
-				}
-				if keep {
-					p.ids = append(p.ids, ids[j])
-					p.rows = append(p.rows, row)
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	total := 0
-	for i := range parts {
-		if parts[i].err != nil {
-			return parts[i].err
-		}
-		s.scanned += parts[i].scanned
-		total += len(parts[i].ids)
-	}
-	// Deterministic merge: ascending row ID across shards reconstructs
-	// insertion order exactly, so seeded replays stay bit-identical.
-	merged := make([]Row, 0, total)
-	pos := make([]int, n)
-	for len(merged) < total {
-		best := -1
-		var bestID storage.RowID
-		for i := range parts {
-			if pos[i] >= len(parts[i].ids) {
-				continue
-			}
-			if best < 0 || parts[i].ids[pos[i]] < bestID {
-				best, bestID = i, parts[i].ids[pos[i]]
-			}
-		}
-		merged = append(merged, parts[best].rows[pos[best]])
-		pos[best]++
-	}
-	s.rows, s.prefiltered = merged, true
-	s.out = int64(total)
-	ctx.Stats.RowsScanned += int(s.scanned)
-	return nil
 }
 
-func (s *seqScan) Next(ctx *Ctx) (Row, error) {
-	if s.prefiltered {
-		if s.pos >= len(s.rows) {
-			return nil, nil
-		}
-		r := s.rows[s.pos]
-		s.pos++
-		return r, nil
+func (s *seqScan) NextBatch(ctx *Ctx) (*Batch, error) {
+	if s.stopped {
+		return nil, nil
+	}
+	if s.par != nil {
+		return s.par.nextBatch(ctx, &s.buf)
 	}
 	lazy := s.ids != nil
-	for {
+	s.buf.reset()
+	limit := ctx.batchSize()
+	for len(s.buf.Rows) < limit {
 		if s.node.StopAfter >= 0 && s.out >= s.node.StopAfter {
-			return nil, nil
+			break
 		}
 		var row Row
 		if lazy {
 			if s.pos >= len(s.ids) {
-				return nil, nil
+				break
 			}
 			got, ok := ctx.Store.GetAt(s.node.Table.Name, s.ids[s.pos], ctx.snapTS())
 			s.pos++
@@ -186,7 +182,7 @@ func (s *seqScan) Next(ctx *Ctx) (Row, error) {
 			row = got
 		} else {
 			if s.pos >= len(s.rows) {
-				return nil, nil
+				break
 			}
 			row = s.rows[s.pos]
 			s.pos++
@@ -199,12 +195,28 @@ func (s *seqScan) Next(ctx *Ctx) (Row, error) {
 		}
 		if keep {
 			s.out++
-			return row, nil
+			s.buf.Rows = append(s.buf.Rows, row)
 		}
 	}
+	if len(s.buf.Rows) == 0 {
+		return nil, nil
+	}
+	return &s.buf, nil
 }
 
-func (s *seqScan) Close(*Ctx) error {
+func (s *seqScan) Close(ctx *Ctx) error {
+	if s.par != nil {
+		scanned, kept, complete := s.par.finish()
+		ctx.Stats.RowsScanned += int(scanned)
+		s.scanned, s.out = scanned, kept
+		// Feed the observed selectivity back only when every shard ran to
+		// completion: a partial (early-stopped) scan's counts depend on
+		// worker timing and would poison the EWMA nondeterministically.
+		if complete && s.node.Filter != nil && scanned > 0 {
+			s.node.Table.ObserveFilter(scanned, kept)
+		}
+		return nil
+	}
 	// Feed the observed predicate selectivity back to the cost model.
 	if s.node.Filter != nil && s.scanned > 0 {
 		s.node.Table.ObserveFilter(s.scanned, s.out)
@@ -212,28 +224,209 @@ func (s *seqScan) Close(*Ctx) error {
 	return nil
 }
 
-// rowMatches evaluates a (crowd-free) predicate to a keep/drop decision.
-func rowMatches(filter parser.Expr, row Row, schema []plan.Col) (bool, error) {
-	if filter == nil {
-		return true, nil
+func (s *seqScan) bufferedRows() int64 {
+	if s.par != nil {
+		return s.par.buffered()
 	}
-	v, err := eval(filter, &evalCtx{schema: schema, row: row})
-	if err != nil {
-		return false, err
-	}
-	b, unknown := boolOf(v)
-	return !unknown && b, nil
+	return s.peakBuf
 }
+
+// ---------------------------------------------------------------------------
+// Parallel scan fan-out: one streaming worker per shard, k-way merged by
+// ascending row ID.
+
+// parallelChunkRows is the granularity at which shard workers hand
+// filtered rows to the merger and check the stop signal.
+const parallelChunkRows = 256
+
+type shardChunk struct {
+	ids     []storage.RowID
+	rows    []Row
+	scanned int64
+	kept    int64
+	err     error
+}
+
+// shardCursor is the merger's view of one shard's stream.
+type shardCursor struct {
+	ch   chan shardChunk
+	cur  shardChunk
+	pos  int
+	done bool
+}
+
+type parallelScanRun struct {
+	node    *plan.Scan
+	sch     []plan.Col
+	at      int64
+	store   *storage.Store
+	started bool
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	stopOne sync.Once
+	wg      sync.WaitGroup
+	curs    []*shardCursor
+	scanned atomic.Int64
+	kept    atomic.Int64
+	eofAll  bool
+	maxBuf  atomic.Int64
+}
+
+func newParallelScanRun(ctx *Ctx, node *plan.Scan) *parallelScanRun {
+	return &parallelScanRun{
+		node:   node,
+		sch:    node.Schema(), // resolved once; workers share it read-only
+		at:     ctx.snapTS(),  // one timestamp for every shard: a consistent cut
+		store:  ctx.Store,
+		stopCh: make(chan struct{}),
+	}
+}
+
+func (p *parallelScanRun) stop() {
+	p.stopped.Store(true)
+	p.stopOne.Do(func() { close(p.stopCh) })
+}
+
+func (p *parallelScanRun) start() {
+	n := p.store.NumShards()
+	p.curs = make([]*shardCursor, n)
+	for i := 0; i < n; i++ {
+		p.curs[i] = &shardCursor{ch: make(chan shardChunk, 2)}
+		p.wg.Add(1)
+		go p.worker(i, p.curs[i].ch)
+	}
+	p.started = true
+}
+
+// worker scans one shard, applies the pushed filter, and streams
+// filtered chunks to the merger in ascending row-ID order. It checks the
+// stop signal between chunks (and on every handoff), so a filled LIMIT
+// quota halts the remaining filter work instead of producing rows that
+// would be discarded.
+func (p *parallelScanRun) worker(shard int, ch chan shardChunk) {
+	defer p.wg.Done()
+	defer close(ch)
+	send := func(c shardChunk) bool {
+		p.scanned.Add(c.scanned)
+		p.kept.Add(c.kept)
+		select {
+		case ch <- c:
+			return true
+		case <-p.stopCh:
+			return false
+		}
+	}
+	ids, rows, err := p.store.ScanShardRowsAt(p.node.Table.Name, shard, p.at)
+	if err != nil {
+		send(shardChunk{err: err})
+		return
+	}
+	p.maxBuf.Add(int64(len(rows)))
+	var c shardChunk
+	for j, row := range rows {
+		c.scanned++
+		keep, err := rowMatches(p.node.Filter, row, p.sch)
+		if err != nil {
+			c.err = err
+			send(c)
+			return
+		}
+		if keep {
+			c.kept++
+			c.ids = append(c.ids, ids[j])
+			c.rows = append(c.rows, row)
+		}
+		if len(c.rows) >= parallelChunkRows {
+			if !send(c) {
+				return
+			}
+			c = shardChunk{}
+		}
+	}
+	if c.scanned > 0 || len(c.rows) > 0 {
+		send(c)
+	}
+}
+
+// advance ensures the cursor holds a current row or is marked done.
+func (c *shardCursor) advance() error {
+	for !c.done && c.pos >= len(c.cur.rows) {
+		chunk, ok := <-c.ch
+		if !ok {
+			c.done = true
+			return nil
+		}
+		if chunk.err != nil {
+			c.done = true
+			return chunk.err
+		}
+		c.cur, c.pos = chunk, 0
+	}
+	return nil
+}
+
+// nextBatch merges the shard streams by ascending row ID into buf.
+// Ascending ID across shards reconstructs insertion order exactly, so
+// seeded replays stay bit-identical to the sequential scan.
+func (p *parallelScanRun) nextBatch(ctx *Ctx, buf *Batch) (*Batch, error) {
+	if !p.started {
+		p.start()
+	}
+	buf.reset()
+	limit := ctx.batchSize()
+	for len(buf.Rows) < limit {
+		best := -1
+		var bestID storage.RowID
+		for i, c := range p.curs {
+			if err := c.advance(); err != nil {
+				return nil, err
+			}
+			if c.done {
+				continue
+			}
+			if id := c.cur.ids[c.pos]; best < 0 || id < bestID {
+				best, bestID = i, id
+			}
+		}
+		if best < 0 {
+			p.eofAll = true
+			break
+		}
+		c := p.curs[best]
+		buf.Rows = append(buf.Rows, c.cur.rows[c.pos])
+		c.pos++
+	}
+	if len(buf.Rows) == 0 {
+		return nil, nil
+	}
+	return buf, nil
+}
+
+// finish stops the workers, waits them out (no goroutine leaks), and
+// reports (scanned, kept, complete): complete is true only when every
+// shard was filtered to the end and merged to EOF — the condition under
+// which the counts are deterministic.
+func (p *parallelScanRun) finish() (scanned, kept int64, complete bool) {
+	if !p.started {
+		return 0, 0, false
+	}
+	p.stopOne.Do(func() { close(p.stopCh) })
+	p.wg.Wait()
+	return p.scanned.Load(), p.kept.Load(), p.eofAll && !p.stopped.Load()
+}
+
+func (p *parallelScanRun) buffered() int64 { return p.maxBuf.Load() }
 
 // ---------------------------------------------------------------------------
 // Filter (with CrowdCompare support for crowd predicates)
 
 type filterOp struct {
-	node  *plan.Filter
-	input Operator
-	crowd bool
-	rows  []Row
-	pos   int
+	node    *plan.Filter
+	input   Operator
+	crowd   bool
+	stream  *equalStream // crowd mode: quorum-streaming CROWDEQUAL state
+	stopped bool
+	buf     Batch
 }
 
 func (f *filterOp) Schema() []plan.Col { return f.input.Schema() }
@@ -242,22 +435,16 @@ func (f *filterOp) Open(ctx *Ctx) error {
 	if err := f.input.Open(ctx); err != nil {
 		return err
 	}
-	f.rows, f.pos = nil, 0
+	f.stream, f.stopped = nil, false
 	if !f.crowd {
 		return nil
 	}
-	// CrowdFilter: drain the input, batch-resolve every CROWDEQUAL pair in
-	// one HIT group (CrowdCompare), then evaluate with the warm cache.
-	var buffered []Row
-	for {
-		r, err := f.input.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
-		buffered = append(buffered, r)
+	// CrowdFilter: drain the input, batch-resolve every CROWDEQUAL pair
+	// in pipelined HIT groups (CrowdCompare). Collection is deferred to
+	// NextBatch so rows stream out as their quorums land.
+	buffered, err := drainInput(ctx, f.input, nil)
+	if err != nil {
+		return err
 	}
 	// Cost-based phase ordering: when the optimizer split off a cheap
 	// (crowd-free) phase, prune with it first — rows a machine predicate
@@ -276,47 +463,76 @@ func (f *filterOp) Open(ctx *Ctx) error {
 		}
 		buffered = kept
 	}
-	if err := prefetchCrowdEqual(ctx, f.node.Cond, buffered, f.Schema()); err != nil {
+	stream, err := newEqualStream(ctx, f.node.Cond, buffered, f.Schema())
+	if err != nil {
 		return err
 	}
-	resolver := cachedEqualResolver(ctx)
-	for _, r := range buffered {
-		v, err := eval(f.node.Cond, &evalCtx{schema: f.Schema(), row: r, crowdEqual: resolver, exec: ctx})
-		if err != nil {
-			return err
-		}
-		if b, unknown := boolOf(v); !unknown && b {
-			f.rows = append(f.rows, r)
-		}
-	}
+	f.stream = stream
 	return nil
 }
 
-func (f *filterOp) Next(ctx *Ctx) (Row, error) {
+func (f *filterOp) StopEarly() {
+	f.stopped = true
+	stopEarly(f.input)
+}
+
+func (f *filterOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if f.stopped {
+		return nil, nil
+	}
 	if f.crowd {
-		if f.pos >= len(f.rows) {
-			return nil, nil
-		}
-		r := f.rows[f.pos]
-		f.pos++
-		return r, nil
+		return f.stream.nextBatch(ctx)
 	}
 	for {
-		r, err := f.input.Next(ctx)
-		if err != nil || r == nil {
-			return nil, err
-		}
-		v, err := eval(f.node.Cond, &evalCtx{schema: f.Schema(), row: r, crowdEqual: cachedEqualResolver(ctx), exec: ctx})
+		b, err := f.input.NextBatch(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if b, unknown := boolOf(v); !unknown && b {
-			return r, nil
+		if b.Len() == 0 {
+			return nil, nil
+		}
+		f.buf.reset()
+		for _, r := range b.Rows {
+			v, err := eval(f.node.Cond, &evalCtx{schema: f.Schema(), row: r, crowdEqual: cachedEqualResolver(ctx), exec: ctx})
+			if err != nil {
+				return nil, err
+			}
+			if keep, unknown := boolOf(v); !unknown && keep {
+				f.buf.Rows = append(f.buf.Rows, r)
+			}
+		}
+		if len(f.buf.Rows) > 0 {
+			return &f.buf, nil
 		}
 	}
 }
 
-func (f *filterOp) Close(ctx *Ctx) error { return f.input.Close(ctx) }
+func (f *filterOp) Close(ctx *Ctx) error {
+	if f.stream != nil {
+		f.stream.close(ctx)
+	}
+	return f.input.Close(ctx)
+}
+
+func (f *filterOp) bufferedRows() int64 {
+	if f.stream != nil {
+		return int64(len(f.stream.rows))
+	}
+	return 0
+}
+
+// rowMatches evaluates a (crowd-free) predicate to a keep/drop decision.
+func rowMatches(filter parser.Expr, row Row, schema []plan.Col) (bool, error) {
+	if filter == nil {
+		return true, nil
+	}
+	v, err := eval(filter, &evalCtx{schema: schema, row: row})
+	if err != nil {
+		return false, err
+	}
+	b, unknown := boolOf(v)
+	return !unknown && b, nil
+}
 
 // ---------------------------------------------------------------------------
 // Project
@@ -324,27 +540,37 @@ func (f *filterOp) Close(ctx *Ctx) error { return f.input.Close(ctx) }
 type projectOp struct {
 	node  *plan.Project
 	input Operator
+	buf   Batch
 }
 
 func (p *projectOp) Schema() []plan.Col { return p.node.Schema() }
 
 func (p *projectOp) Open(ctx *Ctx) error { return p.input.Open(ctx) }
 
-func (p *projectOp) Next(ctx *Ctx) (Row, error) {
-	r, err := p.input.Next(ctx)
-	if err != nil || r == nil {
+func (p *projectOp) StopEarly() { stopEarly(p.input) }
+
+func (p *projectOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	b, err := p.input.NextBatch(ctx)
+	if err != nil {
 		return nil, err
 	}
-	out := make(Row, len(p.node.Items))
-	ectx := &evalCtx{schema: p.input.Schema(), row: r, crowdEqual: cachedEqualResolver(ctx), exec: ctx}
-	for i, it := range p.node.Items {
-		v, err := eval(it.Expr, ectx)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	if b.Len() == 0 {
+		return nil, nil
 	}
-	return out, nil
+	p.buf.reset()
+	for _, r := range b.Rows {
+		out := make(Row, len(p.node.Items))
+		ectx := &evalCtx{schema: p.input.Schema(), row: r, crowdEqual: cachedEqualResolver(ctx), exec: ctx}
+		for i, it := range p.node.Items {
+			v, err := eval(it.Expr, ectx)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		p.buf.Rows = append(p.buf.Rows, out)
+	}
+	return &p.buf, nil
 }
 
 func (p *projectOp) Close(ctx *Ctx) error { return p.input.Close(ctx) }
@@ -353,16 +579,19 @@ func (p *projectOp) Close(ctx *Ctx) error { return p.input.Close(ctx) }
 // Joins
 
 // nlJoin is the general nested-loop join (inner, cross, left outer) with an
-// arbitrary ON condition; the right side is buffered.
+// arbitrary ON condition; the right side is buffered, the left streams.
 type nlJoin struct {
 	node  *plan.Join
 	left  Operator
 	right Operator
 
 	rightRows []Row
+	leftBatch *Batch
+	lpos      int
 	cur       Row
 	rpos      int
 	matched   bool
+	buf       Batch
 }
 
 func (j *nlJoin) Schema() []plan.Col { return j.node.Schema() }
@@ -374,25 +603,38 @@ func (j *nlJoin) Open(ctx *Ctx) error {
 	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
-	j.rightRows = nil
-	for {
-		r, err := j.right.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
-		j.rightRows = append(j.rightRows, r)
+	rows, err := drainInput(ctx, j.right, nil)
+	if err != nil {
+		return err
 	}
-	j.cur, j.rpos, j.matched = nil, 0, false
+	j.rightRows = rows
+	j.leftBatch, j.lpos, j.cur, j.rpos, j.matched = nil, 0, nil, 0, false
 	return nil
 }
 
-func (j *nlJoin) Next(ctx *Ctx) (Row, error) {
+func (j *nlJoin) StopEarly() { stopEarly(j.left) }
+
+// nextLeft pulls the next probe-side row through the batch pipeline.
+func (j *nlJoin) nextLeft(ctx *Ctx) (Row, error) {
+	for j.leftBatch == nil || j.lpos >= len(j.leftBatch.Rows) {
+		b, err := j.left.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b.Len() == 0 {
+			return nil, nil
+		}
+		j.leftBatch, j.lpos = b, 0
+	}
+	r := j.leftBatch.Rows[j.lpos]
+	j.lpos++
+	return r, nil
+}
+
+func (j *nlJoin) next(ctx *Ctx) (Row, error) {
 	for {
 		if j.cur == nil {
-			l, err := j.left.Next(ctx)
+			l, err := j.nextLeft(ctx)
 			if err != nil || l == nil {
 				return nil, err
 			}
@@ -424,6 +666,25 @@ func (j *nlJoin) Next(ctx *Ctx) (Row, error) {
 	}
 }
 
+func (j *nlJoin) NextBatch(ctx *Ctx) (*Batch, error) {
+	j.buf.reset()
+	limit := ctx.batchSize()
+	for len(j.buf.Rows) < limit {
+		r, err := j.next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		j.buf.Rows = append(j.buf.Rows, r)
+	}
+	if len(j.buf.Rows) == 0 {
+		return nil, nil
+	}
+	return &j.buf, nil
+}
+
 func (j *nlJoin) Close(ctx *Ctx) error {
 	if err := j.left.Close(ctx); err != nil {
 		return err
@@ -431,8 +692,12 @@ func (j *nlJoin) Close(ctx *Ctx) error {
 	return j.right.Close(ctx)
 }
 
+func (j *nlJoin) bufferedRows() int64 { return int64(len(j.rightRows)) }
+
 // hashJoin handles inner equi-joins: it hashes the right input on the join
-// key and streams the left.
+// key and streams the left. The build table is pre-sized from the
+// optimizer's cardinality estimate for the build side (plan.Join.BuildRows)
+// so bulk builds do not rehash their way up from an empty map.
 type hashJoin struct {
 	node     *plan.Join
 	left     Operator
@@ -442,12 +707,32 @@ type hashJoin struct {
 	residual parser.Expr
 
 	table map[string][]Row
+	built int64
 	cur   Row
 	bkt   []Row
 	bpos  int
+
+	leftBatch *Batch
+	lpos      int
+	buf       Batch
 }
 
 func (j *hashJoin) Schema() []plan.Col { return j.node.Schema() }
+
+// buildSizeHint converts the optimizer's build-side row estimate into a
+// map pre-size, clamped so a wild estimate cannot pre-allocate
+// unboundedly.
+func (j *hashJoin) buildSizeHint() int {
+	const maxHint = 1 << 20
+	est := int(j.node.BuildRows)
+	if est < 0 {
+		return 0
+	}
+	if est > maxHint {
+		return maxHint
+	}
+	return est
+}
 
 func (j *hashJoin) Open(ctx *Ctx) error {
 	if err := j.left.Open(ctx); err != nil {
@@ -456,30 +741,52 @@ func (j *hashJoin) Open(ctx *Ctx) error {
 	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
-	j.table = make(map[string][]Row)
+	j.table = make(map[string][]Row, j.buildSizeHint())
+	j.built = 0
 	for {
-		r, err := j.right.Next(ctx)
+		b, err := j.right.NextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if r == nil {
+		if b.Len() == 0 {
 			break
 		}
-		v, err := eval(j.rightKey, &evalCtx{schema: j.right.Schema(), row: r})
-		if err != nil {
-			return err
+		for _, r := range b.Rows {
+			v, err := eval(j.rightKey, &evalCtx{schema: j.right.Schema(), row: r})
+			if err != nil {
+				return err
+			}
+			if v.IsUnknown() {
+				continue // unknown keys never join
+			}
+			k := storage.IndexKey(v)
+			j.table[k] = append(j.table[k], r)
+			j.built++
 		}
-		if v.IsUnknown() {
-			continue // unknown keys never join
-		}
-		k := storage.IndexKey(v)
-		j.table[k] = append(j.table[k], r)
 	}
-	j.cur, j.bkt, j.bpos = nil, nil, 0
+	j.leftBatch, j.lpos, j.cur, j.bkt, j.bpos = nil, 0, nil, nil, 0
 	return nil
 }
 
-func (j *hashJoin) Next(ctx *Ctx) (Row, error) {
+func (j *hashJoin) StopEarly() { stopEarly(j.left) }
+
+func (j *hashJoin) nextLeft(ctx *Ctx) (Row, error) {
+	for j.leftBatch == nil || j.lpos >= len(j.leftBatch.Rows) {
+		b, err := j.left.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b.Len() == 0 {
+			return nil, nil
+		}
+		j.leftBatch, j.lpos = b, 0
+	}
+	r := j.leftBatch.Rows[j.lpos]
+	j.lpos++
+	return r, nil
+}
+
+func (j *hashJoin) next(ctx *Ctx) (Row, error) {
 	for {
 		for j.bpos < len(j.bkt) {
 			r := j.bkt[j.bpos]
@@ -493,7 +800,7 @@ func (j *hashJoin) Next(ctx *Ctx) (Row, error) {
 				return combined, nil
 			}
 		}
-		l, err := j.left.Next(ctx)
+		l, err := j.nextLeft(ctx)
 		if err != nil || l == nil {
 			return nil, err
 		}
@@ -510,6 +817,25 @@ func (j *hashJoin) Next(ctx *Ctx) (Row, error) {
 	}
 }
 
+func (j *hashJoin) NextBatch(ctx *Ctx) (*Batch, error) {
+	j.buf.reset()
+	limit := ctx.batchSize()
+	for len(j.buf.Rows) < limit {
+		r, err := j.next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		j.buf.Rows = append(j.buf.Rows, r)
+	}
+	if len(j.buf.Rows) == 0 {
+		return nil, nil
+	}
+	return &j.buf, nil
+}
+
 func (j *hashJoin) Close(ctx *Ctx) error {
 	if err := j.left.Close(ctx); err != nil {
 		return err
@@ -517,14 +843,19 @@ func (j *hashJoin) Close(ctx *Ctx) error {
 	return j.right.Close(ctx)
 }
 
+func (j *hashJoin) bufferedRows() int64 { return j.built }
+
 // ---------------------------------------------------------------------------
 // Sort (plain and crowd-backed)
 
 type sortOp struct {
 	node  *plan.Sort
 	input Operator
-	rows  []Row
-	pos   int
+
+	rows    []Row
+	sorter  *crowdSorter // non-nil while a CROWDORDER sort is streaming
+	emitted int
+	buf     Batch
 }
 
 func (s *sortOp) Schema() []plan.Col { return s.input.Schema() }
@@ -533,17 +864,12 @@ func (s *sortOp) Open(ctx *Ctx) error {
 	if err := s.input.Open(ctx); err != nil {
 		return err
 	}
-	s.rows, s.pos = nil, 0
-	for {
-		r, err := s.input.Next(ctx)
-		if err != nil {
-			return err
-		}
-		if r == nil {
-			break
-		}
-		s.rows = append(s.rows, r)
+	s.rows, s.sorter, s.emitted = nil, nil, 0
+	rows, err := drainInput(ctx, s.input, nil)
+	if err != nil {
+		return err
 	}
+	s.rows = rows
 	// Split keys: a CROWDORDER key delegates to the crowd sort; other keys
 	// sort conventionally. A crowd key must be the only key.
 	for _, k := range s.node.Keys {
@@ -551,10 +877,35 @@ func (s *sortOp) Open(ctx *Ctx) error {
 			if len(s.node.Keys) != 1 {
 				return fmt.Errorf("exec: CROWDORDER cannot be combined with other sort keys")
 			}
-			return crowdOrderSort(ctx, s.rows, s.Schema(), k)
+			sorter, err := newCrowdSorter(ctx, s.rows, s.Schema(), k)
+			if err != nil {
+				return err
+			}
+			if k.Desc {
+				// DESC reverses the final order, so the settled ASC
+				// prefix is the *suffix* of the output: stream nothing
+				// until the sort completes (matches the materializing
+				// executor exactly).
+				if err := sorter.run(); err != nil {
+					return err
+				}
+				s.rows = sorter.permuted()
+				reverseRows(s.rows)
+				return nil
+			}
+			// ASC streams: NextBatch drives comparison rounds and emits
+			// the settled prefix as it grows.
+			s.sorter = sorter
+			return nil
 		}
 	}
 	return s.plainSort(ctx)
+}
+
+func reverseRows(rows []Row) {
+	for i, j := 0, len(rows)-1; i < j; i, j = i+1, j-1 {
+		rows[i], rows[j] = rows[j], rows[i]
+	}
 }
 
 func (s *sortOp) plainSort(ctx *Ctx) error {
@@ -591,16 +942,42 @@ func (s *sortOp) plainSort(ctx *Ctx) error {
 	return nil
 }
 
-func (s *sortOp) Next(*Ctx) (Row, error) {
-	if s.pos >= len(s.rows) {
+func (s *sortOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if s.sorter != nil {
+		// Run comparison rounds until the settled prefix grows past what
+		// has been emitted (or the sort completes). CROWDORDER's
+		// breadth-first quicksort settles most-preferred rows first, so
+		// the first rows leave while later partitions still wait on the
+		// crowd.
+		for !s.sorter.done() && s.sorter.settled() <= s.emitted {
+			if err := s.sorter.step(); err != nil {
+				return nil, err
+			}
+		}
+		end := s.sorter.settled()
+		if s.emitted >= end {
+			return nil, nil // fully emitted (done, nothing left)
+		}
+		n := min(ctx.batchSize(), end-s.emitted)
+		s.buf.reset()
+		for i := s.emitted; i < s.emitted+n; i++ {
+			s.buf.Rows = append(s.buf.Rows, s.rows[s.sorter.idx[i]])
+		}
+		s.emitted += n
+		return &s.buf, nil
+	}
+	if s.emitted >= len(s.rows) {
 		return nil, nil
 	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, nil
+	n := min(ctx.batchSize(), len(s.rows)-s.emitted)
+	s.buf.Rows = s.rows[s.emitted : s.emitted+n]
+	s.emitted += n
+	return &s.buf, nil
 }
 
 func (s *sortOp) Close(ctx *Ctx) error { return s.input.Close(ctx) }
+
+func (s *sortOp) bufferedRows() int64 { return int64(len(s.rows)) }
 
 // ---------------------------------------------------------------------------
 // Limit / Distinct
@@ -610,6 +987,7 @@ type limitOp struct {
 	input   Operator
 	skipped int64
 	emitted int64
+	buf     Batch
 }
 
 func (l *limitOp) Schema() []plan.Col { return l.input.Schema() }
@@ -619,21 +997,45 @@ func (l *limitOp) Open(ctx *Ctx) error {
 	return l.input.Open(ctx)
 }
 
-func (l *limitOp) Next(ctx *Ctx) (Row, error) {
+func (l *limitOp) StopEarly() { stopEarly(l.input) }
+
+func (l *limitOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	for {
 		if l.node.N >= 0 && l.emitted >= l.node.N {
 			return nil, nil
 		}
-		r, err := l.input.Next(ctx)
-		if err != nil || r == nil {
+		b, err := l.input.NextBatch(ctx)
+		if err != nil {
 			return nil, err
 		}
+		if b.Len() == 0 {
+			return nil, nil
+		}
+		rows := b.Rows
 		if l.skipped < l.node.Offset {
-			l.skipped++
+			skip := l.node.Offset - l.skipped
+			if skip > int64(len(rows)) {
+				skip = int64(len(rows))
+			}
+			l.skipped += skip
+			rows = rows[skip:]
+		}
+		if l.node.N >= 0 {
+			if remaining := l.node.N - l.emitted; int64(len(rows)) >= remaining {
+				rows = rows[:remaining]
+				l.emitted = l.node.N
+				// Quota filled: stop upstream production (parallel scan
+				// workers, etc.) instead of discarding their rows.
+				stopEarly(l.input)
+			} else {
+				l.emitted += int64(len(rows))
+			}
+		}
+		if len(rows) == 0 {
 			continue
 		}
-		l.emitted++
-		return r, nil
+		l.buf.Rows = rows // view into the input batch: valid until our next call
+		return &l.buf, nil
 	}
 }
 
@@ -642,6 +1044,7 @@ func (l *limitOp) Close(ctx *Ctx) error { return l.input.Close(ctx) }
 type distinctOp struct {
 	input Operator
 	seen  map[string]bool
+	buf   Batch
 }
 
 func (d *distinctOp) Schema() []plan.Col { return d.input.Schema() }
@@ -651,30 +1054,43 @@ func (d *distinctOp) Open(ctx *Ctx) error {
 	return d.input.Open(ctx)
 }
 
-func (d *distinctOp) Next(ctx *Ctx) (Row, error) {
+func (d *distinctOp) StopEarly() { stopEarly(d.input) }
+
+func (d *distinctOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	for {
-		r, err := d.input.Next(ctx)
-		if err != nil || r == nil {
+		b, err := d.input.NextBatch(ctx)
+		if err != nil {
 			return nil, err
 		}
-		k := storage.IndexKey(r...)
-		if !d.seen[k] {
-			d.seen[k] = true
-			return r, nil
+		if b.Len() == 0 {
+			return nil, nil
+		}
+		d.buf.reset()
+		for _, r := range b.Rows {
+			k := storage.IndexKey(r...)
+			if !d.seen[k] {
+				d.seen[k] = true
+				d.buf.Rows = append(d.buf.Rows, r)
+			}
+		}
+		if len(d.buf.Rows) > 0 {
+			return &d.buf, nil
 		}
 	}
 }
 
 func (d *distinctOp) Close(ctx *Ctx) error { return d.input.Close(ctx) }
 
+func (d *distinctOp) bufferedRows() int64 { return int64(len(d.seen)) }
+
 // ---------------------------------------------------------------------------
 // Aggregate
 
 type aggregateOp struct {
-	node  *plan.Aggregate
-	input Operator
-	out   []Row
-	pos   int
+	node    *plan.Aggregate
+	input   Operator
+	out     batchEmitter
+	grouped int64
 }
 
 func (a *aggregateOp) Schema() []plan.Col { return a.node.Schema() }
@@ -683,30 +1099,34 @@ func (a *aggregateOp) Open(ctx *Ctx) error {
 	if err := a.input.Open(ctx); err != nil {
 		return err
 	}
-	a.out, a.pos = nil, 0
+	a.out = batchEmitter{}
+	a.grouped = 0
 	groups := make(map[string][]Row)
 	var order []string
 	for {
-		r, err := a.input.Next(ctx)
+		b, err := a.input.NextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if r == nil {
+		if b.Len() == 0 {
 			break
 		}
-		keyVals := make([]sqltypes.Value, len(a.node.GroupBy))
-		for i, g := range a.node.GroupBy {
-			v, err := eval(g, &evalCtx{schema: a.input.Schema(), row: r})
-			if err != nil {
-				return err
+		for _, r := range b.Rows {
+			keyVals := make([]sqltypes.Value, len(a.node.GroupBy))
+			for i, g := range a.node.GroupBy {
+				v, err := eval(g, &evalCtx{schema: a.input.Schema(), row: r})
+				if err != nil {
+					return err
+				}
+				keyVals[i] = v
 			}
-			keyVals[i] = v
+			k := storage.IndexKey(keyVals...)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+			a.grouped++
 		}
-		k := storage.IndexKey(keyVals...)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], r)
 	}
 	// A global aggregate over zero rows still produces one row.
 	if len(a.node.GroupBy) == 0 && len(order) == 0 {
@@ -732,21 +1152,22 @@ func (a *aggregateOp) Open(ctx *Ctx) error {
 			}
 			out[i] = v
 		}
-		a.out = append(a.out, out)
+		a.out.rows = append(a.out.rows, out)
 	}
 	return nil
 }
 
-func (a *aggregateOp) Next(*Ctx) (Row, error) {
-	if a.pos >= len(a.out) {
+func (a *aggregateOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	b := a.out.next(ctx)
+	if b == nil {
 		return nil, nil
 	}
-	r := a.out[a.pos]
-	a.pos++
-	return r, nil
+	return b, nil
 }
 
 func (a *aggregateOp) Close(ctx *Ctx) error { return a.input.Close(ctx) }
+
+func (a *aggregateOp) bufferedRows() int64 { return a.grouped + int64(len(a.out.rows)) }
 
 // evalAggExpr evaluates an expression over a group: aggregates compute over
 // all rows, everything else over the group's first row (legal because the

@@ -82,12 +82,25 @@ func Optimize(root plan.Node, cat *catalog.Catalog, opts Options) (*Result, erro
 	cm := newCostModel(o)
 	res.Predicted = cm.cost(root)
 	res.Costs = cm.memo
+	stampBuildRows(root, res.Costs)
 	res.Warnings = append(res.Warnings, o.warningTexts()...)
 	if !bounded && !opts.AllowUnbounded {
 		return nil, fmt.Errorf("optimizer: plan requests an unbounded amount of crowd data: %s",
 			strings.Join(res.Warnings, "; "))
 	}
 	return res, nil
+}
+
+// stampBuildRows writes each join's build-side row estimate onto the
+// plan node so the executor's hash join can pre-size its build table
+// instead of rehashing its way up from an empty map.
+func stampBuildRows(n plan.Node, costs map[plan.Node]plan.Cost) {
+	if j, ok := n.(*plan.Join); ok {
+		j.BuildRows = costs[j.Right].Rows
+	}
+	for _, c := range n.Children() {
+		stampBuildRows(c, costs)
+	}
 }
 
 // warning is one structured compile-time diagnostic. Unbounded-scan

@@ -144,6 +144,10 @@ type Join struct {
 	Left, Right Node
 	Type        parser.JoinType
 	On          parser.Expr
+	// BuildRows is the optimizer's cardinality estimate for the build
+	// (right) side, stamped after costing; a hash join pre-sizes its
+	// build table from it. 0 = no estimate.
+	BuildRows float64
 }
 
 // Schema implements Node.
