@@ -37,11 +37,13 @@ import (
 	_ "net/http/pprof" // profiling endpoints for the -pprof listener
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"crowddb"
 	"crowddb/internal/core"
+	"crowddb/internal/faultinject"
 	"crowddb/internal/server"
 	"crowddb/internal/sqltypes"
 	"crowddb/internal/storage"
@@ -60,7 +62,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "maximum registered sessions")
 	maxConcurrent := flag.Int("max-concurrent", 32, "maximum concurrently executing queries")
 	cacheCap := flag.Int("cache-cap", 0, "comparison-cache residency cap (0 = unbounded)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline; queries still running at the deadline fail with shutting_down")
+	admissionHeadroom := flag.Float64("admission-headroom", 0, "reject queries whose forecast crowd cost exceeds budget_left×headroom before posting any HIT (0 = admit everything)")
 	shards := flag.Int("shards", 0, "storage shards per table (0 = one per CPU, capped; durable stores adopt their on-disk count)")
 	walSync := flag.String("wal-sync", "group", "WAL durability: always, group, or off")
 	slowQueryMs := flag.Int("slow-query-ms", 0, "dump span trees of statements/jobs slower than this to stderr (0 = disabled)")
@@ -69,6 +72,13 @@ func main() {
 
 	if *httpAddr == "" && *tcpAddr == "" {
 		fmt.Fprintln(os.Stderr, "crowddbd: nothing to serve (both -http and -tcp empty)")
+		os.Exit(1)
+	}
+	// Crash/fault-injection harness for the CI kill-and-restart smoke test:
+	// CROWDDB_CRASHPOINTS="storage.wal.append=3,server.job.row=2" arms
+	// countdown crashpoints that os.Exit(137) the process mid-write.
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "crowddbd:", err)
 		os.Exit(1)
 	}
 
@@ -109,10 +119,20 @@ func main() {
 	}
 
 	srv := server.New(db.Engine(), server.Config{
-		MaxSessions:   *maxSessions,
-		MaxConcurrent: *maxConcurrent,
-		SessionBudget: *budget,
+		MaxSessions:       *maxSessions,
+		MaxConcurrent:     *maxConcurrent,
+		SessionBudget:     *budget,
+		AdmissionHeadroom: *admissionHeadroom,
 	})
+	if *data != "" {
+		// Durable jobs: every session, submission, state transition, emitted
+		// row, and budget settlement is journaled with the store's fsync
+		// contract, so a restart over the same -data recovers every job.
+		if err := srv.EnableJournal(filepath.Join(*data, "jobs.log"), storage.SyncMode(*walSync)); err != nil {
+			fmt.Fprintln(os.Stderr, "crowddbd: jobs journal:", err)
+			os.Exit(1)
+		}
+	}
 
 	errc := make(chan error, 2)
 	if *pprofAddr != "" {

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// TestE23Shape pins the crash-recovery experiment's claims: the resumed
+// stream is byte-identical to the uninterrupted run (zero divergence, a
+// clean ?from= reconnect tail), the resume never re-pays a persisted
+// comparison, the budget settles at exactly the uninterrupted value, and
+// the admission rejection costs nothing.
+func TestE23Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash/restart harness in -short mode")
+	}
+	tab := E23CrashRecovery(42)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v (notes %v)", tab.Rows, tab.Notes)
+	}
+	if got := tab.Metrics["baseline_rows_out"]; got != e23Pairs {
+		t.Errorf("baseline rows = %v, want %d", got, e23Pairs)
+	}
+	for _, gate := range []string{
+		"resumed_not_done_err",
+		"rows_divergence_err",
+		"reconnect_tail_divergence_err",
+		"repaid_comparisons_err",
+		"budget_left_delta_err",
+		"admission_not_rejected_err",
+		"admission_spend_cents",
+		"admission_hit_groups",
+		"admission_budget_delta_err",
+	} {
+		if got := tab.Metrics[gate]; got != 0 {
+			t.Errorf("%s = %v, want 0", gate, got)
+		}
+	}
+	// The crash must land mid-stream for the arm to mean anything: some
+	// answers persisted, but not all of them.
+	persisted := tab.Metrics["persisted_answers_precrash"]
+	if persisted <= 0 || persisted >= e23Pairs {
+		t.Errorf("persisted answers pre-crash = %v, want in (0, %d)", persisted, e23Pairs)
+	}
+	if groups := tab.Metrics["resumed_hit_groups"]; groups != e23Pairs-persisted {
+		t.Errorf("resumed run posted %v groups, want %v (the answers the crash lost)",
+			groups, e23Pairs-persisted)
+	}
+}

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"E20", "mixed read/write under MVCC snapshot isolation (extension)", E20MixedReadWrite},
 		{"E21", "observability overhead: traced vs untraced (extension)", E21ObservabilityOverhead},
 		{"E22", "quorum-streaming crowd operators (extension)", E22QuorumStreaming},
+		{"E23", "crash recovery: durable jobs + admission (extension)", E23CrashRecovery},
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"crowddb/internal/catalog"
 	"crowddb/internal/crowd"
 	"crowddb/internal/exec"
+	"crowddb/internal/faultinject"
 	"crowddb/internal/obs"
 	"crowddb/internal/optimizer"
 	"crowddb/internal/parser"
@@ -828,6 +829,40 @@ func (e *Engine) costInputs() optimizer.CostInputs {
 // snapshots with it.
 func (e *Engine) PriceStats(st exec.Stats) float64 { return e.actualCents(st) }
 
+// CostPerComparisonCents is the price of one paid crowd comparison under
+// the current task configuration (reward × replication); 0 without a
+// crowd platform. Admission control converts cents forecasts into the
+// session budget's comparison units with it.
+func (e *Engine) CostPerComparisonCents() float64 {
+	if e.tasks == nil {
+		return 0
+	}
+	cfg := e.tasks.Config()
+	return float64(cfg.Reward) * float64(cfg.Assignments)
+}
+
+// Forecast compiles a statement and returns the optimizer's cost
+// forecast without executing anything — the submit-time admission
+// check's input. ok is false for statements the cost model does not
+// price (DDL/DML and plain EXPLAIN cost the crowd nothing; compile
+// errors surface at execution, not admission).
+func (e *Engine) Forecast(stmt parser.Statement) (plan.Cost, bool) {
+	switch s := stmt.(type) {
+	case *parser.Select:
+		opt, err := e.compile(s)
+		if err != nil {
+			return plan.Cost{}, false
+		}
+		return opt.Predicted, true
+	case *parser.Explain:
+		if s.Analyze {
+			// EXPLAIN ANALYZE executes for real: forecast the inner query.
+			return e.Forecast(s.Stmt)
+		}
+	}
+	return plan.Cost{}, false
+}
+
 // actualCents prices a statement's measured crowd activity in the cost
 // model's units: every probe and comparison pays reward × replication,
 // every solicited tuple reward × tuple replication.
@@ -935,7 +970,7 @@ func (e *Engine) runSelect(ctx context.Context, opt *optimizer.Result, opts Exec
 	}
 	// Answers paid for before a failure or cancellation are still
 	// memoized: persist them so they are never re-purchased.
-	if perr := e.persistCompareCache(); err == nil {
+	if _, perr := e.persistCompareCache(); err == nil {
 		err = perr
 	}
 	if err != nil {
@@ -1113,21 +1148,35 @@ func (e *Engine) lookupPersistedCompare(kind, question, left, right string) (str
 	return row[4].Str(), true
 }
 
+// FlushCompareAnswers makes every comparison answer memoized since the
+// last flush durable and returns how many entries reached the system
+// table. The jobs journal charges budget spend by this count — answers
+// are charged when (and only when) they become durable, so a crash can
+// never double-charge a session for an answer recovery cannot reuse.
+func (e *Engine) FlushCompareAnswers() (int, error) {
+	return e.persistCompareCache()
+}
+
 // persistCompareCache writes the comparison answers memoized since the
-// last pass to the system table. Only the deltas are walked — the
-// resident cache is cross-session and can be large. An entry whose write
-// fails is skipped and retained for the next pass; the rest of the batch
-// still persists (no head-of-line blocking: one poisoned entry must not
-// keep every later healthy answer out of the system table). The first
-// error is reported after the full sweep.
-func (e *Engine) persistCompareCache() error {
+// last pass to the system table and reports how many were written. Only
+// the deltas are walked — the resident cache is cross-session and can be
+// large. An entry whose write fails is skipped and retained for the next
+// pass; the rest of the batch still persists (no head-of-line blocking:
+// one poisoned entry must not keep every later healthy answer out of the
+// system table). The first error is reported after the full sweep.
+func (e *Engine) persistCompareCache() (int, error) {
+	if faultinject.Killed() {
+		// Simulated crash: nothing more reaches disk; the entries stay
+		// dirty in memory, exactly like a torn process's lost writes.
+		return 0, nil
+	}
 	e.persistMu.Lock()
 	defer e.persistMu.Unlock()
 	for _, en := range e.cache.TakeDirty() {
 		e.pendingPersist[compareKey{en.Kind, en.Question, en.Left, en.Right}] = en
 	}
 	if len(e.pendingPersist) == 0 {
-		return nil
+		return 0, nil
 	}
 	keys := make([]compareKey, 0, len(e.pendingPersist))
 	for k := range e.pendingPersist {
@@ -1147,6 +1196,7 @@ func (e *Engine) persistCompareCache() error {
 		return a.right < b.right
 	})
 	var firstErr error
+	persisted := 0
 	for _, k := range keys {
 		if err := e.persistEntryLocked(e.pendingPersist[k]); err != nil {
 			if firstErr == nil {
@@ -1155,8 +1205,9 @@ func (e *Engine) persistCompareCache() error {
 			continue
 		}
 		delete(e.pendingPersist, k)
+		persisted++
 	}
-	return firstErr
+	return persisted, firstErr
 }
 
 // persistEntryLocked writes one cache entry; an entry already in the

@@ -199,7 +199,7 @@ func TestPersistCompareCacheSkipsPoisonedEntry(t *testing.T) {
 	}
 	eng.persistMu.Unlock()
 
-	if err := eng.persistCompareCache(); err == nil {
+	if _, err := eng.persistCompareCache(); err == nil {
 		t.Fatal("poisoned pass must report the first error")
 	}
 	// Healthy entries reached the system table despite the failure...
@@ -227,7 +227,7 @@ func TestPersistCompareCacheSkipsPoisonedEntry(t *testing.T) {
 	eng.persistMu.Lock()
 	eng.persistHook = nil
 	eng.persistMu.Unlock()
-	if err := eng.persistCompareCache(); err != nil {
+	if _, err := eng.persistCompareCache(); err != nil {
 		t.Fatal(err)
 	}
 	eng.persistMu.Lock()
@@ -255,7 +255,7 @@ func TestPendingPersistKeyedLookup(t *testing.T) {
 	for i := 0; i < backlog; i++ {
 		eng.cache.PutEqual("q", fmt.Sprintf("left-%03d", i), "right", i%2 == 0)
 	}
-	if err := eng.persistCompareCache(); err == nil {
+	if _, err := eng.persistCompareCache(); err == nil {
 		t.Fatal("want the injected failure reported")
 	}
 	eng.persistMu.Lock()

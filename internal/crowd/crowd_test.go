@@ -104,14 +104,14 @@ func (f *fakePlatform) Now() time.Duration          { return 0 }
 
 func TestFlakyPlatformInjectsFailures(t *testing.T) {
 	inner := &fakePlatform{}
-	flaky := NewFlaky(inner, 2) // every 2nd call fails
+	flaky := NewFlaky(inner, 2) // every 2nd call of each kind fails
 	g := &HITGroup{Title: "t", Reward: 1, Assignments: 1, HITs: []*HIT{{ID: "h"}}}
 
-	if _, err := flaky.Post(g); err != nil { // call 1: ok
+	if _, err := flaky.Post(g); err != nil { // post 1: ok
 		t.Fatalf("first call should pass: %v", err)
 	}
-	if _, err := flaky.Post(g); err == nil { // call 2: fails
-		t.Fatal("second call should fail")
+	if _, err := flaky.Post(g); err == nil { // post 2: fails
+		t.Fatal("second post should fail")
 	}
 	if inner.posts != 1 {
 		t.Errorf("failed call must not reach inner platform: %d", inner.posts)
@@ -119,14 +119,49 @@ func TestFlakyPlatformInjectsFailures(t *testing.T) {
 	if flaky.Fails() != 1 {
 		t.Errorf("fails: %d", flaky.Fails())
 	}
-	if _, err := flaky.Status("G1"); err != nil { // call 3: ok
+	// Counting is per kind: the post failures above must not advance the
+	// status or results schedules.
+	if _, err := flaky.Status("G1"); err != nil { // status 1: ok
 		t.Errorf("status: %v", err)
 	}
-	if _, err := flaky.Results("G1"); err == nil { // call 4: fails
-		t.Error("results should fail")
+	if _, err := flaky.Status("G1"); err == nil { // status 2: fails
+		t.Error("second status should fail")
+	}
+	if _, err := flaky.Results("G1"); err != nil { // results 1: ok
+		t.Errorf("results: %v", err)
+	}
+	if _, err := flaky.Results("G1"); err == nil { // results 2: fails
+		t.Error("second results should fail")
+	}
+	if flaky.Fails() != 3 {
+		t.Errorf("fails: %d", flaky.Fails())
 	}
 	if flaky.Name() != "fake" {
 		t.Error("name passthrough")
+	}
+}
+
+// Per-kind scheduling lets a test target one operation only: with
+// FailPost set and FailEvery=1 every post fails while status and results
+// sail through, no matter how the kinds interleave.
+func TestFlakyPerKindTargeting(t *testing.T) {
+	inner := &fakePlatform{}
+	flaky := NewFlaky(inner, 1)
+	flaky.FailStatus, flaky.FailResults = false, false
+	g := &HITGroup{Title: "t", Reward: 1, Assignments: 1, HITs: []*HIT{{ID: "h"}}}
+	for i := 0; i < 3; i++ {
+		if _, err := flaky.Post(g); err == nil {
+			t.Fatal("post must fail")
+		}
+		if _, err := flaky.Status("G1"); err != nil {
+			t.Fatalf("status must pass: %v", err)
+		}
+		if _, err := flaky.Results("G1"); err != nil {
+			t.Fatalf("results must pass: %v", err)
+		}
+	}
+	if inner.posts != 0 || inner.statuses != 3 || inner.results != 3 {
+		t.Fatalf("inner calls: posts=%d status=%d results=%d", inner.posts, inner.statuses, inner.results)
 	}
 }
 

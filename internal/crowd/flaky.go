@@ -6,13 +6,17 @@ import (
 	"time"
 )
 
-// FlakyPlatform wraps a Platform and injects failures: every Nth API call
-// returns an error. It exists for failure-injection tests — the Task
-// Manager and executor must surface platform outages as errors without
-// wedging, double-posting, or double-paying.
+// FlakyPlatform wraps a Platform and injects failures: every Nth call OF
+// EACH KIND returns an error. Counting is per operation kind (post,
+// status, results), so a test can schedule post-only or results-only
+// outages deterministically without the other call kinds perturbing the
+// schedule. It exists for failure-injection tests — the Task Manager and
+// executor must surface platform outages as errors without wedging,
+// double-posting, or double-paying.
 type FlakyPlatform struct {
 	Inner Platform
-	// FailEvery makes every n-th fallible call fail (0 disables).
+	// FailEvery makes every n-th fallible call of each kind fail
+	// (0 disables).
 	FailEvery int
 	// FailPost/FailStatus/FailResults select which operations can fail.
 	FailPost    bool
@@ -20,11 +24,12 @@ type FlakyPlatform struct {
 	FailResults bool
 
 	mu    sync.Mutex
-	calls int
+	calls map[string]int
 	fails int
 }
 
-// NewFlaky wraps a platform so every n-th fallible call errors.
+// NewFlaky wraps a platform so every n-th fallible call of each kind
+// errors.
 func NewFlaky(inner Platform, failEvery int) *FlakyPlatform {
 	return &FlakyPlatform{
 		Inner: inner, FailEvery: failEvery,
@@ -32,23 +37,26 @@ func NewFlaky(inner Platform, failEvery int) *FlakyPlatform {
 	}
 }
 
-// Fails reports how many injected failures have fired.
+// Fails reports how many injected failures have fired across all kinds.
 func (f *FlakyPlatform) Fails() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.fails
 }
 
-func (f *FlakyPlatform) shouldFail(enabled bool) error {
+func (f *FlakyPlatform) shouldFail(kind string, enabled bool) error {
 	if !enabled || f.FailEvery <= 0 {
 		return nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.calls++
-	if f.calls%f.FailEvery == 0 {
+	if f.calls == nil {
+		f.calls = make(map[string]int)
+	}
+	f.calls[kind]++
+	if f.calls[kind]%f.FailEvery == 0 {
 		f.fails++
-		return fmt.Errorf("crowd: injected platform outage (call %d)", f.calls)
+		return fmt.Errorf("crowd: injected platform outage (%s call %d)", kind, f.calls[kind])
 	}
 	return nil
 }
@@ -58,7 +66,7 @@ func (f *FlakyPlatform) Name() string { return f.Inner.Name() }
 
 // Post implements Platform with injected failures.
 func (f *FlakyPlatform) Post(g *HITGroup) (GroupID, error) {
-	if err := f.shouldFail(f.FailPost); err != nil {
+	if err := f.shouldFail("post", f.FailPost); err != nil {
 		return "", err
 	}
 	return f.Inner.Post(g)
@@ -66,7 +74,7 @@ func (f *FlakyPlatform) Post(g *HITGroup) (GroupID, error) {
 
 // Status implements Platform with injected failures.
 func (f *FlakyPlatform) Status(id GroupID) (GroupStatus, error) {
-	if err := f.shouldFail(f.FailStatus); err != nil {
+	if err := f.shouldFail("status", f.FailStatus); err != nil {
 		return GroupStatus{}, err
 	}
 	return f.Inner.Status(id)
@@ -74,7 +82,7 @@ func (f *FlakyPlatform) Status(id GroupID) (GroupStatus, error) {
 
 // Results implements Platform with injected failures.
 func (f *FlakyPlatform) Results(id GroupID) ([]*Assignment, error) {
-	if err := f.shouldFail(f.FailResults); err != nil {
+	if err := f.shouldFail("results", f.FailResults); err != nil {
 		return nil, err
 	}
 	return f.Inner.Results(id)

@@ -1,0 +1,487 @@
+package server
+
+// Durable jobs: every job lifecycle event — submission, state
+// transitions, emitted rows, and the session budget movements that fund
+// them — is journaled through a storage.RecordLog with the same fsync
+// contract as the per-shard WALs. A crowddbd restart replays the journal
+// and recovers every job coherently:
+//
+//   - finished jobs come back terminal with their results metadata and
+//     full row buffers, so NDJSON/SSE clients reconnect with ?from=N
+//     across the restart without duplicate or missing rows;
+//   - queued/running read-only scripts resume execution: the script
+//     re-runs from the top with the first len(recovered rows) sink
+//     emissions suppressed, and because the comparison cache is itself
+//     persistent, the re-executed prefix is answered from memoized
+//     decisions — a recovered job never re-pays a comparison;
+//   - anything that cannot be resumed (scripts with writes, jobs whose
+//     session did not survive) fails cleanly with the coded interrupted
+//     state instead of vanishing.
+//
+// Budget recovery is crash-exact in the conservative direction: a
+// session's journal carries absolute budget records (written at every
+// settle) plus per-row spend deltas counting the compare answers made
+// durable since the last absolute record. Answers are persisted BEFORE
+// their spend is journaled, and spend before the row, so a crash can
+// only under-charge the session — never double-charge it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"crowddb/internal/exec"
+	"crowddb/internal/faultinject"
+	"crowddb/internal/parser"
+	"crowddb/internal/storage"
+)
+
+// Journal record types (the "t" field of each JSON line).
+const (
+	recSession      = "session"       // session created (absolute budget)
+	recSessionClose = "session_close" // session closed
+	recBudget       = "budget"        // absolute budget after a settle
+	recSubmit       = "submit"        // job submitted
+	recRun          = "run"           // job admitted and running
+	recSchema       = "schema"        // result-set columns known
+	recRow          = "row"           // one emitted (rendered) row
+	recSpend        = "spend"         // compare answers made durable since
+	recEnd          = "end"           // terminal state reached
+)
+
+// journalRec is one JSON line of the jobs journal. Exactly one subset of
+// fields is meaningful per record type.
+type journalRec struct {
+	T        string    `json:"t"`
+	Session  string    `json:"session,omitempty"`
+	Job      string    `json:"job,omitempty"`
+	SQL      string    `json:"sql,omitempty"`
+	Budget   *int      `json:"budget,omitempty"`
+	Columns  []string  `json:"columns,omitempty"`
+	Row      []*string `json:"row,omitempty"`
+	N        int       `json:"n,omitempty"`
+	State    JobState  `json:"state,omitempty"`
+	Code     Code      `json:"code,omitempty"`
+	Msg      string    `json:"msg,omitempty"`
+	Affected int       `json:"affected,omitempty"`
+	Stmts    int       `json:"stmts,omitempty"`
+}
+
+func (s *Server) journalEnabled() bool {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.journal != nil
+}
+
+// journalAppend writes one record through the journal's sync mode.
+// Nil-safe: a server without EnableJournal journals nothing.
+func (s *Server) journalAppend(rec journalRec) {
+	s.jmu.Lock()
+	l := s.journal
+	s.jmu.Unlock()
+	if l == nil {
+		return
+	}
+	l.Append(rec) //nolint:errcheck // a poisoned journal must not fail queries
+}
+
+func (s *Server) journalSession(sess *Session) {
+	if !s.journalEnabled() {
+		return
+	}
+	b := sess.budgetLeft()
+	s.journalAppend(journalRec{T: recSession, Session: sess.id, Budget: &b})
+}
+
+func (s *Server) journalSessionClose(id string) {
+	s.journalAppend(journalRec{T: recSessionClose, Session: id})
+}
+
+func (s *Server) journalSubmit(j *Job) {
+	s.journalAppend(journalRec{T: recSubmit, Job: j.id, Session: j.sessionID, SQL: j.sql})
+}
+
+// journalRun records the queued->running transition; a crashpoint sits
+// on every journaled state transition.
+func (s *Server) journalRun(j *Job) {
+	if !s.journalEnabled() {
+		return
+	}
+	faultinject.Hit("server.job.state")
+	if faultinject.Killed() {
+		return
+	}
+	s.journalAppend(journalRec{T: recRun, Job: j.id})
+}
+
+// journalBudget writes the session's absolute remaining budget after a
+// settle, superseding the spend deltas journaled since.
+func (s *Server) journalBudget(sess *Session) {
+	if !s.journalEnabled() || sess.id == anonymousSessionID {
+		return
+	}
+	b := sess.budgetLeft()
+	s.journalAppend(journalRec{T: recBudget, Session: sess.id, Budget: &b})
+}
+
+// journalEnd records a job's terminal state.
+func (s *Server) journalEnd(j *Job) {
+	if !s.journalEnabled() {
+		return
+	}
+	faultinject.Hit("server.job.state")
+	if faultinject.Killed() {
+		return
+	}
+	j.mu.Lock()
+	rec := journalRec{T: recEnd, Job: j.id, State: j.state, Affected: j.affected, Stmts: j.stmtsDone}
+	if j.err != nil {
+		rec.Code, rec.Msg = j.err.Code, j.err.Message
+	}
+	j.mu.Unlock()
+	s.journalAppend(rec)
+}
+
+// jobSink wraps a job's row sink with durability: before a row is
+// buffered (and therefore observable by a streaming client), the compare
+// answers that produced it are flushed to the persistent cache, their
+// count is journaled as a spend delta, and the row itself is journaled.
+// The append is the acknowledgement barrier, so an offset a client has
+// seen can never regress across a restart. During a resumed execution
+// the first j.recovered emissions — rows already journaled and buffered
+// before the crash — are suppressed entirely.
+func (s *Server) jobSink(j *Job) func(exec.Row) error {
+	if !s.journalEnabled() {
+		return j.pushRow
+	}
+	return func(row exec.Row) error {
+		faultinject.Hit("server.job.row")
+		if faultinject.Killed() {
+			return fmt.Errorf("server: process killed (fault injection)")
+		}
+		j.mu.Lock()
+		skip := j.recovered > 0
+		if skip {
+			j.recovered--
+		}
+		j.mu.Unlock()
+		if skip {
+			return nil
+		}
+		// Persist-before-journal: answers first, their spend second, the
+		// row last. A crash between any two steps under-charges only.
+		if n, err := s.eng.FlushCompareAnswers(); err != nil {
+			return err
+		} else if n > 0 && j.sessionID != "" {
+			s.journalAppend(journalRec{T: recSpend, Session: j.sessionID, N: n})
+		}
+		cells := renderRow(row)
+		s.journalAppend(journalRec{T: recRow, Job: j.id, Row: cells})
+		return j.pushCells(cells)
+	}
+}
+
+// jobSchema wraps the OnSchema hook with journaling.
+func (s *Server) jobSchema(j *Job) func([]string) {
+	if !s.journalEnabled() {
+		return j.startResultSet
+	}
+	return func(cols []string) {
+		s.journalAppend(journalRec{T: recSchema, Job: j.id, Columns: cols})
+		j.startResultSet(cols)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// recoveredSession is one session's replayed state.
+type recoveredSession struct {
+	budget     int
+	spendSince int // spend deltas after the last absolute budget record
+	closed     bool
+}
+
+// recoveredJob is one job's replayed state.
+type recoveredJob struct {
+	id, session, sql string
+	columns          []string
+	rows             [][]*string
+	state            JobState // "" = non-terminal at crash time
+	code             Code
+	msg              string
+	affected, stmts  int
+}
+
+// resumable reports whether a script may safely re-execute after a
+// restart: every statement must be read-only (SELECT / EXPLAIN / SHOW),
+// so re-running it mutates nothing and the persistent comparison cache
+// replays the crowd's answers for free.
+func resumable(stmts []parser.Statement) bool {
+	for _, stmt := range stmts {
+		switch t := stmt.(type) {
+		case *parser.Select, *parser.ShowTables:
+		case *parser.Explain:
+			if !resumable([]parser.Statement{t.Stmt}) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EnableJournal turns on the durable jobs journal at path, recovering
+// whatever a previous process journaled there. Call it once, after New
+// and before serving traffic. Recovery rebuilds live sessions with their
+// crash-exact remaining budgets, re-registers finished jobs with their
+// results intact, resumes interrupted read-only scripts, fails
+// unresumable ones with the coded interrupted state, and compacts the
+// journal before new appends flow.
+func (s *Server) EnableJournal(path string, mode storage.SyncMode) error {
+	sessions := make(map[string]*recoveredSession)
+	jobs := make(map[string]*recoveredJob)
+	var order []string
+	err := storage.ReplayRecordLog(path, func(line json.RawMessage) error {
+		var rec journalRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return err
+		}
+		switch rec.T {
+		case recSession:
+			rs := &recoveredSession{budget: -1}
+			if rec.Budget != nil {
+				rs.budget = *rec.Budget
+			}
+			sessions[rec.Session] = rs
+		case recSessionClose:
+			if rs, ok := sessions[rec.Session]; ok {
+				rs.closed = true
+			}
+		case recBudget:
+			if rs, ok := sessions[rec.Session]; ok && rec.Budget != nil {
+				rs.budget, rs.spendSince = *rec.Budget, 0
+			}
+		case recSpend:
+			if rs, ok := sessions[rec.Session]; ok {
+				rs.spendSince += rec.N
+			}
+		case recSubmit:
+			jobs[rec.Job] = &recoveredJob{id: rec.Job, session: rec.Session, sql: rec.SQL}
+			order = append(order, rec.Job)
+		case recRun:
+			// Lifecycle breadcrumb only: a non-terminal job is handled the
+			// same whether it was queued or already running.
+		case recSchema:
+			if rj, ok := jobs[rec.Job]; ok {
+				rj.columns = rec.Columns
+			}
+		case recRow:
+			if rj, ok := jobs[rec.Job]; ok {
+				rj.rows = append(rj.rows, rec.Row)
+			}
+		case recEnd:
+			if rj, ok := jobs[rec.Job]; ok {
+				rj.state, rj.code, rj.msg = rec.State, rec.Code, rec.Msg
+				rj.affected, rj.stmts = rec.Affected, rec.Stmts
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: jobs journal replay: %w", err)
+	}
+
+	// Decide every non-terminal job's disposition before compaction so the
+	// rewritten journal already carries the interrupted end records.
+	type resumption struct {
+		job   *Job
+		stmts []parser.Statement
+	}
+	var resume []resumption
+	for _, id := range order {
+		rj := jobs[id]
+		if rj.state != "" {
+			continue // terminal: re-registered as-is below
+		}
+		stmts, perr := parser.ParseAll(rj.sql)
+		rs := sessions[rj.session]
+		sessionLive := rj.session == "" || (rs != nil && !rs.closed)
+		if perr != nil || !sessionLive || !resumable(stmts) {
+			rj.state = JobInterrupted
+			rj.code = CodeInterrupted
+			switch {
+			case !sessionLive:
+				rj.msg = "restart interrupted the job and its session did not survive"
+			default:
+				rj.msg = "restart interrupted the job and its script is not resumable (contains writes)"
+			}
+			continue
+		}
+		sess := s.recoverSession(rj.session, rs)
+		ctx, cancel := context.WithCancel(context.Background())
+		job := &Job{
+			id:           rj.id,
+			sql:          rj.sql,
+			sess:         sess,
+			sessionID:    rj.session,
+			price:        s.eng.PriceStats,
+			ctx:          ctx,
+			cancel:       cancel,
+			notify:       make(chan struct{}),
+			state:        JobQueued,
+			columns:      rj.columns,
+			rows:         rj.rows,
+			recovered:    len(rj.rows),
+			admPredicted: -1,
+		}
+		resume = append(resume, resumption{job: job, stmts: stmts})
+	}
+
+	// Rebuild live sessions with their recovered budgets, continue the id
+	// sequences past everything replayed.
+	s.mu.Lock()
+	for id, rs := range sessions {
+		if rs.closed {
+			continue
+		}
+		s.sessions[id] = s.recoverSessionLocked(id, rs)
+		var n int64
+		if _, err := fmt.Sscanf(id, "s%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	for _, id := range order {
+		var n int64
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.jobSeq {
+			s.jobSeq = n
+		}
+	}
+	s.mu.Unlock()
+
+	// Compact: the rewritten journal carries live sessions (recovered
+	// absolute budgets), then each retained job's submit/schema/rows and,
+	// for terminal jobs, its end record. Spend deltas are folded away.
+	log, err := storage.RewriteRecordLog(path, mode, func(add func(v any) error) error {
+		for id, rs := range sessions {
+			if rs.closed {
+				continue
+			}
+			b := recoveredBudget(rs)
+			if err := add(journalRec{T: recSession, Session: id, Budget: &b}); err != nil {
+				return err
+			}
+		}
+		for _, id := range order {
+			rj := jobs[id]
+			if err := add(journalRec{T: recSubmit, Job: rj.id, Session: rj.session, SQL: rj.sql}); err != nil {
+				return err
+			}
+			if rj.columns != nil {
+				if err := add(journalRec{T: recSchema, Job: rj.id, Columns: rj.columns}); err != nil {
+					return err
+				}
+			}
+			for _, row := range rj.rows {
+				if err := add(journalRec{T: recRow, Job: rj.id, Row: row}); err != nil {
+					return err
+				}
+			}
+			if rj.state != "" {
+				rec := journalRec{T: recEnd, Job: rj.id, State: rj.state,
+					Code: rj.code, Msg: rj.msg, Affected: rj.affected, Stmts: rj.stmts}
+				if err := add(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: jobs journal compaction: %w", err)
+	}
+	s.jmu.Lock()
+	s.journal = log
+	s.jmu.Unlock()
+
+	// Re-register terminal jobs (including the freshly interrupted ones)
+	// and launch the resumptions.
+	for _, id := range order {
+		rj := jobs[id]
+		if rj.state == "" {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		job := &Job{
+			id:           rj.id,
+			sql:          rj.sql,
+			sessionID:    rj.session,
+			price:        s.eng.PriceStats,
+			ctx:          ctx,
+			cancel:       cancel,
+			notify:       make(chan struct{}),
+			state:        rj.state,
+			columns:      rj.columns,
+			rows:         rj.rows,
+			affected:     rj.affected,
+			stmtsDone:    rj.stmts,
+			admPredicted: -1,
+		}
+		if rj.code != "" {
+			job.err = &Error{Code: rj.code, Message: rj.msg}
+		}
+		s.mu.Lock()
+		s.jobs[job.id] = job
+		s.finished = append(s.finished, job.id)
+		s.mu.Unlock()
+		if rj.state == JobInterrupted {
+			s.mJobsByState[JobInterrupted].Inc()
+		}
+	}
+	for _, r := range resume {
+		s.mu.Lock()
+		s.jobs[r.job.id] = r.job
+		s.mu.Unlock()
+		r.job.trace = s.eng.Tracer().Start(r.job.id)
+		r.job.rowsMetric = s.mRowsStreamed
+		r.job.sess.addJob(r.job)
+		go s.runJob(r.job, r.stmts)
+	}
+	return nil
+}
+
+// recoveredBudget resolves a replayed session's remaining budget: the
+// last absolute record minus the spend journaled after it, floored at
+// zero (unlimited budgets stay unlimited).
+func recoveredBudget(rs *recoveredSession) int {
+	if rs.budget < 0 {
+		return -1
+	}
+	if b := rs.budget - rs.spendSince; b > 0 {
+		return b
+	}
+	return 0
+}
+
+// recoverSession returns the live *Session for a replayed session id,
+// creating (or fetching) it under s.mu; empty ids get a fresh anonymous
+// session with the default budget (anonymous budgets are not journaled).
+func (s *Server) recoverSession(id string, rs *recoveredSession) *Session {
+	if id == "" {
+		return &Session{id: anonymousSessionID, budget: s.effectiveBudget(0)}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoverSessionLocked(id, rs)
+}
+
+func (s *Server) recoverSessionLocked(id string, rs *recoveredSession) *Session {
+	if sess, ok := s.sessions[id]; ok {
+		return sess
+	}
+	sess := &Session{id: id, budget: recoveredBudget(rs)}
+	s.sessions[id] = sess
+	return sess
+}

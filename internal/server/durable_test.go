@@ -1,0 +1,565 @@
+package server
+
+// The durable-jobs acceptance suite: a crowddbd "restart" is simulated by
+// closing the engine + server over a data dir and jobs journal, then
+// assembling fresh ones over the same paths. Crashes are simulated with
+// the faultinject registry's soft handler: from the armed instant on,
+// every durability write (shard WAL, jobs journal, compare-answer
+// persistence) is silently dropped — exactly the writes a torn process
+// would have lost — while the dying process's in-memory state plays out.
+//
+// The contracts pinned here:
+//   - finished jobs survive a restart with state, columns, and full row
+//     buffers intact (?from=N reconnects see identical bytes);
+//   - interrupted read-only scripts resume to completion with rows
+//     byte-identical to an uninterrupted run, zero re-paid comparisons,
+//     and the session budget settling at exactly the uninterrupted value;
+//   - scripts with writes, and jobs whose session did not survive, come
+//     back terminal in the coded interrupted state;
+//   - across arbitrary crashpoints the journal never invents rows, never
+//     regresses an acknowledged offset, and never over-charges a budget.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"crowddb/internal/core"
+	"crowddb/internal/crowd"
+	"crowddb/internal/crowd/amt"
+	"crowddb/internal/faultinject"
+	"crowddb/internal/sim"
+	"crowddb/internal/sqltypes"
+	"crowddb/internal/storage"
+	"crowddb/internal/workload"
+	"crowddb/internal/wrm"
+)
+
+const durableQuery = "SELECT id FROM Pair WHERE a ~= b"
+
+// durableEngine opens a durable engine over dataDir with a fully
+// deterministic crowd: perfect-accuracy workers, no spammers, no format
+// noise, and a difficulty-0 oracle. Every majority vote is unanimous and
+// correct, so a resumed execution reaches the same decisions as an
+// uninterrupted one regardless of which comparisons replay from the
+// persistent cache and which consume fresh market randomness.
+func durableEngine(t *testing.T, dataDir string, seed int64, n int) *core.Engine {
+	t.Helper()
+	cs := workload.NewCompanies(n, seed)
+	base := cs.Oracle()
+	oracle := workload.NewOracle()
+	oracle.RegisterCompare(func(kind crowd.TaskKind, q, l, r string) *crowd.SimTruth {
+		tr := base.CompareTruth(kind, q, l, r)
+		if tr != nil {
+			tr.Difficulty = 0 // perfect workers never err: byte-identical replays
+		}
+		return tr
+	})
+	mcfg := sim.DefaultConfig()
+	mcfg.Seed = seed
+	mcfg.Pool.SpammerFrac = 0
+	mcfg.Pool.AccuracyMean = 1
+	mcfg.Pool.AccuracySpread = 0
+	mcfg.Pool.GarbageRate = 0
+	mcfg.FormatNoiseRate = 0
+	eng, err := core.Open(core.Config{
+		DataDir:  dataDir,
+		WALSync:  storage.SyncAlways,
+		Platform: amt.New(sim.NewMarket(mcfg)),
+		Oracle:   oracle,
+		Payment:  wrm.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// seedPairs populates the Pair table with n true-match surface-form pairs
+// (run once, on the first open of a data dir).
+func seedPairs(t *testing.T, eng *core.Engine, seed int64, n int) {
+	t.Helper()
+	if _, err := eng.Exec(`CREATE TABLE Pair (id INTEGER PRIMARY KEY, a STRING, b STRING)`); err != nil {
+		t.Fatal(err)
+	}
+	cs := workload.NewCompanies(n, seed)
+	for i, c := range cs.List {
+		variant := c.Variants[len(c.Variants)-1]
+		if _, err := eng.Exec(fmt.Sprintf("INSERT INTO Pair VALUES (%d, %s, %s)",
+			i, sqltypes.NewString(c.Canonical).SQLLiteral(), sqltypes.NewString(variant).SQLLiteral())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// renderedRows flattens a job's full row buffer (the ?from=0 stream) into
+// comparable strings.
+func renderedRows(j *Job) []string {
+	rows, _, _ := j.rowsFrom(0)
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		var sb strings.Builder
+		for k, c := range r {
+			if k > 0 {
+				sb.WriteByte('|')
+			}
+			if c == nil {
+				sb.WriteString(`\N`)
+			} else {
+				sb.WriteString(*c)
+			}
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func waitDone(t *testing.T, j *Job) JobState {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	state, err := j.waitTerminal(ctx)
+	if err != nil {
+		t.Fatalf("job %s did not reach a terminal state: %v", j.ID(), err)
+	}
+	return state
+}
+
+// baselineRun executes the pair query uninterrupted in fresh dirs and
+// returns the rendered rows and the session's settled budget — the values
+// every crash/recovery arm must converge to.
+func baselineRun(t *testing.T, seed int64, n, budget int) ([]string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	eng := durableEngine(t, filepath.Join(dir, "data"), seed, n)
+	defer eng.Close()
+	seedPairs(t, eng, seed, n)
+	srv := New(eng, Config{})
+	if err := srv.EnableJournal(filepath.Join(dir, "jobs.log"), storage.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	sess, serr := srv.CreateSession(budget)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	job, serr := srv.StartJob(sess.ID(), durableQuery)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if state := waitDone(t, job); state != JobDone {
+		t.Fatalf("baseline job state = %s (err %v), want done", state, job.Err())
+	}
+	return renderedRows(job), sess.Info().BudgetLeft
+}
+
+// TestJournalRecoversFinishedJob: a job that completed before the restart
+// comes back terminal with its state, columns, and row buffer intact, and
+// a reconnecting ?from=N client sees the identical suffix.
+func TestJournalRecoversFinishedJob(t *testing.T) {
+	const seed, n, budget = 61, 4, 20
+	dir := t.TempDir()
+	data, jpath := filepath.Join(dir, "data"), filepath.Join(dir, "jobs.log")
+
+	eng1 := durableEngine(t, data, seed, n)
+	seedPairs(t, eng1, seed, n)
+	srv1 := New(eng1, Config{})
+	if err := srv1.EnableJournal(jpath, storage.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	sess1, serr := srv1.CreateSession(budget)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	job1, serr := srv1.StartJob(sess1.ID(), durableQuery)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if state := waitDone(t, job1); state != JobDone {
+		t.Fatalf("job state = %s (err %v), want done", state, job1.Err())
+	}
+	wantRows := renderedRows(job1)
+	wantBudget := sess1.Info().BudgetLeft
+	wantInfo := job1.Info()
+	if err := srv1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := durableEngine(t, data, seed, n)
+	defer eng2.Close()
+	srv2 := New(eng2, Config{})
+	if err := srv2.EnableJournal(jpath, storage.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	job2, serr := srv2.Job(job1.ID())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	info := job2.Info()
+	if info.State != JobDone {
+		t.Fatalf("recovered job state = %s, want done", info.State)
+	}
+	if !reflect.DeepEqual(info.Columns, wantInfo.Columns) {
+		t.Errorf("recovered columns = %v, want %v", info.Columns, wantInfo.Columns)
+	}
+	if got := renderedRows(job2); !reflect.DeepEqual(got, wantRows) {
+		t.Errorf("recovered rows diverge:\n%v\nwant\n%v", got, wantRows)
+	}
+	// Reconnect mid-stream: from=2 serves exactly the tail.
+	tail, _, _ := job2.rowsFrom(2)
+	if len(tail) != len(wantRows)-2 {
+		t.Errorf("rowsFrom(2) served %d rows, want %d", len(tail), len(wantRows)-2)
+	}
+	// The session survived with its crash-exact settled budget.
+	sess2, serr := srv2.Session(sess1.ID())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if got := sess2.Info().BudgetLeft; got != wantBudget {
+		t.Errorf("recovered session budget = %d, want %d", got, wantBudget)
+	}
+	// Re-running the query on the recovered engine is free: every answer
+	// was persisted, so no HIT group is ever posted again.
+	if _, qerr := srv2.querySession(sess2, durableQuery); qerr != nil {
+		t.Fatal(qerr)
+	}
+	if st := eng2.Tasks().Stats(); st.GroupsPosted != 0 {
+		t.Errorf("re-run after restart posted %d HIT groups, want 0 (answers persisted)", st.GroupsPosted)
+	}
+	// The id sequences continued past the recovered resources.
+	sess3, serr := srv2.CreateSession(-1)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if sess3.ID() == sess1.ID() {
+		t.Errorf("recovered server re-issued session id %s", sess3.ID())
+	}
+	job3, serr := srv2.StartJob(sess3.ID(), "SHOW TABLES")
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if job3.ID() == job1.ID() {
+		t.Errorf("recovered server re-issued job id %s", job3.ID())
+	}
+	waitDone(t, job3)
+}
+
+// TestJournalResumesInterruptedJob: a crash mid-stream loses nothing a
+// client was acknowledged — the restarted server resumes the read-only
+// script, the full stream is byte-identical to an uninterrupted run, no
+// persisted comparison is re-paid, and the session budget settles at
+// exactly the uninterrupted value.
+func TestJournalResumesInterruptedJob(t *testing.T) {
+	const seed, n, budget = 47, 4, 20
+	wantRows, wantBudget := baselineRun(t, seed, n, budget)
+
+	dir := t.TempDir()
+	data, jpath := filepath.Join(dir, "data"), filepath.Join(dir, "jobs.log")
+	eng1 := durableEngine(t, data, seed, n)
+	seedPairs(t, eng1, seed, n)
+	srv1 := New(eng1, Config{})
+	if err := srv1.EnableJournal(jpath, storage.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	sess1, serr := srv1.CreateSession(budget)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+
+	defer faultinject.Disarm()
+	faultinject.SetHandler(func(string) {}) // in-process crash: durability writes stop
+	if err := faultinject.Arm("server.job.row=3"); err != nil {
+		t.Fatal(err)
+	}
+	job1, serr := srv1.StartJob(sess1.ID(), durableQuery)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	waitDone(t, job1) // the dying process's in-memory terminal state is irrelevant
+	eng1.Close()      // Killed() is still set: closing persists nothing further
+	faultinject.Disarm()
+
+	// How many answers became durable (and were charged) before the crash?
+	persisted := 0
+	if err := storage.ReplayRecordLog(jpath, func(line json.RawMessage) error {
+		var rec journalRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return err
+		}
+		if rec.T == recSpend && rec.Session == sess1.ID() {
+			persisted += rec.N
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if persisted == 0 {
+		t.Fatal("test setup: the crash was meant to land after at least one persisted answer")
+	}
+
+	eng2 := durableEngine(t, data, seed, n)
+	defer eng2.Close()
+	srv2 := New(eng2, Config{})
+	if err := srv2.EnableJournal(jpath, storage.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	job2, serr := srv2.Job(job1.ID())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if state := waitDone(t, job2); state != JobDone {
+		t.Fatalf("resumed job state = %s (err %v), want done", state, job2.Err())
+	}
+	if got := renderedRows(job2); !reflect.DeepEqual(got, wantRows) {
+		t.Errorf("resumed stream diverges from the uninterrupted run:\n%v\nwant\n%v", got, wantRows)
+	}
+	// Zero re-paid comparisons: the resumed run buys exactly the answers
+	// the crash lost — never one the persistent cache already holds.
+	if st := eng2.Tasks().Stats(); st.GroupsPosted != n-persisted {
+		t.Errorf("resumed run posted %d HIT groups, want %d (%d answers were persisted pre-crash)",
+			st.GroupsPosted, n-persisted, persisted)
+	}
+	sess2, serr := srv2.Session(sess1.ID())
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if got := sess2.Info().BudgetLeft; got != wantBudget {
+		t.Errorf("budget settles at %d after crash+resume, want %d (the uninterrupted value)", got, wantBudget)
+	}
+}
+
+// TestJournalInterruptsUnresumableJobs: non-terminal journal entries whose
+// script contains writes, or whose session did not survive, recover as
+// terminal interrupted jobs instead of silently vanishing or re-running.
+func TestJournalInterruptsUnresumableJobs(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "jobs.log")
+	b := 10
+	log, err := storage.OpenRecordLog(jpath, storage.SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []journalRec{
+		{T: recSession, Session: "s000001", Budget: &b},
+		{T: recSubmit, Job: "j000001", Session: "s000001", SQL: "INSERT INTO Pair VALUES (99, 'x', 'y')"},
+		{T: recRun, Job: "j000001"},
+		{T: recSession, Session: "s000002", Budget: &b},
+		{T: recSubmit, Job: "j000002", Session: "s000002", SQL: "SELECT id FROM Pair"},
+		{T: recSessionClose, Session: "s000002"},
+	} {
+		if err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := pairEngine(t, 3, 1)
+	srv := New(eng, Config{})
+	if err := srv.EnableJournal(jpath, storage.SyncAlways); err != nil {
+		t.Fatal(err)
+	}
+	for id, wantMsg := range map[string]string{
+		"j000001": "not resumable",
+		"j000002": "did not survive",
+	} {
+		job, serr := srv.Job(id)
+		if serr != nil {
+			t.Fatalf("job %s: %v", id, serr)
+		}
+		if st := job.State(); st != JobInterrupted {
+			t.Errorf("job %s state = %s, want interrupted", id, st)
+		}
+		jerr := job.Err()
+		if jerr == nil || jerr.Code != CodeInterrupted {
+			t.Errorf("job %s error = %v, want code %s", id, jerr, CodeInterrupted)
+		} else if !strings.Contains(jerr.Message, wantMsg) {
+			t.Errorf("job %s message %q does not mention %q", id, jerr.Message, wantMsg)
+		}
+	}
+	// The closed session stayed closed; the live one recovered.
+	if _, serr := srv.Session("s000002"); serr == nil {
+		t.Error("closed session s000002 was resurrected")
+	}
+	sess, serr := srv.Session("s000001")
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if got := sess.Info().BudgetLeft; got != b {
+		t.Errorf("recovered budget = %d, want %d", got, b)
+	}
+}
+
+// TestDrainDeadlineFailsRunningJobs: a Shutdown whose context expires
+// forcibly fails still-running jobs with the coded shutting_down error
+// instead of hanging the drain forever on stuck crowd work.
+func TestDrainDeadlineFailsRunningJobs(t *testing.T) {
+	eng := pairEngine(t, 83, 1)
+	srv := New(eng, Config{})
+	sess, serr := srv.CreateSession(-1)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+
+	// Park the job on crowd work that never resolves: a foreign session
+	// holds the pair's singleflight claim and never answers.
+	cs := workload.NewCompanies(1, 83)
+	l := cs.List[0].Canonical
+	r := cs.List[0].Variants[len(cs.List[0].Variants)-1]
+	if claim := eng.Cache().ClaimEqual("", l, r); !claim.Leader {
+		t.Fatal("test setup: expected to lead the claim")
+	}
+
+	job, serr := srv.StartJob(sess.ID(), durableQuery)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for job.State() != JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running (state %s)", job.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown returned %v, want context.DeadlineExceeded", err)
+	}
+	if st := job.State(); st != JobFailed {
+		t.Fatalf("drained job state = %s, want failed", st)
+	}
+	jerr := job.Err()
+	if jerr == nil || jerr.Code != CodeShuttingDown {
+		t.Fatalf("drained job error = %v, want code %s", jerr, CodeShuttingDown)
+	}
+}
+
+// TestCrashpointRecoveryProperty kills the durability layers at assorted
+// crashpoints mid-crowd-query and asserts the recovery invariants at
+// every one of them:
+//
+//   - the journal never invents rows: whatever it recovered is a prefix
+//     of the uninterrupted run's stream, in order (no acknowledged offset
+//     ever regresses);
+//   - the recovered job lands in a coherent terminal state (done after a
+//     resume, or interrupted) — or, if the crash predates the submit
+//     record's fsync, is unknown entirely;
+//   - a completed resume is byte-identical to the uninterrupted stream;
+//   - the session budget never settles below the uninterrupted value
+//     (crashes may under-charge — lose unjournaled spend — but can never
+//     double-charge).
+func TestCrashpointRecoveryProperty(t *testing.T) {
+	const seed, n, budget = 29, 4, 20
+	wantRows, wantBudget := baselineRun(t, seed, n, budget)
+
+	specs := []string{
+		"server.job.row=1",
+		"server.job.row=2",
+		"server.job.row=4",
+		"server.job.state=1",
+		"server.job.state=2",
+		"storage.recordlog.append=1",
+		"storage.recordlog.append=3",
+		"storage.wal.append=2",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			data, jpath := filepath.Join(dir, "data"), filepath.Join(dir, "jobs.log")
+			eng1 := durableEngine(t, data, seed, n)
+			seedPairs(t, eng1, seed, n)
+			srv1 := New(eng1, Config{})
+			if err := srv1.EnableJournal(jpath, storage.SyncAlways); err != nil {
+				t.Fatal(err)
+			}
+			sess1, serr := srv1.CreateSession(budget)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+
+			defer faultinject.Disarm()
+			faultinject.SetHandler(func(string) {})
+			if err := faultinject.Arm(spec); err != nil {
+				t.Fatal(err)
+			}
+			job1, serr := srv1.StartJob(sess1.ID(), durableQuery)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			waitDone(t, job1)
+			eng1.Close()
+			faultinject.Disarm()
+
+			// What did the journal acknowledge for this job?
+			var ackRows int
+			err := storage.ReplayRecordLog(jpath, func(line json.RawMessage) error {
+				var rec journalRec
+				if err := json.Unmarshal(line, &rec); err != nil {
+					return err
+				}
+				if rec.T == recRow && rec.Job == job1.ID() {
+					ackRows++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ackRows > len(wantRows) {
+				t.Fatalf("journal acknowledged %d rows, baseline has %d", ackRows, len(wantRows))
+			}
+
+			eng2 := durableEngine(t, data, seed, n)
+			defer eng2.Close()
+			srv2 := New(eng2, Config{})
+			if err := srv2.EnableJournal(jpath, storage.SyncAlways); err != nil {
+				t.Fatal(err)
+			}
+			job2, serr := srv2.Job(job1.ID())
+			if serr != nil {
+				// Coherent only if the crash predates the submit record.
+				if ackRows != 0 {
+					t.Fatalf("job with %d acknowledged rows vanished: %v", ackRows, serr)
+				}
+				return
+			}
+			state := waitDone(t, job2)
+			rows := renderedRows(job2)
+			switch state {
+			case JobDone:
+				if !reflect.DeepEqual(rows, wantRows) {
+					t.Errorf("resumed stream diverges:\n%v\nwant\n%v", rows, wantRows)
+				}
+			case JobInterrupted:
+				if len(rows) != ackRows {
+					t.Errorf("interrupted job retains %d rows, journal acknowledged %d", len(rows), ackRows)
+				}
+			default:
+				t.Errorf("recovered job state = %s, want done or interrupted", state)
+			}
+			// Acknowledged rows never regress: the final buffer starts with
+			// exactly the journaled prefix of the baseline stream.
+			for i := 0; i < ackRows && i < len(rows); i++ {
+				if rows[i] != wantRows[i] {
+					t.Errorf("acknowledged row %d changed across restart: %q vs %q", i, rows[i], wantRows[i])
+				}
+			}
+			if sess2, serr := srv2.Session(sess1.ID()); serr == nil {
+				got := sess2.Info().BudgetLeft
+				if got < wantBudget || got > budget {
+					t.Errorf("budget settled at %d, want within [%d, %d] (never over-charged)", got, wantBudget, budget)
+				}
+			}
+		})
+	}
+}

@@ -40,6 +40,10 @@ const (
 	// CodeUnsupportedVersion: the wire client requested a protocol
 	// version this server does not speak.
 	CodeUnsupportedVersion Code = "unsupported_version"
+	// CodeInterrupted: a server restart cut the job short and its script
+	// could not be resumed (it contains writes, or its session did not
+	// survive the restart). Rows streamed before the restart are retained.
+	CodeInterrupted Code = "interrupted"
 )
 
 // Error is a coded query-service error.
@@ -63,7 +67,7 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusServiceUnavailable
 	case CodeTooManySessions:
 		return http.StatusTooManyRequests
-	case CodeCancelled, CodeSessionClosed:
+	case CodeCancelled, CodeSessionClosed, CodeInterrupted:
 		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError

@@ -30,19 +30,22 @@ import (
 // JobState is a job's lifecycle position.
 type JobState string
 
-// The job lifecycle: queued (admission pending), running, and the three
-// terminal states.
+// The job lifecycle: queued (admission pending), running, and the
+// terminal states. Interrupted is reached only across a restart: the
+// recovery path found the job mid-flight in the journal and could not
+// resume its script.
 const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobDone      JobState = "done"
-	JobFailed    JobState = "failed"
-	JobCancelled JobState = "cancelled"
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobDone        JobState = "done"
+	JobFailed      JobState = "failed"
+	JobCancelled   JobState = "cancelled"
+	JobInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobInterrupted
 }
 
 // Job is one asynchronous query execution. All exported access goes
@@ -92,6 +95,15 @@ type Job struct {
 	settledStats  exec.Stats
 	settledCents  float64
 	progressStats exec.Stats // live snapshot of the running statement
+	// recovered counts journal-recovered rows already in the buffer when a
+	// restart resumes this job: the re-executed script's first `recovered`
+	// sink emissions are suppressed instead of buffered (and journaled)
+	// again, so reconnecting clients see neither duplicates nor gaps.
+	recovered int
+	// admPredicted is the optimizer's cost forecast taken at admission
+	// (cents; <0 = no forecast) — settled against the actual spend when
+	// the job retires, for the /stats admission-accuracy report.
+	admPredicted float64
 	// snapshotTS is the MVCC snapshot timestamp the most recent SELECT
 	// pinned: every row that statement streams is the database as of this
 	// commit timestamp, regardless of writes landing while the crowd works.
@@ -180,17 +192,28 @@ func (j *Job) Info() JobInfo {
 	return info
 }
 
-// pushRow is the engine sink: it renders and buffers one streamed row.
-func (j *Job) pushRow(row exec.Row) error {
-	j.rowsMetric.Inc()
+// renderRow renders one engine row into the wire cell form (nil =
+// JSON null / wire \N).
+func renderRow(row exec.Row) []*string {
 	cells := make([]*string, len(row))
 	for i, v := range row {
 		if v.IsUnknown() {
-			continue // JSON null / wire \N
+			continue
 		}
 		rendered := v.String()
 		cells[i] = &rendered
 	}
+	return cells
+}
+
+// pushRow is the engine sink: it renders and buffers one streamed row.
+func (j *Job) pushRow(row exec.Row) error {
+	return j.pushCells(renderRow(row))
+}
+
+// pushCells buffers one already-rendered row and wakes the streamers.
+func (j *Job) pushCells(cells []*string) error {
+	j.rowsMetric.Inc()
 	j.mu.Lock()
 	j.rows = append(j.rows, cells)
 	j.broadcastLocked()
@@ -266,7 +289,8 @@ func (j *Job) finish(state JobState, err *Error) {
 
 // finishInterrupted resolves a job whose statement context fired: a
 // client cancellation yields the cancelled state, a closed session the
-// coded session_closed failure.
+// coded session_closed failure, and an expired drain deadline the coded
+// shutting_down failure.
 func (j *Job) finishInterrupted() {
 	j.mu.Lock()
 	code, msg := j.cancelCode, j.cancelMsg
@@ -274,6 +298,8 @@ func (j *Job) finishInterrupted() {
 	switch code {
 	case CodeSessionClosed:
 		j.finish(JobFailed, errf(CodeSessionClosed, "%s", msg))
+	case CodeShuttingDown:
+		j.finish(JobFailed, errf(CodeShuttingDown, "%s", msg))
 	default:
 		j.finish(JobCancelled, nil)
 	}
@@ -378,6 +404,14 @@ func (s *Server) startJobForSession(sess *Session, sessionID, sql string) (*Job,
 		return nil, errf(CodeParse, "%v", err)
 	}
 	parseEnd := time.Now()
+	// Budget-aware admission: reject before any HIT could be posted when
+	// the optimizer's forecast says the script cannot fit the session's
+	// remaining budget. Zero cents have been spent at this point.
+	predicted, aerr := s.admitBudget(sess, stmts)
+	if aerr != nil {
+		s.countRejected(aerr)
+		return nil, aerr
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -388,21 +422,23 @@ func (s *Server) startJobForSession(sess *Session, sessionID, sql string) (*Job,
 	s.jobSeq++
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		id:        newJobID(s.jobSeq),
-		sql:       sql,
-		sess:      sess,
-		sessionID: sessionID,
-		price:     s.eng.PriceStats,
-		ctx:       ctx,
-		cancel:    cancel,
-		notify:    make(chan struct{}),
-		state:     JobQueued,
+		id:           newJobID(s.jobSeq),
+		sql:          sql,
+		sess:         sess,
+		sessionID:    sessionID,
+		price:        s.eng.PriceStats,
+		ctx:          ctx,
+		cancel:       cancel,
+		notify:       make(chan struct{}),
+		state:        JobQueued,
+		admPredicted: predicted,
 	}
 	if s.jobs == nil {
 		s.jobs = make(map[string]*Job)
 	}
 	s.jobs[job.id] = job
 	s.mu.Unlock()
+	s.journalSubmit(job)
 	job.rowsMetric = s.mRowsStreamed
 	// One trace per job, named by the job id: parsing happened before the
 	// id was allocated, so it is stamped with explicit bounds.
@@ -476,6 +512,7 @@ func (s *Server) runJob(job *Job, stmts []parser.Statement) {
 		job.broadcastLocked()
 	}
 	job.mu.Unlock()
+	s.journalRun(job)
 
 	for _, stmt := range stmts {
 		if job.ctx.Err() != nil {
@@ -495,8 +532,8 @@ func (s *Server) runJob(job *Job, stmts []parser.Statement) {
 		if reserved > 0 {
 			opts.CompareBudget = reserved
 		}
-		opts.Sink = job.pushRow
-		opts.OnSchema = job.startResultSet
+		opts.Sink = s.jobSink(job)
+		opts.OnSchema = s.jobSchema(job)
 		opts.OnStats = func(st exec.Stats) { stmtStats = st }
 		opts.Progress = job.noteProgress
 		opts.OnSnapshot = job.noteSnapshot
@@ -506,6 +543,7 @@ func (s *Server) runJob(job *Job, stmts []parser.Statement) {
 		// paid even when the statement failed or was cancelled, so the
 		// session budget refunds exactly the unused reservation.
 		job.sess.settle(stmtStats, reserved)
+		s.journalBudget(job.sess)
 		if err != nil {
 			// The stats observer's final numbers supersede the last
 			// mid-statement progress snapshot before the job settles.
@@ -535,6 +573,8 @@ func (s *Server) retireJob(job *Job) {
 	s.eng.Tracer().Finish(job.trace)
 	s.mJobsByState[job.State()].Inc()
 	job.sess.removeJob(job.id)
+	s.journalEnd(job)
+	s.noteAdmissionOutcome(job)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.finished = append(s.finished, job.id)

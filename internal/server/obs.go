@@ -29,7 +29,7 @@ func (s *Server) registerMetrics() {
 	s.mRowsStreamed = reg.Counter("crowddb_jobs_streamed_rows_total",
 		"result rows streamed into job buffers")
 	s.mJobsByState = make(map[JobState]*obs.Counter)
-	for _, st := range []JobState{JobDone, JobFailed, JobCancelled} {
+	for _, st := range []JobState{JobDone, JobFailed, JobCancelled, JobInterrupted} {
 		s.mJobsByState[st] = reg.Counter("crowddb_jobs_total",
 			"jobs retired by terminal state", "state", string(st))
 	}
@@ -46,6 +46,20 @@ func (s *Server) registerMetrics() {
 		func(st Stats) int64 { return st.Rejected })
 	counter("crowddb_server_errors_total", "queries failed after admission",
 		func(st Stats) int64 { return st.Errors })
+	reg.CounterFunc("crowddb_server_admission_admitted_total",
+		"jobs admitted by the budget-aware admission forecast",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.adm.Admitted)
+		})
+	reg.CounterFunc("crowddb_server_admission_rejected_budget_total",
+		"jobs rejected before posting because the forecast exceeded the session budget",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.adm.RejectedBudget)
+		})
 	reg.GaugeFunc("crowddb_server_active_sessions", "registered client sessions",
 		func() float64 {
 			s.mu.Lock()

@@ -13,7 +13,7 @@ import "fmt"
 
 // openAPIVersion is the spec's document version; bump on breaking
 // contract changes.
-const openAPIVersion = "1.1.0"
+const openAPIVersion = "1.2.0"
 
 // httpRoutes lists every mux pattern HTTPHandler registers, in
 // documentation order. The OpenAPI coverage test walks it.
@@ -41,13 +41,13 @@ func errorCodes() []Code {
 		CodeParse, CodeBudgetExhausted, CodeBusy, CodeShuttingDown,
 		CodeUnknownSession, CodeTooManySessions, CodeInternal,
 		CodeUnknownJob, CodeCancelled, CodeSessionClosed,
-		CodeUnsupportedVersion,
+		CodeInterrupted, CodeUnsupportedVersion,
 	}
 }
 
 // jobStates lists the job lifecycle states the spec enumerates.
 func jobStates() []JobState {
-	return []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
+	return []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled, JobInterrupted}
 }
 
 // OpenAPISpec renders the OpenAPI 3.0 document for the HTTP API as YAML.
@@ -75,6 +75,12 @@ paths:
   /v1/queries:
     post:
       summary: Submit a CrowdSQL script as an asynchronous query job
+      description: >-
+        With budget-aware admission enabled (crowddbd -admission-headroom),
+        a script whose optimizer forecast exceeds the session's remaining
+        crowd budget times the headroom factor is rejected synchronously
+        with the coded budget_exhausted error — before a single HIT group
+        is posted, having spent exactly zero cents.
       requestBody:
         required: true
         content:
@@ -153,7 +159,11 @@ paths:
         array of nullable strings per row, then one trailer object with
         the terminal state and error); with "Accept: text/event-stream"
         the same data arrives as SSE "row" events followed by one "end"
-        event.
+        event. With durable jobs enabled (crowddbd -data), row offsets
+        are stable across server restarts: a row is journaled before it
+        is observable, so a client that reconnects with ?from=N after a
+        crash — even to a job that resumed execution on the restarted
+        server — sees neither duplicate nor missing rows.
       responses:
         '200':
           description: NDJSON or SSE partial-result stream
@@ -361,6 +371,11 @@ components:
           type: string
         state:
           type: string
+          description: >-
+            interrupted is reached only across a server restart, when the
+            durable journal held the job mid-flight and its script could
+            not be resumed (it contains writes, or its session did not
+            survive); the job's journaled rows remain readable
           enum:
 %s        session:
           type: string

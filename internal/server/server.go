@@ -27,6 +27,7 @@ import (
 	"crowddb/internal/exec"
 	"crowddb/internal/obs"
 	"crowddb/internal/parser"
+	"crowddb/internal/storage"
 	"crowddb/internal/taskmgr"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// resources stay pollable until the cap evicts the oldest. Active
 	// jobs are never evicted.
 	MaxJobs int
+	// AdmissionHeadroom enables budget-aware admission: a script whose
+	// forecast crowd spend exceeds remaining_budget × headroom is
+	// rejected with budget_exhausted BEFORE any HIT is posted. 1.0
+	// admits only scripts predicted to fit exactly; values above 1
+	// re-admit conservatively overpredicted queries. 0 (the default)
+	// disables the check.
+	AdmissionHeadroom float64
 }
 
 // Stats counts the service's activity.
@@ -74,8 +82,17 @@ type StatsReport struct {
 	Tasks             *taskmgr.Stats `json:"tasks,omitempty"`
 	SchedulerInFlight int            `json:"scheduler_in_flight"`
 	SchedulerQueued   int            `json:"scheduler_queued"`
-	// CostModel is the optimizer's aggregate predicted-vs-actual error.
-	CostModel core.CostModelStats `json:"cost_model"`
+	// CostModel is the optimizer's aggregate predicted-vs-actual error,
+	// plus the budget-aware admission controller's decision counts and
+	// forecast accuracy.
+	CostModel CostModelReport `json:"cost_model"`
+}
+
+// CostModelReport extends the engine's cost-model accuracy with the
+// admission controller's view of it.
+type CostModelReport struct {
+	core.CostModelStats
+	Admission AdmissionStats `json:"admission"`
 }
 
 // Server is the concurrent multi-session query service.
@@ -99,6 +116,13 @@ type Server struct {
 	draining bool
 	inflight int
 	stats    Stats
+	adm      AdmissionStats
+
+	// journal is the durable jobs log (nil until EnableJournal): job
+	// lifecycle, emitted rows, and budget movements survive restarts.
+	// Guarded by jmu, not mu — appends happen while mu is held.
+	jmu     sync.Mutex
+	journal *storage.RecordLog
 
 	active sync.WaitGroup
 
@@ -153,6 +177,7 @@ func (s *Server) CreateSession(budget int) (*Session, *Error) {
 	sess := &Session{id: newSessionID(s.seq), budget: s.effectiveBudget(budget)}
 	s.sessions[sess.id] = sess
 	s.stats.SessionsOpened++
+	s.journalSession(sess)
 	return sess, nil
 }
 
@@ -201,6 +226,7 @@ func (s *Server) CloseSession(id string) *Error {
 	delete(s.sessions, id)
 	s.stats.SessionsClosed++
 	s.mu.Unlock()
+	s.journalSessionClose(id)
 	for _, j := range jobs {
 		j.requestCancel(CodeSessionClosed, fmt.Sprintf("session %s closed with the query in flight", id))
 	}
@@ -220,10 +246,14 @@ func (s *Server) Query(sessionID, sql string) (*core.Result, *Error) {
 	return s.querySession(sess, sql)
 }
 
+// anonymousSessionID names the unregistered one-shot sessions backing
+// session-less queries; their budgets are not journaled.
+const anonymousSessionID = "(anonymous)"
+
 func (s *Server) resolveSession(sessionID string) (*Session, *Error) {
 	if sessionID == "" {
 		// Anonymous one-shot: default budget, not registered, no cap.
-		return &Session{id: "(anonymous)", budget: s.effectiveBudget(0)}, nil
+		return &Session{id: anonymousSessionID, budget: s.effectiveBudget(0)}, nil
 	}
 	return s.Session(sessionID)
 }
@@ -359,7 +389,7 @@ func (s *Server) Stats() StatsReport {
 		}
 	}
 
-	report := StatsReport{Server: st, Cache: s.eng.CacheStats(), CostModel: s.eng.CostModel()}
+	report := StatsReport{Server: st, Cache: s.eng.CacheStats(), CostModel: s.costModelReport()}
 	for _, sess := range sessions {
 		report.Sessions = append(report.Sessions, sess.Info())
 	}
@@ -427,6 +457,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
+		// Drain deadline: jobs still running are forcibly failed with the
+		// coded shutting_down error. Cancellation propagates through the
+		// statement contexts into the crowd operators, so the wait below
+		// is short; paid work settles against the session budgets.
+		s.mu.Lock()
+		jobs := make([]*Job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			jobs = append(jobs, j)
+		}
+		s.mu.Unlock()
+		for _, j := range jobs {
+			j.requestCancel(CodeShuttingDown,
+				"server drain deadline reached with the query still running")
+		}
+		<-done
 	}
 
 	s.lnMu.Lock()
@@ -435,6 +480,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.lnMu.Unlock()
 	for _, c := range post {
 		c.Close() //nolint:errcheck // best-effort teardown
+	}
+	s.jmu.Lock()
+	journal := s.journal
+	s.journal = nil
+	s.jmu.Unlock()
+	if journal != nil {
+		journal.Close() //nolint:errcheck // best-effort teardown
 	}
 	return err
 }

@@ -63,6 +63,14 @@ func (s *Session) Info() SessionInfo {
 	return SessionInfo{ID: s.id, Queries: s.queries, BudgetLeft: s.budget, Stats: s.agg}
 }
 
+// budgetLeft reads the remaining comparison budget (-1 = unlimited)
+// without reserving anything — the admission forecast's input.
+func (s *Session) budgetLeft() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
 // reserveBudget atomically takes the whole remaining comparison budget
 // for one statement (0 = unlimited), or errors when it is already spent.
 // Reserving everything up front means concurrent statements on one

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"crowddb/internal/faultinject"
+)
+
+type rlRec struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func replayAll(t *testing.T, path string) []rlRec {
+	t.Helper()
+	var out []rlRec
+	if err := ReplayRecordLog(path, func(line json.RawMessage) error {
+		var r rlRec
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRecordLogRoundTrip(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncGroup, SyncOff} {
+		t.Run(string(mode), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "jobs.log")
+			l, err := OpenRecordLog(path, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if err := l.Append(rlRec{N: i, S: "x"}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			recs := replayAll(t, path)
+			if len(recs) != 10 || recs[0].N != 0 || recs[9].N != 9 {
+				t.Fatalf("replayed %v", recs)
+			}
+		})
+	}
+}
+
+func TestRecordLogGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, err := OpenRecordLog(path, SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := l.Append(rlRec{N: g*100 + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(replayAll(t, path)); got != 200 {
+		t.Fatalf("replayed %d records, want 200", got)
+	}
+}
+
+func TestRecordLogTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, err := OpenRecordLog(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(rlRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"n":99,"s":"tor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs := replayAll(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("torn tail must end replay at 3 records, got %d", len(recs))
+	}
+	if replayAll(t, filepath.Join(t.TempDir(), "absent.log")) != nil {
+		t.Fatal("missing log must replay empty")
+	}
+}
+
+func TestRecordLogRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, err := OpenRecordLog(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rlRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := RewriteRecordLog(path, SyncAlways, func(add func(v any) error) error {
+		return add(rlRec{N: 42, S: "compacted"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten log keeps accepting appends.
+	if err := nl.Append(rlRec{N: 43}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, path)
+	if len(recs) != 2 || recs[0].N != 42 || recs[0].S != "compacted" || recs[1].N != 43 {
+		t.Fatalf("rewritten log replayed %v", recs)
+	}
+}
+
+func TestRecordLogDropsAppendsAfterKill(t *testing.T) {
+	defer faultinject.Disarm()
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, err := OpenRecordLog(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.SetHandler(func(string) {})
+	if err := faultinject.Arm("storage.recordlog.append=3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.Append(rlRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, path)
+	// The 3rd append fires the crashpoint; it and everything after is lost.
+	if len(recs) != 2 || recs[0].N != 0 || recs[1].N != 1 {
+		t.Fatalf("post-kill appends must be dropped, replayed %v", recs)
+	}
+}

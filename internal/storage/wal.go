@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"crowddb/internal/faultinject"
 	"crowddb/internal/obs"
 )
 
@@ -97,6 +98,14 @@ func openWAL(path string, mode SyncMode) (*wal, error) {
 // group mode must call commit(seq) after releasing their shard lock; in
 // always/off modes the record is already flushed on return.
 func (l *wal) append(rec walRecord) (int64, error) {
+	faultinject.Hit("storage.wal.append")
+	if faultinject.Killed() {
+		// Simulated crash: the record is lost exactly as a torn process
+		// would have lost it; recovery replays only what reached disk.
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.seq, nil
+	}
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return 0, err

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"crowddb/internal/crowd"
+	"crowddb/internal/faultinject"
 	"crowddb/internal/quality"
 	"crowddb/internal/ui"
 )
@@ -43,6 +44,13 @@ type Pending struct {
 	postedAt   time.Duration
 	resolvedAt time.Duration
 	deadline   time.Duration
+	// pollFails counts this group's transient status/expire/results
+	// failures; the group is retried on later poll ticks (virtual-time
+	// backoff) until Config.RetryAttempts is exhausted.
+	pollFails int
+	// expiredNoted guards the ExpiredGroups counter across collect
+	// retries of the same expired group.
+	expiredNoted bool
 
 	// Result fields, written exactly once before done is closed.
 	byHIT map[string][]*crowd.Assignment
@@ -161,10 +169,15 @@ func (m *Manager) Submit(group *crowd.HITGroup) *Pending {
 	return p
 }
 
-// admitLocked posts p to the platform. Called with sched.mu held. A post
-// error resolves p immediately.
+// admitLocked posts p to the platform, retrying transient post errors
+// with seeded exponential backoff. Called with sched.mu held (platforms
+// must support concurrent Post anyway; with the default RetryBase of 0
+// the retries do not sleep, so the lock is not held across a wait). Only
+// an exhausted retry budget resolves p with an error — and because a
+// failed Post never reached the platform, a retried post is still posted
+// exactly once and can never double-pay.
 func (m *Manager) admitLocked(p *Pending) {
-	id, err := m.platform.Post(p.group)
+	id, err := m.postWithRetry(p.group)
 	if err != nil {
 		m.resolveLocked(p, nil, fmt.Errorf("taskmgr: post: %w", err))
 		return
@@ -182,6 +195,56 @@ func (m *Manager) admitLocked(p *Pending) {
 		m.stats.PeakInFlight = n
 	}
 	m.mu.Unlock()
+}
+
+// postWithRetry attempts platform.Post up to Config.RetryAttempts times.
+func (m *Manager) postWithRetry(group *crowd.HITGroup) (crowd.GroupID, error) {
+	var id crowd.GroupID
+	var err error
+	for attempt := 1; ; attempt++ {
+		faultinject.Hit("taskmgr.platform.post")
+		id, err = m.platform.Post(group)
+		if err == nil || attempt >= m.cfg.RetryAttempts {
+			return id, err
+		}
+		m.noteRetry()
+		m.backoff(attempt)
+	}
+}
+
+// noteRetry counts one absorbed transient failure.
+func (m *Manager) noteRetry() {
+	m.mu.Lock()
+	m.stats.Retries++
+	m.mu.Unlock()
+}
+
+// backoff sleeps RetryBase·2^(attempt-1), scaled by seeded jitter in
+// [0.5,1.5). A zero RetryBase returns immediately without consuming
+// jitter — simulated platforms retry on the next virtual poll tick.
+func (m *Manager) backoff(attempt int) {
+	if m.cfg.RetryBase <= 0 {
+		return
+	}
+	d := m.cfg.RetryBase << (attempt - 1)
+	m.mu.Lock()
+	scale := 0.5 + m.jitter.Float64()
+	m.mu.Unlock()
+	time.Sleep(time.Duration(float64(d) * scale))
+}
+
+// noteTransient records a transient poll-path failure for p and reports
+// whether the scheduler should retry it on a later tick (true) or give
+// up and surface the error (false).
+func (m *Manager) noteTransient(p *Pending) bool {
+	m.sched.mu.Lock()
+	p.pollFails++
+	retry := p.pollFails < m.cfg.RetryAttempts
+	m.sched.mu.Unlock()
+	if retry {
+		m.noteRetry()
+	}
+	return retry
 }
 
 func (m *Manager) noteQueueDepthLocked() {
@@ -258,41 +321,64 @@ func (m *Manager) pollInflight() {
 	m.sched.mu.Unlock()
 
 	for _, p := range live {
+		faultinject.Hit("taskmgr.platform.status")
 		st, err := m.platform.Status(p.id)
 		if err != nil {
+			if m.noteTransient(p) {
+				continue // retried on the next poll tick
+			}
 			m.finish(p, nil, fmt.Errorf("taskmgr: status: %w", err))
 			continue
 		}
 		switch {
 		case st.Done():
 			if st.Expired {
-				m.countExpired()
+				m.countExpired(p)
 			}
 			m.collect(p)
 		case m.platform.Now() >= p.deadline:
 			// Deadline: expire and work with what we have (the paper's
 			// operators must tolerate incomplete crowd answers).
 			if err := m.platform.Expire(p.id); err != nil {
+				if m.noteTransient(p) {
+					continue
+				}
 				m.finish(p, nil, fmt.Errorf("taskmgr: expire: %w", err))
 				continue
 			}
-			m.countExpired()
+			m.countExpired(p)
 			m.collect(p)
 		}
 	}
 }
 
-func (m *Manager) countExpired() {
+// countExpired counts p as expired exactly once, however many collect
+// retries the group goes through afterwards.
+func (m *Manager) countExpired(p *Pending) {
+	m.sched.mu.Lock()
+	noted := p.expiredNoted
+	p.expiredNoted = true
+	m.sched.mu.Unlock()
+	if noted {
+		return
+	}
 	m.mu.Lock()
 	m.stats.ExpiredGroups++
 	m.mu.Unlock()
 }
 
 // collect gathers a finished group's assignments, settles payments, and
-// resolves the Pending.
+// resolves the Pending. A transient Results failure leaves the group in
+// flight — the next poll tick sees it Done again and retries — until the
+// retry budget is exhausted. Settle failures are never retried: payment
+// is not known to be idempotent, and retrying could double-pay.
 func (m *Manager) collect(p *Pending) {
+	faultinject.Hit("taskmgr.platform.results")
 	results, err := m.platform.Results(p.id)
 	if err != nil {
+		if m.noteTransient(p) {
+			return
+		}
 		m.finish(p, nil, fmt.Errorf("taskmgr: results: %w", err))
 		return
 	}

@@ -83,6 +83,9 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("crowddb_taskmgr_decisions_total",
 		"quality-controlled decisions handed back to operators",
 		stat(func(s Stats) float64 { return float64(s.Decisions) }))
+	reg.CounterFunc("crowddb_taskmgr_retries_total",
+		"transient platform call failures absorbed by the retry policy",
+		stat(func(s Stats) float64 { return float64(s.Retries) }))
 	reg.CounterFunc("crowddb_taskmgr_expired_groups_total",
 		"HIT groups that hit MaxWait before reaching quorum",
 		stat(func(s Stats) float64 { return float64(s.ExpiredGroups) }))

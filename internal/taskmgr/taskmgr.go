@@ -9,6 +9,7 @@ package taskmgr
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -54,6 +55,18 @@ type Config struct {
 	// at once (the async scheduler's window). Submissions beyond it queue
 	// until a slot frees. 1 serializes groups (the original behavior).
 	MaxInFlight int
+	// RetryAttempts bounds how many times a transient platform call
+	// (post, status, expire, results) is attempted before its error
+	// surfaces to the operator. <=0 defaults to 3; 1 disables retries.
+	RetryAttempts int
+	// RetryBase is the first post-retry backoff delay; each further
+	// attempt doubles it, scaled by seeded jitter in [0.5,1.5). 0 (the
+	// default) retries without sleeping — right for simulated platforms,
+	// whose poll loop already spaces retries by virtual PollInterval.
+	RetryBase time.Duration
+	// RetrySeed seeds the jitter RNG so backoff schedules replay
+	// deterministically for a fixed seed.
+	RetrySeed int64
 }
 
 // DefaultConfig matches the paper's experimental defaults: 2¢ HITs,
@@ -66,6 +79,7 @@ func DefaultConfig() Config {
 		MaxWait:             72 * time.Hour,
 		NewTupleAssignments: 1,
 		MaxInFlight:         8,
+		RetryAttempts:       3,
 	}
 }
 
@@ -87,6 +101,9 @@ type Stats struct {
 	PeakInFlight int
 	// PeakQueueDepth is the longest the over-window submission queue got.
 	PeakQueueDepth int
+	// Retries counts transient platform call failures absorbed by the
+	// retry policy (the error never reached an operator).
+	Retries int
 	// GroupLatencyP50/P90 are observed HIT-group round-trip percentiles
 	// (post to resolution, virtual time) over a sliding window of recent
 	// groups; the cost model prices crowd rounds with them.
@@ -108,6 +125,8 @@ type Manager struct {
 	mu    sync.Mutex
 	stats Stats
 	seq   int
+	// jitter scales retry backoff; seeded so schedules replay.
+	jitter *rand.Rand
 	// latSamples is a ring of recent group round-trip latencies; latPos
 	// counts total observations (ring writes wrap at latencyWindow).
 	latSamples []time.Duration
@@ -143,7 +162,11 @@ func New(platform crowd.Platform, uim *ui.Manager, tracker *quality.Tracker, pay
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 8
 	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 3
+	}
 	m := &Manager{platform: platform, ui: uim, tracker: tracker, payer: payer, oracle: oracle, cfg: cfg}
+	m.jitter = rand.New(rand.NewSource(cfg.RetrySeed))
 	m.sched.handoff = make(chan struct{})
 	return m
 }

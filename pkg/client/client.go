@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -111,10 +112,12 @@ type JobStatus struct {
 	Error            *Error   `json:"error"`
 }
 
-// Terminal reports whether the job has reached a final state.
+// Terminal reports whether the job has reached a final state
+// (interrupted is reached only across a server restart, when a job
+// found mid-flight in the durable journal could not be resumed).
 func (s *JobStatus) Terminal() bool {
 	switch s.State {
-	case "done", "failed", "cancelled":
+	case "done", "failed", "cancelled", "interrupted":
 		return true
 	}
 	return false
@@ -256,6 +259,11 @@ func (c *Client) Submit(ctx context.Context, sql string) (*Job, error) {
 	}
 	return &Job{c: c, id: st.ID}, nil
 }
+
+// Job returns a handle for an already-submitted job id — reattaching to
+// a query after a client or server restart (durable jobs keep the
+// resource, its rows, and its offsets across both).
+func (c *Client) Job(id string) *Job { return &Job{c: c, id: id} }
 
 // ID returns the server-side job id.
 func (j *Job) ID() string { return j.id }
@@ -406,6 +414,62 @@ func (it *RowIter) FinalError() *Error { return it.jobErr }
 
 // Close releases the stream.
 func (it *RowIter) Close() error { return it.body.Close() }
+
+// StreamRows streams the job's rows from offset n through onRow, in
+// order, transparently re-opening the stream with from=<next unseen
+// offset> whenever it drops without a terminal trailer — a dropped
+// connection, or a server restart mid-query. A durable-jobs server keeps
+// row offsets stable across restarts, so the resumed stream carries no
+// duplicates and no gaps. Up to attempts reconnects are made (<=0
+// defaults to 3), paced by the client's poll interval; a coded server
+// error (unknown job, unknown session) aborts immediately. It returns
+// the job's terminal state and coded error from the trailer.
+func (j *Job) StreamRows(ctx context.Context, n, attempts int, onRow func(Row) error) (string, *Error, error) {
+	if attempts <= 0 {
+		attempts = 3
+	}
+	next := n
+	var lastErr error
+	for try := 0; try <= attempts; try++ {
+		if try > 0 {
+			select {
+			case <-time.After(j.c.pollInterval):
+			case <-ctx.Done():
+				return "", nil, ctx.Err()
+			}
+		}
+		it, err := j.RowsFrom(ctx, next)
+		if err != nil {
+			var coded *Error
+			if errors.As(err, &coded) {
+				return "", nil, err
+			}
+			lastErr = err // transport-level: the server may still be restarting
+			continue
+		}
+		for it.Next() {
+			if err := onRow(it.Row()); err != nil {
+				it.Close() //nolint:errcheck // caller abort wins
+				return "", nil, err
+			}
+			next++
+		}
+		state, jobErr := it.FinalState(), it.FinalError()
+		err = it.Err()
+		it.Close() //nolint:errcheck // stream is already drained
+		if state != "" {
+			return state, jobErr, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("client: stream ended without a terminal state")
+		}
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return "", nil, cerr
+		}
+	}
+	return "", nil, fmt.Errorf("client: stream did not recover after %d reconnects: %w", attempts, lastErr)
+}
 
 // ---------------------------------------------------------------------------
 // Convenience

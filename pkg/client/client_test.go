@@ -7,7 +7,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -130,6 +135,70 @@ func TestClientQueryConvenienceAndErrors(t *testing.T) {
 	_, err = c.Query(ctx, "SELECT id FROM NoSuchTable")
 	if !errors.As(err, &cerr) || cerr.Code != "internal" {
 		t.Fatalf("exec error = %v", err)
+	}
+}
+
+// TestClientStreamRowsReconnects: a stream dropped without a terminal
+// trailer is transparently re-opened with from=<next unseen offset>, so
+// the caller sees every row exactly once even when the connection (or
+// the whole server) goes away mid-stream.
+func TestClientStreamRowsReconnects(t *testing.T) {
+	rows := []string{`["a"]`, `["b"]`, `["c"]`, `["d"]`, `["e"]`}
+	var requests int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&requests, 1)
+		from, _ := strconv.Atoi(r.URL.Query().Get("from"))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		switch n {
+		case 1:
+			// First attempt: two rows, then the "connection" drops — no
+			// terminal trailer.
+			for _, row := range rows[from:2] {
+				fmt.Fprintln(w, row)
+			}
+		default:
+			// The "restarted server" serves the tail and finishes cleanly.
+			for _, row := range rows[from:] {
+				fmt.Fprintln(w, row)
+			}
+			fmt.Fprintln(w, `{"state":"done"}`)
+		}
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithPollInterval(time.Millisecond))
+	job := c.Job("j000042") // reattach by id, as after a restart
+	var got []string
+	state, jobErr, err := job.StreamRows(context.Background(), 0, 3, func(row client.Row) error {
+		got = append(got, row.Cell(0))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != "done" || jobErr != nil {
+		t.Fatalf("trailer = %q / %v, want done / nil", state, jobErr)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed %v, want %v (no duplicates, no gaps)", got, want)
+	}
+	if n := atomic.LoadInt32(&requests); n != 2 {
+		t.Fatalf("requests = %d, want 2 (one drop, one reconnect)", n)
+	}
+}
+
+// TestClientStreamRowsGivesUp: a stream that never produces a trailer
+// exhausts its reconnect budget and surfaces a transport error.
+func TestClientStreamRowsGivesUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Always drop without a trailer.
+	}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithPollInterval(time.Millisecond))
+	_, _, err := c.Job("j1").StreamRows(context.Background(), 0, 2, func(client.Row) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "did not recover after 2 reconnects") {
+		t.Fatalf("err = %v, want reconnect exhaustion", err)
 	}
 }
 
