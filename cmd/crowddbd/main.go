@@ -43,6 +43,8 @@ import (
 
 	"crowddb"
 	"crowddb/internal/core"
+	"crowddb/internal/crowd"
+	"crowddb/internal/crowd/model"
 	"crowddb/internal/faultinject"
 	"crowddb/internal/server"
 	"crowddb/internal/sqltypes"
@@ -55,8 +57,15 @@ func main() {
 	httpAddr := flag.String("http", ":8090", "HTTP/JSON listen address (empty = disabled)")
 	tcpAddr := flag.String("tcp", "", "TCP wire-protocol listen address (empty = disabled)")
 	data := flag.String("data", "", "data directory (empty = in-memory)")
-	platform := flag.String("platform", "amt", "crowd platform: amt, mobile, or none")
+	platform := flag.String("platform", "amt", "crowd platform: amt, mobile, model, or none")
 	seed := flag.Int64("seed", 1, "crowd simulation seed")
+	modelTier := flag.String("model-tier", "", "route HITs model-first with human escalation: a model profile spec — 'sharp', 'cheap', or preset,key=value overrides (accuracy=, confidence=, latency=, workers=, ...); empty = disabled")
+	modelReward := flag.Int("model-reward", 0, "model-tier reward in cents per assignment (0 = the profile's cost)")
+	modelAssignments := flag.Int("model-assignments", 1, "model-tier replication per HIT")
+	confidenceFloor := flag.Float64("confidence-floor", 0.75, "escalate a HIT whose mean model confidence is below this")
+	agreementFloor := flag.Float64("agreement-floor", 0.66, "escalate a HIT whose model votes agree below this share")
+	modelVoteWeight := flag.Float64("model-vote-weight", 0.6, "weight of a model vote relative to a human vote in tier-weighted resolution")
+	adaptiveVotes := flag.Bool("adaptive-votes", false, "stop soliciting comparison votes once early answers are unanimous above the quorum floor")
 	demo := flag.Bool("demo", false, "pre-load the paper's VLDB conference schema and talks")
 	budget := flag.Int("budget", 0, "default per-session crowd-comparison budget (0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", 64, "maximum registered sessions")
@@ -97,10 +106,33 @@ func main() {
 		cfg.Platform = crowddb.NewAMTPlatform(*seed)
 	case "mobile":
 		cfg.Platform = crowddb.NewMobilePlatform(*seed)
+	case "model":
+		cfg.Platform = crowddb.NewModelPlatform(*seed)
 	case "none":
 	default:
 		fmt.Fprintf(os.Stderr, "crowddbd: unknown platform %q\n", *platform)
 		os.Exit(1)
+	}
+	cfg.Tasks.AdaptiveVotes = *adaptiveVotes
+	if *modelTier != "" {
+		if cfg.Platform == nil {
+			fmt.Fprintln(os.Stderr, "crowddbd: -model-tier needs a human platform to escalate to (-platform amt or mobile)")
+			os.Exit(1)
+		}
+		prof, err := model.ParseSpec(*modelTier)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crowddbd:", err)
+			os.Exit(1)
+		}
+		cfg.Tasks.ModelPlatform = model.New(model.Config{Seed: *seed, Profile: prof})
+		cfg.Tasks.ModelReward = crowd.Cents(*modelReward)
+		if cfg.Tasks.ModelReward <= 0 {
+			cfg.Tasks.ModelReward = prof.CostPerCall
+		}
+		cfg.Tasks.ModelAssignments = *modelAssignments
+		cfg.Tasks.ConfidenceFloor = *confidenceFloor
+		cfg.Tasks.AgreementFloor = *agreementFloor
+		cfg.Tasks.ModelVoteWeight = *modelVoteWeight
 	}
 
 	db, err := crowddb.Open(cfg)

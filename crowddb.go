@@ -34,6 +34,7 @@ import (
 	"crowddb/internal/crowd"
 	"crowddb/internal/crowd/amt"
 	"crowddb/internal/crowd/mobile"
+	"crowddb/internal/crowd/model"
 	"crowddb/internal/exec"
 	"crowddb/internal/optimizer"
 	"crowddb/internal/sqltypes"
@@ -128,6 +129,14 @@ func NewAMTPlatform(seed int64) Platform { return amt.NewDefault(seed) }
 // NewMobilePlatform returns the simulated locality-aware mobile platform
 // with the paper's VLDB 2011 venue crowd, deterministically seeded.
 func NewMobilePlatform(seed int64) Platform { return mobile.New(mobile.DefaultConfig(seed)) }
+
+// NewModelPlatform returns the simulated model-worker platform with the
+// sharp (accurate, calibrated) profile, deterministically seeded. Use it
+// as Config.Platform for model-only answering, or as
+// Config.Tasks.ModelPlatform to route model-first with human escalation.
+func NewModelPlatform(seed int64) Platform {
+	return model.New(model.Config{Seed: seed, Profile: model.Sharp()})
+}
 
 // FormatTable renders a result as an aligned text table (the REPL's and
 // the examples' output format).

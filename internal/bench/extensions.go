@@ -52,6 +52,7 @@ func E14VotePolicy(seed int64) *Table {
 		Title:   "quality control: majority vote vs score-weighted vote",
 		Exhibit: "SIGMOD'11 quality-control discussion (extension)",
 		Headers: []string{"policy", "correct", "error rate", "no-quorum"},
+		Metrics: map[string]float64{},
 	}
 	cfg := sim.DefaultConfig()
 	cfg.Seed = seed
@@ -111,5 +112,43 @@ func E14VotePolicy(seed int64) *Table {
 			fmtPct(float64(wrong)/float64(n)), fmtPct(float64(noQuorum)/float64(n)))
 	}
 	t.Notes = append(t.Notes, "with 35% spammers, score weighting resolves splits majority voting must leave undecided")
+
+	// Adaptive vote sizing (metrics only; the rows above are pinned by
+	// the golden replay): the same spammy crowd answers the same probe
+	// workload with fixed 3-vote replication vs early-stop once answers
+	// are unanimous above the quorum floor. The exhibit is paid
+	// assignments dropping while correctness stays within tolerance.
+	for _, arm := range []struct {
+		prefix   string
+		adaptive bool
+	}{
+		{"fixed_", false},
+		{"adaptive_", true},
+	} {
+		am := sim.NewMarket(cfg)
+		g := probeHITGroup(n, 3, 2)
+		g.AdaptiveVotes = arm.adaptive
+		gid, err := am.Post(g)
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			continue
+		}
+		stepUntilDone(am, gid, time.Hour, 3000*time.Hour)
+		res, _ := am.Results(gid)
+		armVotes := map[string][]quality.Vote{}
+		for _, a := range res {
+			armVotes[a.HITID] = append(armVotes[a.HITID], quality.Vote{WorkerID: a.WorkerID, Answer: a.Answers["value"]})
+		}
+		correct := 0
+		for i := 0; i < n; i++ {
+			d := quality.MajorityVote(armVotes[fmt.Sprintf("H%04d", i)], quality.MajorityFor(3))
+			if d.Quorum && quality.Normalize(d.Value) == fmt.Sprintf("v%d", i) {
+				correct++
+			}
+		}
+		t.Metrics[arm.prefix+"paid_assignments"] = float64(len(res))
+		t.Metrics[arm.prefix+"assignment_spend_cents"] = float64(len(res)) * 2
+		t.Metrics[arm.prefix+"correct_pct"] = 100 * float64(correct) / float64(n)
+	}
 	return t
 }

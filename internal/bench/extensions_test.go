@@ -34,3 +34,21 @@ func TestE14Shape(t *testing.T) {
 		t.Errorf("weighting must cut no-quorum splits: %0.f%% vs %0.f%%", wgtNoQuorum, majNoQuorum)
 	}
 }
+
+// E14 adaptive vote sizing: early-stopping on unanimous agreement must
+// pay for fewer assignments than fixed replication while keeping
+// correctness within tolerance (5 points on the spammy crowd).
+func TestE14AdaptiveVotes(t *testing.T) {
+	tab := E14VotePolicy(42)
+	fixed := tab.Metrics["fixed_paid_assignments"]
+	adaptive := tab.Metrics["adaptive_paid_assignments"]
+	if fixed <= 0 || adaptive <= 0 {
+		t.Fatalf("missing adaptive-vote metrics: %v", tab.Metrics)
+	}
+	if adaptive >= fixed {
+		t.Errorf("adaptive sizing must pay fewer assignments: %v vs %v", adaptive, fixed)
+	}
+	if drop := tab.Metrics["fixed_correct_pct"] - tab.Metrics["adaptive_correct_pct"]; drop > 5 {
+		t.Errorf("adaptive correctness dropped %.1f points (max 5): %v", drop, tab.Metrics)
+	}
+}

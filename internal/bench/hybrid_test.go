@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// E24 acceptance gates at the pinned seed: the hybrid arm pays at most
+// 40% of the human-only arm's cents, answers match ground truth
+// exactly, and hybrid quality is no worse than human-only.
+func TestE24Gates(t *testing.T) {
+	tab := E24HybridAnswering(42)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %v (notes %v)", tab.Rows, tab.Notes)
+	}
+	human := tab.Metrics["humanonly_spend_cents"]
+	hybrid := tab.Metrics["hybrid_spend_cents"]
+	if human <= 0 {
+		t.Fatalf("human-only arm spent nothing: %v", tab.Metrics)
+	}
+	if pct := 100 * hybrid / human; pct > 40 {
+		t.Errorf("hybrid must pay <= 40%% of human-only: %.1f%% (¢%v vs ¢%v)", pct, hybrid, human)
+	}
+	if div := tab.Metrics["divergence_err_pct"]; div != 0 {
+		t.Errorf("hybrid answer divergence from ground truth must be 0 at seed 42: %v%%", div)
+	}
+	if hq, hu := tab.Metrics["hybrid_correct_pct"], tab.Metrics["humanonly_correct_pct"]; hq < hu {
+		t.Errorf("hybrid quality must be no worse than human-only: %.1f%% vs %.1f%%", hq, hu)
+	}
+	if tab.Metrics["hybrid_escalated_hits"] <= 0 {
+		t.Errorf("hybrid must exercise the escalation path: %v", tab.Metrics)
+	}
+	if tab.Metrics["hybrid_model_answers"] <= 0 || tab.Metrics["hybrid_human_answers"] <= 0 {
+		t.Errorf("hybrid must collect answers from both tiers: %v", tab.Metrics)
+	}
+}
+
+// Hybrid routing replays byte-identical at a fixed seed: two fresh runs
+// render the same table and the same metrics.
+func TestE24Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full harness runs in -short mode")
+	}
+	var a, b bytes.Buffer
+	ta := E24HybridAnswering(42)
+	tb := E24HybridAnswering(42)
+	ta.Fprint(&a)
+	tb.Fprint(&b)
+	if a.String() != b.String() {
+		t.Errorf("E24 replay drifted at seed 42:\n%s", firstDiff(a.String(), b.String()))
+	}
+	if len(ta.Metrics) != len(tb.Metrics) {
+		t.Fatalf("metric sets differ: %v vs %v", ta.Metrics, tb.Metrics)
+	}
+	for k, v := range ta.Metrics {
+		if tb.Metrics[k] != v {
+			t.Errorf("metric %s drifted: %v vs %v", k, v, tb.Metrics[k])
+		}
+	}
+}

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"E21", "observability overhead: traced vs untraced (extension)", E21ObservabilityOverhead},
 		{"E22", "quorum-streaming crowd operators (extension)", E22QuorumStreaming},
 		{"E23", "crash recovery: durable jobs + admission (extension)", E23CrashRecovery},
+		{"E24", "hybrid model/human answering (extension)", E24HybridAnswering},
 	}
 }
 

@@ -813,6 +813,13 @@ func (e *Engine) costInputs() optimizer.CostInputs {
 		if p50, _, n := e.tasks.LatencyStats(); n > 0 && p50 > 0 {
 			ci.RoundTripSeconds = p50.Seconds()
 		}
+		if cfg.ModelPlatform != nil {
+			// Escalation routing: plans price the blended model-first
+			// rate with the observed escalation rate fed back in.
+			ci.ModelRewardCents = float64(cfg.ModelReward)
+			ci.ModelAssignments = float64(cfg.ModelAssignments)
+			ci.EscalationRate = e.tasks.EscalationRate()
+		}
 	}
 	cs := e.cache.Stats()
 	if resolved := cs.Hits + cs.Misses + cs.Shared; resolved > 0 {
@@ -830,15 +837,37 @@ func (e *Engine) costInputs() optimizer.CostInputs {
 func (e *Engine) PriceStats(st exec.Stats) float64 { return e.actualCents(st) }
 
 // CostPerComparisonCents is the price of one paid crowd comparison under
-// the current task configuration (reward × replication); 0 without a
-// crowd platform. Admission control converts cents forecasts into the
-// session budget's comparison units with it.
+// the current task configuration (reward × replication, blended with the
+// model tier when escalation routing is on); 0 without a crowd platform.
+// Admission control converts cents forecasts into the session budget's
+// comparison units with it.
 func (e *Engine) CostPerComparisonCents() float64 {
 	if e.tasks == nil {
 		return 0
 	}
+	return e.comparisonUnitCents()
+}
+
+// comparisonUnitCents / tupleUnitCents price one comparison (or probe)
+// and one solicited tuple: the pure human rate, or the blended
+// model-first rate — every question pays the model tier, the escalated
+// fraction additionally pays humans — when routing is enabled.
+func (e *Engine) comparisonUnitCents() float64 {
 	cfg := e.tasks.Config()
-	return float64(cfg.Reward) * float64(cfg.Assignments)
+	human := float64(cfg.Reward) * float64(cfg.Assignments)
+	if cfg.ModelPlatform == nil {
+		return human
+	}
+	return float64(cfg.ModelReward)*float64(cfg.ModelAssignments) + e.tasks.EscalationRate()*human
+}
+
+func (e *Engine) tupleUnitCents() float64 {
+	cfg := e.tasks.Config()
+	human := float64(cfg.Reward) * float64(cfg.NewTupleAssignments)
+	if cfg.ModelPlatform == nil {
+		return human
+	}
+	return float64(cfg.ModelReward)*float64(cfg.NewTupleAssignments) + e.tasks.EscalationRate()*human
 }
 
 // Forecast compiles a statement and returns the optimizer's cost
@@ -865,14 +894,14 @@ func (e *Engine) Forecast(stmt parser.Statement) (plan.Cost, bool) {
 
 // actualCents prices a statement's measured crowd activity in the cost
 // model's units: every probe and comparison pays reward × replication,
-// every solicited tuple reward × tuple replication.
+// every solicited tuple reward × tuple replication — each blended with
+// the model tier's rate when escalation routing is on.
 func (e *Engine) actualCents(st exec.Stats) float64 {
 	if e.tasks == nil {
 		return 0
 	}
-	cfg := e.tasks.Config()
-	return float64(st.Comparisons+st.ProbeRequests)*float64(cfg.Reward)*float64(cfg.Assignments) +
-		float64(st.NewTupleRequests)*float64(cfg.Reward)*float64(cfg.NewTupleAssignments)
+	return float64(st.Comparisons+st.ProbeRequests)*e.comparisonUnitCents() +
+		float64(st.NewTupleRequests)*e.tupleUnitCents()
 }
 
 func (e *Engine) execSelect(ctx context.Context, s *parser.Select, opts ExecOpts, tr *obs.Trace, sp *obs.Span) (*Result, error) {

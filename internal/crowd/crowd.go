@@ -127,6 +127,11 @@ type HITGroup struct {
 	// the mobile platform honors it (paper §4: "constrain the workers to
 	// the attendees at VLDB").
 	Venue *GeoFence
+	// AdaptiveVotes lets the platform stop soliciting further assignments
+	// for a HIT once its early answers are unanimous above the quorum
+	// floor (quality.MajorityFor(Assignments)) — fewer votes on easy
+	// questions, full replication only where workers disagree.
+	AdaptiveVotes bool
 }
 
 // GeoFence restricts tasks to workers within RadiusKM of a point.
@@ -175,6 +180,15 @@ type Assignment struct {
 	// Answers maps input-field names to the worker's raw answers,
 	// un-cleansed: quality control normalizes and votes over them.
 	Answers map[string]string
+	// Confidence is the worker's self-reported certainty in (0,1], when the
+	// platform supplies one (model answerers do; human platforms leave 0).
+	// The escalation router reads it to decide whether a model-tier answer
+	// stands or the HIT escalates to the human tier.
+	Confidence float64
+	// Source names the platform the assignment came from; the Task Manager
+	// stamps it at collection time so tier-weighted voting can tell model
+	// votes from human votes after the answers are merged.
+	Source string
 }
 
 // GroupStatus summarizes a posted group's progress.

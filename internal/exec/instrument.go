@@ -230,6 +230,10 @@ func finishGroupSpan(sp *obs.Span, tel taskmgr.GroupTelemetry, answers, quorum i
 		sp.SetAttr("resolved_at", tel.ResolvedAt.String())
 		sp.SetAttr("roundtrip", (tel.ResolvedAt - tel.PostedAt).String())
 	}
+	if tel.Tier != "" {
+		sp.SetAttr("tier", tel.Tier)
+		sp.SetAttr("escalated", fmt.Sprintf("%v", tel.Escalated))
+	}
 	sp.SetInt("answers", int64(answers))
 	sp.SetInt("quorum", int64(quorum))
 	sp.End()

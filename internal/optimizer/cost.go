@@ -60,6 +60,41 @@ type CostInputs struct {
 	// EXPLAIN and plan ranking reflect the sharded engine's real
 	// hardware. 0 normalizes to 1 (sequential).
 	MachineParallelism float64
+	// ModelRewardCents/ModelAssignments price the model tier when the
+	// escalation router is on: every crowd question then pays the model
+	// rate, and an EscalationRate fraction of them additionally pays the
+	// full human rate. All three stay zero when routing is off (they are
+	// deliberately not defaulted by normalized()), which prices the pure
+	// human rate as before.
+	ModelRewardCents float64
+	ModelAssignments float64
+	// EscalationRate is the observed (or prior) fraction of model-tier
+	// HITs that escalate to humans, in [0,1].
+	EscalationRate float64
+}
+
+// compareCents prices n paid comparison/probe HITs: the pure human rate,
+// or the blended model-first rate (every HIT pays the model tier, the
+// escalated fraction additionally pays humans) when the router is on.
+// The human branch keeps the historical multiplication order so plans
+// price bit-identically with routing off.
+func (ci CostInputs) compareCents(n float64) float64 {
+	human := n * ci.RewardCents * ci.CompareAssignments
+	if ci.ModelRewardCents <= 0 || ci.ModelAssignments <= 0 {
+		return human
+	}
+	return n*ci.ModelRewardCents*ci.ModelAssignments + ci.EscalationRate*human
+}
+
+// tupleCents prices n new-tuple solicitations; the model tier keeps the
+// tuple replication (each assignment is a distinct candidate), so only
+// the per-assignment reward is the model's.
+func (ci CostInputs) tupleCents(n float64) float64 {
+	human := n * ci.RewardCents * ci.TupleAssignments
+	if ci.ModelRewardCents <= 0 || ci.ModelAssignments <= 0 {
+		return human
+	}
+	return n*ci.ModelRewardCents*ci.TupleAssignments + ci.EscalationRate*human
 }
 
 // scanRowsPerSecond is the assumed single-worker heap-scan throughput
@@ -113,6 +148,12 @@ func (ci CostInputs) normalized() CostInputs {
 	}
 	if ci.MachineParallelism < 1 {
 		ci.MachineParallelism = 1
+	}
+	if ci.EscalationRate < 0 {
+		ci.EscalationRate = 0
+	}
+	if ci.EscalationRate > 1 {
+		ci.EscalationRate = 1
 	}
 	return ci
 }
@@ -269,7 +310,7 @@ func (cm *costModel) probeCost(s *plan.Scan, rows float64) plan.Cost {
 		return plan.Cost{}
 	}
 	return plan.Cost{
-		Cents:   probeRows * cm.in.RewardCents * cm.in.CompareAssignments,
+		Cents:   cm.in.compareCents(probeRows),
 		Seconds: cm.in.RoundTripSeconds, // one pipelined probe round
 	}
 }
@@ -280,7 +321,7 @@ func (cm *costModel) solicitCost(want float64) plan.Cost {
 		return plan.Cost{}
 	}
 	return plan.Cost{
-		Cents:   want * cm.in.RewardCents * cm.in.TupleAssignments,
+		Cents:   cm.in.tupleCents(want),
 		Seconds: cm.in.RoundTripSeconds,
 	}
 }
@@ -398,7 +439,7 @@ func (cm *costModel) filterCost(f *plan.Filter) plan.Cost {
 		}
 		comparisons := pairRows * calls * (1 - cm.in.CacheHitRate)
 		if comparisons > 0 {
-			c.Cents += comparisons * cm.in.RewardCents * cm.in.CompareAssignments
+			c.Cents += cm.in.compareCents(comparisons)
 			c.Seconds += cm.in.RoundTripSeconds
 		}
 	}
@@ -426,7 +467,7 @@ func (cm *costModel) sortCost(s *plan.Sort) plan.Cost {
 		rounds = 1
 	}
 	comparisons := n * rounds * (1 - cm.in.CacheHitRate)
-	c.Cents += comparisons * cm.in.RewardCents * cm.in.CompareAssignments
+	c.Cents += cm.in.compareCents(comparisons)
 	groupsPerRound := math.Max(1, math.Ceil(n/math.Max(cm.in.Window, 1)/8))
 	c.Seconds += rounds * groupsPerRound * cm.in.RoundTripSeconds
 	return c

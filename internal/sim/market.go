@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crowddb/internal/crowd"
+	"crowddb/internal/quality"
 )
 
 // Config tunes the marketplace. Defaults (see DefaultConfig) are calibrated
@@ -79,6 +80,10 @@ type hitState struct {
 	hit       *crowd.HIT
 	remaining int
 	doneBy    map[string]bool // workers may not repeat a HIT
+	// early marks a HIT closed below full replication: its answers were
+	// unanimous above the quorum floor and the group opted into adaptive
+	// vote sizing, so no further assignments are solicited.
+	early bool
 }
 
 type group struct {
@@ -294,9 +299,16 @@ func (m *Market) submit(g *group, hs *hitState, w *Worker) {
 	m.returned = append(m.returned, w) // one entry per completion = preferential attachment
 	m.totalSubmitted++
 
+	if g.spec.AdaptiveVotes && !hs.early && unanimousAboveQuorum(g, hs.hit) {
+		// Early answers agree above the quorum floor: stop soliciting
+		// further assignments for this HIT (adaptive vote sizing).
+		hs.early = true
+		hs.remaining = 0
+	}
+
 	done := true
 	for _, other := range g.hits {
-		if other.remaining > 0 || len(answersFor(g, other.hit.ID)) < g.spec.Assignments {
+		if !hitSatisfied(g, other) {
 			done = false
 			break
 		}
@@ -304,6 +316,38 @@ func (m *Market) submit(g *group, hs *hitState, w *Worker) {
 	if done {
 		g.completed = len(g.hits)
 	}
+}
+
+// hitSatisfied reports whether a HIT needs no further answers: closed
+// early on unanimity, or fully claimed and fully replicated.
+func hitSatisfied(g *group, hs *hitState) bool {
+	return hs.early || (hs.remaining <= 0 && len(answersFor(g, hs.hit.ID)) >= g.spec.Assignments)
+}
+
+// unanimousAboveQuorum reports whether every submitted answer for the HIT
+// agrees on every input field after cleansing, with at least a majority
+// quorum's worth of answers in and none of them garbage.
+func unanimousAboveQuorum(g *group, hit *crowd.HIT) bool {
+	as := answersFor(g, hit.ID)
+	if len(as) < quality.MajorityFor(g.spec.Assignments) {
+		return false
+	}
+	for _, field := range hit.InputFields() {
+		var first string
+		for i, a := range as {
+			ans, ok := a.Answers[field]
+			if !ok || quality.IsGarbage(ans) {
+				return false
+			}
+			norm := quality.Normalize(ans)
+			if i == 0 {
+				first = norm
+			} else if norm != first {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func answersFor(g *group, hitID string) []*crowd.Assignment {
@@ -394,7 +438,7 @@ func (m *Market) Status(id crowd.GroupID) (crowd.GroupStatus, error) {
 		perHIT[a.HITID]++
 	}
 	for _, hs := range g.hits {
-		if perHIT[hs.hit.ID] >= g.spec.Assignments {
+		if hs.early || perHIT[hs.hit.ID] >= g.spec.Assignments {
 			st.Completed++
 		}
 	}

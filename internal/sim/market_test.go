@@ -317,3 +317,59 @@ func trimLeadingZeros(s string) string {
 	}
 	return s
 }
+
+// Adaptive vote sizing: once a HIT's early answers are unanimous at the
+// quorum floor, the market stops soliciting the remaining assignments —
+// the group completes with fewer paid answers than fixed replication,
+// and correctness stays comparable.
+func TestAdaptiveVotesFewerAssignments(t *testing.T) {
+	correctFor := func(adaptive bool) (answers, correct int) {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		m := NewMarket(cfg)
+		g := testGroup(40, 3, 2)
+		g.AdaptiveVotes = adaptive
+		id, err := m.Post(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Step(200 * time.Hour)
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed != 40 {
+			t.Fatalf("adaptive=%v: only %d/40 HITs complete: %+v", adaptive, st.Completed, st)
+		}
+		res, _ := m.Results(id)
+		byHIT := map[string]map[string]int{}
+		for _, a := range res {
+			if byHIT[a.HITID] == nil {
+				byHIT[a.HITID] = map[string]int{}
+			}
+			byHIT[a.HITID][a.Answers["abstract"]]++
+		}
+		for i := 0; i < 40; i++ {
+			hit := fmt.Sprintf("H%03d", i)
+			truth := fmt.Sprintf("abstract-%d", i)
+			best, bestN := "", 0
+			for ans, n := range byHIT[hit] {
+				if n > bestN || (n == bestN && ans < best) {
+					best, bestN = ans, n
+				}
+			}
+			if best == truth {
+				correct++
+			}
+		}
+		return len(res), correct
+	}
+	fixedAnswers, fixedCorrect := correctFor(false)
+	adaptiveAnswers, adaptiveCorrect := correctFor(true)
+	if adaptiveAnswers >= fixedAnswers {
+		t.Errorf("adaptive must solicit fewer assignments: %d vs %d", adaptiveAnswers, fixedAnswers)
+	}
+	if fixedCorrect-adaptiveCorrect > 2 {
+		t.Errorf("adaptive correctness dropped too far: %d vs %d of 40", adaptiveCorrect, fixedCorrect)
+	}
+}

@@ -44,6 +44,16 @@ type Pending struct {
 	postedAt   time.Duration
 	resolvedAt time.Duration
 	deadline   time.Duration
+	// platform is the tier the group is currently live on (the model
+	// platform first when routing is enabled, the human platform after
+	// escalation or when routing is off); reward is the per-assignment
+	// price it was posted at there.
+	platform crowd.Platform
+	reward   crowd.Cents
+	// escalated marks a group re-posted to the human tier; modelByHIT
+	// stashes the model tier's answers so resolution merges both tiers.
+	escalated  bool
+	modelByHIT map[string][]*crowd.Assignment
 	// pollFails counts this group's transient status/expire/results
 	// failures; the group is retried on later poll ticks (virtual-time
 	// backoff) until Config.RetryAttempts is exhausted.
@@ -169,41 +179,65 @@ func (m *Manager) Submit(group *crowd.HITGroup) *Pending {
 	return p
 }
 
-// admitLocked posts p to the platform, retrying transient post errors
-// with seeded exponential backoff. Called with sched.mu held (platforms
-// must support concurrent Post anyway; with the default RetryBase of 0
-// the retries do not sleep, so the lock is not held across a wait). Only
-// an exhausted retry budget resolves p with an error — and because a
-// failed Post never reached the platform, a retried post is still posted
-// exactly once and can never double-pay.
+// admitLocked posts p to its first tier — the model platform when
+// escalation routing is enabled, the human platform otherwise —
+// retrying transient post errors with seeded exponential backoff.
+// Called with sched.mu held (platforms must support concurrent Post
+// anyway; with the default RetryBase of 0 the retries do not sleep, so
+// the lock is not held across a wait). Only an exhausted retry budget
+// resolves p with an error — and because a failed Post never reached
+// the platform, a retried post is still posted exactly once and can
+// never double-pay.
 func (m *Manager) admitLocked(p *Pending) {
-	id, err := m.postWithRetry(p.group)
+	target, spec := m.platform, p.group
+	if m.cfg.ModelPlatform != nil {
+		// Model tier first: same HITs (IDs carry over so escalation and
+		// resolution can merge answers), the model tier's price, and its
+		// own replication — except for new-tuple solicitations, where
+		// each assignment is a distinct wanted candidate.
+		ms := *p.group
+		ms.Reward = m.cfg.ModelReward
+		if ms.Kind != crowd.TaskNewTuple {
+			ms.Assignments = m.cfg.ModelAssignments
+		}
+		target, spec = m.cfg.ModelPlatform, &ms
+	}
+	id, err := m.postWithRetry(target, spec)
 	if err != nil {
 		m.resolveLocked(p, nil, fmt.Errorf("taskmgr: post: %w", err))
 		return
 	}
 	p.id = id
 	p.posted = true
-	p.postedAt = m.platform.Now()
+	p.platform = target
+	p.reward = spec.Reward
+	p.postedAt = target.Now()
 	p.deadline = p.postedAt + m.cfg.MaxWait
 	m.sched.inflight = append(m.sched.inflight, p)
 
 	m.mu.Lock()
 	m.stats.GroupsPosted++
-	m.stats.HITsPosted += len(p.group.HITs)
+	m.stats.HITsPosted += len(spec.HITs)
+	if target == m.cfg.ModelPlatform {
+		m.stats.ModelGroupsPosted++
+	}
+	m.platformStatsLocked(target.Name(), func(ps *PlatformStats) {
+		ps.Groups++
+		ps.HITs += len(spec.HITs)
+	})
 	if n := len(m.sched.inflight); n > m.stats.PeakInFlight {
 		m.stats.PeakInFlight = n
 	}
 	m.mu.Unlock()
 }
 
-// postWithRetry attempts platform.Post up to Config.RetryAttempts times.
-func (m *Manager) postWithRetry(group *crowd.HITGroup) (crowd.GroupID, error) {
+// postWithRetry attempts target.Post up to Config.RetryAttempts times.
+func (m *Manager) postWithRetry(target crowd.Platform, group *crowd.HITGroup) (crowd.GroupID, error) {
 	var id crowd.GroupID
 	var err error
 	for attempt := 1; ; attempt++ {
 		faultinject.Hit("taskmgr.platform.post")
-		id, err = m.platform.Post(group)
+		id, err = target.Post(group)
 		if err == nil || attempt >= m.cfg.RetryAttempts {
 			return id, err
 		}
@@ -265,7 +299,7 @@ func (m *Manager) resolveLocked(p *Pending, byHIT map[string][]*crowd.Assignment
 		}
 	}
 	if p.posted && err == nil {
-		p.resolvedAt = m.platform.Now()
+		p.resolvedAt = p.platform.Now()
 		// Observed round-trip: the cost model's latency feedback.
 		m.recordLatency(p.resolvedAt - p.postedAt)
 	}
@@ -305,6 +339,11 @@ func (m *Manager) drive(target *Pending, ctx context.Context) {
 		busy := len(m.sched.inflight) > 0
 		m.sched.mu.Unlock()
 		m.platform.Step(m.cfg.PollInterval)
+		if m.cfg.ModelPlatform != nil {
+			// Both tiers share the poll cadence so their virtual
+			// clocks stay in step across escalations.
+			m.cfg.ModelPlatform.Step(m.cfg.PollInterval)
+		}
 		if busy {
 			m.mu.Lock()
 			m.stats.CrowdTime += m.cfg.PollInterval
@@ -322,7 +361,7 @@ func (m *Manager) pollInflight() {
 
 	for _, p := range live {
 		faultinject.Hit("taskmgr.platform.status")
-		st, err := m.platform.Status(p.id)
+		st, err := p.platform.Status(p.id)
 		if err != nil {
 			if m.noteTransient(p) {
 				continue // retried on the next poll tick
@@ -336,10 +375,10 @@ func (m *Manager) pollInflight() {
 				m.countExpired(p)
 			}
 			m.collect(p)
-		case m.platform.Now() >= p.deadline:
+		case p.platform.Now() >= p.deadline:
 			// Deadline: expire and work with what we have (the paper's
 			// operators must tolerate incomplete crowd answers).
-			if err := m.platform.Expire(p.id); err != nil {
+			if err := p.platform.Expire(p.id); err != nil {
 				if m.noteTransient(p) {
 					continue
 				}
@@ -374,7 +413,7 @@ func (m *Manager) countExpired(p *Pending) {
 // is not known to be idempotent, and retrying could double-pay.
 func (m *Manager) collect(p *Pending) {
 	faultinject.Hit("taskmgr.platform.results")
-	results, err := m.platform.Results(p.id)
+	results, err := p.platform.Results(p.id)
 	if err != nil {
 		if m.noteTransient(p) {
 			return
@@ -382,25 +421,137 @@ func (m *Manager) collect(p *Pending) {
 		m.finish(p, nil, fmt.Errorf("taskmgr: results: %w", err))
 		return
 	}
+	tier := p.platform.Name()
+	for _, a := range results {
+		// Stamp provenance so tier-weighted voting can tell the merged
+		// answers apart (the model platform self-stamps; human
+		// platforms do not know they are a tier).
+		if a.Source == "" {
+			a.Source = tier
+		}
+	}
 	if m.payer != nil {
-		approved, err := m.payer.Settle(m.platform, results)
+		approved, err := m.payer.Settle(p.platform, results)
 		if err != nil {
 			m.finish(p, nil, fmt.Errorf("taskmgr: settle: %w", err))
 			return
 		}
 		m.mu.Lock()
-		m.stats.ApprovedSpend += crowd.Cents(approved) * m.cfg.Reward
+		// Priced at the tier the group was posted on — the model tier's
+		// reward differs from the human one.
+		m.stats.ApprovedSpend += crowd.Cents(approved) * p.reward
+		m.platformStatsLocked(tier, func(ps *PlatformStats) {
+			ps.ApprovedSpend += crowd.Cents(approved) * p.reward
+		})
 		m.mu.Unlock()
 	}
 	m.mu.Lock()
 	m.stats.AssignmentsIn += len(results)
+	m.platformStatsLocked(tier, func(ps *PlatformStats) { ps.Assignments += len(results) })
 	m.mu.Unlock()
 
 	byHIT := make(map[string][]*crowd.Assignment)
 	for _, a := range results {
 		byHIT[a.HITID] = append(byHIT[a.HITID], a)
 	}
+
+	if m.cfg.ModelPlatform != nil && p.platform == m.cfg.ModelPlatform && !p.escalated {
+		// Model tier resolved: escalate the HITs whose answers miss the
+		// confidence or agreement floors; the rest stand as-is.
+		if contested := m.contestedHITs(p.group, byHIT); len(contested) > 0 {
+			if m.escalate(p, byHIT, contested) {
+				return // now live on the human tier; a later poll resolves it
+			}
+			// The human tier refused the re-post even after retries;
+			// degrade gracefully to the model answers we already paid for.
+		}
+	} else if p.escalated {
+		// Human answers for the contested HITs merge with the model
+		// answers for everything (model votes first, then human votes;
+		// voting is order-independent, this just keeps replay stable).
+		for hitID, human := range byHIT {
+			byHIT[hitID] = append(append([]*crowd.Assignment{}, p.modelByHIT[hitID]...), human...)
+		}
+		for hitID, model := range p.modelByHIT {
+			if _, ok := byHIT[hitID]; !ok {
+				byHIT[hitID] = model
+			}
+		}
+	}
 	m.finish(p, byHIT, nil)
+}
+
+// contestedHITs returns the group's HITs whose model-tier answers are
+// not trustworthy on their own: mean confidence below ConfidenceFloor,
+// no usable answer, failed quorum, or a winning share below
+// AgreementFloor on any input field.
+func (m *Manager) contestedHITs(group *crowd.HITGroup, byHIT map[string][]*crowd.Assignment) []*crowd.HIT {
+	var contested []*crowd.HIT
+	for _, hit := range group.HITs {
+		as := byHIT[hit.ID]
+		if len(as) == 0 {
+			contested = append(contested, hit)
+			continue
+		}
+		conf := 0.0
+		for _, a := range as {
+			conf += a.Confidence
+		}
+		if conf/float64(len(as)) < m.cfg.ConfidenceFloor {
+			contested = append(contested, hit)
+			continue
+		}
+		for _, field := range hit.InputFields() {
+			votes := make([]quality.Vote, 0, len(as))
+			for _, a := range as {
+				if ans, ok := a.Answers[field]; ok {
+					votes = append(votes, quality.Vote{WorkerID: a.WorkerID, Answer: ans})
+				}
+			}
+			d := quality.MajorityVote(votes, quality.MajorityFor(len(as)))
+			if !d.Quorum || d.Confidence < m.cfg.AgreementFloor {
+				contested = append(contested, hit)
+				break
+			}
+		}
+	}
+	return contested
+}
+
+// escalate re-posts the contested HITs to the human platform at the
+// human price and replication, keeping p in flight on the new tier. The
+// group's deadline restarts from the human posting. Reports false when
+// the post failed past its retry budget — the caller then resolves with
+// the model answers alone.
+func (m *Manager) escalate(p *Pending, modelByHIT map[string][]*crowd.Assignment, contested []*crowd.HIT) bool {
+	spec := *p.group
+	spec.HITs = contested
+	m.sched.mu.Lock()
+	defer m.sched.mu.Unlock()
+	id, err := m.postWithRetry(m.platform, &spec)
+	if err != nil {
+		return false
+	}
+	p.id = id
+	p.platform = m.platform
+	p.reward = spec.Reward
+	p.escalated = true
+	p.modelByHIT = modelByHIT
+	p.postedAt = m.platform.Now()
+	p.deadline = p.postedAt + m.cfg.MaxWait
+	p.pollFails = 0
+
+	m.mu.Lock()
+	m.stats.GroupsPosted++
+	m.stats.HITsPosted += len(contested)
+	m.stats.EscalatedGroups++
+	m.stats.EscalatedHITs += len(contested)
+	m.platformStatsLocked(m.platform.Name(), func(ps *PlatformStats) {
+		ps.Groups++
+		ps.HITs += len(contested)
+	})
+	m.mu.Unlock()
+	return true
 }
 
 // finish resolves p under the scheduler lock.

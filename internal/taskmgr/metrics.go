@@ -14,6 +14,11 @@ type GroupTelemetry struct {
 	Posted     bool
 	PostedAt   time.Duration
 	ResolvedAt time.Duration
+	// Tier names the platform the group last ran on ("model" until an
+	// escalation moves it to the human platform); Escalated reports
+	// whether the escalation router re-posted part of it to humans.
+	Tier      string
+	Escalated bool
 }
 
 // Telemetry snapshots the group's scheduler lifecycle. Safe any time;
@@ -24,12 +29,17 @@ func (p *Pending) Telemetry() GroupTelemetry {
 	}
 	p.m.sched.mu.Lock()
 	defer p.m.sched.mu.Unlock()
-	return GroupTelemetry{
+	tel := GroupTelemetry{
 		Queued:     p.wasQueued,
 		Posted:     p.posted,
 		PostedAt:   p.postedAt,
 		ResolvedAt: p.resolvedAt,
+		Escalated:  p.escalated,
 	}
+	if p.platform != nil {
+		tel.Tier = p.platform.Name()
+	}
+	return tel
 }
 
 // Telemetry reports the underlying group's lifecycle (zero when the call
@@ -98,4 +108,36 @@ func (m *Manager) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("crowddb_taskmgr_queued_groups",
 		"HIT groups queued behind the in-flight window",
 		func() float64 { _, q := m.Load(); return float64(q) })
+
+	// Tier split: the escalation router's activity. Flat zeros when no
+	// model tier is configured, so dashboards can rely on the families
+	// existing.
+	modelTier := func(s Stats) PlatformStats {
+		if m.cfg.ModelPlatform == nil {
+			return PlatformStats{}
+		}
+		return s.ByPlatform[m.cfg.ModelPlatform.Name()]
+	}
+	humanTier := func(s Stats) PlatformStats { return s.ByPlatform[m.platform.Name()] }
+	reg.CounterFunc("crowddb_crowd_tier_model_groups_total",
+		"HIT groups posted to the model tier by the escalation router",
+		stat(func(s Stats) float64 { return float64(s.ModelGroupsPosted) }))
+	reg.CounterFunc("crowddb_crowd_tier_model_answers_total",
+		"model-tier assignments collected",
+		stat(func(s Stats) float64 { return float64(modelTier(s).Assignments) }))
+	reg.CounterFunc("crowddb_crowd_tier_model_spend_cents_total",
+		"cents approved on the model tier",
+		stat(func(s Stats) float64 { return float64(modelTier(s).ApprovedSpend) }))
+	reg.CounterFunc("crowddb_crowd_tier_human_answers_total",
+		"human-platform assignments collected",
+		stat(func(s Stats) float64 { return float64(humanTier(s).Assignments) }))
+	reg.CounterFunc("crowddb_crowd_tier_human_spend_cents_total",
+		"cents approved on the human platform",
+		stat(func(s Stats) float64 { return float64(humanTier(s).ApprovedSpend) }))
+	reg.CounterFunc("crowddb_crowd_tier_escalations_total",
+		"HIT groups escalated from the model tier to the human platform",
+		stat(func(s Stats) float64 { return float64(s.EscalatedGroups) }))
+	reg.CounterFunc("crowddb_crowd_tier_escalated_hits_total",
+		"individual HITs escalated to the human platform",
+		stat(func(s Stats) float64 { return float64(s.EscalatedHITs) }))
 }

@@ -67,6 +67,40 @@ type Config struct {
 	// RetrySeed seeds the jitter RNG so backoff schedules replay
 	// deterministically for a fixed seed.
 	RetrySeed int64
+
+	// ModelPlatform enables model-first escalation routing: every HIT
+	// group is posted to this (cheap model) tier first at ModelReward ×
+	// ModelAssignments; HITs whose model answers fall below the
+	// confidence or agreement floors are re-posted to the human Platform,
+	// and the final answer is the tier-weighted resolution over the
+	// merged votes. nil (the default) disables routing — the human
+	// platform answers everything, byte-identical to the pre-router
+	// behavior.
+	ModelPlatform crowd.Platform
+	// ModelReward is the per-assignment price on the model tier (<=0
+	// defaults to 1¢).
+	ModelReward crowd.Cents
+	// ModelAssignments is the replication on the model tier (<=0 defaults
+	// to 1 — model replicas are correlated, replication buys less than
+	// it does with humans). New-tuple solicitations keep their own
+	// replication: there each assignment is a distinct candidate.
+	ModelAssignments int
+	// ConfidenceFloor escalates a HIT whose mean model confidence is
+	// below it (<=0 defaults to 0.75).
+	ConfidenceFloor float64
+	// AgreementFloor escalates a HIT whose model votes' winning share is
+	// below it, or that failed quorum outright (<=0 defaults to 0.66).
+	AgreementFloor float64
+	// ModelVoteWeight scales model votes relative to human votes in the
+	// tier-weighted resolution (<=0 defaults to 0.6: two fresh humans
+	// outvote one fresh model answer, but a model answer tips a split
+	// human pair).
+	ModelVoteWeight float64
+
+	// AdaptiveVotes lets comparison groups stop soliciting assignments
+	// for a HIT once its early answers are unanimous above the quorum
+	// floor — fewer paid votes on easy questions.
+	AdaptiveVotes bool
 }
 
 // DefaultConfig matches the paper's experimental defaults: 2¢ HITs,
@@ -81,6 +115,21 @@ func DefaultConfig() Config {
 		MaxInFlight:         8,
 		RetryAttempts:       3,
 	}
+}
+
+// PlatformStats is one platform tier's share of the crowd activity.
+// Hybrid (model + human) runs audit each tier's spend through it; the
+// old single-aggregate report hid which platform the money went to.
+type PlatformStats struct {
+	Groups        int
+	HITs          int
+	Assignments   int
+	ApprovedSpend crowd.Cents
+	// VotesAgreed/VotesDisagreed count this tier's votes that landed on
+	// the winning (resp. losing) side of decisions — the observed
+	// per-tier accuracy proxy.
+	VotesAgreed    int
+	VotesDisagreed int
 }
 
 // Stats counts crowd activity for the experiment harness.
@@ -111,6 +160,16 @@ type Stats struct {
 	GroupLatencyP90 time.Duration
 	// LatencySamples is how many group round-trips have been observed.
 	LatencySamples int64
+	// ModelGroupsPosted counts groups first posted to the model tier;
+	// EscalatedGroups/EscalatedHITs count how many of them (and how many
+	// individual HITs) fell below the confidence or agreement floors and
+	// were re-posted to the human platform.
+	ModelGroupsPosted int
+	EscalatedGroups   int
+	EscalatedHITs     int
+	// ByPlatform splits groups, assignments, spend, and vote outcomes by
+	// platform name.
+	ByPlatform map[string]PlatformStats
 }
 
 // Manager is the Task Manager.
@@ -165,7 +224,25 @@ func New(platform crowd.Platform, uim *ui.Manager, tracker *quality.Tracker, pay
 	if cfg.RetryAttempts <= 0 {
 		cfg.RetryAttempts = 3
 	}
+	if cfg.ModelPlatform != nil {
+		if cfg.ModelReward <= 0 {
+			cfg.ModelReward = 1
+		}
+		if cfg.ModelAssignments <= 0 {
+			cfg.ModelAssignments = 1
+		}
+		if cfg.ConfidenceFloor <= 0 {
+			cfg.ConfidenceFloor = 0.75
+		}
+		if cfg.AgreementFloor <= 0 {
+			cfg.AgreementFloor = 0.66
+		}
+		if cfg.ModelVoteWeight <= 0 {
+			cfg.ModelVoteWeight = 0.6
+		}
+	}
 	m := &Manager{platform: platform, ui: uim, tracker: tracker, payer: payer, oracle: oracle, cfg: cfg}
+	m.stats.ByPlatform = make(map[string]PlatformStats)
 	m.jitter = rand.New(rand.NewSource(cfg.RetrySeed))
 	m.sched.handoff = make(chan struct{})
 	return m
@@ -179,8 +256,42 @@ func (m *Manager) Stats() Stats {
 	st.MaxInFlight = m.cfg.MaxInFlight
 	st.GroupLatencyP50, st.GroupLatencyP90 = m.latencyPercentilesLocked()
 	st.LatencySamples = m.latPos
+	st.ByPlatform = make(map[string]PlatformStats, len(m.stats.ByPlatform))
+	for name, ps := range m.stats.ByPlatform {
+		st.ByPlatform[name] = ps
+	}
 	return st
 }
+
+// platformStatsLocked mutates one platform's split counters in place.
+// Callers hold m.mu.
+func (m *Manager) platformStatsLocked(name string, f func(*PlatformStats)) {
+	ps := m.stats.ByPlatform[name]
+	f(&ps)
+	m.stats.ByPlatform[name] = ps
+}
+
+// EscalationRate is the observed fraction of model-tier HITs that fell
+// below the routing floors and escalated to the human platform. Before
+// any model HIT has resolved it returns the planning prior (the cost
+// optimizer prices blended model-first rates with it).
+func (m *Manager) EscalationRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.ModelPlatform == nil {
+		return 0
+	}
+	modelHITs := m.stats.ByPlatform[m.cfg.ModelPlatform.Name()].HITs
+	if modelHITs == 0 {
+		return defaultEscalationRate
+	}
+	return float64(m.stats.EscalatedHITs) / float64(modelHITs)
+}
+
+// defaultEscalationRate is the planning prior before feedback arrives: a
+// quarter of model answers contested, matching the Sharp preset on
+// mid-difficulty comparisons.
+const defaultEscalationRate = 0.25
 
 // recordLatency notes one group's post-to-resolution round-trip.
 func (m *Manager) recordLatency(d time.Duration) {
@@ -440,12 +551,13 @@ func (m *Manager) compareAsync(kind crowd.TaskKind, question string, pairs []Com
 		return nil, nil
 	}
 	group := &crowd.HITGroup{
-		Title:       "Compare items",
-		Description: question,
-		Kind:        kind,
-		Reward:      m.cfg.Reward,
-		Assignments: m.cfg.Assignments,
-		Expiry:      m.cfg.MaxWait,
+		Title:         "Compare items",
+		Description:   question,
+		Kind:          kind,
+		Reward:        m.cfg.Reward,
+		Assignments:   m.cfg.Assignments,
+		Expiry:        m.cfg.MaxWait,
+		AdaptiveVotes: m.cfg.AdaptiveVotes,
 	}
 	for _, p := range pairs {
 		var fields []crowd.Field
@@ -474,21 +586,51 @@ func (m *Manager) compareAsync(kind crowd.TaskKind, question string, pairs []Com
 	return &CompareCall{m: m, pairs: pairs, group: group, pending: m.Submit(group)}, nil
 }
 
-// decide majority-votes one field over a HIT's assignments and feeds the
-// quality tracker.
+// decide resolves one field over a HIT's assignments and feeds the
+// quality tracker. Without a model tier it is the paper's majority vote;
+// with one it is the tier-weighted resolution — each vote weighted by
+// the worker's observed accuracy score, model votes further scaled by
+// ModelVoteWeight — over the merged model and human answers.
 func (m *Manager) decide(assignments []*crowd.Assignment, field string) quality.Decision {
 	votes := make([]quality.Vote, 0, len(assignments))
+	source := make(map[string]string, len(assignments))
 	for _, a := range assignments {
 		if ans, ok := a.Answers[field]; ok {
 			votes = append(votes, quality.Vote{WorkerID: a.WorkerID, Answer: ans})
+			source[a.WorkerID] = a.Source
 		}
 	}
-	d := quality.MajorityVote(votes, quality.MajorityFor(m.cfg.Assignments))
+	var d quality.Decision
+	if m.cfg.ModelPlatform != nil {
+		modelName := m.cfg.ModelPlatform.Name()
+		d = quality.WeightedVote(votes, func(workerID string) float64 {
+			w := m.tracker.Score(workerID)
+			if source[workerID] == modelName {
+				w *= m.cfg.ModelVoteWeight
+			}
+			return w
+		}, 0.5)
+	} else {
+		d = quality.MajorityVote(votes, quality.MajorityFor(m.cfg.Assignments))
+	}
 	m.tracker.Record(d)
 	m.mu.Lock()
 	m.stats.Decisions++
 	if len(votes) > 0 && len(votes) < m.cfg.Assignments {
 		m.stats.PartialResults++
+	}
+	// Per-tier accuracy proxy: which platform's votes land on the
+	// winning side. (Assignments fabricated without a Source — plumbing
+	// tests — stay out of the split.)
+	for _, w := range d.Agreed {
+		if src := source[w]; src != "" {
+			m.platformStatsLocked(src, func(ps *PlatformStats) { ps.VotesAgreed++ })
+		}
+	}
+	for _, w := range d.Disagreed {
+		if src := source[w]; src != "" {
+			m.platformStatsLocked(src, func(ps *PlatformStats) { ps.VotesDisagreed++ })
+		}
 	}
 	m.mu.Unlock()
 	return d
